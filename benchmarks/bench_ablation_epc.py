@@ -1,0 +1,59 @@
+"""Ablation: EPC capacity sweep for the host-only secure configuration.
+
+The paper pins its host-only secure (hos) degradation on SGX's 96 MiB
+EPC (§6.3).  This bench re-costs a recorded hos run of Q1 under a sweep
+of EPC capacities, exposing the cliff the paper's Figure 9a samples at
+three points: paging cost falls slowly while the database still streams
+through the enclave, and vanishes only once the EPC holds the entire
+working set (Merkle tree + every streamed page) — for the paper's SF-3
+setup that would require a multi-gigabyte EPC, which is precisely why
+hos cannot be fixed by tuning and the CSA split wins.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table
+from repro.tpch import Q1
+
+# Sweep as fractions of the working set's paper-equivalent (96 MiB).
+FRACTIONS = (0.25, 0.5, 1.0, 2.0, 8.0, 32.0, 128.0)
+
+
+def test_ablation_epc_sweep(benchmark, deployment):
+    def experiment():
+        base = deployment.cost_model
+        result = deployment.run_query(Q1.sql, "hos")
+        meter = result.host_meter
+        rows = []
+        for fraction in FRACTIONS:
+            cm = base.scaled(epc_limit_bytes=max(4096, int(base.epc_limit_bytes * fraction)))
+            breakdown = cm.phase_breakdown(
+                meter, platform="x86", in_enclave=True, remote_io=True
+            )
+            rows.append(
+                [
+                    f"{fraction:.2f}x",
+                    cm.epc_limit_bytes / 1024,
+                    breakdown.ms("epc_paging"),
+                    breakdown.total_ns / 1e6,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["EPC (rel.)", "EPC KiB (scaled)", "paging ms", "hos total ms"],
+            rows,
+            title="Ablation — hos Q1 vs EPC capacity",
+        )
+    )
+    paging = [row[2] for row in rows]
+    totals = [row[3] for row in rows]
+    assert paging == sorted(paging, reverse=True), "paging must shrink with EPC"
+    assert totals == sorted(totals, reverse=True), "total must improve with EPC"
+    assert paging[-1] == 0.0, "a big-enough EPC must eliminate paging"
+    assert paging[0] > 0.0, "a small EPC must page"

@@ -1,0 +1,54 @@
+"""Ablation: the host↔storage interconnect (paper §5 networking layer).
+
+The paper's networking layer "can be configured as: NVMe/PCIe, NVMe over
+fabrics (NVMe-oF), or a TCP" (their evaluation uses TLS over TCP/IP).
+This bench replays the host-only and split configurations under all three
+presets: a faster interconnect narrows — but does not erase — the CS
+advantage, because the host-only path still moves the whole database and
+pays per-page software overheads.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SF, run_once
+
+from repro.bench import build_deployment, format_table
+from repro.sim import INTERCONNECT_PROFILES, with_interconnect
+from repro.tpch import ALL_QUERIES
+
+QUERY = 3
+
+
+def test_ablation_interconnect(benchmark):
+    def experiment():
+        rows = []
+        for profile in INTERCONNECT_PROFILES:
+            deployment = build_deployment(BENCH_SF, seed=2022)
+            deployment.cost_model = with_interconnect(deployment.cost_model, profile)
+            hons = deployment.run_query(ALL_QUERIES[QUERY].sql, "hons")
+            vcs = deployment.run_query(ALL_QUERIES[QUERY].sql, "vcs")
+            rows.append(
+                [
+                    profile,
+                    hons.total_ms,
+                    vcs.total_ms,
+                    hons.total_ms / vcs.total_ms,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["interconnect", "hons ms", "vcs ms", "CS speedup x"],
+            rows,
+            title=f"Ablation — interconnect presets (TPC-H Q{QUERY})",
+        )
+    )
+    by_profile = {row[0]: row for row in rows}
+    # Faster links help the host-only configuration most...
+    assert by_profile["nvme-pcie"][1] < by_profile["nvme-of"][1] < by_profile["tls-tcp"][1]
+    # ...narrowing the CS speedup, which nevertheless stays >= 1.
+    assert by_profile["nvme-pcie"][3] <= by_profile["tls-tcp"][3]
+    assert all(row[3] >= 1.0 for row in rows)

@@ -1,0 +1,90 @@
+"""Ablation: where the offload benefit comes from.
+
+Decomposes the computational-storage win into its two ingredients by
+running the split with degraded partition plans:
+
+* **full**       — pushed filters + column pruning (the shipped plan);
+* **no-filter**  — column pruning only (every row ships);
+* **no-prune**   — filters only (every column ships);
+* **naive**      — whole tables ship (offload degenerates to remote copy).
+
+The paper's §6.2 attributes the speedup to IO reduction; this bench shows
+which half of the reduction each mechanism contributes per query.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table
+from repro.core.partitioner import ManualPartition, ManualShip, TableScanSpec
+from repro.sql.parser import parse
+from repro.tpch import ALL_QUERIES
+
+QUERIES = (3, 6, 12)
+
+
+def _degrade(deployment, select, *, keep_filters: bool, keep_pruning: bool) -> ManualPartition:
+    plan = deployment.partitioner.partition(select)
+    ships = []
+    for scan in plan.scans:
+        columns = scan.columns
+        if not keep_pruning:
+            columns = deployment.storage_engine.db.store.catalog.table(scan.table).column_names
+        where = scan.where if keep_filters else None
+        spec = TableScanSpec(table=scan.table, columns=list(columns), where=where)
+        ships.append(ManualShip(table=scan.table, sql=spec.to_sql()))
+    return ManualPartition(ships=ships, host_sql=select.to_sql(), note="ablation")
+
+
+def test_ablation_offload_ingredients(benchmark, deployment):
+    def experiment():
+        rows = []
+        for number in QUERIES:
+            select = parse(ALL_QUERIES[number].sql)
+            variants = {
+                "full": deployment.run_query(ALL_QUERIES[number].sql, "vcs"),
+                "no-filter": deployment.run_query(
+                    ALL_QUERIES[number].sql, "vcs",
+                    manual_partition=_degrade(deployment, select, keep_filters=False, keep_pruning=True),
+                ),
+                "no-prune": deployment.run_query(
+                    ALL_QUERIES[number].sql, "vcs",
+                    manual_partition=_degrade(deployment, select, keep_filters=True, keep_pruning=False),
+                ),
+                "naive": deployment.run_query(
+                    ALL_QUERIES[number].sql, "vcs",
+                    manual_partition=_degrade(deployment, select, keep_filters=False, keep_pruning=False),
+                ),
+            }
+            reference = sorted(variants["full"].rows)
+            for name, run in variants.items():
+                assert sorted(run.rows) == reference, f"Q{number} {name} rows differ"
+            rows.append(
+                [
+                    f"Q{number}",
+                    variants["full"].bytes_shipped,
+                    variants["no-filter"].bytes_shipped,
+                    variants["no-prune"].bytes_shipped,
+                    variants["naive"].bytes_shipped,
+                    variants["full"].total_ms,
+                    variants["naive"].total_ms,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["query", "full B", "no-filter B", "no-prune B", "naive B",
+             "full ms", "naive ms"],
+            rows,
+            title="Ablation — offload ingredients (vcs, bytes shipped + runtime)",
+        )
+    )
+    for row in rows:
+        full_bytes, no_filter, no_prune, naive = row[1], row[2], row[3], row[4]
+        assert full_bytes <= no_filter <= naive
+        assert full_bytes <= no_prune <= naive
+        assert row[5] <= row[6], f"{row[0]}: degraded plan cannot be faster"

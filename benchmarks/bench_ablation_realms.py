@@ -1,0 +1,55 @@
+"""Ablation: ARM v9 Realms vs classic TrustZone (paper §3.3 future work).
+
+The paper trusts the storage server's whole normal-world OS stack because
+TrustZone offers no general-purpose isolated execution; it notes that
+ARM v9 "would allow us to not trust the OS stack anymore".  This bench
+runs IronSafe in both modes and reports the trade:
+
+* TCB: the ~60 MB normal-world OS drops out (5x smaller trusted base);
+* performance: realm execution pays a small granule-protection overhead
+  on the storage-side portions.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SF, run_once
+
+from repro.bench import build_deployment, format_table
+from repro.tpch import ALL_QUERIES
+
+QUERIES = (3, 6, 9)
+
+
+def test_ablation_realms(benchmark):
+    def experiment():
+        classic = build_deployment(BENCH_SF, seed=2022)
+        realms = build_deployment(BENCH_SF, seed=2022, armv9_realms=True)
+        rows = []
+        for number in QUERIES:
+            a = classic.run_query(ALL_QUERIES[number].sql, "scs")
+            b = realms.run_query(ALL_QUERIES[number].sql, "scs")
+            assert sorted(a.rows) == sorted(b.rows)
+            rows.append([f"Q{number}", a.total_ms, b.total_ms, b.total_ms / a.total_ms])
+        tcb = {
+            "classic": classic.tcb_bytes() / 1024 / 1024,
+            "realms": realms.tcb_bytes() / 1024 / 1024,
+        }
+        return rows, tcb
+
+    rows, tcb = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["query", "TrustZone scs ms", "Realms scs ms", "slowdown x"],
+            rows,
+            title="Ablation — ARM v9 Realms vs classic TrustZone (scs)",
+        )
+    )
+    print(
+        f"\nTCB: classic {tcb['classic']:.0f} MB -> realms {tcb['realms']:.0f} MB "
+        f"({tcb['classic'] / tcb['realms']:.1f}x smaller; the normal-world OS "
+        "is no longer trusted)"
+    )
+    for row in rows:
+        assert 1.0 <= row[3] <= 1.15, f"{row[0]}: realm overhead out of band"
+    assert tcb["realms"] < tcb["classic"] / 3

@@ -1,0 +1,95 @@
+"""Ablation: what each layer of the secure storage design costs.
+
+DESIGN.md calls out the secure-storage stack's design choices; this bench
+peels them off one at a time for a storage-resident run (sos):
+
+* full IronSafe — encryption + per-page MAC + Merkle path + RPMB anchor;
+* no-Merkle — encryption + per-page MAC only (loses anti-displacement
+  and rollback protection);
+* encryption-only — loses all integrity;
+* plain — the vanilla (vcs-equivalent) storage path.
+
+Also compares the two key-management schemes the paper mentions (§4.1):
+one key for all units vs one derived key per unit.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table
+from repro.sim import Meter
+from repro.tpch import ALL_QUERIES
+
+
+def _variant_ms(deployment, meter: Meter, *, macs: bool, merkle: bool, crypto: bool) -> float:
+    """Re-cost an sos run with security layers toggled off."""
+    m = meter.copy()
+    if not merkle:
+        m.merkle_nodes_hashed = 0
+        m.rpmb_reads = m.rpmb_writes = 0
+    if not macs:
+        m.page_macs_verified = 0
+    if not crypto:
+        m.pages_decrypted = m.pages_encrypted = 0
+    return deployment.cost_model.phase_breakdown(
+        m, platform="arm", cores=1
+    ).total_ns / 1e6
+
+
+def test_ablation_secure_storage_layers(benchmark, deployment):
+    def experiment():
+        rows = []
+        for number in (2, 6, 9):
+            result = deployment.run_query(ALL_QUERIES[number].sql, "sos")
+            meter = result.storage_meter
+            full = _variant_ms(deployment, meter, macs=True, merkle=True, crypto=True)
+            no_merkle = _variant_ms(deployment, meter, macs=True, merkle=False, crypto=True)
+            enc_only = _variant_ms(deployment, meter, macs=False, merkle=False, crypto=True)
+            plain = _variant_ms(deployment, meter, macs=False, merkle=False, crypto=False)
+            rows.append([f"Q{number}", plain, enc_only, no_merkle, full, full / plain])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["query", "plain ms", "+encryption", "+page MACs", "+Merkle/RPMB (full)", "full/plain x"],
+            rows,
+            title="Ablation — secure storage layers (sos, simulated ms)",
+        )
+    )
+    for row in rows:
+        plain, enc_only, no_merkle, full = row[1], row[2], row[3], row[4]
+        assert plain < enc_only < no_merkle < full, f"{row[0]}: layers must be monotone"
+        # The Merkle walk (freshness) must be the single largest increment,
+        # matching Figure 8's finding.
+        increments = [enc_only - plain, no_merkle - enc_only, full - no_merkle]
+        assert increments[2] == max(increments), f"{row[0]}: freshness must dominate"
+
+
+def test_ablation_key_schemes(benchmark):
+    """One key for all units vs one key per unit: same protection flow,
+    same simulated cost, small real-time overhead for derivation."""
+    from repro.crypto import Rng
+    from repro.storage import BlockDevice, InMemoryAnchor, SecurePager
+
+    def experiment():
+        results = {}
+        for scheme in ("single", "per-page"):
+            rng = Rng(f"keys-{scheme}")
+            pager = SecurePager(
+                BlockDevice(), rng.bytes(32), InMemoryAnchor(), rng.fork("iv"),
+                key_scheme=scheme,
+            )
+            pages = [pager.allocate_page() for _ in range(64)]
+            for p in pages:
+                pager.write_page(p, bytes([p % 251]) * 1000)
+            for p in pages:
+                assert pager.read_page(p) == bytes([p % 251]) * 1000
+            results[scheme] = pager.meter.pages_decrypted
+        return results
+
+    results = run_once(benchmark, experiment)
+    print(f"\nkey-scheme ablation: both schemes verified on 64 pages {results}")
+    assert results["single"] == results["per-page"] == 64

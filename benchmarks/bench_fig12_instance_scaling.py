@@ -1,0 +1,67 @@
+"""Figure 12: storage-engine scalability with 1-16 concurrent instances.
+
+Paper: N engine instances each run a query's offloaded portion over its
+own copy of the protected database; cumulative execution time scales
+linearly with N for every query except Q13, whose memory-intensive
+offloaded join suffers as per-instance memory shrinks.
+
+Model: the storage server's 32 GiB is shared — the OS, page cache and
+secure-world reservations take a quarter, and each of the N instances gets
+1/N of the remaining 24 GiB (data-ratio-scaled); an instance's runtime is
+its portion time under that limit, and the cumulative time is N times it.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table, storage_portion_ms
+from repro.sim import GIB_BYTES, PAGE_SIZE
+
+PAPER_SF3_BYTES = 3.2e9
+INSTANCES = (1, 2, 4, 8, 16)
+
+
+def test_fig12_instance_scaling(benchmark, deployment, tpch_suite):
+    data_bytes = deployment.secure_device.num_pages * PAGE_SIZE
+    ratio = data_bytes / PAPER_SF3_BYTES
+    total_memory = 24 * GIB_BYTES * ratio
+
+    def experiment():
+        rows = []
+        for q in tpch_suite:
+            base = None
+            normalized = []
+            for n in INSTANCES:
+                limit = max(PAGE_SIZE, int(total_memory / n))
+                per_instance = storage_portion_ms(
+                    q.runs["scs"], deployment.cost_model, memory_bytes=limit
+                )
+                cumulative = n * per_instance
+                if base is None:
+                    base = cumulative
+                normalized.append(cumulative / base)
+            rows.append([f"Q{q.number}", *normalized])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["query"] + [f"{n} inst" for n in INSTANCES],
+            rows,
+            title="Figure 12 — cumulative offloaded-portion time, normalized to 1 instance",
+        )
+    )
+
+    by_query = {row[0]: row[1:] for row in rows}
+    ideal = list(INSTANCES)
+    linear = [
+        q for q, s in by_query.items()
+        if all(abs(v - n) / n < 0.05 for v, n in zip(s, ideal))
+    ]
+    print(f"\nlinearly scaling queries: {len(linear)}/{len(by_query)}")
+    assert len(linear) >= len(by_query) - 3, "almost all queries must scale linearly"
+    # Q13 is the paper's outlier: super-linear cumulative time growth.
+    q13 = by_query["Q13"]
+    assert q13[-1] > ideal[-1] * 1.08, "Q13 must scale worse than linear"

@@ -1,0 +1,62 @@
+"""Figure 7: reduction in data exchanged between host and storage server.
+
+Paper: the ratio of pages processed host-only versus pages shipped by the
+computational-storage split; "query speedup is almost directly correlated
+with the IO reduction", with Q21 the outlier (its manual split is
+compute-intensive rather than IO-saving).
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.bench import format_table
+
+
+def _pearson(xs: list[float], ys: list[float]) -> float:
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = math.sqrt(sum((x - mx) ** 2 for x in xs))
+    vy = math.sqrt(sum((y - my) ** 2 for y in ys))
+    return cov / (vx * vy) if vx and vy else 0.0
+
+
+def test_fig7_data_movement(benchmark, tpch_suite):
+    def experiment():
+        rows = []
+        for q in tpch_suite:
+            host_pages = q.runs["hons"].host_meter.pages_read
+            shipped_pages = q.runs["vcs"].pages_transferred
+            reduction = host_pages / max(1, shipped_pages)
+            rows.append(
+                [
+                    f"Q{q.number}",
+                    host_pages,
+                    shipped_pages,
+                    reduction,
+                    q.speedup("hons", "vcs"),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["query", "host-only pages", "CS pages shipped", "IO reduction x", "speedup x"],
+            rows,
+            title="Figure 7 — data movement reduction with CSA",
+        )
+    )
+
+    # Correlation claim, excluding the paper's own outlier Q21.
+    pairs = [(math.log(r[3]), math.log(r[4])) for r in rows if r[0] != "Q21"]
+    corr = _pearson([p[0] for p in pairs], [p[1] for p in pairs])
+    print(f"\nlog-log correlation (IO reduction vs speedup, excl. Q21): {corr:.2f}")
+    benchmark.extra_info["correlation"] = corr
+    assert corr > 0.3, "speedup should correlate with IO reduction"
+    assert all(r[3] >= 1.0 for r in rows), "CS must never ship more than host-only reads"

@@ -1,0 +1,53 @@
+"""Figure 8: relative cost breakdown of running each query with IronSafe.
+
+Paper: per-query scs time splits into "ndp" (the vanilla-CS cost),
+freshness verification, decryption, and "other" (channel encryption +
+storage-side service instantiation).  "Most of the overhead comes from
+guaranteeing the freshness of pages read from untrusted storage"; "other"
+is negligible.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table, overhead_breakdown
+
+
+def test_fig8_overhead_breakdown(benchmark, tpch_suite):
+    def experiment():
+        return [
+            overhead_breakdown(q.number, q.runs["scs"], q.runs["vcs"])
+            for q in tpch_suite
+        ]
+
+    breakdowns = run_once(benchmark, experiment)
+    rows = []
+    for b in breakdowns:
+        rows.append(
+            [
+                f"Q{b.number}",
+                b.ndp_ms,
+                b.freshness_ms,
+                b.decryption_ms,
+                b.other_ms,
+                b.total_ms,
+                100 * b.fraction(b.freshness_ms),
+                100 * b.fraction(b.decryption_ms),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["query", "ndp ms", "freshness ms", "decrypt ms", "other ms",
+             "total ms", "fresh %", "dec %"],
+            rows,
+            title="Figure 8 — IronSafe (scs) cost breakdown per TPC-H query",
+        )
+    )
+
+    dominant = sum(1 for b in breakdowns if b.freshness_ms > b.decryption_ms)
+    print(f"\nfreshness dominates decryption in {dominant}/{len(breakdowns)} queries")
+    assert dominant >= 0.9 * len(breakdowns), "freshness must be the main security cost"
+    for b in breakdowns:
+        assert b.other_ms < 0.25 * b.total_ms, f"Q{b.number}: 'other' should stay small"

@@ -1,0 +1,65 @@
+"""Figure 9a: Q1 execution time vs input size (hos / scs / sos).
+
+Paper: scale factors 3, 4 and 5 whose Merkle trees occupy 59, 78 and
+98 MiB of the 96 MiB EPC — hos degrades sharply as EPC paging sets in;
+scs is best at every size; sos is limited by the weak storage CPU.
+
+Our deployments scale the data by the same 3:4:5 ratio and pin the EPC so
+the smallest tree/EPC ratio matches the paper's 59/96.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SF, run_once
+
+from repro.bench import PAPER_EPC_BYTES, PAPER_TREE_BYTES_SF3, build_deployment, format_table
+from repro.tpch import Q1
+
+
+def test_fig9a_input_size(benchmark):
+    def experiment():
+        scale_factors = [BENCH_SF, BENCH_SF * 4 / 3, BENCH_SF * 5 / 3]
+        base = build_deployment(scale_factors[0], scale_epc=True)
+        epc = base.cost_model.epc_limit_bytes
+        rows = []
+        for i, sf in enumerate(scale_factors):
+            if i == 0:
+                dep = base
+            else:
+                dep = build_deployment(sf, scale_epc=False)
+                dep.cost_model = dep.cost_model.scaled(epc_limit_bytes=epc)
+            tree_mib_equiv = (
+                dep.storage_engine.pager.tree_size_bytes() / epc * PAPER_EPC_BYTES / (1024**2)
+            )
+            res = {c: dep.run_query(Q1.sql, c) for c in ("hos", "scs", "sos")}
+            rows.append(
+                [
+                    f"SF {3 + i} (equiv)",
+                    tree_mib_equiv,
+                    res["hos"].total_ms,
+                    res["hos"].breakdown.ms("epc_paging"),
+                    res["scs"].total_ms,
+                    res["sos"].total_ms,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["input size", "tree MiB-equiv", "hos ms", "hos EPC ms", "scs ms", "sos ms"],
+            rows,
+            title="Figure 9a — Q1 runtime vs input size (lower is better)",
+        )
+    )
+
+    # Shape: scs best everywhere; hos EPC paging grows with input size.
+    for row in rows:
+        assert row[4] <= row[2], f"{row[0]}: scs must beat hos"
+        assert row[4] <= row[5], f"{row[0]}: scs must beat sos"
+    epc_costs = [row[3] for row in rows]
+    assert epc_costs[-1] > epc_costs[0], "EPC paging must grow with input size"
+    # The hos-vs-scs gap widens as the enclave working set outgrows the EPC.
+    gaps = [row[2] - row[4] for row in rows]
+    assert gaps == sorted(gaps), "the hos-scs gap must widen with input size"

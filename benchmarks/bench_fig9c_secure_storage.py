@@ -1,0 +1,55 @@
+"""Figure 9c: secure-storage overhead breakdown on the storage server.
+
+Paper: with queries running entirely on the storage server (sos), Q2 and
+Q9 spend ~70% / ~80% of their time verifying the freshness of database
+pages and ~15% decrypting them; Q9 issues vastly more page requests than
+Q2 (≈23M vs ≈200K on the authors' testbed), which is why its share is
+higher.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table
+from repro.tpch import ALL_QUERIES
+
+
+def test_fig9c_secure_storage_breakdown(benchmark, deployment):
+    def experiment():
+        rows = []
+        for number in (2, 9):
+            result = deployment.run_query(ALL_QUERIES[number].sql, "sos")
+            total = result.total_ms
+            fresh = result.breakdown.ms("freshness")
+            dec = result.breakdown.ms("decryption")
+            rows.append(
+                [
+                    f"Q{number}",
+                    result.storage_meter.pages_read,
+                    total,
+                    fresh,
+                    100 * fresh / total,
+                    dec,
+                    100 * dec / total,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["query", "page requests", "total ms", "freshness ms", "fresh %",
+             "decrypt ms", "dec %"],
+            rows,
+            title="Figure 9c — sos secure-storage overheads (Q2 vs Q9)",
+        )
+    )
+
+    q2, q9 = rows
+    assert q9[1] > q2[1], "Q9 must issue more page requests than Q2"
+    for row in rows:
+        assert 40 <= row[4] <= 90, f"{row[0]}: freshness share should dominate"
+        assert row[6] <= 30, f"{row[0]}: decryption share should stay modest"
+        assert row[4] > row[6], f"{row[0]}: freshness must outweigh decryption"

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+One deployment (and one full TPC-H suite run) is shared across every
+figure's benchmark — Figures 6, 7, 8, 10, 11 and 12 are different views
+of the same 16-query execution, exactly as in the paper.
+
+Scale: ``REPRO_BENCH_SF`` (default 0.002) sets the TPC-H scale factor.
+The simulated database stands in for the paper's SF-3 instance; EPC size
+and storage memory scale by the data ratio (see repro.bench.harness).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import build_deployment, run_tpch_suite
+
+BENCH_SF = float(os.environ.get("REPRO_BENCH_SF", "0.002"))
+
+
+@pytest.fixture(scope="session")
+def deployment():
+    return build_deployment(BENCH_SF)
+
+
+@pytest.fixture(scope="session")
+def tpch_suite(deployment):
+    """All 16 evaluated queries under hons/hos/vcs/scs (result cache)."""
+    return run_tpch_suite(deployment, ("hons", "hos", "vcs", "scs"))
+
+
+@pytest.fixture(scope="session")
+def suite_by_number(tpch_suite):
+    return {q.number: q for q in tpch_suite}
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,123 @@
+"""Adversary demo: the paper's §3.3 threat model, attack by attack.
+
+Plays five attacks against a live deployment and shows each defense
+firing: (1) reading enclave memory, (2) tampering with the untrusted
+medium, (3) rolling the database back, (4) impersonating the storage
+server, and (5) sniffing the host↔storage channel.
+
+Run:  python examples/attack_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import Deployment
+from repro.crypto import Rng
+from repro.errors import (
+    AttestationError,
+    EnclaveError,
+    FreshnessError,
+    IntegrityError,
+)
+from repro.storage import SecurePager, TAAnchor
+from repro.tee.trustzone import DeviceVendor
+from repro.tpch import ALL_QUERIES
+
+
+def banner(n: int, title: str) -> None:
+    print(f"\n[{n}] {title}")
+    print("-" * 64)
+
+
+def main() -> None:
+    print("Deploying IronSafe (TPC-H SF 0.0005)...")
+    deployment = Deployment(scale_factor=0.0005, seed=4)
+    deployment.attest_all()
+
+    # ------------------------------------------------------------------
+    banner(1, "OS-level attacker reads the host engine's enclave memory")
+    deployment.host_engine.begin_session()
+    deployment.host_engine.receive_table(
+        "inflight", [("secret", "TEXT")], [("query intermediate state",)]
+    )
+    try:
+        deployment.host_enclave.get("session_db")
+        print("  !! enclave memory readable — FAILED")
+    except EnclaveError as exc:
+        print(f"  blocked: {exc}")
+    deployment.host_engine.end_session()
+
+    # ------------------------------------------------------------------
+    banner(2, "Physical attacker flips bits on the untrusted NVMe medium")
+    victim = deployment.storage_engine.db.store.pages_of("lineitem")[0]
+    deployment.secure_device.corrupt(victim, offset=123)
+    try:
+        deployment.run_query(ALL_QUERIES[6].sql, "scs")
+        print("  !! tampered data served — FAILED")
+    except IntegrityError as exc:
+        print(f"  detected on read: {exc}")
+    # Repair for the rest of the demo.
+    deployment.secure_device.corrupt(victim, offset=123)
+
+    # ------------------------------------------------------------------
+    banner(3, "Attacker rolls the database back to a stale snapshot")
+    engine = deployment.storage_engine
+    snapshot = deployment.secure_device.snapshot()
+    engine.db.execute("DELETE FROM region WHERE r_regionkey = 0")
+    engine.commit()
+    deployment.secure_device.restore(snapshot)
+    master_key = engine.trusted_os.invoke("secure-storage", "get_master_key")
+    try:
+        SecurePager(
+            deployment.secure_device,
+            master_key,
+            TAAnchor(engine.trusted_os),
+            deployment.rng.fork("attacker"),
+        )
+        print("  !! stale database accepted — FAILED")
+    except FreshnessError as exc:
+        print(f"  detected at open (RPMB anchor mismatch): {exc}")
+
+    # ------------------------------------------------------------------
+    banner(4, "A rogue device impersonates the storage server")
+    mallory = DeviceVendor("mallory-devices", Rng("mallory"))
+    rogue = mallory.provision_device("storage-1", location="eu-west")
+    rogue.secure_boot(
+        mallory.sign_firmware("optee", b"sw", "3.4"),
+        mallory.sign_firmware("linux", b"nw", "5.4.3"),
+    )
+    challenge = deployment.rng.bytes(16)
+    quote = rogue.sign_attestation(challenge)
+    try:
+        deployment.attestation.attest_storage(
+            quote, rogue.boot_state.certificate_chain, challenge
+        )
+        print("  !! rogue device attested — FAILED")
+    except AttestationError as exc:
+        print(f"  attestation refused: {exc}")
+
+    # ------------------------------------------------------------------
+    banner(5, "Network attacker sniffs the host<->storage channel")
+    frames: list[bytes] = []
+    original_send = deployment.link.send
+
+    def sniff(sender, recipient, payload, meter=None, charge_time=True):
+        frames.append(bytes(payload))
+        return original_send(sender, recipient, payload, meter, charge_time)
+
+    deployment.link.send = sniff
+    try:
+        deployment.run_query("SELECT n_name FROM nation WHERE n_regionkey = 3", "scs")
+    finally:
+        deployment.link.send = original_send
+    leaks = [f for f in frames if any(m in f for m in (b"CHINA", b"INDIA", b"JAPAN"))]
+    print(f"  captured {len(frames)} frames, {sum(map(len, frames))} bytes")
+    if leaks:
+        print("  !! plaintext tuples on the wire — FAILED")
+    else:
+        print("  all captured traffic is ciphertext (authenticated encryption)")
+
+    print("\nAll five attacks detected or blocked.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Near-data-processing study: what gets offloaded, and what it buys.
+
+For a selection of TPC-H queries, prints the automatic partitioner's
+storage-side scans (projection + pushed filters), the data-movement
+savings, and the resulting speedups — a miniature of the paper's
+Figures 6 and 7.
+
+Run:  python examples/tpch_offload_study.py
+"""
+
+from __future__ import annotations
+
+from repro import Deployment
+from repro.core.manual_partitions import MANUAL_PARTITIONS
+from repro.sql.parser import parse
+from repro.tpch import ALL_QUERIES
+
+STUDY_QUERIES = [3, 6, 12, 13, 21]
+
+
+def main() -> None:
+    print("Building the testbed (TPC-H SF 0.002)...\n")
+    deployment = Deployment(scale_factor=0.002)
+    deployment.attest_all()
+
+    for number in STUDY_QUERIES:
+        query = ALL_QUERIES[number]
+        print("=" * 72)
+        print(f"TPC-H Q{number} — {query.name}")
+
+        manual = MANUAL_PARTITIONS.get(number)
+        if manual is not None:
+            print(f"\n  manual split ({manual.note}):")
+            for ship in manual.ships:
+                first_line = " ".join(ship.sql.split())[:68]
+                print(f"    -> {ship.table}: {first_line}...")
+        else:
+            plan = deployment.partitioner.partition(parse(query.sql))
+            print("\n  storage-side scans (automatic partitioner):")
+            for scan in plan.scans:
+                filt = f" WHERE {scan.where.to_sql()}" if scan.where is not None else ""
+                cols = ", ".join(scan.columns[:5]) + ("..." if len(scan.columns) > 5 else "")
+                print(f"    -> {scan.table}({cols}){filt[:90]}")
+            for note in plan.notes:
+                print(f"    note: {note}")
+
+        hons = deployment.run_query(query.sql, "hons")
+        vcs = deployment.run_query(query.sql, "vcs", manual_partition=manual)
+        hos = deployment.run_query(query.sql, "hos")
+        scs = deployment.run_query(query.sql, "scs", manual_partition=manual)
+
+        pages_host = hons.host_meter.pages_read
+        pages_shipped = vcs.pages_transferred
+        print("\n  data movement:")
+        print(f"    host-only reads {pages_host} pages over the network;")
+        print(
+            f"    CS ships {vcs.bytes_shipped} bytes (~{pages_shipped} pages) "
+            f"-> {pages_host / max(1, pages_shipped):.1f}x IO reduction"
+        )
+        print("  runtimes (simulated ms):")
+        print(
+            f"    non-secure: host-only {hons.total_ms:8.2f}  vanilla CS {vcs.total_ms:8.2f}"
+            f"  speedup {hons.total_ms / vcs.total_ms:5.2f}x"
+        )
+        print(
+            f"    secure:     host-only {hos.total_ms:8.2f}  IronSafe   {scs.total_ms:8.2f}"
+            f"  speedup {hos.total_ms / scs.total_ms:5.2f}x"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""IronSafe reproduction: secure, policy-compliant query processing on
+heterogeneous computational storage architectures (SIGMOD 2022).
+
+Public API tour:
+
+* :mod:`repro.core` — the IronSafe system (deployment, engines, partitioner)
+* :mod:`repro.sql` — the from-scratch SQL engine
+* :mod:`repro.policy` — the declarative policy language
+* :mod:`repro.monitor` — the trusted monitor
+* :mod:`repro.tee` — simulated SGX and TrustZone
+* :mod:`repro.storage` — the secure storage framework
+* :mod:`repro.tpch` — TPC-H data generator and queries
+* :mod:`repro.sim` — the deterministic cost model everything is timed with
+"""
+
+from .core import Deployment, RunResult
+from .errors import IronSafeError
+
+__version__ = "1.0.0"
+
+__all__ = ["Deployment", "IronSafeError", "RunResult", "__version__"]

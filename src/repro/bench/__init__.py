@@ -1,0 +1,33 @@
+"""Benchmark harness for regenerating every table and figure."""
+
+from .harness import (
+    PAPER_EPC_BYTES,
+    PAPER_SCALE_FACTOR,
+    PAPER_TREE_BYTES_SF3,
+    OverheadBreakdown,
+    QueryRuns,
+    build_deployment,
+    format_table,
+    geomean,
+    overhead_breakdown,
+    recost_split,
+    run_tpch_suite,
+    scaled_epc_limit,
+    storage_portion_ms,
+)
+
+__all__ = [
+    "PAPER_EPC_BYTES",
+    "PAPER_SCALE_FACTOR",
+    "PAPER_TREE_BYTES_SF3",
+    "OverheadBreakdown",
+    "QueryRuns",
+    "build_deployment",
+    "format_table",
+    "geomean",
+    "overhead_breakdown",
+    "recost_split",
+    "run_tpch_suite",
+    "scaled_epc_limit",
+    "storage_portion_ms",
+]

@@ -1,0 +1,32 @@
+"""IronSafe core: client, engines, partitioner, channel, deployments."""
+
+from .channel import SecureChannel, channel_pair
+from .client import Client, QueryResponse, register_client
+from .configs import CONFIG_NAMES, CONFIGS, HONS, HOS, SCS, SOS, SystemConfig, VCS
+from .deployment import Deployment, RunResult
+from .host_engine import HostEngine
+from .partitioner import PartitionPlan, QueryPartitioner, TableScanSpec
+from .storage_engine import StorageEngine
+
+__all__ = [
+    "CONFIGS",
+    "Client",
+    "QueryResponse",
+    "register_client",
+    "CONFIG_NAMES",
+    "Deployment",
+    "HONS",
+    "HOS",
+    "HostEngine",
+    "PartitionPlan",
+    "QueryPartitioner",
+    "RunResult",
+    "SCS",
+    "SOS",
+    "SecureChannel",
+    "StorageEngine",
+    "SystemConfig",
+    "TableScanSpec",
+    "VCS",
+    "channel_pair",
+]

@@ -1,0 +1,108 @@
+"""The IronSafe client (paper §3.1, step 1-5 workflow).
+
+The client is the data producer's / consumer's library: it holds an
+identity keypair, connects to the host engine over TLS (simulated),
+submits queries together with execution policies, and verifies the
+monitor-signed proof of compliance that comes back with the results.
+
+The client trusts only the monitor's public key (pinned at provisioning);
+host and storage nodes are trusted *transitively* through the proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import PrivateKey, PublicKey, Rng, generate_keypair
+from ..errors import IronSafeError
+from ..monitor import ComplianceProof, verify_proof
+from ..sim import TimeBreakdown
+from .deployment import Deployment, RunResult
+
+
+@dataclass
+class QueryResponse:
+    """What the client hands back to application code."""
+
+    columns: list[str]
+    rows: list[tuple]
+    proof: ComplianceProof
+    breakdown: TimeBreakdown
+
+    @property
+    def total_ms(self) -> float:
+        return self.breakdown.total_ms
+
+
+class Client:
+    """One authenticated party (producer or consumer)."""
+
+    def __init__(self, name: str, monitor_key: PublicKey, rng: Rng):
+        self.name = name
+        self._keypair: PrivateKey = generate_keypair(rng.fork(f"client:{name}"))
+        self._monitor_key = monitor_key
+
+    @property
+    def fingerprint(self) -> str:
+        """The identity the policy language's sessionKeyIs() matches on."""
+        return self._keypair.public_key.fingerprint().hex()
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._keypair.public_key
+
+    def sign_request(self, query_text: str) -> bytes:
+        """Authenticate a request (the host checks this before forwarding)."""
+        return self._keypair.sign(query_text.encode())
+
+    def submit(
+        self,
+        deployment: Deployment,
+        sql: str,
+        *,
+        exec_policy: str | None = None,
+        now: int = 0,
+    ) -> QueryResponse:
+        """Full data-path round trip: authorize, execute split, verify proof.
+
+        Raises if the monitor refuses the request or the returned proof
+        does not verify against the pinned monitor key.
+        """
+        from ..sql.parser import parse
+
+        statement = parse(sql)
+        clock_before = deployment.clock.breakdown.copy()
+        auth = deployment.monitor.authorize(
+            deployment.database_name,
+            client_key=self.fingerprint,
+            statement=statement,
+            host_id="host-1",
+            exec_policy_text=exec_policy,
+            now=now,
+            query_text=sql,
+        )
+        monitor_breakdown = deployment.clock.breakdown.minus(clock_before)
+
+        verify_proof(auth.proof, self._monitor_key)
+
+        if auth.storage_node is not None:
+            result: RunResult = deployment.run_query(
+                auth.statement.to_sql(), "scs", authorization=auth
+            )
+        else:
+            # Host-only fallback (no compliant storage node).
+            result = deployment.run_query(auth.statement.to_sql(), "hos")
+        breakdown = result.breakdown.copy().merge(monitor_breakdown)
+        rows, columns = result.rows, result.columns
+
+        deployment.monitor.finish_session(auth.session.session_id)
+        return QueryResponse(
+            columns=columns, rows=rows, proof=auth.proof, breakdown=breakdown
+        )
+
+
+def register_client(deployment: Deployment, name: str) -> Client:
+    """Create a client bound to *deployment*'s monitor."""
+    if deployment.monitor is None:  # pragma: no cover - defensive
+        raise IronSafeError("deployment has no monitor")
+    return Client(name, deployment.monitor.public_key, deployment.rng)

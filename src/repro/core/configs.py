@@ -1,0 +1,25 @@
+"""The five system configurations of the evaluation (paper Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One row of Table 2."""
+
+    abbrev: str
+    description: str
+    split_execution: bool
+    secure: bool
+
+
+HONS = SystemConfig("hons", "Host-only, non-secure (NFS-attached storage)", False, False)
+HOS = SystemConfig("hos", "Host-only, secure (SGX enclave, remote pages)", False, True)
+VCS = SystemConfig("vcs", "Vanilla computational storage (no security)", True, False)
+SCS = SystemConfig("scs", "IronSafe (secure computational storage)", True, True)
+SOS = SystemConfig("sos", "Storage-only, secure (whole query on ARM)", False, True)
+
+CONFIGS: dict[str, SystemConfig] = {c.abbrev: c for c in (HONS, HOS, VCS, SCS, SOS)}
+CONFIG_NAMES = tuple(CONFIGS)

@@ -1,0 +1,91 @@
+"""The host engine: in-enclave query processing on the x86 server.
+
+Runs inside an SGX enclave (paper §4.1).  In the split configurations it
+receives filtered records from the storage engine over the secure channel,
+materializes them as in-memory tables inside the enclave, and executes the
+full query (joins, group-bys, aggregations) over them.  In the host-only
+configurations it instead processes the on-disk database directly across
+the network, paying an enclave exit/enter per page fetch — the cost that
+motivates the CSA offload.
+"""
+
+from __future__ import annotations
+
+from ..errors import EnclaveError
+from ..sim import Meter
+from ..sql import Database, MemoryStore
+from ..sql import ast_nodes as A
+from ..sql.catalog import TableSchema
+from ..tee.sgx import Enclave
+
+# Enclave exits happen per received channel record, not per row.
+RECORD_ROWS = 256
+
+
+class HostEngine:
+    """One host server's query engine, shielded by an enclave."""
+
+    def __init__(self, enclave: Enclave):
+        self.enclave = enclave
+        self.meter = Meter()
+        self._db: Database | None = None
+        enclave.register_ecall("reset_session", self._reset_session)
+        enclave.register_ecall("load_table", self._load_table)
+        enclave.register_ecall("run_statement", self._run_statement)
+        enclave.register_ecall("wipe", self._wipe)
+
+    # ------------------------------------------------------------------
+    # ECALL bodies (run "inside" the enclave)
+    # ------------------------------------------------------------------
+
+    def _reset_session(self) -> None:
+        self._db = Database(MemoryStore(self.meter))
+        self.enclave.put("session_db", self._db)
+
+    def _load_table(
+        self, name: str, columns: list[tuple[str, str]], rows: list[tuple]
+    ) -> int:
+        db = self.enclave.get("session_db")
+        if not db.store.catalog.has_table(name):
+            db.store.create_table(TableSchema(name=name, columns=list(columns)))
+        return db.store.insert_rows(name, rows)
+
+    def _run_statement(self, statement: A.Statement):
+        db = self.enclave.get("session_db")
+        return db.execute_statement(statement)
+
+    def _wipe(self) -> None:
+        self._db = None
+        self.enclave.wipe()
+
+    # ------------------------------------------------------------------
+    # Untrusted-side API
+    # ------------------------------------------------------------------
+
+    def fresh_meter(self) -> Meter:
+        meter = Meter()
+        self.meter = meter
+        self.enclave.meter = meter
+        if self._db is not None:
+            self._db.store.meter = meter
+        return meter
+
+    def begin_session(self) -> None:
+        self.enclave.ecall("reset_session")
+
+    def receive_table(
+        self, name: str, columns: list[tuple[str, str]], rows: list[tuple]
+    ) -> None:
+        """Ingest a shipped table, one enclave entry per channel record."""
+        if self._db is None:
+            raise EnclaveError("no active session: call begin_session first")
+        for start in range(0, max(1, len(rows)), RECORD_ROWS):
+            self.enclave.ecall("load_table", name, columns, rows[start : start + RECORD_ROWS])
+
+    def run(self, statement: A.Statement):
+        return self.enclave.ecall("run_statement", statement)
+
+    def end_session(self) -> None:
+        """Session cleanup: delete all temporary state inside the enclave."""
+        self.enclave.ecall("wipe")
+        self._db = None

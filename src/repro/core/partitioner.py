@@ -1,0 +1,235 @@
+"""Automatic query partitioner for the CSA split.
+
+Mirrors the paper's strategy ("a simple query partitioning strategy ...
+with simple heuristics", §8): the storage side runs *filtering scans* —
+per base table a projection to the referenced columns plus the disjunction
+of that table's per-occurrence filters — while the host runs the full
+query (joins, group-bys, aggregations) over the shipped, pre-filtered
+tables.  Re-applying a filter on the host is idempotent, so shipping a
+superset per table occurrence is always correct.
+
+Column attribution exploits TPC-H-style prefix-unique column names: an
+unqualified or aliased column resolves to the single base table that owns
+the name.  Tables with ambiguous column names ship all columns (safe
+fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PartitionError
+from ..sql import ast_nodes as A
+from ..sql.catalog import Catalog
+from ..sql.planner import column_refs, conjuncts_of, contains_subquery, or_together, walk_expr
+
+
+@dataclass
+class TableScanSpec:
+    """One storage-side scan: SELECT columns FROM table [WHERE filter]."""
+
+    table: str
+    columns: list[str]
+    where: A.Expr | None = None
+
+    def to_select(self) -> A.Select:
+        return A.Select(
+            items=tuple(A.SelectItem(A.Column(c)) for c in self.columns),
+            from_items=(A.TableRef(self.table),),
+            where=self.where,
+        )
+
+    def to_sql(self) -> str:
+        return self.to_select().to_sql()
+
+
+@dataclass
+class PartitionPlan:
+    """The split: storage-side scans + the (unchanged) host-side query."""
+
+    scans: list[TableScanSpec]
+    host_statement: A.Select
+    notes: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ManualShip:
+    """One manually-specified storage-side statement producing a table.
+
+    The paper partitions queries manually ("adapting the MySQL partitioner
+    with simple heuristics", §8); some of its splits push more than filters
+    to the storage side — Q13's offloaded portion performs the memory-
+    intensive LEFT JOIN (§6.4b), and Q21's offloaded portion is
+    compute-intensive (§6.2).  A ManualShip carries an arbitrary SELECT
+    executed near the data whose result is shipped as *table*.
+    """
+
+    table: str
+    sql: str
+
+
+@dataclass
+class ManualPartition:
+    """A hand-written split: storage statements + the host-side query."""
+
+    ships: list[ManualShip]
+    host_sql: str
+    note: str = ""
+
+
+class QueryPartitioner:
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+
+    def _owner(self, column: A.Column) -> str | None:
+        return self.catalog.owner_of_column(column.name)
+
+    def _tables_of(self, expr: A.Expr) -> set[str]:
+        owners = set()
+        for col in column_refs(expr):
+            owner = self._owner(col)
+            if owner is None:
+                return set()  # ambiguous column: bail out
+            owners.add(owner)
+        return owners
+
+    def _collect(self, select: A.Select, occurrence_filters, occurrence_counts, referenced):
+        """Recursive walk over one SELECT scope."""
+        # FROM occurrences.
+        local_refs: list[A.TableRef] = []
+
+        def note_from(item):
+            if isinstance(item, A.TableRef):
+                if self.catalog.has_table(item.name):
+                    occurrence_counts[item.name] = occurrence_counts.get(item.name, 0) + 1
+                    local_refs.append(item)
+            elif isinstance(item, A.SubqueryRef):
+                self._collect(item.select, occurrence_filters, occurrence_counts, referenced)
+
+        for item in select.from_items:
+            note_from(item)
+        for join in select.joins:
+            note_from(join.right)
+
+        # Column references anywhere in this scope.
+        def note_columns(expr: A.Expr | None):
+            if expr is None:
+                return
+            for node in walk_expr(expr):
+                if isinstance(node, A.Column):
+                    owner = self._owner(node)
+                    if owner is not None:
+                        referenced.setdefault(owner, set()).add(node.name)
+                elif isinstance(node, (A.Exists, A.ScalarSubquery)):
+                    self._collect(node.subquery, occurrence_filters, occurrence_counts, referenced)
+                elif isinstance(node, A.InSubquery):
+                    self._collect(node.subquery, occurrence_filters, occurrence_counts, referenced)
+
+        for item in select.items:
+            note_columns(item.expr)
+        note_columns(select.where)
+        for g in select.group_by:
+            note_columns(g)
+        note_columns(select.having)
+        for o in select.order_by:
+            note_columns(o.expr)
+        for join in select.joins:
+            note_columns(join.on)
+
+        # Filter conjuncts: single-table, single-*binding*, subquery-free
+        # WHERE conjuncts, keyed by (table, occurrence_binding) so multiple
+        # uses of the same table (l1/l2/l3 in Q21) OR together.
+        per_binding: dict[tuple[str, str], list[A.Expr]] = {}
+        bindings = {ref.binding: ref.name for ref in local_refs}
+        for conjunct in conjuncts_of(select.where):
+            if contains_subquery(conjunct):
+                continue
+            tables = self._tables_of(conjunct)
+            if len(tables) != 1:
+                continue
+            table = next(iter(tables))
+            # A self-join predicate (a.x = b.x) references one *table* but
+            # two bindings — never a pushable filter.
+            qualifiers = {c.table for c in column_refs(conjunct) if c.table is not None}
+            if len(qualifiers) > 1:
+                continue
+            binding = None
+            if qualifiers:
+                q = next(iter(qualifiers))
+                if q in bindings and bindings[q] == table:
+                    binding = q
+            if binding is None:
+                binding = table
+            if table in occurrence_counts:
+                per_binding.setdefault((table, binding), []).append(conjunct)
+        # LEFT JOIN ON: right-side-only conjuncts are pushable to the scan.
+        for join in select.joins:
+            if not isinstance(join.right, A.TableRef):
+                continue
+            right_table = join.right.name
+            if not self.catalog.has_table(right_table):
+                continue
+            for conjunct in conjuncts_of(join.on):
+                if contains_subquery(conjunct):
+                    continue
+                if self._tables_of(conjunct) == {right_table}:
+                    per_binding.setdefault(
+                        (right_table, join.right.binding), []
+                    ).append(conjunct)
+
+        from ..sql.planner import and_together
+
+        for (table, _binding), conjs in per_binding.items():
+            combined = and_together([self._strip_qualifiers(c) for c in conjs])
+            occurrence_filters.setdefault(table, []).append(combined)
+
+    @staticmethod
+    def _strip_qualifiers(expr: A.Expr) -> A.Expr:
+        """Drop alias qualifiers so the filter compiles in the scan's scope
+        (the storage-side scan binds the table under its bare name)."""
+        from ..sql.planner import rewrite_expr
+
+        def mapping(node: A.Expr):
+            if isinstance(node, A.Column) and node.table is not None:
+                return A.Column(node.name)
+            return None
+
+        return rewrite_expr(expr, mapping)
+
+    # ------------------------------------------------------------------
+
+    def partition(self, select: A.Select) -> PartitionPlan:
+        """Derive the storage-side scans for *select*."""
+        if not isinstance(select, A.Select):
+            raise PartitionError("only SELECT statements can be partitioned")
+        occurrence_filters: dict[str, list[A.Expr]] = {}
+        occurrence_counts: dict[str, int] = {}
+        referenced: dict[str, set[str]] = {}
+        self._collect(select, occurrence_filters, occurrence_counts, referenced)
+
+        scans: list[TableScanSpec] = []
+        notes: list[str] = []
+        for table in sorted(occurrence_counts):
+            schema = self.catalog.table(table)
+            columns = referenced.get(table, set())
+            if not columns:
+                # Referenced structurally but no resolvable columns: ship all.
+                column_list = list(schema.column_names)
+                notes.append(f"{table}: no attributable columns, shipping all")
+            else:
+                column_list = [c for c in schema.column_names if c in columns]
+            filters = occurrence_filters.get(table, [])
+            where = None
+            if filters and len(filters) >= occurrence_counts[table]:
+                # Every occurrence is filtered: OR of the occurrence filters
+                # keeps exactly the rows any occurrence might need.
+                where = or_together(filters)
+            elif filters:
+                notes.append(
+                    f"{table}: {occurrence_counts[table]} occurrences but only "
+                    f"{len(filters)} filtered — shipping unfiltered"
+                )
+            scans.append(TableScanSpec(table=table, columns=column_list, where=where))
+        return PartitionPlan(scans=scans, host_statement=select, notes=notes)

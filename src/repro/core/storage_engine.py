@@ -1,0 +1,130 @@
+"""The storage engine: near-data query processing on the TrustZone server.
+
+The engine lives in the storage server's *normal world* after secure boot
+(paper §4.1): the trusted OS measured its image, the attestation TA can
+prove that measurement to the monitor, and the secure-storage TA hands it
+the database master key and anchors Merkle roots in RPMB.  It executes
+offloaded filtering scans (or, in the `sos` configuration, entire queries)
+over the paged on-disk database and ships serialized result rows to the
+host.
+"""
+
+from __future__ import annotations
+
+from ..crypto import Rng
+from ..errors import SecureBootError
+from ..sim import Meter
+from ..sql import Database, PagedStore
+from ..sql import ast_nodes as A
+from ..sql.records import encode_row
+from ..storage import BlockDevice, Pager, SecurePager, TAAnchor
+from ..tee.trustzone import (
+    AttestationTA,
+    RealmManager,
+    SecureStorageTA,
+    TrustedOS,
+    TrustZoneDevice,
+)
+from .partitioner import TableScanSpec
+
+STORAGE_ENGINE_IMAGE = b"ironsafe-storage-engine v1.0 (query engine + secure storage)" 
+
+
+class StorageEngine:
+    """One storage server: TrustZone device + on-disk database."""
+
+    def __init__(
+        self,
+        device: TrustZoneDevice,
+        block_device: BlockDevice,
+        rng: Rng,
+        *,
+        secure: bool,
+        cipher: str = "hash-ctr",
+        realm_mode: bool = False,
+    ):
+        if not device.booted:
+            raise SecureBootError("storage engine starts after secure boot only")
+        self.device = device
+        self.block_device = block_device
+        self.secure = secure
+        self.meter = Meter()
+        self.trusted_os = TrustedOS(device)
+        self.trusted_os.load_ta(AttestationTA(device))
+        self.trusted_os.load_ta(SecureStorageTA(device))
+        self._rng = rng
+        # ARM v9 mode (the paper's future work): the engine runs inside a
+        # realm, so the normal-world OS drops out of the TCB.  Attestation
+        # then quotes the realm image instead of the whole normal world.
+        self.realm_mode = realm_mode
+        self.realm = None
+        if realm_mode:
+            self._rmm = RealmManager(device)
+            self.realm = self._rmm.create_realm("storage-engine", STORAGE_ENGINE_IMAGE)
+
+        if secure:
+            master_key = self.trusted_os.invoke("secure-storage", "get_master_key")
+            anchor = TAAnchor(self.trusted_os, self.meter)
+            self.pager = SecurePager(
+                block_device, master_key, anchor, rng.fork("pager-iv"),
+                meter=self.meter, cipher=cipher,
+            )
+        else:
+            self.pager = Pager(block_device, meter=self.meter)
+        self.db = Database(PagedStore(self.pager, self.meter))
+
+    # ------------------------------------------------------------------
+
+    def fresh_meter(self) -> Meter:
+        """Install a fresh meter for the next run (rebinds all layers)."""
+        meter = Meter()
+        self.meter = meter
+        self.pager.meter = meter
+        self.db.store.meter = meter
+        if self.secure:
+            self.pager.tree.meter = meter
+            if isinstance(self.pager.anchor, TAAnchor):
+                self.pager.anchor._meter = meter
+        return meter
+
+    # ------------------------------------------------------------------
+    # Attestation endpoint (monitor-facing)
+    # ------------------------------------------------------------------
+
+    def attest(self, challenge: bytes):
+        """Answer an attestation challenge.
+
+        TrustZone mode: the attestation TA signs the normal-world
+        measurement.  Realm mode: a CCA token quotes only the engine's
+        realm image (the OS is untrusted), attached to the same
+        secure-boot certificate chain for the device identity.
+        """
+        if self.realm is not None:
+            assert self.device.boot_state is not None
+            token = self.realm.attestation_token(challenge)
+            return token, list(self.device.boot_state.certificate_chain)
+        return self.trusted_os.invoke("attestation", "attest", challenge)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def execute_scan(self, spec: TableScanSpec) -> tuple[list[str], list[tuple], int]:
+        """Run one offloaded filtering scan.
+
+        Returns (column names, rows, serialized byte count).  The byte
+        count is what crosses the network to the host.
+        """
+        result = self.db.execute_statement(spec.to_select())
+        nbytes = sum(len(encode_row(row)) for row in result.rows)
+        # The shipped rows are buffered for serialization; that buffer is
+        # the scan's working set (drives the Figure 11 memory sweep).
+        self.meter.note_memory(nbytes)
+        return result.columns, result.rows, nbytes
+
+    def execute_full(self, statement: A.Statement):
+        """Run a complete statement locally (the `sos` configuration)."""
+        return self.db.execute_statement(statement)
+
+    def commit(self) -> None:
+        self.db.commit()

@@ -1,0 +1,99 @@
+"""Minimal certificate infrastructure for attestation chains.
+
+TrustZone secure boot produces a certificate chain rooted in the device's
+ROTPK (root-of-trust public key); the trusted monitor verifies that chain
+and extracts the storage node's configuration (firmware version, location)
+from certificate attributes.  SGX quote verification similarly checks an
+IAS report certificate.  A certificate here is a signed, canonically
+serialized attribute map — the shape of X.509 without the ASN.1.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..errors import CertificateError
+from .rsa import PrivateKey, PublicKey
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of a subject name + public key + attributes."""
+
+    subject: str
+    issuer: str
+    public_key: PublicKey
+    attributes: dict = field(default_factory=dict)
+    signature: bytes = b""
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed serialization (everything but the signature)."""
+        return _canonical(
+            {
+                "subject": self.subject,
+                "issuer": self.issuer,
+                "n": self.public_key.n,
+                "e": self.public_key.e,
+                "attributes": self.attributes,
+            }
+        )
+
+
+def issue_certificate(
+    issuer_name: str,
+    issuer_key: PrivateKey,
+    subject: str,
+    subject_public_key: PublicKey,
+    attributes: dict | None = None,
+) -> Certificate:
+    """Create a certificate for *subject* signed by *issuer_key*."""
+    cert = Certificate(
+        subject=subject,
+        issuer=issuer_name,
+        public_key=subject_public_key,
+        attributes=dict(attributes or {}),
+    )
+    return Certificate(
+        subject=cert.subject,
+        issuer=cert.issuer,
+        public_key=cert.public_key,
+        attributes=cert.attributes,
+        signature=issuer_key.sign(cert.tbs_bytes()),
+    )
+
+
+def self_signed(name: str, key: PrivateKey, attributes: dict | None = None) -> Certificate:
+    """Create a self-signed root certificate (e.g. the ROTPK root)."""
+    return issue_certificate(name, key, name, key.public_key, attributes)
+
+
+def verify_chain(chain: list[Certificate], trust_root: PublicKey) -> Certificate:
+    """Verify a chain ordered root → leaf; return the leaf certificate.
+
+    The first certificate must be signed by (and carry) *trust_root*; every
+    subsequent certificate must be signed by its predecessor's key.
+    Raises :class:`CertificateError` on any break in the chain.
+    """
+    if not chain:
+        raise CertificateError("empty certificate chain")
+    root = chain[0]
+    if (root.public_key.n, root.public_key.e) != (trust_root.n, trust_root.e):
+        raise CertificateError("chain root does not match the trust anchor")
+    if not trust_root.verify(root.tbs_bytes(), root.signature):
+        raise CertificateError("root certificate signature invalid")
+    previous = root
+    for cert in chain[1:]:
+        if cert.issuer != previous.subject:
+            raise CertificateError(
+                f"issuer mismatch: {cert.subject!r} issued by {cert.issuer!r}, "
+                f"expected {previous.subject!r}"
+            )
+        if not previous.public_key.verify(cert.tbs_bytes(), cert.signature):
+            raise CertificateError(f"signature on {cert.subject!r} invalid")
+        previous = cert
+    return previous

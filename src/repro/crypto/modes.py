@@ -1,0 +1,82 @@
+"""Block-cipher chaining modes and padding for the secure storage layer.
+
+IronSafe encrypts each 4 KiB database page with AES-CBC and a random IV
+(mirroring SQLiteCipher's page format).  CTR mode is provided for the
+secure channel, where a keystream cipher avoids padding.
+"""
+
+from __future__ import annotations
+
+from ..errors import CryptoError
+from .aes import AES, BLOCK_SIZE
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Append PKCS#7 padding so the length is a multiple of *block_size*."""
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise CryptoError("invalid padded length")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise CryptoError("invalid padding byte")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise CryptoError("corrupt padding")
+    return data[:-pad_len]
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """AES-CBC encrypt with PKCS#7 padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError("IV must be one block")
+    cipher = AES(key)
+    data = pkcs7_pad(plaintext)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(data), BLOCK_SIZE):
+        block = cipher.encrypt_block(_xor(data[i : i + BLOCK_SIZE], prev))
+        out.extend(block)
+        prev = block
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """AES-CBC decrypt and strip PKCS#7 padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError("IV must be one block")
+    if len(ciphertext) % BLOCK_SIZE:
+        raise CryptoError("ciphertext length not a block multiple")
+    cipher = AES(key)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[i : i + BLOCK_SIZE]
+        out.extend(_xor(cipher.decrypt_block(block), prev))
+        prev = block
+    return pkcs7_unpad(bytes(out))
+
+
+def ctr_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Generate *length* bytes of AES-CTR keystream for a 16-byte nonce."""
+    if len(nonce) != BLOCK_SIZE:
+        raise CryptoError("CTR nonce must be one block")
+    cipher = AES(key)
+    counter = int.from_bytes(nonce, "big")
+    out = bytearray()
+    while len(out) < length:
+        out.extend(cipher.encrypt_block(counter.to_bytes(BLOCK_SIZE, "big")))
+        counter = (counter + 1) % (1 << 128)
+    return bytes(out[:length])
+
+
+def ctr_crypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt or decrypt (CTR is symmetric) *data* under *key*/*nonce*."""
+    return _xor(data, ctr_keystream(key, nonce, len(data)))

@@ -1,0 +1,65 @@
+"""Deterministic random byte generator.
+
+Every benchmark in the reproduction must be bit-for-bit reproducible, so all
+"random" material (IVs, nonces, keys, attestation challenges) flows through
+an HMAC-DRBG-style generator seeded explicitly.  Components receive an
+:class:`Rng` instance instead of reaching for ``os.urandom``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+class Rng:
+    """HMAC-SHA256 counter DRBG, seeded from bytes or an int."""
+
+    def __init__(self, seed: bytes | int | str = 0):
+        if isinstance(seed, int):
+            seed = seed.to_bytes((max(seed.bit_length(), 1) + 8) // 8, "big", signed=True)
+        elif isinstance(seed, str):
+            seed = seed.encode()
+        self._key = hashlib.sha256(b"ironsafe-rng" + seed).digest()
+        self._counter = 0
+
+    def bytes(self, n: int) -> bytes:
+        """Return *n* pseudo-random bytes."""
+        out = bytearray()
+        while len(out) < n:
+            block = hmac.new(
+                self._key, self._counter.to_bytes(8, "big"), hashlib.sha256
+            ).digest()
+            out.extend(block)
+            self._counter += 1
+        return bytes(out[:n])
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi] (inclusive)."""
+        if lo > hi:
+            raise ValueError("empty range")
+        span = hi - lo + 1
+        nbytes = (span.bit_length() + 7) // 8 + 1
+        while True:
+            candidate = int.from_bytes(self.bytes(nbytes), "big")
+            limit = (1 << (8 * nbytes)) - ((1 << (8 * nbytes)) % span)
+            if candidate < limit:
+                return lo + candidate % span
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return int.from_bytes(self.bytes(7), "big") / (1 << 56)
+
+    def choice(self, seq):
+        """Pick one element of a non-empty sequence."""
+        return seq[self.randint(0, len(seq) - 1)]
+
+    def shuffle(self, seq: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self.randint(0, i)
+            seq[i], seq[j] = seq[j], seq[i]
+
+    def fork(self, label: str) -> "Rng":
+        """Derive an independent child generator (stable per label)."""
+        return Rng(self._key + label.encode())

@@ -1,0 +1,137 @@
+"""Exception hierarchy shared by every IronSafe subsystem.
+
+Each subsystem raises a subclass of :class:`IronSafeError` so callers can
+catch either the broad family or a precise failure.  Security-relevant
+failures (integrity, freshness, attestation, policy) get their own types
+because tests and the trusted monitor dispatch on them.
+"""
+
+from __future__ import annotations
+
+
+class IronSafeError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Crypto
+# ---------------------------------------------------------------------------
+
+class CryptoError(IronSafeError):
+    """A cryptographic operation failed (bad key size, bad padding, ...)."""
+
+
+class SignatureError(CryptoError):
+    """A digital signature failed verification."""
+
+
+class CertificateError(CryptoError):
+    """A certificate or certificate chain failed validation."""
+
+
+# ---------------------------------------------------------------------------
+# TEE
+# ---------------------------------------------------------------------------
+
+class TEEError(IronSafeError):
+    """Base class for TEE (SGX / TrustZone) failures."""
+
+
+class EnclaveError(TEEError):
+    """Illegal enclave operation (e.g. touching enclave memory from outside)."""
+
+
+class AttestationError(TEEError):
+    """A remote-attestation protocol step failed verification."""
+
+
+class SecureBootError(TEEError):
+    """A boot-time measurement did not match the expected software image."""
+
+
+class RPMBError(TEEError):
+    """An RPMB access was rejected (bad MAC, stale write counter, ...)."""
+
+
+class SealingError(TEEError):
+    """Sealed data could not be unsealed on this platform/enclave."""
+
+
+# ---------------------------------------------------------------------------
+# Secure storage
+# ---------------------------------------------------------------------------
+
+class StorageError(IronSafeError):
+    """Base class for block-device / pager failures."""
+
+
+class IntegrityError(StorageError):
+    """A page's HMAC or Merkle path did not verify: data was tampered with."""
+
+
+class FreshnessError(StorageError):
+    """The Merkle root does not match the RPMB anchor: rollback detected."""
+
+
+# ---------------------------------------------------------------------------
+# SQL engine
+# ---------------------------------------------------------------------------
+
+class SQLError(IronSafeError):
+    """Base class for SQL front-end and execution failures."""
+
+
+class ParseError(SQLError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class PlanError(SQLError):
+    """A parsed query could not be turned into an executable plan."""
+
+
+class ExecutionError(SQLError):
+    """A runtime failure while executing a plan (type error, missing table)."""
+
+
+class CatalogError(SQLError):
+    """Unknown or duplicate table/column."""
+
+
+# ---------------------------------------------------------------------------
+# Policy
+# ---------------------------------------------------------------------------
+
+class PolicyError(IronSafeError):
+    """Base class for policy-language failures."""
+
+
+class PolicyParseError(PolicyError):
+    """The policy text could not be parsed."""
+
+
+class PolicyViolation(PolicyError):
+    """A policy evaluated to False: the request must be refused."""
+
+
+class AccessDenied(PolicyViolation):
+    """The client's identity does not satisfy the data-access policy."""
+
+
+class ComplianceError(PolicyViolation):
+    """No node configuration satisfies the client's execution policy."""
+
+
+# ---------------------------------------------------------------------------
+# Monitor / core engine
+# ---------------------------------------------------------------------------
+
+class MonitorError(IronSafeError):
+    """Trusted-monitor protocol failure."""
+
+
+class ChannelError(IronSafeError):
+    """Secure-channel failure (bad MAC, unknown session, replay)."""
+
+
+class PartitionError(IronSafeError):
+    """The query partitioner could not split the query as requested."""

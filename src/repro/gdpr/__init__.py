@@ -1,0 +1,5 @@
+"""GDPR anti-pattern scenarios (paper §4.3, Table 3)."""
+
+from .scenarios import ACCESS_POLICY, EXEC_POLICY, GDPRWorkbench, ScenarioResult
+
+__all__ = ["ACCESS_POLICY", "EXEC_POLICY", "GDPRWorkbench", "ScenarioResult"]

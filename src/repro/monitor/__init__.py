@@ -1,0 +1,29 @@
+"""Trusted monitor: attestation, key management, policy compliance, audit."""
+
+from .attestation import AttestationService, AttestedNode
+from .auditlog import AuditEntry, AuditLog, SignedLogExport, export_signed, verify_export
+from .keymanager import KeyManager, Session
+from .monitor import (
+    Authorization,
+    ComplianceProof,
+    DatabasePolicy,
+    TrustedMonitor,
+    verify_proof,
+)
+
+__all__ = [
+    "AttestationService",
+    "AttestedNode",
+    "AuditEntry",
+    "AuditLog",
+    "Authorization",
+    "ComplianceProof",
+    "DatabasePolicy",
+    "KeyManager",
+    "Session",
+    "SignedLogExport",
+    "TrustedMonitor",
+    "export_signed",
+    "verify_export",
+    "verify_proof",
+]

@@ -1,0 +1,133 @@
+"""Tamper-evident audit log.
+
+The ``logUpdate`` directive and GDPR's transparency obligations require
+the monitor to record who queried what.  Entries form a hash chain (each
+entry commits to its predecessor), so truncation or in-place edits are
+detectable by replaying the chain; the head is additionally signed by the
+monitor on export so an auditor (the regulator *D* in the paper's
+workflow) can verify authenticity offline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..crypto import PrivateKey, PublicKey, sha256
+from ..errors import IntegrityError
+
+GENESIS = bytes(32)
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    sequence: int
+    timestamp: int
+    client_key: str
+    action: str
+    detail: str
+    prev_digest: bytes
+
+    def digest(self) -> bytes:
+        body = json.dumps(
+            {
+                "sequence": self.sequence,
+                "timestamp": self.timestamp,
+                "client_key": self.client_key,
+                "action": self.action,
+                "detail": self.detail,
+                "prev": self.prev_digest.hex(),
+            },
+            sort_keys=True,
+        ).encode()
+        return sha256(body)
+
+
+class AuditLog:
+    """One named, hash-chained log."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.entries: list[AuditEntry] = []
+
+    def append(self, timestamp: int, client_key: str, action: str, detail: str) -> AuditEntry:
+        prev = self.entries[-1].digest() if self.entries else GENESIS
+        entry = AuditEntry(
+            sequence=len(self.entries),
+            timestamp=timestamp,
+            client_key=client_key,
+            action=action,
+            detail=detail,
+            prev_digest=prev,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def head_digest(self) -> bytes:
+        return self.entries[-1].digest() if self.entries else GENESIS
+
+    def verify_chain(self) -> None:
+        """Replay the chain; raise :class:`IntegrityError` on tampering."""
+        prev = GENESIS
+        for index, entry in enumerate(self.entries):
+            if entry.sequence != index:
+                raise IntegrityError(f"audit log {self.name!r}: bad sequence at {index}")
+            if entry.prev_digest != prev:
+                raise IntegrityError(
+                    f"audit log {self.name!r}: chain broken at entry {index}"
+                )
+            prev = entry.digest()
+
+    def entries_for(self, client_key: str | None = None) -> list[AuditEntry]:
+        if client_key is None:
+            return list(self.entries)
+        return [e for e in self.entries if e.client_key == client_key]
+
+
+@dataclass(frozen=True)
+class SignedLogExport:
+    """A log head signed by the monitor, for offline audit."""
+
+    log_name: str
+    length: int
+    head_digest: bytes
+    signature: bytes
+
+    def signed_body(self) -> bytes:
+        return json.dumps(
+            {
+                "log": self.log_name,
+                "length": self.length,
+                "head": self.head_digest.hex(),
+            },
+            sort_keys=True,
+        ).encode()
+
+
+def export_signed(log: AuditLog, key: PrivateKey) -> SignedLogExport:
+    export = SignedLogExport(
+        log_name=log.name,
+        length=len(log.entries),
+        head_digest=log.head_digest(),
+        signature=b"",
+    )
+    return SignedLogExport(
+        log_name=export.log_name,
+        length=export.length,
+        head_digest=export.head_digest,
+        signature=key.sign(export.signed_body()),
+    )
+
+
+def verify_export(export: SignedLogExport, log: AuditLog, key: PublicKey) -> None:
+    """Auditor-side check: the log matches what the monitor signed."""
+    if not key.verify(export.signed_body(), export.signature):
+        raise IntegrityError("audit export signature invalid")
+    log.verify_chain()
+    if len(log.entries) < export.length:
+        raise IntegrityError("audit log shorter than the signed export: truncation")
+    partial_head = (
+        log.entries[export.length - 1].digest() if export.length else GENESIS
+    )
+    if partial_head != export.head_digest:
+        raise IntegrityError("audit log diverges from the signed export")

@@ -1,0 +1,66 @@
+"""Session-key management.
+
+After attesting both engines, the monitor issues a per-request session key
+that the host and storage nodes use to build their secure channel; on
+completion the key is revoked and the session cleaned up (paper §4.2,
+"Key management").  Keys derive from a monitor-held root via HKDF with the
+session id as context, so each session's key is independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto import Rng, hkdf
+from ..errors import MonitorError
+
+
+@dataclass
+class Session:
+    session_id: str
+    client_key: str
+    host_id: str
+    storage_id: str
+    key: bytes
+    active: bool = True
+    cleanup_hooks: list = field(default_factory=list)
+
+
+class KeyManager:
+    def __init__(self, rng: Rng):
+        self._root = rng.bytes(32)
+        self._counter = 0
+        self._sessions: dict[str, Session] = {}
+
+    def open_session(self, client_key: str, host_id: str, storage_id: str) -> Session:
+        self._counter += 1
+        session_id = f"session-{self._counter:08d}"
+        key = hkdf(self._root, session_id.encode(), 32)
+        session = Session(
+            session_id=session_id,
+            client_key=client_key,
+            host_id=host_id,
+            storage_id=storage_id,
+            key=key,
+        )
+        self._sessions[session_id] = session
+        return session
+
+    def session(self, session_id: str) -> Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise MonitorError(f"unknown session {session_id!r}")
+        return session
+
+    def revoke(self, session_id: str) -> None:
+        """Revoke the key and run the session-cleanup protocol."""
+        session = self.session(session_id)
+        if not session.active:
+            raise MonitorError(f"session {session_id!r} already revoked")
+        session.active = False
+        for hook in session.cleanup_hooks:
+            hook()
+        session.cleanup_hooks.clear()
+
+    def active_sessions(self) -> list[Session]:
+        return [s for s in self._sessions.values() if s.active]

@@ -1,0 +1,381 @@
+"""The trusted monitor: unified attestation + policy compliance service.
+
+The monitor is IronSafe's root of trust for clients (paper §4.2).  It runs
+inside its own SGX enclave, attests the host and storage engines, manages
+session keys, interprets access/execution policies, rewrites queries to be
+policy-compliant, maintains tamper-evident audit logs, and signs
+per-query proofs of compliance that clients can verify offline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..crypto import PrivateKey, PublicKey, Rng, generate_keypair, sha256
+from ..errors import ComplianceError, MonitorError, PolicyViolation
+from ..policy import (
+    EvalContext,
+    ExpiryFilter,
+    LogUpdate,
+    NodeConfig,
+    PolicyInterpreter,
+    ReuseMapFilter,
+    apply_expiry_filter,
+    apply_insert_extra_columns,
+    apply_reuse_filter,
+    evaluate,
+    parse_document,
+    parse_expression,
+)
+from ..sim import CAT_POLICY, CostModel, SimClock
+from ..sql import ast_nodes as A
+from .attestation import AttestationService, AttestedNode
+from .auditlog import AuditLog, SignedLogExport, export_signed
+from .keymanager import KeyManager, Session
+
+
+@dataclass
+class DatabasePolicy:
+    """Per-database policy state, provisioned by the data producer."""
+
+    name: str
+    interpreter: PolicyInterpreter
+    policy_text: str
+    key_directory: dict[str, str] = field(default_factory=dict)
+    reuse_positions: dict[str, int] = field(default_factory=dict)
+    protected_tables: set[str] = field(default_factory=set)
+    expiry_column: str = "expiry_ts"
+    reuse_column: str = "reuse_map"
+    default_ttl: int = 10**9
+    default_reuse_map: int = (1 << 16) - 1
+
+
+@dataclass(frozen=True)
+class ComplianceProof:
+    """Signed statement: this query ran on these attested nodes under this policy."""
+
+    query_digest: bytes
+    policy_digest: bytes
+    host_measurement: str
+    storage_measurement: str
+    session_id: str
+    timestamp: int
+    signature: bytes = b""
+
+    def signed_body(self) -> bytes:
+        return json.dumps(
+            {
+                "query": self.query_digest.hex(),
+                "policy": self.policy_digest.hex(),
+                "host": self.host_measurement,
+                "storage": self.storage_measurement,
+                "session": self.session_id,
+                "timestamp": self.timestamp,
+            },
+            sort_keys=True,
+        ).encode()
+
+
+@dataclass
+class Authorization:
+    """What the monitor hands back to the host for one compliant request."""
+
+    statement: A.Statement
+    session: Session
+    storage_node: NodeConfig | None
+    host_node: NodeConfig
+    proof: ComplianceProof
+    directives: tuple = ()
+
+
+class TrustedMonitor:
+    """The supervising entity (runs inside its own enclave)."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        cost_model: CostModel,
+        attestation: AttestationService,
+        rng: Rng,
+        latest_fw: dict[str, str] | None = None,
+    ):
+        self.clock = clock
+        self.cost_model = cost_model
+        self.attestation = attestation
+        self._signing_key: PrivateKey = generate_keypair(rng.fork("monitor-signing"))
+        self.key_manager = KeyManager(rng.fork("monitor-keys"))
+        self.latest_fw = dict(latest_fw or {})
+        self._hosts: dict[str, AttestedNode] = {}
+        self._storages: dict[str, AttestedNode] = {}
+        self._databases: dict[str, DatabasePolicy] = {}
+        self._logs: dict[str, AuditLog] = {}
+
+    @property
+    def public_key(self) -> PublicKey:
+        """Clients pin this key to verify proofs and log exports."""
+        return self._signing_key.public_key
+
+    # ------------------------------------------------------------------
+    # Node registration (post-attestation)
+    # ------------------------------------------------------------------
+
+    def register_host(self, node: AttestedNode) -> None:
+        self._hosts[node.config.node_id] = node
+
+    def register_storage(self, node: AttestedNode) -> None:
+        self._storages[node.config.node_id] = node
+
+    def host_node(self, node_id: str) -> AttestedNode:
+        node = self._hosts.get(node_id)
+        if node is None:
+            raise MonitorError(f"host {node_id!r} was never attested")
+        return node
+
+    def storage_nodes(self) -> list[AttestedNode]:
+        return list(self._storages.values())
+
+    # ------------------------------------------------------------------
+    # Database provisioning (data producer path)
+    # ------------------------------------------------------------------
+
+    def provision_database(
+        self,
+        name: str,
+        policy_text: str,
+        key_directory: dict[str, str] | None = None,
+        reuse_positions: dict[str, int] | None = None,
+        protected_tables: set[str] | None = None,
+        default_ttl: int = 10**9,
+    ) -> DatabasePolicy:
+        if name in self._databases:
+            raise MonitorError(f"database {name!r} already provisioned")
+        document = parse_document(policy_text)
+        policy = DatabasePolicy(
+            name=name,
+            interpreter=PolicyInterpreter(document),
+            policy_text=policy_text,
+            key_directory=dict(key_directory or {}),
+            reuse_positions=dict(reuse_positions or {}),
+            protected_tables=set(protected_tables or ()),
+            default_ttl=default_ttl,
+        )
+        self._databases[name] = policy
+        return policy
+
+    def database(self, name: str) -> DatabasePolicy:
+        policy = self._databases.get(name)
+        if policy is None:
+            raise MonitorError(f"database {name!r} is not provisioned")
+        return policy
+
+    # ------------------------------------------------------------------
+    # The core: authorize + rewrite one request
+    # ------------------------------------------------------------------
+
+    def _eval_context(
+        self, policy: DatabasePolicy, client_key: str, host: NodeConfig, storage: NodeConfig | None, now: int
+    ) -> EvalContext:
+        return EvalContext(
+            client_key=client_key,
+            host=host,
+            storage=storage,
+            current_time=now,
+            latest_fw=self.latest_fw,
+            key_directory=policy.key_directory,
+            reuse_positions=policy.reuse_positions,
+        )
+
+    def _charge_policy(self, interpreter: PolicyInterpreter) -> None:
+        self.clock.charge(
+            interpreter.predicate_count() * self.cost_model.policy_predicate_eval_ns,
+            CAT_POLICY,
+        )
+
+    def compliant_storage_nodes(
+        self, exec_policy_text: str | None, client_key: str, host: NodeConfig, now: int
+    ) -> list[AttestedNode]:
+        """Which attested storage nodes satisfy the execution policy."""
+        if exec_policy_text is None:
+            return self.storage_nodes()
+        expr = parse_expression(exec_policy_text)
+        compliant = []
+        for node in self.storage_nodes():
+            ctx = EvalContext(
+                client_key=client_key,
+                host=host,
+                storage=node.config,
+                current_time=now,
+                latest_fw=self.latest_fw,
+            )
+            self.clock.charge(self.cost_model.policy_predicate_eval_ns, CAT_POLICY)
+            if evaluate(expr, ctx).satisfied:
+                compliant.append(node)
+        return compliant
+
+    def check_host_compliance(
+        self, exec_policy_text: str | None, client_key: str, host: NodeConfig, now: int
+    ) -> bool:
+        """Does the host itself satisfy the execution policy?"""
+        if exec_policy_text is None:
+            return True
+        expr = parse_expression(exec_policy_text)
+        ctx = EvalContext(
+            client_key=client_key,
+            host=host,
+            storage=None,
+            current_time=now,
+            latest_fw=self.latest_fw,
+        )
+        # Storage predicates are vacuous for the host-side check.
+        from ..policy.ast import And, Or, Pred
+
+        def host_only(e):
+            if isinstance(e, Pred):
+                if e.name in ("storageLocIs", "fwVersionStorage"):
+                    return None
+                return e
+            if isinstance(e, (And, Or)):
+                left, right = host_only(e.left), host_only(e.right)
+                if left is None:
+                    return right
+                if right is None:
+                    return left
+                return type(e)(left, right)
+            return e
+
+        reduced = host_only(expr)
+        if reduced is None:
+            return True
+        self.clock.charge(self.cost_model.policy_predicate_eval_ns, CAT_POLICY)
+        return evaluate(reduced, ctx).satisfied
+
+    def authorize(
+        self,
+        database: str,
+        client_key: str,
+        statement: A.Statement,
+        *,
+        host_id: str,
+        exec_policy_text: str | None = None,
+        now: int = 0,
+        query_text: str = "",
+    ) -> Authorization:
+        """Full §4.2 admission path for one client request.
+
+        1. evaluate the data-access policy for the statement's permission;
+        2. evaluate the execution policy against the attested nodes;
+        3. rewrite the query per the directives of the satisfied branch;
+        4. open a session (key for the host↔storage channel);
+        5. sign a proof of compliance;
+        6. append to the audit log as obliged.
+        """
+        policy = self.database(database)
+        host = self.host_node(host_id)
+
+        permission = "read" if isinstance(statement, A.Select) else "write"
+
+        # Execution policy → candidate storage nodes (may be empty: then the
+        # host runs the whole query, provided the host itself complies).
+        storage_candidates = self.compliant_storage_nodes(
+            exec_policy_text, client_key, host.config, now
+        )
+        if not self.check_host_compliance(exec_policy_text, client_key, host.config, now):
+            raise ComplianceError("no compliant host for this execution policy")
+        storage = storage_candidates[0] if storage_candidates else None
+
+        # Access policy.
+        ctx = self._eval_context(
+            policy, client_key, host.config, storage.config if storage else None, now
+        )
+        self._charge_policy(policy.interpreter)
+        verdict = policy.interpreter.check(permission, ctx)  # raises AccessDenied
+
+        # Apply directives.
+        rewritten = statement
+        for directive in verdict.directives:
+            self.clock.charge(self.cost_model.query_rewrite_ns, CAT_POLICY)
+            if isinstance(directive, ExpiryFilter) and isinstance(rewritten, A.Select):
+                rewritten = apply_expiry_filter(
+                    rewritten, directive.column, now, policy.protected_tables
+                )
+            elif isinstance(directive, ReuseMapFilter) and isinstance(rewritten, A.Select):
+                position = policy.reuse_positions.get(client_key)
+                if position is None:
+                    raise PolicyViolation(
+                        "client has no reuse-map position: purpose not registered"
+                    )
+                rewritten = apply_reuse_filter(
+                    rewritten, directive.column, position, policy.protected_tables
+                )
+            elif isinstance(directive, LogUpdate):
+                log = self._logs.setdefault(directive.log_name, AuditLog(directive.log_name))
+                log.append(now, client_key, "query", query_text or rewritten.to_sql())
+        if isinstance(rewritten, A.Insert) and policy.protected_tables and (
+            rewritten.table in policy.protected_tables
+        ):
+            self.clock.charge(self.cost_model.query_rewrite_ns, CAT_POLICY)
+            extra: dict[str, object] = {}
+            if policy.expiry_column not in rewritten.columns:
+                extra[policy.expiry_column] = now + policy.default_ttl
+            if policy.reuse_column not in rewritten.columns:
+                extra[policy.reuse_column] = policy.default_reuse_map
+            if extra:
+                rewritten = apply_insert_extra_columns(rewritten, extra)
+
+        # Session + proof.
+        self.clock.charge(self.cost_model.session_setup_ns, CAT_POLICY)
+        session = self.key_manager.open_session(
+            client_key, host_id, storage.config.node_id if storage else "-"
+        )
+        self.clock.charge(self.cost_model.proof_sign_ns, CAT_POLICY)
+        proof = ComplianceProof(
+            query_digest=sha256((query_text or rewritten.to_sql()).encode()),
+            policy_digest=sha256(policy.policy_text.encode()),
+            host_measurement=host.measurement_hex,
+            storage_measurement=storage.measurement_hex if storage else "-",
+            session_id=session.session_id,
+            timestamp=now,
+        )
+        proof = ComplianceProof(
+            query_digest=proof.query_digest,
+            policy_digest=proof.policy_digest,
+            host_measurement=proof.host_measurement,
+            storage_measurement=proof.storage_measurement,
+            session_id=proof.session_id,
+            timestamp=proof.timestamp,
+            signature=self._signing_key.sign(proof.signed_body()),
+        )
+        return Authorization(
+            statement=rewritten,
+            session=session,
+            storage_node=storage.config if storage else None,
+            host_node=host.config,
+            proof=proof,
+            directives=verdict.directives,
+        )
+
+    # ------------------------------------------------------------------
+    # Audit access (regulator path)
+    # ------------------------------------------------------------------
+
+    def audit_log(self, name: str) -> AuditLog:
+        log = self._logs.get(name)
+        if log is None:
+            raise MonitorError(f"no audit log named {name!r}")
+        return log
+
+    def export_log(self, name: str) -> SignedLogExport:
+        return export_signed(self.audit_log(name), self._signing_key)
+
+    def finish_session(self, session_id: str) -> None:
+        """Revoke the session key and run cleanup (deletes temp state)."""
+        self.key_manager.revoke(session_id)
+
+
+def verify_proof(proof: ComplianceProof, monitor_key: PublicKey) -> None:
+    """Client-side verification of a proof of compliance."""
+    from ..errors import SignatureError
+
+    if not monitor_key.verify(proof.signed_body(), proof.signature):
+        raise SignatureError("compliance proof signature invalid")

@@ -1,0 +1,45 @@
+"""Declarative policy language: parser, predicates, interpreter, rewriter."""
+
+from .ast import And, Or, PolicyDocument, PolicyExpr, Pred, Rule
+from .interpreter import PolicyInterpreter, Verdict, evaluate
+from .parser import parse_document, parse_expression
+from .predicates import (
+    ADMISSION_PREDICATES,
+    DIRECTIVE_PREDICATES,
+    Directive,
+    EvalContext,
+    ExpiryFilter,
+    LogUpdate,
+    NodeConfig,
+    ReuseMapFilter,
+)
+from .rewriter import (
+    apply_expiry_filter,
+    apply_insert_extra_columns,
+    apply_reuse_filter,
+)
+
+__all__ = [
+    "ADMISSION_PREDICATES",
+    "And",
+    "DIRECTIVE_PREDICATES",
+    "Directive",
+    "EvalContext",
+    "ExpiryFilter",
+    "LogUpdate",
+    "NodeConfig",
+    "Or",
+    "PolicyDocument",
+    "PolicyExpr",
+    "PolicyInterpreter",
+    "Pred",
+    "ReuseMapFilter",
+    "Rule",
+    "Verdict",
+    "apply_expiry_filter",
+    "apply_insert_extra_columns",
+    "apply_reuse_filter",
+    "evaluate",
+    "parse_document",
+    "parse_expression",
+]

@@ -1,0 +1,82 @@
+"""Policy-language AST.
+
+A policy document is a list of rules ``perm :- expr`` where *perm* is
+``read``, ``write`` or ``exec`` and *expr* combines predicates with ``&``
+(AND, binds tighter) and ``|`` (OR).  Multiple rules for the same
+permission OR together.  Execution policies are bare expressions over
+node-configuration predicates.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+PERMISSIONS = ("read", "write", "exec")
+
+_BARE_ARG = re.compile(r"^(?:[A-Za-z_][A-Za-z0-9_#.-]*|\d+)$")
+
+
+def _render_arg(arg: str) -> str:
+    """Quote arguments the tokenizer cannot read back bare (e.g. '5.4.3')."""
+    return arg if _BARE_ARG.match(arg) else f"'{arg}'"
+
+
+class PolicyExpr:
+    def to_text(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Pred(PolicyExpr):
+    """A predicate call: name(arg, ...)."""
+
+    name: str
+    args: tuple[str, ...]
+
+    def to_text(self) -> str:
+        return f"{self.name}({', '.join(_render_arg(a) for a in self.args)})"
+
+
+def _operand_text(expr: "PolicyExpr") -> str:
+    """Parenthesize compound operands so rendering preserves the tree."""
+    text = expr.to_text()
+    return f"({text})" if isinstance(expr, (And, Or)) else text
+
+
+@dataclass(frozen=True)
+class And(PolicyExpr):
+    left: PolicyExpr
+    right: PolicyExpr
+
+    def to_text(self) -> str:
+        return f"{_operand_text(self.left)} & {_operand_text(self.right)}"
+
+
+@dataclass(frozen=True)
+class Or(PolicyExpr):
+    left: PolicyExpr
+    right: PolicyExpr
+
+    def to_text(self) -> str:
+        return f"{_operand_text(self.left)} | {_operand_text(self.right)}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    permission: str  # 'read' | 'write' | 'exec'
+    expr: PolicyExpr
+
+    def to_text(self) -> str:
+        return f"{self.permission} :- {self.expr.to_text()}"
+
+
+@dataclass(frozen=True)
+class PolicyDocument:
+    rules: tuple[Rule, ...]
+
+    def rules_for(self, permission: str) -> list[Rule]:
+        return [r for r in self.rules if r.permission == permission]
+
+    def to_text(self) -> str:
+        return "\n".join(r.to_text() for r in self.rules)

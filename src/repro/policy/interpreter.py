@@ -1,0 +1,91 @@
+"""Policy interpreter.
+
+Evaluates policy expressions against an :class:`EvalContext`, returning
+both the verdict and the *obligations* (directives) of the satisfied
+branch.  OR alternatives are tried left to right; the first satisfiable
+alternative wins and only its directives apply — so in
+``sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T,TIMESTAMP)`` client Ka reads
+unfiltered while Kb's reads carry the expiry filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AccessDenied, PolicyError
+from .ast import And, Or, PolicyDocument, PolicyExpr, Pred
+from .predicates import (
+    Directive,
+    EvalContext,
+    directive_of,
+    evaluate_admission,
+    is_directive,
+)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    satisfied: bool
+    directives: tuple[Directive, ...] = ()
+
+
+def evaluate(expr: PolicyExpr, ctx: EvalContext) -> Verdict:
+    """Evaluate one policy expression."""
+    if isinstance(expr, Pred):
+        if is_directive(expr):
+            return Verdict(True, (directive_of(expr),))
+        return Verdict(evaluate_admission(expr, ctx))
+    if isinstance(expr, And):
+        left = evaluate(expr.left, ctx)
+        if not left.satisfied:
+            return Verdict(False)
+        right = evaluate(expr.right, ctx)
+        if not right.satisfied:
+            return Verdict(False)
+        return Verdict(True, left.directives + right.directives)
+    if isinstance(expr, Or):
+        left = evaluate(expr.left, ctx)
+        if left.satisfied:
+            return left
+        return evaluate(expr.right, ctx)
+    raise PolicyError(f"unknown policy node {type(expr).__name__}")
+
+
+class PolicyInterpreter:
+    """Evaluates access-policy documents for the trusted monitor."""
+
+    def __init__(self, document: PolicyDocument):
+        self.document = document
+
+    def check(self, permission: str, ctx: EvalContext) -> Verdict:
+        """Check *permission*; raises :class:`AccessDenied` when refused.
+
+        Rules for the same permission OR together (first satisfied rule's
+        directives apply).  A permission with no rules is denied — the
+        policy language is default-deny.
+        """
+        rules = self.document.rules_for(permission)
+        if not rules:
+            raise AccessDenied(
+                f"policy grants no {permission!r} permission to anyone"
+            )
+        for rule in rules:
+            verdict = evaluate(rule.expr, ctx)
+            if verdict.satisfied:
+                return verdict
+        raise AccessDenied(
+            f"client {ctx.client_key[:12]}... does not satisfy the "
+            f"{permission!r} policy"
+        )
+
+    def predicate_count(self) -> int:
+        """Number of predicate nodes (drives the policy-evaluation cost)."""
+
+        def count(expr: PolicyExpr) -> int:
+            if isinstance(expr, Pred):
+                return 1
+            if isinstance(expr, (And, Or)):
+                return count(expr.left) + count(expr.right)
+            return 0
+
+        return sum(count(rule.expr) for rule in self.document.rules)

@@ -1,0 +1,147 @@
+"""Parser for the declarative policy language.
+
+Grammar (one rule per line; ``#`` starts a comment):
+
+    document   := rule*
+    rule       := permission (':-' | '::=') expr
+    expr       := term ('|' term)*
+    term       := factor ('&' factor)*
+    factor     := predicate | '(' expr ')'
+    predicate  := NAME '(' [arg (',' arg)*] ')'
+    arg        := NAME | NUMBER | STRING
+
+The paper shows ``:-``, ``::=`` and ``:--`` interchangeably; all three are
+accepted.  ``&`` is AND and binds tighter than ``|`` (OR), matching the
+paper's examples (``sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T,TIMESTAMP)``
+grants Ka unconditional read and Kb an expiry-filtered read).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import PolicyParseError
+from .ast import PERMISSIONS, And, Or, PolicyDocument, PolicyExpr, Pred, Rule
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<string>'[^']*')|(?P<name>[A-Za-z_][A-Za-z0-9_#.-]*)"
+    r"|(?P<number>\d+)|(?P<op>::=|:--|:-|[()|&,]))"
+)
+
+
+def _tokenize(line: str) -> list[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(line):
+        match = _TOKEN_RE.match(line, pos)
+        if match is None:
+            raise PolicyParseError(f"bad policy syntax at: {line[pos:]!r}")
+        if match.end() == pos:  # only whitespace left
+            break
+        pos = match.end()
+        if match.group("string") is not None:
+            tokens.append(("arg", match.group("string")[1:-1]))
+        elif match.group("name") is not None:
+            tokens.append(("name", match.group("name")))
+        elif match.group("number") is not None:
+            tokens.append(("arg", match.group("number")))
+        else:
+            op = match.group("op")
+            if op in ("::=", ":--"):
+                op = ":-"
+            tokens.append(("op", op))
+    return tokens
+
+
+class _LineParser:
+    def __init__(self, tokens: list[tuple[str, str]], line: str):
+        self.tokens = tokens
+        self.line = line
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else ("eof", "")
+
+    def take(self):
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect_op(self, op: str):
+        kind, value = self.take()
+        if kind != "op" or value != op:
+            raise PolicyParseError(f"expected {op!r} in policy line {self.line!r}")
+
+    def parse_expr(self) -> PolicyExpr:
+        left = self.parse_term()
+        while self.peek() == ("op", "|"):
+            self.take()
+            left = Or(left, self.parse_term())
+        return left
+
+    def parse_term(self) -> PolicyExpr:
+        left = self.parse_factor()
+        while self.peek() == ("op", "&"):
+            self.take()
+            left = And(left, self.parse_factor())
+        return left
+
+    def parse_factor(self) -> PolicyExpr:
+        kind, value = self.peek()
+        if kind == "op" and value == "(":
+            self.take()
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        if kind != "name":
+            raise PolicyParseError(f"expected a predicate in {self.line!r}")
+        self.take()
+        self.expect_op("(")
+        args: list[str] = []
+        if self.peek() != ("op", ")"):
+            while True:
+                akind, avalue = self.take()
+                if akind not in ("arg", "name"):
+                    raise PolicyParseError(f"bad predicate argument in {self.line!r}")
+                args.append(avalue)
+                if self.peek() == ("op", ","):
+                    self.take()
+                    continue
+                break
+        self.expect_op(")")
+        return Pred(value, tuple(args))
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+def parse_expression(text: str) -> PolicyExpr:
+    """Parse a bare policy expression (execution policies)."""
+    parser = _LineParser(_tokenize(text), text)
+    expr = parser.parse_expr()
+    if not parser.at_end():
+        raise PolicyParseError(f"trailing input in policy expression {text!r}")
+    return expr
+
+
+def parse_document(text: str) -> PolicyDocument:
+    """Parse a multi-line access-policy document."""
+    rules: list[Rule] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parser = _LineParser(_tokenize(line), line)
+        kind, permission = parser.take()
+        if kind != "name" or permission not in PERMISSIONS:
+            raise PolicyParseError(
+                f"rule must start with one of {PERMISSIONS}, got {line!r}"
+            )
+        parser.expect_op(":-")
+        expr = parser.parse_expr()
+        if not parser.at_end():
+            raise PolicyParseError(f"trailing input in rule {line!r}")
+        rules.append(Rule(permission, expr))
+    if not rules:
+        raise PolicyParseError("empty policy document")
+    return PolicyDocument(tuple(rules))

@@ -1,0 +1,158 @@
+"""Predicate semantics and the evaluation context.
+
+Two predicate roles (paper §4.3):
+
+* **Admission predicates** decide, at query-submission time, whether the
+  request may proceed at all: client identity (``sessionKeyIs``), node
+  placement (``hostLocIs`` / ``storageLocIs``) and firmware floors
+  (``fwVersionHost`` / ``fwVersionStorage``).
+* **Directive predicates** do not gate admission; they *oblige* the
+  monitor to transform the query or record evidence: ``le(T, column)``
+  injects an expiry filter (GDPR timely deletion), ``reuseMap(column)``
+  injects a consent-bitmap filter (purpose limitation), ``logUpdate(log)``
+  appends the client identity and query text to a tamper-evident audit
+  log (transparent sharing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PolicyError
+from .ast import Pred
+
+ADMISSION_PREDICATES = {
+    "sessionKeyIs",
+    "hostLocIs",
+    "storageLocIs",
+    "fwVersionHost",
+    "fwVersionStorage",
+}
+DIRECTIVE_PREDICATES = {"le", "reuseMap", "logUpdate"}
+KNOWN_PREDICATES = ADMISSION_PREDICATES | DIRECTIVE_PREDICATES
+
+
+@dataclass
+class NodeConfig:
+    """What attestation established about one node."""
+
+    node_id: str
+    location: str
+    fw_version: str
+    platform: str  # 'x86-sgx' | 'arm-trustzone'
+
+
+@dataclass
+class EvalContext:
+    """Everything predicate evaluation may consult."""
+
+    client_key: str  # fingerprint (hex) of the authenticated client key
+    host: NodeConfig | None = None
+    storage: NodeConfig | None = None
+    current_time: int = 0  # epoch seconds of the request
+    latest_fw: dict[str, str] = field(default_factory=dict)  # role -> version
+    key_directory: dict[str, str] = field(default_factory=dict)  # name -> fingerprint
+    reuse_positions: dict[str, int] = field(default_factory=dict)  # fingerprint -> bit
+
+    def resolve_key(self, name: str) -> str:
+        """Policy texts may use symbolic key names bound at DB creation."""
+        return self.key_directory.get(name, name)
+
+
+def _version_tuple(version: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in version.split("."))
+    except ValueError as exc:
+        raise PolicyError(f"bad firmware version {version!r}") from exc
+
+
+def _fw_at_least(actual: str, required: str, latest: str | None) -> bool:
+    if required == "latest":
+        if latest is None:
+            raise PolicyError("policy requires 'latest' firmware but none is registered")
+        required = latest
+    return _version_tuple(actual) >= _version_tuple(required)
+
+
+def is_directive(pred: Pred) -> bool:
+    if pred.name not in KNOWN_PREDICATES:
+        raise PolicyError(f"unknown policy predicate {pred.name!r}")
+    return pred.name in DIRECTIVE_PREDICATES
+
+
+def evaluate_admission(pred: Pred, ctx: EvalContext) -> bool:
+    """Evaluate an admission predicate against the context."""
+    name, args = pred.name, pred.args
+    if name == "sessionKeyIs":
+        if len(args) != 1:
+            raise PolicyError("sessionKeyIs takes exactly one key")
+        return ctx.client_key == ctx.resolve_key(args[0])
+    if name == "hostLocIs":
+        if not args:
+            raise PolicyError("hostLocIs needs at least one location")
+        return ctx.host is not None and ctx.host.location in args
+    if name == "storageLocIs":
+        if not args:
+            raise PolicyError("storageLocIs needs at least one location")
+        return ctx.storage is not None and ctx.storage.location in args
+    if name == "fwVersionHost":
+        if len(args) != 1:
+            raise PolicyError("fwVersionHost takes exactly one version")
+        return ctx.host is not None and _fw_at_least(
+            ctx.host.fw_version, args[0], ctx.latest_fw.get("host")
+        )
+    if name == "fwVersionStorage":
+        if len(args) != 1:
+            raise PolicyError("fwVersionStorage takes exactly one version")
+        return ctx.storage is not None and _fw_at_least(
+            ctx.storage.fw_version, args[0], ctx.latest_fw.get("storage")
+        )
+    raise PolicyError(f"{name!r} is not an admission predicate")
+
+
+# ---------------------------------------------------------------------------
+# Directives (collected during evaluation, executed by the monitor)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExpiryFilter:
+    """le(T, column): only rows whose *column* is later than the request time."""
+
+    column: str
+
+
+@dataclass(frozen=True)
+class ReuseMapFilter:
+    """reuseMap(column): only rows whose consent bitmap includes the client."""
+
+    column: str
+
+
+@dataclass(frozen=True)
+class LogUpdate:
+    """logUpdate(log[, fields...]): record (client, query) into *log*."""
+
+    log_name: str
+    fields: tuple[str, ...] = ()
+
+
+Directive = ExpiryFilter | ReuseMapFilter | LogUpdate
+
+
+def directive_of(pred: Pred) -> Directive:
+    name, args = pred.name, pred.args
+    if name == "le":
+        if len(args) != 2:
+            raise PolicyError("le takes (T, column)")
+        # By convention the first argument is the symbolic access time 'T'.
+        return ExpiryFilter(column=args[1].lower())
+    if name == "reuseMap":
+        if len(args) != 1:
+            raise PolicyError("reuseMap takes the bitmap column")
+        return ReuseMapFilter(column=args[0].lower())
+    if name == "logUpdate":
+        if not args:
+            raise PolicyError("logUpdate needs a log name")
+        return LogUpdate(log_name=args[0], fields=tuple(args[1:]))
+    raise PolicyError(f"{name!r} is not a directive predicate")

@@ -1,0 +1,143 @@
+"""Policy-driven query rewriting.
+
+The trusted monitor "rewrites the client query to be policy compliant"
+(paper §4.2/§4.3): GDPR obligations become extra predicates injected into
+every SELECT scope that touches a protected table, and extra columns
+appended to INSERTs at data-creation time.
+
+* **Expiry** (timely deletion): inserts gain an ``expiry_ts`` epoch value;
+  reads gain ``AND expiry_ts > <request time>`` so expired records are
+  invisible even though physical deletion may lag.
+* **Reuse map** (purpose limitation): inserts gain a consent bitmap;
+  reads gain ``AND (bitmap % 2^(pos+1)) >= 2^pos`` — an arithmetic bit
+  test for the requesting service's position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..errors import PolicyError
+from ..sql import ast_nodes as A
+
+
+def _and_into(where: A.Expr | None, conjunct: A.Expr) -> A.Expr:
+    return conjunct if where is None else A.Binary("AND", where, conjunct)
+
+
+def _select_references(select: A.Select, tables: set[str]) -> bool:
+    for item in select.from_items:
+        if isinstance(item, A.TableRef) and item.name in tables:
+            return True
+    for join in select.joins:
+        if isinstance(join.right, A.TableRef) and join.right.name in tables:
+            return True
+    return False
+
+
+def _rewrite_selects(select: A.Select, tables: set[str], conjunct_factory) -> A.Select:
+    """Add a conjunct to every (sub)select that scans a protected table."""
+
+    def fix_from(item):
+        if isinstance(item, A.SubqueryRef):
+            return A.SubqueryRef(_rewrite_selects(item.select, tables, conjunct_factory), item.alias)
+        return item
+
+    new_from = tuple(fix_from(f) for f in select.from_items)
+    new_joins = tuple(
+        A.Join(j.kind, fix_from(j.right), j.on) for j in select.joins
+    )
+    new_where = select.where
+    # Rewrite subqueries inside WHERE too.
+    if new_where is not None:
+        new_where = _rewrite_where_subqueries(new_where, tables, conjunct_factory)
+    if _select_references(select, tables):
+        new_where = _and_into(new_where, conjunct_factory())
+    return replace(select, from_items=new_from, joins=new_joins, where=new_where)
+
+
+def _rewrite_where_subqueries(expr: A.Expr, tables: set[str], conjunct_factory) -> A.Expr:
+    from ..sql.planner import rewrite_expr
+
+    def mapping(node: A.Expr):
+        if isinstance(node, A.Exists):
+            return A.Exists(_rewrite_selects(node.subquery, tables, conjunct_factory), node.negated)
+        if isinstance(node, A.InSubquery):
+            return A.InSubquery(
+                node.operand,
+                _rewrite_selects(node.subquery, tables, conjunct_factory),
+                node.negated,
+            )
+        if isinstance(node, A.ScalarSubquery):
+            return A.ScalarSubquery(_rewrite_selects(node.subquery, tables, conjunct_factory))
+        return None
+
+    return rewrite_expr(expr, mapping)
+
+
+# ---------------------------------------------------------------------------
+# Read-path rewrites
+# ---------------------------------------------------------------------------
+
+
+def apply_expiry_filter(
+    select: A.Select, column: str, now_epoch: int, protected_tables: set[str]
+) -> A.Select:
+    """Timely deletion: only rows whose expiry is after the request time."""
+
+    def conjunct() -> A.Expr:
+        return A.Binary(">", A.Column(column), A.Literal(now_epoch))
+
+    return _rewrite_selects(select, protected_tables, conjunct)
+
+
+def apply_reuse_filter(
+    select: A.Select, column: str, bit_position: int, protected_tables: set[str]
+) -> A.Select:
+    """Purpose limitation: only rows whose consent bitmap has our bit set.
+
+    Bit *p* of integer *m* is set iff ``(m % 2^(p+1)) >= 2^p`` — pure
+    integer arithmetic, so the filter evaluates on any engine without
+    bitwise operators (and offloads to the storage side like any other
+    predicate).
+    """
+    if bit_position < 0 or bit_position > 62:
+        raise PolicyError(f"reuse-map bit position {bit_position} out of range")
+    modulus = 2 ** (bit_position + 1)
+    threshold = 2 ** bit_position
+
+    def conjunct() -> A.Expr:
+        return A.Binary(
+            ">=",
+            A.Binary("%", A.Column(column), A.Literal(modulus)),
+            A.Literal(threshold),
+        )
+
+    return _rewrite_selects(select, protected_tables, conjunct)
+
+
+# ---------------------------------------------------------------------------
+# Write-path rewrites
+# ---------------------------------------------------------------------------
+
+
+def apply_insert_extra_columns(insert: A.Insert, extra: dict[str, object]) -> A.Insert:
+    """Append policy columns (expiry timestamp, reuse bitmap) to an INSERT.
+
+    Requires the INSERT to use an explicit column list (the monitor's data
+    producers do); extends each VALUES row with the supplied constants.
+    """
+    if insert.select is not None:
+        raise PolicyError("INSERT ... SELECT cannot be policy-extended")
+    if not insert.columns:
+        raise PolicyError(
+            "policy-protected tables require INSERTs with explicit column lists"
+        )
+    for column in extra:
+        if column in insert.columns:
+            raise PolicyError(f"INSERT already supplies policy column {column!r}")
+    new_columns = insert.columns + tuple(extra.keys())
+    new_rows = tuple(
+        row + tuple(A.Literal(v) for v in extra.values()) for row in insert.rows
+    )
+    return A.Insert(table=insert.table, columns=new_columns, rows=new_rows)

@@ -1,0 +1,444 @@
+"""Abstract syntax tree for the SQL dialect.
+
+Expression nodes and statement nodes are plain dataclasses; the planner
+pattern-matches on them.  Each node knows how to render itself back to SQL
+(``to_sql``) because the trusted monitor *rewrites* queries (GDPR expiry
+filters, reuse-map filters) and ships rewritten SQL to the engines.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+
+class Expr:
+    """Base class for expressions."""
+
+    def to_sql(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object  # int | float | str | datetime.date | None
+
+    def to_sql(self) -> str:
+        v = self.value
+        if v is None:
+            return "NULL"
+        if isinstance(v, bool):
+            return "1" if v else "0"
+        if isinstance(v, (int, float)):
+            return repr(v)
+        if isinstance(v, datetime.date):
+            return f"DATE '{v.isoformat()}'"
+        escaped = str(v).replace("'", "''")
+        return f"'{escaped}'"
+
+
+@dataclass(frozen=True)
+class Interval(Expr):
+    """INTERVAL '<n>' DAY|MONTH|YEAR."""
+
+    amount: int
+    unit: str  # 'DAY' | 'MONTH' | 'YEAR'
+
+    def to_sql(self) -> str:
+        return f"INTERVAL '{self.amount}' {self.unit}"
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    name: str
+    table: str | None = None  # alias qualifier
+
+    def to_sql(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    table: str | None = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A `?` placeholder (bound at execution; used for correlation too)."""
+
+    index: int
+
+    def to_sql(self) -> str:
+        return "?"
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # '-' | 'NOT'
+    operand: Expr
+
+    def to_sql(self) -> str:
+        if self.op == "NOT":
+            return f"NOT ({self.operand.to_sql()})"
+        return f"{self.op}({self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # + - * / % = <> < <= > >= AND OR ||
+    left: Expr
+    right: Expr
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        word = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return (
+            f"({self.operand.to_sql()} {word} {self.low.to_sql()}"
+            f" AND {self.high.to_sql()})"
+        )
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        word = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand.to_sql()} {word} {self.pattern.to_sql()})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        word = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {word})"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        word = "NOT IN" if self.negated else "IN"
+        inner = ", ".join(item.to_sql() for item in self.items)
+        return f"({self.operand.to_sql()} {word} ({inner}))"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    operand: Expr
+    subquery: "Select"
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        word = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.to_sql()} {word} ({self.subquery.to_sql()}))"
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    subquery: "Select"
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        word = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"{word} ({self.subquery.to_sql()})"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    subquery: "Select"
+
+    def to_sql(self) -> str:
+        return f"({self.subquery.to_sql()})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str  # lower-case function name
+    args: tuple[Expr, ...]
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        inner = ", ".join(a.to_sql() for a in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{inner})"
+
+
+@dataclass(frozen=True)
+class AggCall(Expr):
+    """SUM/AVG/MIN/MAX/COUNT — kept distinct from scalar functions."""
+
+    name: str  # 'sum' | 'avg' | 'min' | 'max' | 'count'
+    arg: Expr | None  # None for COUNT(*)
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        if self.arg is None:
+            return f"{self.name}(*)"
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{self.arg.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    whens: tuple[tuple[Expr, Expr], ...]  # (condition, result)
+    default: Expr | None = None
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for cond, result in self.whens:
+            parts.append(f"WHEN {cond.to_sql()} THEN {result.to_sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Extract(Expr):
+    unit: str  # 'YEAR' | 'MONTH' | 'DAY'
+    operand: Expr
+
+    def to_sql(self) -> str:
+        return f"EXTRACT({self.unit} FROM {self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Substring(Expr):
+    operand: Expr
+    start: Expr
+    length: Expr | None = None
+
+    def to_sql(self) -> str:
+        if self.length is None:
+            return f"SUBSTRING({self.operand.to_sql()} FROM {self.start.to_sql()})"
+        return (
+            f"SUBSTRING({self.operand.to_sql()} FROM {self.start.to_sql()}"
+            f" FOR {self.length.to_sql()})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Planner-injected runtime nodes (never produced by the parser).  The planner
+# replaces uncorrelated IN-subqueries with a materialized `InSet` and
+# decorrelated scalar-aggregate subqueries with a `MapLookup` keyed on the
+# correlation columns.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InSet(Expr):
+    operand: Expr
+    values: frozenset
+    has_null: bool = False
+    negated: bool = False
+
+    def to_sql(self) -> str:  # pragma: no cover - runtime node
+        word = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.to_sql()} {word} <{len(self.values)} values>)"
+
+
+@dataclass(frozen=True)
+class MapLookup(Expr):
+    keys: tuple[Expr, ...]
+    mapping_id: int  # planner-side registry index (dicts are unhashable)
+
+    def to_sql(self) -> str:  # pragma: no cover - runtime node
+        inner = ", ".join(k.to_sql() for k in self.keys)
+        return f"<lookup#{self.mapping_id}({inner})>"
+
+
+# ---------------------------------------------------------------------------
+# Table references
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+    def to_sql(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef:
+    """A derived table: (SELECT ...) alias."""
+
+    select: "Select"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+    def to_sql(self) -> str:
+        return f"({self.select.to_sql()}) {self.alias}"
+
+
+@dataclass(frozen=True)
+class Join:
+    """An explicit JOIN clause attached to the previous FROM item."""
+
+    kind: str  # 'INNER' | 'LEFT'
+    right: "TableRef | SubqueryRef"
+    on: Expr | None
+
+    def to_sql(self) -> str:
+        word = "LEFT OUTER JOIN" if self.kind == "LEFT" else "JOIN"
+        on = f" ON {self.on.to_sql()}" if self.on is not None else ""
+        return f"{word} {self.right.to_sql()}{on}"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} AS {self.alias}" if self.alias else self.expr.to_sql()
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} {'DESC' if self.descending else 'ASC'}"
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    from_items: tuple = ()  # TableRef | SubqueryRef
+    joins: tuple[Join, ...] = ()
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.to_sql() for item in self.items))
+        if self.from_items:
+            parts.append("FROM " + ", ".join(f.to_sql() for f in self.from_items))
+        for join in self.joins:
+            parts.append(join.to_sql())
+        if self.where is not None:
+            parts.append("WHERE " + self.where.to_sql())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(g.to_sql() for g in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.to_sql())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str  # 'INTEGER' | 'REAL' | 'TEXT' | 'DATE'
+
+    def to_sql(self) -> str:
+        return f"{self.name} {self.type_name}"
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    primary_key: tuple[str, ...] = ()
+
+    def to_sql(self) -> str:
+        cols = ", ".join(c.to_sql() for c in self.columns)
+        pk = f", PRIMARY KEY ({', '.join(self.primary_key)})" if self.primary_key else ""
+        return f"CREATE TABLE {self.name} ({cols}{pk})"
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+
+    def to_sql(self) -> str:
+        return f"DROP TABLE {self.name}"
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]  # empty = table order
+    rows: tuple[tuple[Expr, ...], ...] = ()
+    select: Select | None = None
+
+    def to_sql(self) -> str:
+        cols = f" ({', '.join(self.columns)})" if self.columns else ""
+        if self.select is not None:
+            return f"INSERT INTO {self.table}{cols} {self.select.to_sql()}"
+        rows = ", ".join(
+            "(" + ", ".join(v.to_sql() for v in row) + ")" for row in self.rows
+        )
+        return f"INSERT INTO {self.table}{cols} VALUES {rows}"
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+    def to_sql(self) -> str:
+        sets = ", ".join(f"{c} = {e.to_sql()}" for c, e in self.assignments)
+        where = f" WHERE {self.where.to_sql()}" if self.where is not None else ""
+        return f"UPDATE {self.table} SET {sets}{where}"
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Expr | None = None
+
+    def to_sql(self) -> str:
+        where = f" WHERE {self.where.to_sql()}" if self.where is not None else ""
+        return f"DELETE FROM {self.table}{where}"
+
+
+Statement = CreateTable | DropTable | Insert | Update | Delete | Select

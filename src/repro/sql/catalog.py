@@ -1,0 +1,115 @@
+"""Catalog: table schemas + their page extents.
+
+The catalog is persisted in the device metadata region as JSON so a
+database survives close/reopen (and, for the secure store, so a fresh
+process can rebuild state after attestation).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..errors import CatalogError
+from .values import TYPE_NAMES
+
+
+@dataclass
+class TableSchema:
+    name: str
+    columns: list[tuple[str, str]]  # (column name, type name)
+    primary_key: tuple[str, ...] = ()
+    pages: list[int] = field(default_factory=list)
+    row_count: int = 0
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for col_name, type_name in self.columns:
+            if col_name in seen:
+                raise CatalogError(f"duplicate column {col_name!r} in {self.name!r}")
+            seen.add(col_name)
+            if type_name not in TYPE_NAMES:
+                raise CatalogError(f"unknown type {type_name!r} for {self.name}.{col_name}")
+
+    @property
+    def column_names(self) -> list[str]:
+        return [name for name, _ in self.columns]
+
+    def column_index(self, name: str) -> int:
+        for i, (col_name, _) in enumerate(self.columns):
+            if col_name == name:
+                return i
+        raise CatalogError(f"table {self.name!r} has no column {name!r}")
+
+    def column_type(self, name: str) -> str:
+        return self.columns[self.column_index(name)][1]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "columns": self.columns,
+            "primary_key": list(self.primary_key),
+            "pages": self.pages,
+            "row_count": self.row_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TableSchema":
+        return cls(
+            name=data["name"],
+            columns=[tuple(c) for c in data["columns"]],
+            primary_key=tuple(data.get("primary_key", ())),
+            pages=list(data.get("pages", [])),
+            row_count=int(data.get("row_count", 0)),
+        )
+
+
+class Catalog:
+    """All table schemas of one database instance."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableSchema] = {}
+
+    def create_table(self, schema: TableSchema) -> None:
+        if schema.name in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        self._tables[schema.name] = schema
+
+    def drop_table(self, name: str) -> TableSchema:
+        schema = self._tables.pop(name, None)
+        if schema is None:
+            raise CatalogError(f"no table named {name!r}")
+        return schema
+
+    def table(self, name: str) -> TableSchema:
+        schema = self._tables.get(name)
+        if schema is None:
+            raise CatalogError(f"no table named {name!r}")
+        return schema
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def owner_of_column(self, column: str) -> str | None:
+        """Resolve an unqualified column to its unique owning table.
+
+        TPC-H column names are prefix-unique (``l_``, ``o_``, ``ps_`` ...),
+        which the automatic query partitioner exploits.  Returns None when
+        zero or several tables own the name.
+        """
+        owners = [t.name for t in self._tables.values() if column in t.column_names]
+        return owners[0] if len(owners) == 1 else None
+
+    def serialize(self) -> bytes:
+        payload = {name: schema.to_dict() for name, schema in self._tables.items()}
+        return json.dumps(payload, sort_keys=True).encode()
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "Catalog":
+        catalog = cls()
+        for data in json.loads(blob.decode()).values():
+            catalog.create_table(TableSchema.from_dict(data))
+        return catalog

@@ -1,0 +1,277 @@
+"""Expression compiler: AST → Python closures over positional rows.
+
+Columns are resolved to tuple indexes at compile time (a :class:`Scope`
+maps ``binding.column`` to positions), so per-row evaluation does no name
+lookups.  Subquery nodes never reach this compiler — the planner
+decorrelates or pre-evaluates them into :class:`~.ast_nodes.InSet`,
+:class:`~.ast_nodes.MapLookup` or literal nodes first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import PlanError
+from . import ast_nodes as A
+from . import values as V
+
+RowFn = Callable[[tuple], object]
+
+
+class Scope:
+    """Column-name → tuple-index resolution for one operator's output."""
+
+    def __init__(self, columns: list[tuple[str | None, str]]):
+        # columns: ordered (binding, column_name) pairs
+        self.columns = list(columns)
+        self._by_name: dict[str, list[int]] = {}
+        self._by_qualified: dict[tuple[str, str], list[int]] = {}
+        for index, (binding, name) in enumerate(self.columns):
+            self._by_name.setdefault(name, []).append(index)
+            if binding is not None:
+                self._by_qualified.setdefault((binding, name), []).append(index)
+
+    def resolve(self, table: str | None, name: str) -> int:
+        if table is not None:
+            hits = self._by_qualified.get((table, name), [])
+            if not hits:
+                raise PlanError(f"unknown column {table}.{name}")
+            if len(hits) > 1:
+                raise PlanError(f"ambiguous column {table}.{name}")
+            return hits[0]
+        hits = self._by_name.get(name, [])
+        if not hits:
+            raise PlanError(f"unknown column {name}")
+        if len(hits) > 1:
+            raise PlanError(f"ambiguous column {name}")
+        return hits[0]
+
+    def try_resolve(self, table: str | None, name: str) -> int | None:
+        try:
+            return self.resolve(table, name)
+        except PlanError:
+            return None
+
+    def merged_with(self, other: "Scope") -> "Scope":
+        return Scope(self.columns + other.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+_BINARY_FNS = {
+    "+": V.sql_add,
+    "-": V.sql_sub,
+    "*": V.sql_mul,
+    "/": V.sql_div,
+    "%": V.sql_mod,
+    "||": V.sql_concat,
+    "=": V.sql_eq,
+    "<>": V.sql_ne,
+    "<": V.sql_lt,
+    "<=": V.sql_le,
+    ">": V.sql_gt,
+    ">=": V.sql_ge,
+    "AND": V.sql_and,
+    "OR": V.sql_or,
+}
+
+
+class ExprCompiler:
+    """Compiles expressions against a scope.
+
+    ``lookup_maps`` is the planner's registry for :class:`MapLookup` nodes.
+    """
+
+    def __init__(self, scope: Scope, lookup_maps: list[dict] | None = None):
+        self.scope = scope
+        self.lookup_maps = lookup_maps if lookup_maps is not None else []
+
+    def compile(self, expr: A.Expr) -> RowFn:
+        method = getattr(self, "_compile_" + type(expr).__name__.lower(), None)
+        if method is None:
+            raise PlanError(f"cannot compile expression node {type(expr).__name__}")
+        return method(expr)
+
+    # -- leaves ---------------------------------------------------------
+
+    def _compile_literal(self, expr: A.Literal) -> RowFn:
+        value = expr.value
+        return lambda row: value
+
+    def _compile_interval(self, expr: A.Interval) -> RowFn:
+        raise PlanError(
+            "INTERVAL is only valid as the right operand of date +/- arithmetic"
+        )
+
+    def _compile_column(self, expr: A.Column) -> RowFn:
+        index = self.scope.resolve(expr.table, expr.name)
+        return lambda row: row[index]
+
+    def _compile_param(self, expr: A.Param) -> RowFn:
+        raise PlanError("unbound parameter reached the expression compiler")
+
+    # -- operators ----------------------------------------------------------
+
+    def _compile_unary(self, expr: A.Unary) -> RowFn:
+        operand = self.compile(expr.operand)
+        if expr.op == "NOT":
+            return lambda row: V.sql_not(operand(row))
+        if expr.op == "-":
+            return lambda row: V.sql_neg(operand(row))
+        raise PlanError(f"unknown unary operator {expr.op!r}")
+
+    def _compile_binary(self, expr: A.Binary) -> RowFn:
+        # date ± INTERVAL gets special handling.
+        if expr.op in ("+", "-") and isinstance(expr.right, A.Interval):
+            left = self.compile(expr.left)
+            amount, unit = expr.right.amount, expr.right.unit
+            sign = 1 if expr.op == "+" else -1
+            return lambda row: V.interval_shift(left(row), amount, unit, sign)
+        fn = _BINARY_FNS.get(expr.op)
+        if fn is None:
+            raise PlanError(f"unknown binary operator {expr.op!r}")
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        # Short-circuit AND/OR on the dominating value.
+        if expr.op == "AND":
+            def and_fn(row):
+                a = left(row)
+                if a is False:
+                    return False
+                return V.sql_and(a, right(row))
+            return and_fn
+        if expr.op == "OR":
+            def or_fn(row):
+                a = left(row)
+                if a is True:
+                    return True
+                return V.sql_or(a, right(row))
+            return or_fn
+        return lambda row: fn(left(row), right(row))
+
+    def _compile_between(self, expr: A.Between) -> RowFn:
+        operand = self.compile(expr.operand)
+        low = self.compile(expr.low)
+        high = self.compile(expr.high)
+        negated = expr.negated
+
+        def between_fn(row):
+            value = operand(row)
+            result = V.sql_and(V.sql_ge(value, low(row)), V.sql_le(value, high(row)))
+            return V.sql_not(result) if negated else result
+
+        return between_fn
+
+    def _compile_like(self, expr: A.Like) -> RowFn:
+        operand = self.compile(expr.operand)
+        pattern = self.compile(expr.pattern)
+        negated = expr.negated
+
+        def like_fn(row):
+            result = V.sql_like(operand(row), pattern(row))
+            return V.sql_not(result) if negated else result
+
+        return like_fn
+
+    def _compile_isnull(self, expr: A.IsNull) -> RowFn:
+        operand = self.compile(expr.operand)
+        if expr.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+
+    def _compile_inlist(self, expr: A.InList) -> RowFn:
+        operand = self.compile(expr.operand)
+        items = [self.compile(item) for item in expr.items]
+        negated = expr.negated
+
+        def in_fn(row):
+            value = operand(row)
+            if value is None:
+                return None
+            saw_null = False
+            for item in items:
+                candidate = item(row)
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return in_fn
+
+    def _compile_inset(self, expr: A.InSet) -> RowFn:
+        operand = self.compile(expr.operand)
+        values = expr.values
+        has_null = expr.has_null
+        negated = expr.negated
+
+        def inset_fn(row):
+            value = operand(row)
+            if value is None:
+                return None
+            if value in values:
+                return not negated
+            if has_null:
+                return None
+            return negated
+
+        return inset_fn
+
+    def _compile_maplookup(self, expr: A.MapLookup) -> RowFn:
+        keys = [self.compile(k) for k in expr.keys]
+        mapping = self.lookup_maps[expr.mapping_id]
+        if len(keys) == 1:
+            key0 = keys[0]
+            return lambda row: mapping.get(key0(row))
+        return lambda row: mapping.get(tuple(k(row) for k in keys))
+
+    def _compile_case(self, expr: A.Case) -> RowFn:
+        whens = [(self.compile(c), self.compile(r)) for c, r in expr.whens]
+        default = self.compile(expr.default) if expr.default is not None else None
+
+        def case_fn(row):
+            for condition, result in whens:
+                if V.is_true(condition(row)):
+                    return result(row)
+            return default(row) if default is not None else None
+
+        return case_fn
+
+    def _compile_extract(self, expr: A.Extract) -> RowFn:
+        operand = self.compile(expr.operand)
+        unit = expr.unit
+        return lambda row: V.sql_extract(unit, operand(row))
+
+    def _compile_substring(self, expr: A.Substring) -> RowFn:
+        operand = self.compile(expr.operand)
+        start = self.compile(expr.start)
+        length = self.compile(expr.length) if expr.length is not None else None
+        if length is None:
+            return lambda row: V.sql_substring(operand(row), start(row))
+        return lambda row: V.sql_substring(operand(row), start(row), length(row))
+
+    def _compile_funccall(self, expr: A.FuncCall) -> RowFn:
+        fn = V.SCALAR_FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise PlanError(f"unknown function {expr.name!r}")
+        args = [self.compile(a) for a in expr.args]
+        return lambda row: fn(*(a(row) for a in args))
+
+    def _compile_aggcall(self, expr: A.AggCall) -> RowFn:
+        raise PlanError(
+            f"aggregate {expr.name}() used outside of an aggregation context"
+        )
+
+    # -- subquery nodes must have been planned away --------------------------
+
+    def _compile_scalarsubquery(self, expr: A.ScalarSubquery) -> RowFn:
+        raise PlanError("scalar subquery reached the compiler unplanned")
+
+    def _compile_insubquery(self, expr: A.InSubquery) -> RowFn:
+        raise PlanError("IN-subquery reached the compiler unplanned")
+
+    def _compile_exists(self, expr: A.Exists) -> RowFn:
+        raise PlanError("EXISTS reached the compiler unplanned")

@@ -1,0 +1,139 @@
+"""SQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.  The dialect
+covers what the TPC-H workload and the GDPR rewrites need: identifiers,
+quoted strings, numbers, date/interval literals, operators, and a keyword
+set close to SQL-92's core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+KEYWORDS = {
+    "ALL", "AND", "AS", "ASC", "AVG", "BETWEEN", "BY", "CASE", "CHAR",
+    "COUNT", "CREATE", "CROSS", "DATE", "DAY", "DECIMAL", "DELETE", "DESC",
+    "DISTINCT", "DOUBLE", "DROP", "ELSE", "END", "EXISTS", "EXTRACT", "FOR",
+    "FROM", "GROUP", "HAVING", "IN", "INNER", "INSERT", "INTEGER", "INTERVAL",
+    "INTO", "IS", "JOIN", "KEY", "LEFT", "LIKE", "LIMIT", "MAX", "MIN",
+    "MONTH", "NOT", "NULL", "ON", "OR", "ORDER", "OUTER", "PRIMARY", "REAL",
+    "SELECT", "SET", "SUBSTRING", "SUM", "TABLE", "TEXT", "THEN", "UPDATE",
+    "VALUES", "VARCHAR", "WHEN", "WHERE", "YEAR",
+}
+
+# Token types
+TT_KEYWORD = "KEYWORD"
+TT_IDENT = "IDENT"
+TT_NUMBER = "NUMBER"
+TT_STRING = "STRING"
+TT_OP = "OP"
+TT_EOF = "EOF"
+
+_TWO_CHAR_OPS = {"<=", ">=", "<>", "!=", "||"}
+_ONE_CHAR_OPS = set("+-*/%(),.;<>=?")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: str
+    pos: int
+
+    def is_kw(self, *names: str) -> bool:
+        return self.type == TT_KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type}, {self.value!r})"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize *sql*; raises :class:`ParseError` with position on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # -- comments ---------------------------------------------------
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        # -- strings ----------------------------------------------------
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < n:
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":  # escaped quote
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(sql[j])
+                j += 1
+            else:
+                raise ParseError(f"unterminated string literal at {i}")
+            tokens.append(Token(TT_STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        # -- quoted identifiers ------------------------------------------
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j == -1:
+                raise ParseError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token(TT_IDENT, sql[i + 1 : j], i))
+            i = j + 1
+            continue
+        # -- numbers ------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    if j + 1 < n and (sql[j + 1].isdigit() or sql[j + 1] in "+-"):
+                        seen_exp = True
+                        j += 2
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token(TT_NUMBER, sql[i:j], i))
+            i = j
+            continue
+        # -- identifiers / keywords ---------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TT_KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TT_IDENT, word.lower(), i))
+            i = j
+            continue
+        # -- operators ------------------------------------------------------
+        if sql[i : i + 2] in _TWO_CHAR_OPS:
+            tokens.append(Token(TT_OP, sql[i : i + 2], i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(TT_OP, ch, i))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TT_EOF, "", n))
+    return tokens

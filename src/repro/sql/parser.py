@@ -1,0 +1,585 @@
+"""Recursive-descent SQL parser.
+
+Grammar supports the full TPC-H workload subset the paper evaluates:
+multi-table FROM lists and explicit (LEFT OUTER) JOINs, derived tables,
+correlated and uncorrelated subqueries (scalar / IN / EXISTS), CASE,
+BETWEEN, LIKE, EXTRACT, SUBSTRING, date and interval literals, GROUP BY /
+HAVING / ORDER BY / LIMIT, plus the DML/DDL the GDPR scenarios use.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from ..errors import ParseError
+from . import ast_nodes as A
+from .lexer import TT_EOF, TT_IDENT, TT_KEYWORD, TT_NUMBER, TT_OP, TT_STRING, Token, tokenize
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+_AGG_NAMES = {"SUM", "AVG", "MIN", "MAX", "COUNT"}
+_TYPE_KEYWORDS = {"INTEGER", "REAL", "DOUBLE", "DECIMAL", "VARCHAR", "CHAR", "TEXT", "DATE"}
+
+
+def parse(sql: str) -> A.Statement:
+    """Parse one SQL statement (a trailing ';' is tolerated)."""
+    return Parser(tokenize(sql)).parse_statement()
+
+
+def parse_expression(sql: str) -> A.Expr:
+    """Parse a standalone expression (used by the policy rewriter)."""
+    parser = Parser(tokenize(sql))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self._param_count = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type != TT_EOF:
+            self.pos += 1
+        return token
+
+    def accept_op(self, *ops: str) -> Token | None:
+        if self.current.type == TT_OP and self.current.value in ops:
+            return self.advance()
+        return None
+
+    def accept_kw(self, *names: str) -> Token | None:
+        if self.current.is_kw(*names):
+            return self.advance()
+        return None
+
+    def expect_op(self, op: str) -> Token:
+        token = self.accept_op(op)
+        if token is None:
+            raise ParseError(f"expected {op!r} at position {self.current.pos}, got {self.current.value!r}")
+        return token
+
+    def expect_kw(self, name: str) -> Token:
+        token = self.accept_kw(name)
+        if token is None:
+            raise ParseError(
+                f"expected keyword {name} at position {self.current.pos}, got {self.current.value!r}"
+            )
+        return token
+
+    def expect_ident(self) -> str:
+        if self.current.type == TT_IDENT:
+            return self.advance().value
+        raise ParseError(
+            f"expected identifier at position {self.current.pos}, got {self.current.value!r}"
+        )
+
+    def expect_eof(self) -> None:
+        self.accept_op(";")
+        if self.current.type != TT_EOF:
+            raise ParseError(f"unexpected trailing input at position {self.current.pos}")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> A.Statement:
+        if self.current.is_kw("SELECT"):
+            stmt: A.Statement = self.parse_select()
+        elif self.current.is_kw("CREATE"):
+            stmt = self._parse_create()
+        elif self.current.is_kw("DROP"):
+            stmt = self._parse_drop()
+        elif self.current.is_kw("INSERT"):
+            stmt = self._parse_insert()
+        elif self.current.is_kw("UPDATE"):
+            stmt = self._parse_update()
+        elif self.current.is_kw("DELETE"):
+            stmt = self._parse_delete()
+        else:
+            raise ParseError(f"unsupported statement starting with {self.current.value!r}")
+        self.expect_eof()
+        return stmt
+
+    def _parse_create(self) -> A.CreateTable:
+        self.expect_kw("CREATE")
+        self.expect_kw("TABLE")
+        name = self.expect_ident()
+        self.expect_op("(")
+        columns: list[A.ColumnDef] = []
+        primary_key: tuple[str, ...] = ()
+        while True:
+            if self.accept_kw("PRIMARY"):
+                self.expect_kw("KEY")
+                self.expect_op("(")
+                keys = [self.expect_ident()]
+                while self.accept_op(","):
+                    keys.append(self.expect_ident())
+                self.expect_op(")")
+                primary_key = tuple(keys)
+            else:
+                col_name = self.expect_ident()
+                columns.append(A.ColumnDef(col_name, self._parse_type()))
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        if not columns:
+            raise ParseError("CREATE TABLE needs at least one column")
+        return A.CreateTable(name=name, columns=tuple(columns), primary_key=primary_key)
+
+    def _parse_type(self) -> str:
+        token = self.current
+        if token.type == TT_KEYWORD and token.value in _TYPE_KEYWORDS:
+            self.advance()
+            base = token.value
+            if base in ("VARCHAR", "CHAR", "DECIMAL"):
+                if self.accept_op("("):
+                    self.advance()  # precision
+                    if self.accept_op(","):
+                        self.advance()  # scale
+                    self.expect_op(")")
+            if base == "DOUBLE":
+                return "REAL"
+            if base == "DECIMAL":
+                return "REAL"
+            if base in ("VARCHAR", "CHAR"):
+                return "TEXT"
+            return base
+        raise ParseError(f"expected a type name at position {token.pos}, got {token.value!r}")
+
+    def _parse_drop(self) -> A.DropTable:
+        self.expect_kw("DROP")
+        self.expect_kw("TABLE")
+        return A.DropTable(self.expect_ident())
+
+    def _parse_insert(self) -> A.Insert:
+        self.expect_kw("INSERT")
+        self.expect_kw("INTO")
+        table = self.expect_ident()
+        columns: tuple[str, ...] = ()
+        if self.accept_op("("):
+            cols = [self.expect_ident()]
+            while self.accept_op(","):
+                cols.append(self.expect_ident())
+            self.expect_op(")")
+            columns = tuple(cols)
+        if self.current.is_kw("SELECT"):
+            return A.Insert(table=table, columns=columns, select=self.parse_select())
+        self.expect_kw("VALUES")
+        rows: list[tuple[A.Expr, ...]] = []
+        while True:
+            self.expect_op("(")
+            values = [self.parse_expr()]
+            while self.accept_op(","):
+                values.append(self.parse_expr())
+            self.expect_op(")")
+            rows.append(tuple(values))
+            if not self.accept_op(","):
+                break
+        return A.Insert(table=table, columns=columns, rows=tuple(rows))
+
+    def _parse_update(self) -> A.Update:
+        self.expect_kw("UPDATE")
+        table = self.expect_ident()
+        self.expect_kw("SET")
+        assignments = []
+        while True:
+            col = self.expect_ident()
+            self.expect_op("=")
+            assignments.append((col, self.parse_expr()))
+            if not self.accept_op(","):
+                break
+        where = self.parse_expr() if self.accept_kw("WHERE") else None
+        return A.Update(table=table, assignments=tuple(assignments), where=where)
+
+    def _parse_delete(self) -> A.Delete:
+        self.expect_kw("DELETE")
+        self.expect_kw("FROM")
+        table = self.expect_ident()
+        where = self.parse_expr() if self.accept_kw("WHERE") else None
+        return A.Delete(table=table, where=where)
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def parse_select(self) -> A.Select:
+        self.expect_kw("SELECT")
+        distinct = bool(self.accept_kw("DISTINCT"))
+        self.accept_kw("ALL")
+        items = [self._parse_select_item()]
+        while self.accept_op(","):
+            items.append(self._parse_select_item())
+
+        from_items: list = []
+        joins: list[A.Join] = []
+        if self.accept_kw("FROM"):
+            from_items.append(self._parse_from_item())
+            while True:
+                if self.accept_op(","):
+                    from_items.append(self._parse_from_item())
+                    continue
+                join = self._try_parse_join()
+                if join is None:
+                    break
+                joins.append(join)
+
+        where = self.parse_expr() if self.accept_kw("WHERE") else None
+
+        group_by: list[A.Expr] = []
+        if self.accept_kw("GROUP"):
+            self.expect_kw("BY")
+            group_by.append(self.parse_expr())
+            while self.accept_op(","):
+                group_by.append(self.parse_expr())
+
+        having = self.parse_expr() if self.accept_kw("HAVING") else None
+
+        order_by: list[A.OrderItem] = []
+        if self.accept_kw("ORDER"):
+            self.expect_kw("BY")
+            order_by.append(self._parse_order_item())
+            while self.accept_op(","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        if self.accept_kw("LIMIT"):
+            token = self.current
+            if token.type != TT_NUMBER:
+                raise ParseError(f"LIMIT expects a number at position {token.pos}")
+            self.advance()
+            limit = int(token.value)
+
+        return A.Select(
+            items=tuple(items),
+            from_items=tuple(from_items),
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> A.SelectItem:
+        if self.accept_op("*"):
+            return A.SelectItem(A.Star())
+        # table.* form
+        if (
+            self.current.type == TT_IDENT
+            and self.pos + 2 < len(self.tokens)
+            and self.tokens[self.pos + 1].type == TT_OP
+            and self.tokens[self.pos + 1].value == "."
+            and self.tokens[self.pos + 2].type == TT_OP
+            and self.tokens[self.pos + 2].value == "*"
+        ):
+            table = self.advance().value
+            self.advance()
+            self.advance()
+            return A.SelectItem(A.Star(table=table))
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.expect_ident()
+        elif self.current.type == TT_IDENT:
+            alias = self.advance().value
+        return A.SelectItem(expr, alias)
+
+    def _parse_from_item(self):
+        if self.accept_op("("):
+            select = self.parse_select()
+            self.expect_op(")")
+            self.accept_kw("AS")
+            alias = self.expect_ident()
+            return A.SubqueryRef(select=select, alias=alias)
+        name = self.expect_ident()
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.expect_ident()
+        elif self.current.type == TT_IDENT:
+            alias = self.advance().value
+        return A.TableRef(name=name, alias=alias)
+
+    def _try_parse_join(self) -> A.Join | None:
+        kind = None
+        if self.accept_kw("LEFT"):
+            self.accept_kw("OUTER")
+            self.expect_kw("JOIN")
+            kind = "LEFT"
+        elif self.accept_kw("INNER"):
+            self.expect_kw("JOIN")
+            kind = "INNER"
+        elif self.accept_kw("CROSS"):
+            self.expect_kw("JOIN")
+            kind = "INNER"
+        elif self.accept_kw("JOIN"):
+            kind = "INNER"
+        else:
+            return None
+        right = self._parse_from_item()
+        on = None
+        if self.accept_kw("ON"):
+            on = self.parse_expr()
+        return A.Join(kind=kind, right=right, on=on)
+
+    def _parse_order_item(self) -> A.OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_kw("DESC"):
+            descending = True
+        else:
+            self.accept_kw("ASC")
+        return A.OrderItem(expr, descending)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def parse_expr(self) -> A.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> A.Expr:
+        left = self._parse_and()
+        while self.accept_kw("OR"):
+            left = A.Binary("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> A.Expr:
+        left = self._parse_not()
+        while self.accept_kw("AND"):
+            left = A.Binary("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> A.Expr:
+        if self.accept_kw("NOT"):
+            return A.Unary("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> A.Expr:
+        left = self._parse_additive()
+        while True:
+            token = self.current
+            if token.type == TT_OP and token.value in _COMPARISONS:
+                self.advance()
+                op = "<>" if token.value == "!=" else token.value
+                left = A.Binary(op, left, self._parse_additive())
+                continue
+            negated = False
+            lookahead = self.pos
+            if token.is_kw("NOT"):
+                nxt = self.tokens[self.pos + 1]
+                if nxt.is_kw("BETWEEN", "LIKE", "IN"):
+                    self.advance()
+                    negated = True
+                    token = self.current
+                else:
+                    break
+            if token.is_kw("BETWEEN"):
+                self.advance()
+                low = self._parse_additive()
+                self.expect_kw("AND")
+                high = self._parse_additive()
+                left = A.Between(left, low, high, negated)
+                continue
+            if token.is_kw("LIKE"):
+                self.advance()
+                left = A.Like(left, self._parse_additive(), negated)
+                continue
+            if token.is_kw("IN"):
+                self.advance()
+                self.expect_op("(")
+                if self.current.is_kw("SELECT"):
+                    subquery = self.parse_select()
+                    self.expect_op(")")
+                    left = A.InSubquery(left, subquery, negated)
+                else:
+                    items = [self.parse_expr()]
+                    while self.accept_op(","):
+                        items.append(self.parse_expr())
+                    self.expect_op(")")
+                    left = A.InList(left, tuple(items), negated)
+                continue
+            if token.is_kw("IS"):
+                self.advance()
+                neg = bool(self.accept_kw("NOT"))
+                self.expect_kw("NULL")
+                left = A.IsNull(left, neg)
+                continue
+            self.pos = lookahead  # undo speculative NOT consumption
+            break
+        return left
+
+    def _parse_additive(self) -> A.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.accept_op("+", "-", "||")
+            if token is None:
+                return left
+            left = A.Binary(token.value, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> A.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.accept_op("*", "/", "%")
+            if token is None:
+                return left
+            left = A.Binary(token.value, left, self._parse_unary())
+
+    def _parse_unary(self) -> A.Expr:
+        if self.accept_op("-"):
+            return A.Unary("-", self._parse_unary())
+        self.accept_op("+")
+        return self._parse_primary()
+
+    # ------------------------------------------------------------------
+
+    def _parse_primary(self) -> A.Expr:
+        token = self.current
+
+        if token.type == TT_NUMBER:
+            self.advance()
+            if "." in token.value or "e" in token.value or "E" in token.value:
+                return A.Literal(float(token.value))
+            return A.Literal(int(token.value))
+
+        if token.type == TT_STRING:
+            self.advance()
+            return A.Literal(token.value)
+
+        if self.accept_op("?"):
+            self._param_count += 1
+            return A.Param(self._param_count - 1)
+
+        if token.is_kw("NULL"):
+            self.advance()
+            return A.Literal(None)
+
+        if token.is_kw("DATE"):
+            self.advance()
+            value = self.current
+            if value.type != TT_STRING:
+                raise ParseError(f"DATE expects a string literal at {value.pos}")
+            self.advance()
+            try:
+                return A.Literal(datetime.date.fromisoformat(value.value))
+            except ValueError as exc:
+                raise ParseError(f"invalid date literal {value.value!r}") from exc
+
+        if token.is_kw("INTERVAL"):
+            self.advance()
+            amount_token = self.current
+            if amount_token.type == TT_STRING:
+                self.advance()
+                amount = int(amount_token.value)
+            elif amount_token.type == TT_NUMBER:
+                self.advance()
+                amount = int(amount_token.value)
+            else:
+                raise ParseError(f"INTERVAL expects an amount at {amount_token.pos}")
+            unit_token = self.current
+            if not unit_token.is_kw("DAY", "MONTH", "YEAR"):
+                raise ParseError(f"INTERVAL expects DAY/MONTH/YEAR at {unit_token.pos}")
+            self.advance()
+            return A.Interval(amount, unit_token.value)
+
+        if token.is_kw("CASE"):
+            return self._parse_case()
+
+        if token.is_kw("EXTRACT"):
+            self.advance()
+            self.expect_op("(")
+            unit_token = self.current
+            if not unit_token.is_kw("YEAR", "MONTH", "DAY"):
+                raise ParseError(f"EXTRACT expects YEAR/MONTH/DAY at {unit_token.pos}")
+            self.advance()
+            self.expect_kw("FROM")
+            operand = self.parse_expr()
+            self.expect_op(")")
+            return A.Extract(unit_token.value, operand)
+
+        if token.is_kw("SUBSTRING"):
+            self.advance()
+            self.expect_op("(")
+            operand = self.parse_expr()
+            if self.accept_kw("FROM"):
+                start = self.parse_expr()
+                length = self.parse_expr() if self.accept_kw("FOR") else None
+            else:
+                self.expect_op(",")
+                start = self.parse_expr()
+                length = self.parse_expr() if self.accept_op(",") else None
+            self.expect_op(")")
+            return A.Substring(operand, start, length)
+
+        if token.is_kw("EXISTS"):
+            self.advance()
+            self.expect_op("(")
+            subquery = self.parse_select()
+            self.expect_op(")")
+            return A.Exists(subquery)
+
+        if token.type == TT_KEYWORD and token.value in _AGG_NAMES:
+            self.advance()
+            self.expect_op("(")
+            name = token.value.lower()
+            if name == "count" and self.accept_op("*"):
+                self.expect_op(")")
+                return A.AggCall("count", None)
+            distinct = bool(self.accept_kw("DISTINCT"))
+            arg = self.parse_expr()
+            self.expect_op(")")
+            return A.AggCall(name, arg, distinct)
+
+        if self.accept_op("("):
+            if self.current.is_kw("SELECT"):
+                subquery = self.parse_select()
+                self.expect_op(")")
+                return A.ScalarSubquery(subquery)
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+
+        if token.type == TT_IDENT:
+            self.advance()
+            # function call?
+            if self.current.type == TT_OP and self.current.value == "(":
+                self.advance()
+                args: list[A.Expr] = []
+                if not (self.current.type == TT_OP and self.current.value == ")"):
+                    args.append(self.parse_expr())
+                    while self.accept_op(","):
+                        args.append(self.parse_expr())
+                self.expect_op(")")
+                return A.FuncCall(token.value, tuple(args))
+            # qualified column?
+            if self.current.type == TT_OP and self.current.value == ".":
+                self.advance()
+                column = self.expect_ident()
+                return A.Column(name=column, table=token.value)
+            return A.Column(name=token.value)
+
+        raise ParseError(f"unexpected token {token.value!r} at position {token.pos}")
+
+    def _parse_case(self) -> A.Expr:
+        self.expect_kw("CASE")
+        whens: list[tuple[A.Expr, A.Expr]] = []
+        while self.accept_kw("WHEN"):
+            condition = self.parse_expr()
+            self.expect_kw("THEN")
+            whens.append((condition, self.parse_expr()))
+        default = self.parse_expr() if self.accept_kw("ELSE") else None
+        self.expect_kw("END")
+        if not whens:
+            raise ParseError("CASE requires at least one WHEN branch")
+        return A.Case(tuple(whens), default)

@@ -1,0 +1,97 @@
+"""On-page record format.
+
+Rows are serialized into a compact tagged binary format and packed into
+page payloads.  A page payload is ``[2-byte row count][record]*`` where a
+record is ``[2-byte length][field]*`` and a field is a 1-byte type tag
+followed by its encoding.  Fixed-width numerics keep parsing cheap; TEXT
+carries a 2-byte length prefix.
+"""
+
+from __future__ import annotations
+
+import datetime
+import struct
+
+from ..errors import StorageError
+
+TAG_NULL = 0
+TAG_INT = 1
+TAG_REAL = 2
+TAG_TEXT = 3
+TAG_DATE = 4
+
+_INT = struct.Struct(">q")
+_REAL = struct.Struct(">d")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
+
+def encode_row(row: tuple) -> bytes:
+    """Serialize one row (without the record length prefix)."""
+    parts = [bytes([len(row)])]
+    for value in row:
+        if value is None:
+            parts.append(bytes([TAG_NULL]))
+        elif isinstance(value, bool):
+            parts.append(bytes([TAG_INT]) + _INT.pack(int(value)))
+        elif isinstance(value, int):
+            parts.append(bytes([TAG_INT]) + _INT.pack(value))
+        elif isinstance(value, float):
+            parts.append(bytes([TAG_REAL]) + _REAL.pack(value))
+        elif isinstance(value, datetime.date):
+            parts.append(bytes([TAG_DATE]) + _U32.pack(value.toordinal()))
+        elif isinstance(value, str):
+            raw = value.encode("utf-8")
+            if len(raw) > 0xFFFF:
+                raise StorageError("TEXT value exceeds 64 KiB")
+            parts.append(bytes([TAG_TEXT]) + _U16.pack(len(raw)) + raw)
+        else:
+            raise StorageError(f"unsupported value type {type(value).__name__}")
+    return b"".join(parts)
+
+
+def decode_row(data: bytes, offset: int = 0) -> tuple[tuple, int]:
+    """Deserialize one row starting at *offset*; returns (row, next_offset)."""
+    ncols = data[offset]
+    offset += 1
+    values = []
+    for _ in range(ncols):
+        tag = data[offset]
+        offset += 1
+        if tag == TAG_NULL:
+            values.append(None)
+        elif tag == TAG_INT:
+            values.append(_INT.unpack_from(data, offset)[0])
+            offset += 8
+        elif tag == TAG_REAL:
+            values.append(_REAL.unpack_from(data, offset)[0])
+            offset += 8
+        elif tag == TAG_DATE:
+            values.append(datetime.date.fromordinal(_U32.unpack_from(data, offset)[0]))
+            offset += 4
+        elif tag == TAG_TEXT:
+            length = _U16.unpack_from(data, offset)[0]
+            offset += 2
+            values.append(data[offset : offset + length].decode("utf-8"))
+            offset += length
+        else:
+            raise StorageError(f"corrupt record: unknown tag {tag}")
+    return tuple(values), offset
+
+
+def pack_page(rows: list[bytes]) -> bytes:
+    """Assemble encoded rows into one page payload."""
+    return _U16.pack(len(rows)) + b"".join(rows)
+
+
+def unpack_page(payload: bytes) -> list[tuple]:
+    """Decode every row in a page payload."""
+    if len(payload) < 2:
+        return []
+    (count,) = _U16.unpack_from(payload, 0)
+    rows = []
+    offset = 2
+    for _ in range(count):
+        row, offset = decode_row(payload, offset)
+        rows.append(row)
+    return rows

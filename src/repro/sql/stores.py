@@ -1,0 +1,212 @@
+"""Table stores: where rows physically live.
+
+Two backends implement the same interface:
+
+* :class:`PagedStore` — rows packed into pages behind a pager (plain or
+  secure).  This is the storage server's on-disk database; every scan
+  re-reads pages through the pager, so the secure configurations pay
+  decrypt + freshness per page request, exactly as the paper measures.
+* :class:`MemoryStore` — plain Python lists.  This is the host engine's
+  in-memory instance that receives filtered records from the storage side
+  (and the whole database for host-only configurations without a secure
+  at-rest story).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..errors import StorageError
+from ..sim import Meter
+from .catalog import Catalog, TableSchema
+from .records import encode_row, pack_page, unpack_page
+from .values import coerce, estimate_row_bytes
+
+CATALOG_META_KEY = "sql_catalog"
+
+
+class TableStore:
+    """Interface both backends implement."""
+
+    catalog: Catalog
+    meter: Meter
+
+    def create_table(self, schema: TableSchema) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def drop_table(self, name: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def insert_rows(self, name: str, rows: list[tuple]) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    def scan(self, name: str) -> Iterator[tuple]:  # pragma: no cover
+        raise NotImplementedError
+
+    def replace_rows(self, name: str, rows: list[tuple]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def commit(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _coerce_rows(self, schema: TableSchema, rows: list[tuple]) -> list[tuple]:
+        width = len(schema.columns)
+        coerced = []
+        for row in rows:
+            if len(row) != width:
+                raise StorageError(
+                    f"row of {len(row)} values into {width}-column table {schema.name!r}"
+                )
+            coerced.append(
+                tuple(coerce(v, t) for v, (_, t) in zip(row, schema.columns))
+            )
+        return coerced
+
+
+class MemoryStore(TableStore):
+    """In-memory backend (host engine's table cache)."""
+
+    def __init__(self, meter: Meter | None = None):
+        self.catalog = Catalog()
+        self.meter = meter if meter is not None else Meter()
+        self._rows: dict[str, list[tuple]] = {}
+        self._bytes: dict[str, int] = {}
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.catalog.create_table(schema)
+        self._rows[schema.name] = []
+        self._bytes[schema.name] = 0
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        self._rows.pop(name, None)
+        self._bytes.pop(name, None)
+
+    def insert_rows(self, name: str, rows: list[tuple]) -> int:
+        schema = self.catalog.table(name)
+        coerced = self._coerce_rows(schema, rows)
+        self._rows[name].extend(coerced)
+        schema.row_count += len(coerced)
+        self._bytes[name] += sum(estimate_row_bytes(r) for r in coerced)
+        self.meter.note_memory(sum(self._bytes.values()))
+        return len(coerced)
+
+    def scan(self, name: str) -> Iterator[tuple]:
+        self.catalog.table(name)  # existence check
+        return iter(self._rows[name])
+
+    def replace_rows(self, name: str, rows: list[tuple]) -> None:
+        schema = self.catalog.table(name)
+        coerced = self._coerce_rows(schema, rows)
+        self._rows[name] = coerced
+        schema.row_count = len(coerced)
+        self._bytes[name] = sum(estimate_row_bytes(r) for r in coerced)
+        self.meter.note_memory(sum(self._bytes.values()))
+
+    def commit(self) -> None:
+        """Nothing to persist for the in-memory backend."""
+
+    def total_bytes(self) -> int:
+        return sum(self._bytes.values())
+
+
+class PagedStore(TableStore):
+    """Paged backend over a plain or secure pager."""
+
+    def __init__(self, pager, meter: Meter | None = None):
+        self.pager = pager
+        self.meter = meter if meter is not None else Meter()
+        self._free_pages: list[int] = []
+        blob = pager.device.read_meta(CATALOG_META_KEY)
+        self.catalog = Catalog.deserialize(blob) if blob else Catalog()
+
+    def _next_page(self) -> int:
+        if self._free_pages:
+            return self._free_pages.pop(0)
+        return self.pager.allocate_page()
+
+    # -- catalog persistence -------------------------------------------------
+
+    def _save_catalog(self) -> None:
+        self.pager.device.write_meta(CATALOG_META_KEY, self.catalog.serialize())
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.catalog.create_table(schema)
+        self._save_catalog()
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        self._save_catalog()
+
+    # -- rows ---------------------------------------------------------------
+
+    def insert_rows(self, name: str, rows: list[tuple]) -> int:
+        schema = self.catalog.table(name)
+        coerced = self._coerce_rows(schema, rows)
+        if not coerced:
+            return 0
+
+        capacity = self.pager.payload_size
+        # Re-open the last partially filled page, if any.
+        pending: list[bytes] = []
+        pending_size = 2
+        target_page = None
+        if schema.pages:
+            target_page = schema.pages[-1]
+            for row in unpack_page(self.pager.read_page(target_page)):
+                encoded = encode_row(row)
+                pending.append(encoded)
+                pending_size += len(encoded)
+
+        def flush(page_no: int | None) -> None:
+            nonlocal pending, pending_size
+            payload = pack_page(pending)
+            if page_no is None:
+                page_no = self._next_page()
+                schema.pages.append(page_no)
+            self.pager.write_page(page_no, payload)
+            pending = []
+            pending_size = 2
+
+        for row in coerced:
+            encoded = encode_row(row)
+            if len(encoded) + 2 > capacity:
+                raise StorageError("row larger than a page payload")
+            if pending_size + len(encoded) > capacity:
+                flush(target_page)
+                target_page = None
+            pending.append(encoded)
+            pending_size += len(encoded)
+        if pending:
+            flush(target_page)
+
+        schema.row_count += len(coerced)
+        self._save_catalog()
+        return len(coerced)
+
+    def scan(self, name: str) -> Iterator[tuple]:
+        schema = self.catalog.table(name)
+        for page_no in schema.pages:
+            payload = self.pager.read_page(page_no)
+            yield from unpack_page(payload)
+
+    def replace_rows(self, name: str, rows: list[tuple]) -> None:
+        """Rewrite a table in place (UPDATE/DELETE are read-modify-write).
+
+        Old pages go on a freelist and are reused by future inserts.
+        """
+        schema = self.catalog.table(name)
+        self._free_pages.extend(schema.pages)
+        schema.pages = []
+        schema.row_count = 0
+        self.insert_rows(name, rows)
+        self._save_catalog()
+
+    def commit(self) -> None:
+        self._save_catalog()
+        self.pager.commit()
+
+    def pages_of(self, name: str) -> list[int]:
+        return list(self.catalog.table(name).pages)

@@ -1,0 +1,27 @@
+"""Secure storage substrate: untrusted device, Merkle tree, pagers.
+
+The plain :class:`Pager` serves the non-secure configurations; the
+:class:`SecurePager` adds the paper's confidentiality + integrity +
+freshness protections at the same 4 KiB-page hook point SQLiteCipher uses.
+"""
+
+from .blockdevice import BlockDevice
+from .merkle import MerkleTree
+from .pager import PAYLOAD_SIZE, Pager
+from .securepager import (
+    InMemoryAnchor,
+    SecurePager,
+    SecureStorageAnchor,
+    TAAnchor,
+)
+
+__all__ = [
+    "BlockDevice",
+    "InMemoryAnchor",
+    "MerkleTree",
+    "PAYLOAD_SIZE",
+    "Pager",
+    "SecurePager",
+    "SecureStorageAnchor",
+    "TAAnchor",
+]

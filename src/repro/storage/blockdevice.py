@@ -1,0 +1,92 @@
+"""The untrusted storage medium.
+
+A flat array of 4 KiB pages plus a metadata region, exactly the layout the
+paper describes: "it reserves a data region for storing the (encrypted)
+data units sequentially and a meta-data region that preserves a streamlined
+Merkle tree".  The device is *untrusted*: it exposes tampering hooks
+(:meth:`corrupt`, :meth:`snapshot`/:meth:`restore`, :meth:`fork`) that the
+adversary — i.e. our test suite — uses to mount integrity, rollback and
+forking attacks.
+"""
+
+from __future__ import annotations
+
+from ..errors import StorageError
+from ..sim import PAGE_SIZE, Meter
+
+
+class BlockDevice:
+    """Raw page store with a side metadata area."""
+
+    def __init__(self, name: str = "nvme0", page_size: int = PAGE_SIZE):
+        self.name = name
+        self.page_size = page_size
+        self._pages: dict[int, bytes] = {}
+        self._meta: dict[str, bytes] = {}
+        self.meter = Meter()
+
+    # ------------------------------------------------------------------
+    # Normal operation
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        return (max(self._pages) + 1) if self._pages else 0
+
+    def read_page(self, pgno: int) -> bytes:
+        if pgno < 0:
+            raise StorageError(f"negative page number {pgno}")
+        data = self._pages.get(pgno)
+        if data is None:
+            raise StorageError(f"page {pgno} was never written")
+        self.meter.pages_read += 1
+        return data
+
+    def write_page(self, pgno: int, data: bytes) -> None:
+        if pgno < 0:
+            raise StorageError(f"negative page number {pgno}")
+        if len(data) != self.page_size:
+            raise StorageError(
+                f"page must be exactly {self.page_size} bytes, got {len(data)}"
+            )
+        self._pages[pgno] = bytes(data)
+        self.meter.pages_written += 1
+
+    def has_page(self, pgno: int) -> bool:
+        return pgno in self._pages
+
+    def read_meta(self, key: str) -> bytes | None:
+        return self._meta.get(key)
+
+    def write_meta(self, key: str, value: bytes) -> None:
+        self._meta[key] = bytes(value)
+
+    # ------------------------------------------------------------------
+    # Adversary interface (used by tests / security benchmarks)
+    # ------------------------------------------------------------------
+
+    def corrupt(self, pgno: int, offset: int = 0, xor: int = 0xFF) -> None:
+        """Flip bits in a stored page without going through any MAC."""
+        data = bytearray(self._pages[pgno])
+        data[offset] ^= xor
+        self._pages[pgno] = bytes(data)
+
+    def raw_page(self, pgno: int) -> bytes:
+        """Inspect stored bytes without metering (adversary's view)."""
+        return self._pages[pgno]
+
+    def snapshot(self) -> dict:
+        """Capture full device state (pages + metadata)."""
+        return {"pages": dict(self._pages), "meta": dict(self._meta)}
+
+    def restore(self, snapshot: dict) -> None:
+        """Roll the device back to an earlier snapshot (rollback attack)."""
+        self._pages = dict(snapshot["pages"])
+        self._meta = dict(snapshot["meta"])
+
+    def fork(self, name: str) -> "BlockDevice":
+        """Clone the device (forking attack: run two replicas)."""
+        clone = BlockDevice(name=name, page_size=self.page_size)
+        clone._pages = dict(self._pages)
+        clone._meta = dict(self._meta)
+        return clone

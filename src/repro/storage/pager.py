@@ -1,0 +1,78 @@
+"""Plain (non-secure) pager: the baseline page layer.
+
+Used by the non-secure configurations (`hons`, `vcs`).  It stores page
+payloads on the untrusted device verbatim, padded to the physical page
+size.  The payload size matches :class:`~repro.storage.securepager.SecurePager`
+(4000 bytes) so secure and non-secure runs see identical page counts —
+the paper's Figure 7 compares pages processed across configurations.
+"""
+
+from __future__ import annotations
+
+from ..errors import StorageError
+from ..sim import PAGE_SIZE, Meter
+from .blockdevice import BlockDevice
+
+# Both pagers expose the same usable payload so secure and non-secure runs
+# see identical page counts (Figure 7 compares pages processed).  The size
+# is dictated by the secure layout: 16 B IV + 2 B ciphertext length +
+# ciphertext + 64 B HMAC-SHA512 must fit a 4096 B physical page, and the
+# AES-CBC ciphertext of the 3998 B plaintext frame (2 B length + payload)
+# is 4000 B after PKCS#7.
+PLAINTEXT_FRAME = 3998
+PAYLOAD_SIZE = PLAINTEXT_FRAME - 2
+
+
+class Pager:
+    """Allocate, read and write fixed-size page payloads."""
+
+    payload_size = PAYLOAD_SIZE
+
+    def __init__(self, device: BlockDevice, meter: Meter | None = None):
+        self.device = device
+        self.meter = meter if meter is not None else Meter()
+        count = device.read_meta("page_count")
+        self._page_count = int.from_bytes(count, "big") if count else 0
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    def allocate_page(self) -> int:
+        pgno = self._page_count
+        self._page_count += 1
+        self.device.write_meta("page_count", self._page_count.to_bytes(8, "big"))
+        return pgno
+
+    def _frame(self, payload: bytes) -> bytes:
+        if len(payload) > self.payload_size:
+            raise StorageError(
+                f"payload of {len(payload)} bytes exceeds page capacity {self.payload_size}"
+            )
+        framed = len(payload).to_bytes(2, "big") + payload
+        return framed + bytes(PAGE_SIZE - len(framed))
+
+    def _unframe(self, raw: bytes) -> bytes:
+        length = int.from_bytes(raw[:2], "big")
+        if length > self.payload_size:
+            raise StorageError("corrupt page frame header")
+        return raw[2 : 2 + length]
+
+    def write_page(self, pgno: int, payload: bytes) -> None:
+        if pgno >= self._page_count:
+            raise StorageError(f"page {pgno} not allocated")
+        self.device.write_page(pgno, self._frame(payload))
+        self.meter.pages_written += 1
+
+    def read_page(self, pgno: int) -> bytes:
+        if pgno >= self._page_count:
+            raise StorageError(f"page {pgno} not allocated")
+        raw = self.device.read_page(pgno)
+        self.meter.pages_read += 1
+        return self._unframe(raw)
+
+    def commit(self) -> None:
+        """No-op for the plain pager (kept for interface symmetry)."""
+
+    def close(self) -> None:
+        """No-op for the plain pager."""

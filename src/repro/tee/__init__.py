@@ -1,0 +1,9 @@
+"""Heterogeneous TEE simulation: Intel SGX (host) and ARM TrustZone (storage).
+
+See DESIGN.md §2 for what is modelled and why the simulation preserves the
+paper's performance- and security-relevant behaviour.
+"""
+
+from .common import Measurement, Quote
+
+__all__ = ["Measurement", "Quote"]

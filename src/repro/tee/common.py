@@ -1,0 +1,57 @@
+"""Shared TEE abstractions: software measurements and attestation evidence.
+
+Both TEE families boil down to the same trust argument — "hardware-rooted
+keys sign a hash of the software that booted" — but with incompatible
+mechanisms (SGX quotes verified through Intel's attestation service vs
+TrustZone challenge/response over a secure-boot certificate chain).  The
+trusted monitor bridges the two; these are the common data shapes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..crypto import sha256
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A hash identifying a software image (MRENCLAVE / boot-stage hash)."""
+
+    digest: bytes
+    label: str = ""
+
+    @classmethod
+    def of_image(cls, image: bytes, label: str = "") -> "Measurement":
+        return cls(digest=sha256(image), label=label)
+
+    def hex(self) -> str:
+        return self.digest.hex()
+
+
+@dataclass(frozen=True)
+class Quote:
+    """Attestation evidence: a measurement bound to a challenge.
+
+    ``report_data`` carries protocol-specific payload (e.g. the hash of a
+    key the attester wants certified); ``signature`` is produced by a
+    hardware-rooted key (the SGX platform attestation key or a TrustZone
+    key derived from the device's ROTPK).
+    """
+
+    measurement: Measurement
+    challenge: bytes
+    report_data: bytes = b""
+    platform_id: str = ""
+    signature: bytes = b""
+
+    def signed_payload(self) -> bytes:
+        body = {
+            "measurement": self.measurement.digest.hex(),
+            "label": self.measurement.label,
+            "challenge": self.challenge.hex(),
+            "report_data": self.report_data.hex(),
+            "platform_id": self.platform_id,
+        }
+        return json.dumps(body, sort_keys=True).encode()

@@ -1,0 +1,13 @@
+"""Simulated Intel SGX: platforms, enclaves, and the attestation service."""
+
+from .enclave import Enclave
+from .ias import AttestationReport, IntelAttestationService, check_report
+from .platform import SgxPlatform
+
+__all__ = [
+    "AttestationReport",
+    "Enclave",
+    "IntelAttestationService",
+    "SgxPlatform",
+    "check_report",
+]

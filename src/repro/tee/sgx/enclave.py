@@ -1,0 +1,188 @@
+"""Simulated SGX enclave.
+
+Captures the four behaviours of real enclaves that matter to IronSafe:
+
+* **Identity** — the enclave's measurement (MRENCLAVE) is the hash of the
+  loaded code image; quotes bind it to a challenge.
+* **Isolation** — data stored inside the enclave is only reachable through
+  ECALLs; reading it "from outside" raises :class:`EnclaveError` (tests use
+  this to assert the host OS cannot see query state).
+* **Cost** — every ECALL/OCALL edge bumps the transition counter, and the
+  in-enclave working set feeds the EPC paging model (this is what makes
+  the host-only secure configuration slow in Figure 9a).
+* **Sealing** — data sealed by an enclave can only be unsealed by the same
+  measurement on the same platform.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Callable
+
+from ...crypto import ctr_crypt, hmac_sha256, constant_time_eq
+from ...errors import EnclaveError, SealingError
+from ...sim import Meter
+from ..common import Measurement, Quote
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .platform import SgxPlatform
+
+
+class Enclave:
+    """A single enclave instance on an :class:`SgxPlatform`."""
+
+    def __init__(self, name: str, code_image: bytes, platform: "SgxPlatform"):
+        self.name = name
+        self.platform = platform
+        self.measurement = Measurement.of_image(code_image, label=name)
+        self.meter = Meter()
+        self.memory_in_use = 0
+        self._protected: dict[str, Any] = {}
+        self._ecalls: dict[str, Callable[..., Any]] = {}
+        self._destroyed = False
+        self._inside = False
+
+    # ------------------------------------------------------------------
+    # Isolation
+    # ------------------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._destroyed:
+            raise EnclaveError(f"enclave {self.name!r} has been destroyed")
+
+    def put(self, key: str, value: Any, nbytes: int = 0) -> None:
+        """Store protected state.  Only callable from inside an ECALL."""
+        self._check_alive()
+        if not self._inside:
+            raise EnclaveError("enclave memory is not writable from outside")
+        self._protected[key] = value
+        self.memory_in_use += nbytes
+        self.meter.note_memory(self.memory_in_use)
+
+    def get(self, key: str) -> Any:
+        """Read protected state.  Only callable from inside an ECALL."""
+        self._check_alive()
+        if not self._inside:
+            raise EnclaveError(
+                f"attempt to read enclave memory of {self.name!r} from untrusted code"
+            )
+        return self._protected[key]
+
+    def drop(self, key: str, nbytes: int = 0) -> None:
+        """Free protected state (session cleanup deletes temp tables)."""
+        self._check_alive()
+        if not self._inside:
+            raise EnclaveError("enclave memory is not writable from outside")
+        self._protected.pop(key, None)
+        self.memory_in_use = max(0, self.memory_in_use - nbytes)
+
+    def wipe(self) -> None:
+        """Erase all protected state (end-of-session cleanup)."""
+        self._check_alive()
+        self._protected.clear()
+        self.memory_in_use = 0
+
+    # ------------------------------------------------------------------
+    # ECALL / OCALL
+    # ------------------------------------------------------------------
+
+    def register_ecall(self, name: str, fn: Callable[..., Any]) -> None:
+        """Expose *fn* as an entry point into the enclave."""
+        self._check_alive()
+        self._ecalls[name] = fn
+
+    def ecall(self, name: str, *args, **kwargs) -> Any:
+        """Enter the enclave, run the registered function, and exit.
+
+        Charges two world transitions (enter + exit), exactly what makes
+        chatty I/O from inside an enclave expensive on real hardware.
+        """
+        self._check_alive()
+        fn = self._ecalls.get(name)
+        if fn is None:
+            raise EnclaveError(f"enclave {self.name!r} has no ecall {name!r}")
+        self.meter.enclave_transitions += 2
+        was_inside = self._inside
+        self._inside = True
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self._inside = was_inside
+
+    def ocall(self, fn: Callable[..., Any], *args, **kwargs) -> Any:
+        """Leave the enclave to run untrusted code, then re-enter."""
+        self._check_alive()
+        if not self._inside:
+            raise EnclaveError("ocall is only meaningful from inside the enclave")
+        self.meter.enclave_transitions += 2
+        self._inside = False
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self._inside = True
+
+    @property
+    def inside(self) -> bool:
+        return self._inside
+
+    # ------------------------------------------------------------------
+    # Attestation
+    # ------------------------------------------------------------------
+
+    def generate_quote(self, challenge: bytes, report_data: bytes = b"") -> Quote:
+        """Produce attestation evidence signed by the platform key.
+
+        On real hardware this goes EREPORT → quoting enclave; the security
+        property is identical: the signature binds (measurement, challenge,
+        report_data) to a key Intel certified for this platform.
+        """
+        self._check_alive()
+        quote = Quote(
+            measurement=self.measurement,
+            challenge=challenge,
+            report_data=report_data,
+            platform_id=self.platform.platform_id,
+        )
+        signature = self.platform.attestation_key.sign(quote.signed_payload())
+        return Quote(
+            measurement=quote.measurement,
+            challenge=quote.challenge,
+            report_data=quote.report_data,
+            platform_id=quote.platform_id,
+            signature=signature,
+        )
+
+    # ------------------------------------------------------------------
+    # Sealing
+    # ------------------------------------------------------------------
+
+    def seal(self, plaintext: bytes) -> bytes:
+        """Encrypt + MAC data so only this enclave on this CPU can read it."""
+        self._check_alive()
+        key = self.platform.sealing_key_for(self.measurement.digest)
+        nonce = self.platform.nonce(16)
+        ciphertext = ctr_crypt(key, nonce, plaintext)
+        mac = hmac_sha256(key, nonce + ciphertext)
+        blob = {
+            "nonce": nonce.hex(),
+            "ciphertext": ciphertext.hex(),
+            "mac": mac.hex(),
+        }
+        return json.dumps(blob).encode()
+
+    def unseal(self, sealed: bytes) -> bytes:
+        """Reverse :meth:`seal`; fails for other enclaves or platforms."""
+        self._check_alive()
+        key = self.platform.sealing_key_for(self.measurement.digest)
+        try:
+            blob = json.loads(sealed.decode())
+            nonce = bytes.fromhex(blob["nonce"])
+            ciphertext = bytes.fromhex(blob["ciphertext"])
+            mac = bytes.fromhex(blob["mac"])
+        except (ValueError, KeyError) as exc:
+            raise SealingError("malformed sealed blob") from exc
+        if not constant_time_eq(hmac_sha256(key, nonce + ciphertext), mac):
+            raise SealingError(
+                "sealed data does not belong to this enclave/platform"
+            )
+        return ctr_crypt(key, nonce, ciphertext)

@@ -1,0 +1,93 @@
+"""Simulated Intel Attestation Service (IAS).
+
+Real SGX attestation routes quotes through Intel: the verifier submits a
+quote, Intel checks that the signing key belongs to a genuine, non-revoked
+SGX CPU, and returns a signed attestation report.  We model exactly that
+trust topology — platforms register their attestation public keys at
+"manufacturing", verifiers hold the IAS report-signing public key, and the
+monitor accepts a quote only with a valid IAS report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ...crypto import PrivateKey, PublicKey, Rng, generate_keypair
+from ...errors import AttestationError
+from ..common import Quote
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """An IAS verdict over a quote, signed by the IAS report key."""
+
+    quote_payload: bytes
+    is_valid: bool
+    platform_id: str
+    signature: bytes
+
+    def signed_body(self) -> bytes:
+        return json.dumps(
+            {
+                "quote": self.quote_payload.hex(),
+                "is_valid": self.is_valid,
+                "platform_id": self.platform_id,
+            },
+            sort_keys=True,
+        ).encode()
+
+
+class IntelAttestationService:
+    """Registry of genuine platforms + report signer."""
+
+    def __init__(self, rng: Rng):
+        self._report_key: PrivateKey = generate_keypair(rng.fork("ias"))
+        self._platforms: dict[str, PublicKey] = {}
+        self._revoked: set[str] = set()
+
+    @property
+    def report_signing_key(self) -> PublicKey:
+        """Public key verifiers pin (ships with the monitor's TCB)."""
+        return self._report_key.public_key
+
+    def register_platform(self, platform_id: str, attestation_key: PublicKey) -> None:
+        """Record a genuine platform at manufacturing time."""
+        if platform_id in self._platforms:
+            raise AttestationError(f"platform {platform_id!r} already registered")
+        self._platforms[platform_id] = attestation_key
+
+    def revoke_platform(self, platform_id: str) -> None:
+        """Mark a platform compromised (its quotes stop verifying)."""
+        self._revoked.add(platform_id)
+
+    def verify_quote(self, quote: Quote) -> AttestationReport:
+        """Check a quote's signature against the registered platform key."""
+        key = self._platforms.get(quote.platform_id)
+        is_valid = (
+            key is not None
+            and quote.platform_id not in self._revoked
+            and key.verify(quote.signed_payload(), quote.signature)
+        )
+        report = AttestationReport(
+            quote_payload=quote.signed_payload(),
+            is_valid=is_valid,
+            platform_id=quote.platform_id,
+            signature=b"",
+        )
+        return AttestationReport(
+            quote_payload=report.quote_payload,
+            is_valid=report.is_valid,
+            platform_id=report.platform_id,
+            signature=self._report_key.sign(report.signed_body()),
+        )
+
+
+def check_report(report: AttestationReport, ias_key: PublicKey) -> None:
+    """Validate an IAS report a verifier received; raise if untrustworthy."""
+    if not ias_key.verify(report.signed_body(), report.signature):
+        raise AttestationError("IAS report signature invalid")
+    if not report.is_valid:
+        raise AttestationError(
+            f"IAS rejected the quote from platform {report.platform_id!r}"
+        )

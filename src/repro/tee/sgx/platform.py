@@ -1,0 +1,68 @@
+"""Simulated SGX-capable x86 platform.
+
+A platform owns a provisioned attestation key (certified by the simulated
+Intel Attestation Service at manufacturing time), a per-CPU sealing root,
+and an EPC budget shared by its enclaves.  Enclaves are created through the
+platform so their measurements and EPC usage are tracked in one place.
+"""
+
+from __future__ import annotations
+
+from ...crypto import PrivateKey, Rng, generate_keypair, hkdf
+from ...errors import EnclaveError
+from ...sim import CostModel, SimClock
+from .enclave import Enclave
+
+
+class SgxPlatform:
+    """One SGX machine: attestation identity + sealing root + EPC."""
+
+    def __init__(
+        self,
+        platform_id: str,
+        clock: SimClock,
+        cost_model: CostModel,
+        rng: Rng,
+        *,
+        epc_limit_bytes: int | None = None,
+    ):
+        self.platform_id = platform_id
+        self.clock = clock
+        self.cost_model = cost_model
+        self._rng = rng.fork(f"sgx-platform:{platform_id}")
+        # Provisioned at "manufacturing"; the IAS learns the public half.
+        self.attestation_key: PrivateKey = generate_keypair(self._rng)
+        # CPU fuse key from which per-enclave sealing keys derive.
+        self._sealing_root = self._rng.bytes(32)
+        self.epc_limit_bytes = (
+            epc_limit_bytes if epc_limit_bytes is not None else cost_model.epc_limit_bytes
+        )
+        self._enclaves: dict[str, Enclave] = {}
+
+    def create_enclave(self, name: str, code_image: bytes) -> Enclave:
+        """Load *code_image* into a new enclave and measure it.
+
+        Mirrors the SGX init flow: the loader hashes the image, producing
+        the MRENCLAVE a remote verifier will later compare against.
+        """
+        if name in self._enclaves:
+            raise EnclaveError(f"enclave {name!r} already exists on {self.platform_id}")
+        enclave = Enclave(name=name, code_image=code_image, platform=self)
+        self._enclaves[name] = enclave
+        return enclave
+
+    def destroy_enclave(self, name: str) -> None:
+        enclave = self._enclaves.pop(name, None)
+        if enclave is None:
+            raise EnclaveError(f"no enclave {name!r} on {self.platform_id}")
+        enclave._destroyed = True
+
+    def sealing_key_for(self, measurement_digest: bytes) -> bytes:
+        """MRENCLAVE-bound sealing key: same enclave, same platform only."""
+        return hkdf(self._sealing_root, b"seal:" + measurement_digest, 32)
+
+    def epc_in_use(self) -> int:
+        return sum(e.memory_in_use for e in self._enclaves.values())
+
+    def nonce(self, n: int = 16) -> bytes:
+        return self._rng.bytes(n)

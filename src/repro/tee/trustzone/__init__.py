@@ -1,0 +1,23 @@
+"""Simulated ARM TrustZone: devices, secure boot, RPMB, trusted OS, TAs."""
+
+from .device import BootState, DeviceVendor, FirmwareImage, TrustZoneDevice
+from .realms import Realm, RealmManager
+from .rpmb import RPMB, RPMBClient, RPMBReadResponse
+from .tas import AttestationTA, SecureStorageTA
+from .trusted_os import TrustedApplication, TrustedOS
+
+__all__ = [
+    "AttestationTA",
+    "BootState",
+    "DeviceVendor",
+    "FirmwareImage",
+    "RPMB",
+    "Realm",
+    "RealmManager",
+    "RPMBClient",
+    "RPMBReadResponse",
+    "SecureStorageTA",
+    "TrustedApplication",
+    "TrustedOS",
+    "TrustZoneDevice",
+]

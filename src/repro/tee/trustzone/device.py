@@ -1,0 +1,223 @@
+"""Simulated ARM TrustZone storage platform.
+
+Models the Solidrun/LX2160A-class storage server of the paper:
+
+* a **hardware-unique key (HUK)** fused into the SoC, from which the
+  secure world derives the TA storage key (TASK) and the RPMB key;
+* a **root-of-trust public key (ROTPK)** burnt into ROM — the boot ROM
+  only executes firmware whose certificate chain verifies against it;
+* a **manufacturer-provisioned device attestation key**, certified at the
+  factory, that signs attestation challenge responses;
+* **secure boot** that measures each stage (secure world, then the normal
+  world image) and refuses to hand over control on a hash mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...crypto import (
+    Certificate,
+    PrivateKey,
+    PublicKey,
+    Rng,
+    generate_keypair,
+    hkdf,
+    issue_certificate,
+    self_signed,
+    sha256,
+)
+from ...errors import SecureBootError
+from ..common import Measurement, Quote
+from .rpmb import RPMB
+
+
+@dataclass(frozen=True)
+class FirmwareImage:
+    """A signed software image for one boot stage."""
+
+    name: str
+    payload: bytes
+    version: str
+    signature: bytes = b""
+
+    def signed_body(self) -> bytes:
+        return b"fw:" + self.name.encode() + b":" + self.version.encode() + b":" + sha256(self.payload)
+
+
+class DeviceVendor:
+    """The party that signs firmware and provisions device identities.
+
+    One vendor instance acts as the trust anchor for a fleet of devices;
+    verifiers (the trusted monitor) pin ``root_public_key``.
+    """
+
+    def __init__(self, name: str, rng: Rng):
+        self.name = name
+        self._rng = rng.fork(f"vendor:{name}")
+        self._root_key: PrivateKey = generate_keypair(self._rng)
+        self.root_certificate = self_signed(name, self._root_key, {"role": "vendor-root"})
+
+    @property
+    def root_public_key(self) -> PublicKey:
+        return self._root_key.public_key
+
+    def sign_firmware(self, name: str, payload: bytes, version: str) -> FirmwareImage:
+        image = FirmwareImage(name=name, payload=payload, version=version)
+        return FirmwareImage(
+            name=image.name,
+            payload=image.payload,
+            version=image.version,
+            signature=self._root_key.sign(image.signed_body()),
+        )
+
+    def provision_device(
+        self, device_id: str, *, location: str, rpmb_blocks: int = 128
+    ) -> "TrustZoneDevice":
+        """Manufacture a device: fuse keys, certify its attestation key."""
+        device_rng = self._rng.fork(f"device:{device_id}")
+        attestation_key = generate_keypair(device_rng)
+        device_cert = issue_certificate(
+            issuer_name=self.name,
+            issuer_key=self._root_key,
+            subject=device_id,
+            subject_public_key=attestation_key.public_key,
+            attributes={"role": "device", "location": location},
+        )
+        return TrustZoneDevice(
+            device_id=device_id,
+            location=location,
+            vendor_root=self.root_public_key,
+            vendor_root_certificate=self.root_certificate,
+            device_certificate=device_cert,
+            attestation_key=attestation_key,
+            huk=device_rng.bytes(32),
+            rpmb=RPMB(rpmb_blocks),
+            rng=device_rng,
+        )
+
+
+@dataclass
+class BootState:
+    """What secure boot established: measurements + the certificate chain."""
+
+    secure_world: FirmwareImage
+    normal_world: FirmwareImage
+    normal_world_measurement: Measurement
+    certificate_chain: list[Certificate] = field(default_factory=list)
+
+
+class TrustZoneDevice:
+    """One storage-server SoC with TrustZone."""
+
+    def __init__(
+        self,
+        device_id: str,
+        location: str,
+        vendor_root: PublicKey,
+        vendor_root_certificate: Certificate,
+        device_certificate: Certificate,
+        attestation_key: PrivateKey,
+        huk: bytes,
+        rpmb: RPMB,
+        rng: Rng,
+    ):
+        self.device_id = device_id
+        self.location = location
+        self._vendor_root = vendor_root
+        self._vendor_root_certificate = vendor_root_certificate
+        self._device_certificate = device_certificate
+        self._attestation_key = attestation_key
+        self._huk = huk
+        self.rpmb = rpmb
+        self._rng = rng
+        self.boot_state: BootState | None = None
+
+    # ------------------------------------------------------------------
+    # Key derivation (secure-world only)
+    # ------------------------------------------------------------------
+
+    def derive_key(self, purpose: str, length: int = 32) -> bytes:
+        """Derive a purpose-bound key from the HUK (TASK, RPMB key, ...)."""
+        return hkdf(self._huk, b"huk:" + purpose.encode(), length)
+
+    def nonce(self, n: int = 16) -> bytes:
+        return self._rng.bytes(n)
+
+    # ------------------------------------------------------------------
+    # Secure boot
+    # ------------------------------------------------------------------
+
+    def secure_boot(
+        self, secure_world: FirmwareImage, normal_world: FirmwareImage
+    ) -> BootState:
+        """Run the boot ROM → ATF/OP-TEE → normal world chain.
+
+        The ROM verifies the secure-world image signature against the
+        vendor root (the ROTPK); the trusted OS then *measures* the normal
+        world image and records the hash in a boot certificate signed by
+        the device attestation key.  An unsigned or tampered secure world
+        never boots; a modified normal world boots but carries the "wrong"
+        measurement, so the monitor will refuse it.
+        """
+        if not self._vendor_root.verify(secure_world.signed_body(), secure_world.signature):
+            raise SecureBootError(
+                f"secure-world image {secure_world.name!r} signature invalid — refusing to boot"
+            )
+        normal_measurement = Measurement.of_image(
+            normal_world.payload, label=normal_world.name
+        )
+        boot_cert = issue_certificate(
+            issuer_name=self.device_id,
+            issuer_key=self._attestation_key,
+            subject=f"{self.device_id}/boot",
+            subject_public_key=self._attestation_key.public_key,
+            attributes={
+                "role": "boot",
+                "fw_version": normal_world.version,
+                "secure_world_version": secure_world.version,
+                "location": self.location,
+                "normal_world_hash": normal_measurement.hex(),
+            },
+        )
+        self.boot_state = BootState(
+            secure_world=secure_world,
+            normal_world=normal_world,
+            normal_world_measurement=normal_measurement,
+            certificate_chain=[
+                self._vendor_root_certificate,
+                self._device_certificate,
+                boot_cert,
+            ],
+        )
+        return self.boot_state
+
+    @property
+    def booted(self) -> bool:
+        return self.boot_state is not None
+
+    # ------------------------------------------------------------------
+    # Attestation (used by the attestation TA)
+    # ------------------------------------------------------------------
+
+    def sign_attestation(self, challenge: bytes, report_data: bytes = b"") -> Quote:
+        """Answer an attestation challenge with the device key.
+
+        Only meaningful after secure boot: the quoted measurement is the
+        normal-world hash recorded by the trusted OS.
+        """
+        if self.boot_state is None:
+            raise SecureBootError("device has not completed secure boot")
+        quote = Quote(
+            measurement=self.boot_state.normal_world_measurement,
+            challenge=challenge,
+            report_data=report_data,
+            platform_id=self.device_id,
+        )
+        return Quote(
+            measurement=quote.measurement,
+            challenge=quote.challenge,
+            report_data=quote.report_data,
+            platform_id=quote.platform_id,
+            signature=self._attestation_key.sign(quote.signed_payload()),
+        )

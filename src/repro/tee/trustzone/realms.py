@@ -1,0 +1,121 @@
+"""ARM v9 Realms (CCA) — the paper's stated future work.
+
+§3.3: "Due to the limitations of ARM TrustZone, we currently need to
+consider the entire OS stack and query engine on the storage side as part
+of our TCB.  However, ARM v9 aims to overcome this limitation, which
+would allow us to not trust the OS stack anymore."
+
+This module models exactly that upgrade: a *realm* is an isolated,
+measured execution environment managed by the Realm Management Monitor
+(RMM), SGX-enclave-like in its properties but hosted on the ARM side:
+
+* the normal-world OS can create/schedule realms but cannot read their
+  memory (isolation is enforced, like :class:`~repro.tee.sgx.Enclave`);
+* each realm carries a measurement of its initial image, attestable with
+  a token signed by the device key — so the *storage engine alone* is in
+  the TCB, not the normal-world kernel;
+* realm execution pays a small memory-protection overhead (granule
+  protection checks), modelled by ``CostModel.realm_cpu_overhead``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ...errors import EnclaveError, SecureBootError
+from ...sim import Meter
+from ..common import Measurement, Quote
+from .device import TrustZoneDevice
+
+
+class Realm:
+    """One realm instance (isolation semantics mirror SGX enclaves)."""
+
+    def __init__(self, name: str, image: bytes, device: TrustZoneDevice):
+        self.name = name
+        self.device = device
+        self.measurement = Measurement.of_image(image, label=f"realm:{name}")
+        self.meter = Meter()
+        self._protected: dict[str, Any] = {}
+        self._entries: dict[str, Callable[..., Any]] = {}
+        self._inside = False
+
+    # -- isolation -------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        if not self._inside:
+            raise EnclaveError("realm memory is not writable from the normal world")
+        self._protected[key] = value
+
+    def get(self, key: str) -> Any:
+        if not self._inside:
+            raise EnclaveError(
+                f"attempt to read realm {self.name!r} memory from the normal world"
+            )
+        return self._protected[key]
+
+    # -- entry points ------------------------------------------------------
+
+    def register_entry(self, name: str, fn: Callable[..., Any]) -> None:
+        self._entries[name] = fn
+
+    def enter(self, name: str, *args, **kwargs) -> Any:
+        """RMM world switch into the realm and back (2 transitions)."""
+        fn = self._entries.get(name)
+        if fn is None:
+            raise EnclaveError(f"realm {self.name!r} has no entry {name!r}")
+        self.meter.enclave_transitions += 2
+        was_inside = self._inside
+        self._inside = True
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self._inside = was_inside
+
+    # -- attestation ---------------------------------------------------------
+
+    def attestation_token(self, challenge: bytes) -> Quote:
+        """CCA attestation token: realm measurement signed by the device key.
+
+        Unlike TrustZone normal-world attestation, the quoted measurement
+        covers ONLY the realm image — the normal-world OS is out of the
+        trust statement entirely.
+        """
+        if not self.device.booted:
+            raise SecureBootError("realms require a booted device (RMM loaded)")
+        quote = Quote(
+            measurement=self.measurement,
+            challenge=challenge,
+            report_data=b"cca-realm-token",
+            platform_id=self.device.device_id,
+        )
+        return Quote(
+            measurement=quote.measurement,
+            challenge=quote.challenge,
+            report_data=quote.report_data,
+            platform_id=quote.platform_id,
+            signature=self.device._attestation_key.sign(quote.signed_payload()),
+        )
+
+
+class RealmManager:
+    """The RMM: creates realms on an ARMv9-capable device."""
+
+    def __init__(self, device: TrustZoneDevice):
+        if not device.booted:
+            raise SecureBootError("the RMM loads during secure boot")
+        self.device = device
+        self._realms: dict[str, Realm] = {}
+
+    def create_realm(self, name: str, image: bytes) -> Realm:
+        if name in self._realms:
+            raise EnclaveError(f"realm {name!r} already exists")
+        realm = Realm(name, image, self.device)
+        self._realms[name] = realm
+        return realm
+
+    def realm(self, name: str) -> Realm:
+        realm = self._realms.get(name)
+        if realm is None:
+            raise EnclaveError(f"no realm named {name!r}")
+        return realm

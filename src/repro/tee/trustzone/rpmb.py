@@ -1,0 +1,140 @@
+"""Replay-Protected Memory Block (RPMB) emulation.
+
+eMMC parts ship a small authenticated partition: a key is programmed once
+(by the secure world during provisioning), after which every write must
+carry an HMAC over (data, address, write counter) and every read response
+is MACed by the device.  The monotonically increasing write counter is what
+defeats replay: an attacker who snapshots the partition cannot restore it
+without forging a MAC for a stale counter.
+
+IronSafe stores two things here: the database master encryption key and
+the HMAC of the Merkle root (the freshness anchor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...crypto import constant_time_eq, hmac_sha256
+from ...errors import RPMBError
+
+RPMB_BLOCK_SIZE = 256
+
+
+@dataclass
+class RPMBReadResponse:
+    """A device-authenticated read: data + counter + MAC over both."""
+
+    address: int
+    data: bytes
+    write_counter: int
+    nonce: bytes
+    mac: bytes
+
+    def verify(self, key: bytes) -> None:
+        expected = _read_mac(key, self.address, self.data, self.write_counter, self.nonce)
+        if not constant_time_eq(expected, self.mac):
+            raise RPMBError("RPMB read response MAC invalid")
+
+
+def _write_mac(key: bytes, address: int, data: bytes, counter: int) -> bytes:
+    body = b"rpmb-write" + address.to_bytes(4, "big") + counter.to_bytes(4, "big") + data
+    return hmac_sha256(key, body)
+
+
+def _read_mac(key: bytes, address: int, data: bytes, counter: int, nonce: bytes) -> bytes:
+    body = (
+        b"rpmb-read"
+        + address.to_bytes(4, "big")
+        + counter.to_bytes(4, "big")
+        + nonce
+        + data
+    )
+    return hmac_sha256(key, body)
+
+
+class RPMB:
+    """The authenticated partition itself (device side)."""
+
+    def __init__(self, num_blocks: int = 128):
+        if num_blocks <= 0:
+            raise RPMBError("RPMB must have at least one block")
+        self.num_blocks = num_blocks
+        self._blocks: dict[int, bytes] = {}
+        self._key: bytes | None = None
+        self._write_counter = 0
+
+    @property
+    def key_programmed(self) -> bool:
+        return self._key is not None
+
+    @property
+    def write_counter(self) -> int:
+        return self._write_counter
+
+    def program_key(self, key: bytes) -> None:
+        """One-shot key programming; a second attempt is a hardware error."""
+        if self._key is not None:
+            raise RPMBError("RPMB key can only be programmed once")
+        if len(key) < 16:
+            raise RPMBError("RPMB key too short")
+        self._key = bytes(key)
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.num_blocks:
+            raise RPMBError(f"RPMB address {address} out of range")
+
+    def authenticated_write(self, address: int, data: bytes, counter: int, mac: bytes) -> None:
+        """Write one block; the MAC must cover the *current* counter.
+
+        A replayed write (stale counter) or a forged MAC is rejected —
+        this is the property the freshness anchor relies on.
+        """
+        if self._key is None:
+            raise RPMBError("RPMB key not programmed")
+        self._check_address(address)
+        if len(data) > RPMB_BLOCK_SIZE:
+            raise RPMBError("RPMB block payload too large")
+        if counter != self._write_counter:
+            raise RPMBError(
+                f"stale write counter {counter} (device at {self._write_counter})"
+            )
+        if not constant_time_eq(_write_mac(self._key, address, data, counter), mac):
+            raise RPMBError("RPMB write MAC invalid")
+        self._blocks[address] = bytes(data)
+        self._write_counter += 1
+
+    def authenticated_read(self, address: int, nonce: bytes) -> RPMBReadResponse:
+        """Read one block with a device MAC binding data + counter + nonce."""
+        if self._key is None:
+            raise RPMBError("RPMB key not programmed")
+        self._check_address(address)
+        data = self._blocks.get(address, b"")
+        mac = _read_mac(self._key, address, data, self._write_counter, nonce)
+        return RPMBReadResponse(
+            address=address,
+            data=data,
+            write_counter=self._write_counter,
+            nonce=nonce,
+            mac=mac,
+        )
+
+
+class RPMBClient:
+    """Secure-world helper that speaks the authenticated protocol."""
+
+    def __init__(self, rpmb: RPMB, key: bytes):
+        self._rpmb = rpmb
+        self._key = key
+        if not rpmb.key_programmed:
+            rpmb.program_key(key)
+
+    def write(self, address: int, data: bytes) -> None:
+        counter = self._rpmb.write_counter
+        mac = _write_mac(self._key, address, data, counter)
+        self._rpmb.authenticated_write(address, data, counter, mac)
+
+    def read(self, address: int, nonce: bytes) -> bytes:
+        response = self._rpmb.authenticated_read(address, nonce)
+        response.verify(self._key)
+        return response.data

@@ -1,0 +1,111 @@
+"""IronSafe's trusted applications (secure-world services).
+
+Two TAs implement the paper's §4.1/§4.2 secure-world functionality:
+
+* :class:`AttestationTA` answers monitor challenges with a quote signed by
+  the device key plus the secure-boot certificate chain.
+* :class:`SecureStorageTA` owns the database master key (generated at
+  initialization, persisted in RPMB so it survives reboots) and anchors
+  the Merkle-tree root in RPMB: it HMACs the root with the TASK (a key
+  derived from the hardware-unique key, binding the data to this CPU) and
+  stores the MAC in the replay-protected partition.  Freshness holds
+  because replacing the stored MAC requires an RPMB write, which requires
+  the RPMB key, which only the secure world can derive.
+"""
+
+from __future__ import annotations
+
+from ...crypto import Certificate, constant_time_eq, hmac_sha256
+from ...errors import FreshnessError
+from ..common import Quote
+from .device import TrustZoneDevice
+from .rpmb import RPMBClient
+from .trusted_os import TrustedApplication
+
+RPMB_ADDR_MASTER_KEY = 0
+RPMB_ADDR_ROOT_MAC = 1
+RPMB_ADDR_EPOCH = 2
+
+
+class AttestationTA(TrustedApplication):
+    """Generates remote-attestation evidence for the storage node."""
+
+    name = "attestation"
+
+    def _register_commands(self) -> None:
+        self.command("attest", self.attest)
+
+    def attest(self, challenge: bytes, report_data: bytes = b"") -> tuple[Quote, list[Certificate]]:
+        """Sign the challenge + normal-world measurement; attach the chain."""
+        quote = self.device.sign_attestation(challenge, report_data)
+        assert self.device.boot_state is not None
+        return quote, list(self.device.boot_state.certificate_chain)
+
+
+class SecureStorageTA(TrustedApplication):
+    """Key custody + Merkle-root freshness anchoring."""
+
+    name = "secure-storage"
+
+    def __init__(self, device: TrustZoneDevice):
+        super().__init__(device)
+        self._rpmb = RPMBClient(device.rpmb, device.derive_key("rpmb-key"))
+        self._task = device.derive_key("ta-storage-key", 16)  # 128-bit TASK
+
+    def _register_commands(self) -> None:
+        self.command("get_master_key", self.get_master_key)
+        self.command("anchor_root", self.anchor_root)
+        self.command("verify_root", self.verify_root)
+        self.command("current_epoch", self.current_epoch)
+
+    # -- master key ------------------------------------------------------
+
+    def get_master_key(self) -> bytes:
+        """Return the database master key, creating it on first use.
+
+        The key is stored in RPMB so it survives reboots; it never leaves
+        the device in plaintext except to the (attested) normal-world
+        storage engine.
+        """
+        nonce = self.device.nonce()
+        stored = self._rpmb.read(RPMB_ADDR_MASTER_KEY, nonce)
+        if stored:
+            return stored
+        key = self.device.nonce(32)
+        self._rpmb.write(RPMB_ADDR_MASTER_KEY, key)
+        return key
+
+    # -- freshness anchor --------------------------------------------------
+
+    def _root_mac(self, root: bytes, epoch: int) -> bytes:
+        return hmac_sha256(self._task, b"merkle-root" + epoch.to_bytes(8, "big") + root)
+
+    def anchor_root(self, root: bytes) -> int:
+        """Record a new Merkle root; returns the new epoch number.
+
+        The epoch is a monotonic counter stored alongside the MAC — a
+        forked replica that anchors its own root advances the counter, so
+        the two replicas' anchors diverge and the fork is detectable.
+        """
+        epoch = self.current_epoch() + 1
+        mac = self._root_mac(root, epoch)
+        self._rpmb.write(RPMB_ADDR_ROOT_MAC, mac)
+        self._rpmb.write(RPMB_ADDR_EPOCH, epoch.to_bytes(8, "big"))
+        return epoch
+
+    def verify_root(self, root: bytes) -> None:
+        """Check *root* against the RPMB anchor; raise on rollback."""
+        nonce = self.device.nonce()
+        stored_mac = self._rpmb.read(RPMB_ADDR_ROOT_MAC, nonce)
+        if not stored_mac:
+            return  # nothing anchored yet: first initialization of the store
+        epoch = self.current_epoch()
+        if not constant_time_eq(self._root_mac(root, epoch), stored_mac):
+            raise FreshnessError(
+                "Merkle root does not match the RPMB anchor: rollback or fork detected"
+            )
+
+    def current_epoch(self) -> int:
+        nonce = self.device.nonce()
+        raw = self._rpmb.read(RPMB_ADDR_EPOCH, nonce)
+        return int.from_bytes(raw, "big") if raw else 0

@@ -1,0 +1,66 @@
+"""OP-TEE-style trusted OS hosting trusted applications.
+
+The secure world runs a minimal trusted OS that loads TAs and mediates
+world switches (SMC calls).  The normal world — where the storage engine
+and SQLite-like query engine actually run after secure boot — talks to TAs
+only through :meth:`TrustedOS.invoke`, which charges the world-switch cost
+and dispatches to the named command.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ...errors import SecureBootError, TEEError
+from ...sim import Meter
+from .device import TrustZoneDevice
+
+
+class TrustedApplication:
+    """Base class for secure-world services."""
+
+    name = "ta"
+
+    def __init__(self, device: TrustZoneDevice):
+        self.device = device
+        self._commands: dict[str, Callable[..., Any]] = {}
+        self._register_commands()
+
+    def _register_commands(self) -> None:
+        """Subclasses register their command handlers here."""
+
+    def command(self, name: str, fn: Callable[..., Any]) -> None:
+        self._commands[name] = fn
+
+    def invoke(self, command: str, *args, **kwargs) -> Any:
+        fn = self._commands.get(command)
+        if fn is None:
+            raise TEEError(f"TA {self.name!r} has no command {command!r}")
+        return fn(*args, **kwargs)
+
+
+class TrustedOS:
+    """The secure-world OS: TA registry + SMC dispatch."""
+
+    def __init__(self, device: TrustZoneDevice):
+        if not device.booted:
+            raise SecureBootError("trusted OS starts only after secure boot")
+        self.device = device
+        self.meter = Meter()
+        self._tas: dict[str, TrustedApplication] = {}
+
+    def load_ta(self, ta: TrustedApplication) -> None:
+        if ta.name in self._tas:
+            raise TEEError(f"TA {ta.name!r} already loaded")
+        self._tas[ta.name] = ta
+
+    def invoke(self, ta_name: str, command: str, *args, **kwargs) -> Any:
+        """World switch into the secure world and back (one SMC round trip)."""
+        ta = self._tas.get(ta_name)
+        if ta is None:
+            raise TEEError(f"no TA named {ta_name!r}")
+        self.meter.enclave_transitions += 2  # SMC entry + exit
+        return ta.invoke(command, *args, **kwargs)
+
+    def has_ta(self, ta_name: str) -> bool:
+        return ta_name in self._tas

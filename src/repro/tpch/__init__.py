@@ -1,0 +1,31 @@
+"""TPC-H substrate: schema, dbgen-style generator, and the evaluated queries."""
+
+from .dbgen import Cardinalities, TPCHGenerator, load_tpch
+from .queries import (
+    ALL_QUERIES,
+    EVALUATED_NUMBERS,
+    EVALUATED_QUERIES,
+    EXCLUDED_NUMBERS,
+    FULL_SUITE,
+    Q1,
+    TPCHQuery,
+    q1_with_selectivity,
+)
+from .schema import DDL, TPCH_TABLES, create_all
+
+__all__ = [
+    "ALL_QUERIES",
+    "Cardinalities",
+    "DDL",
+    "EVALUATED_NUMBERS",
+    "EXCLUDED_NUMBERS",
+    "FULL_SUITE",
+    "EVALUATED_QUERIES",
+    "Q1",
+    "TPCHGenerator",
+    "TPCHQuery",
+    "TPCH_TABLES",
+    "create_all",
+    "load_tpch",
+    "q1_with_selectivity",
+]

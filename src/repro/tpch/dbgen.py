@@ -1,0 +1,322 @@
+"""dbgen-style TPC-H data generator.
+
+Reimplements the parts of the official ``dbgen`` tool the evaluation
+depends on: table cardinalities as a function of the scale factor, the
+categorical value domains every query filters on (brands, types,
+containers, segments, priorities, ship modes, return flags), the date
+ranges and their relationships (ship/commit/receipt dates derived from the
+order date), and the foreign-key structure.  Text comments are synthetic
+but reproduce the substrings queries grep for (Q13's ``special requests``,
+Q16's ``Customer ... Complaints``).
+
+Generation is fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from ..crypto import Rng
+
+# --- TPC-H categorical domains (from the spec) ------------------------------
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATIONS = [
+    # (name, region index) — the spec's 25 nations
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+
+TYPE_SYLL_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+CONTAINER_SYLL_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLL_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+
+P_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+    "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
+    "white", "yellow",
+]
+
+_COMMENT_WORDS = (
+    "carefully final deposits slyly ironic requests pending accounts furiously "
+    "regular packages bold theodolites quickly express asymptotes blithely "
+    "even instructions unusual dependencies daring sauternes idle pinto beans "
+    "silent foxes platelets sleep along the waters"
+).split()
+
+DATE_LO = datetime.date(1992, 1, 1)
+DATE_HI = datetime.date(1998, 8, 2)
+CURRENT_DATE = datetime.date(1995, 6, 17)  # dbgen's reference date
+
+
+@dataclass(frozen=True)
+class Cardinalities:
+    supplier: int
+    part: int
+    customer: int
+    orders: int
+
+    @classmethod
+    def for_scale(cls, scale_factor: float) -> "Cardinalities":
+        return cls(
+            supplier=max(3, int(10_000 * scale_factor)),
+            part=max(8, int(200_000 * scale_factor)),
+            customer=max(5, int(150_000 * scale_factor)),
+            orders=max(10, int(1_500_000 * scale_factor)),
+        )
+
+
+class TPCHGenerator:
+    """Generates TPC-H rows table by table."""
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 2022):
+        self.scale_factor = scale_factor
+        self.card = Cardinalities.for_scale(scale_factor)
+        self._rng = Rng(f"tpch:{seed}:{scale_factor}")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _comment(self, rng: Rng, min_words: int = 4, max_words: int = 10) -> str:
+        n = rng.randint(min_words, max_words)
+        return " ".join(rng.choice(_COMMENT_WORDS) for _ in range(n))
+
+    def _phone(self, rng: Rng, nation_key: int) -> str:
+        return (
+            f"{10 + nation_key}-{rng.randint(100, 999)}-"
+            f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+        )
+
+    def _date_between(self, rng: Rng, lo: datetime.date, hi: datetime.date) -> datetime.date:
+        return lo + datetime.timedelta(days=rng.randint(0, (hi - lo).days))
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+
+    def region(self) -> list[tuple]:
+        rng = self._rng.fork("region")
+        return [(i, name, self._comment(rng)) for i, name in enumerate(REGIONS)]
+
+    def nation(self) -> list[tuple]:
+        rng = self._rng.fork("nation")
+        return [
+            (i, name, region, self._comment(rng))
+            for i, (name, region) in enumerate(NATIONS)
+        ]
+
+    def supplier(self) -> list[tuple]:
+        rng = self._rng.fork("supplier")
+        rows = []
+        for key in range(1, self.card.supplier + 1):
+            nation = rng.randint(0, len(NATIONS) - 1)
+            comment = self._comment(rng)
+            # ~1% of suppliers carry the Q16 complaints marker.
+            if rng.random() < 0.01:
+                comment = f"{comment} Customer unhappy Complaints {comment[:12]}"
+            rows.append(
+                (
+                    key,
+                    f"Supplier#{key:09d}",
+                    f"addr-{rng.randint(1000, 99999)} lane {key}",
+                    nation,
+                    self._phone(rng, nation),
+                    round(rng.random() * 10_998.99 - 999.99, 2),
+                    comment,
+                )
+            )
+        return rows
+
+    def customer(self) -> list[tuple]:
+        rng = self._rng.fork("customer")
+        rows = []
+        for key in range(1, self.card.customer + 1):
+            nation = rng.randint(0, len(NATIONS) - 1)
+            rows.append(
+                (
+                    key,
+                    f"Customer#{key:09d}",
+                    f"addr-{rng.randint(1000, 99999)} street {key}",
+                    nation,
+                    self._phone(rng, nation),
+                    round(rng.random() * 10_998.99 - 999.99, 2),
+                    rng.choice(SEGMENTS),
+                    self._comment(rng),
+                )
+            )
+        return rows
+
+    def part(self) -> list[tuple]:
+        rng = self._rng.fork("part")
+        rows = []
+        for key in range(1, self.card.part + 1):
+            mfgr = rng.randint(1, 5)
+            brand = mfgr * 10 + rng.randint(1, 5)
+            p_type = (
+                f"{rng.choice(TYPE_SYLL_1)} {rng.choice(TYPE_SYLL_2)} "
+                f"{rng.choice(TYPE_SYLL_3)}"
+            )
+            name_words = [rng.choice(P_NAME_WORDS) for _ in range(5)]
+            rows.append(
+                (
+                    key,
+                    " ".join(name_words),
+                    f"Manufacturer#{mfgr}",
+                    f"Brand#{brand}",
+                    p_type,
+                    rng.randint(1, 50),
+                    f"{rng.choice(CONTAINER_SYLL_1)} {rng.choice(CONTAINER_SYLL_2)}",
+                    round((90_000 + (key % 200_001) / 10 + 100 * (key % 1_000)) / 100, 2),
+                    self._comment(rng, 2, 5),
+                )
+            )
+        return rows
+
+    def partsupp(self) -> list[tuple]:
+        rng = self._rng.fork("partsupp")
+        rows = []
+        nsup = self.card.supplier
+        for part_key in range(1, self.card.part + 1):
+            for i in range(4):
+                supp_key = ((part_key + i * ((nsup // 4) + 1)) % nsup) + 1
+                rows.append(
+                    (
+                        part_key,
+                        supp_key,
+                        rng.randint(1, 9_999),
+                        round(rng.random() * 999.0 + 1.0, 2),
+                        self._comment(rng, 3, 8),
+                    )
+                )
+        return rows
+
+    def orders_and_lineitems(self) -> tuple[list[tuple], list[tuple]]:
+        """Generate orders with their lineitems (status is line-derived)."""
+        rng = self._rng.fork("orders")
+        orders: list[tuple] = []
+        lineitems: list[tuple] = []
+        for order_key in range(1, self.card.orders + 1):
+            cust_key = rng.randint(1, self.card.customer)
+            order_date = self._date_between(
+                rng, DATE_LO, DATE_HI - datetime.timedelta(days=151)
+            )
+            nlines = rng.randint(1, 7)
+            total = 0.0
+            all_f = True
+            all_o = True
+            for line_no in range(1, nlines + 1):
+                part_key = rng.randint(1, self.card.part)
+                # One of the part's four suppliers.
+                i = rng.randint(0, 3)
+                supp_key = ((part_key + i * ((self.card.supplier // 4) + 1)) % self.card.supplier) + 1
+                quantity = float(rng.randint(1, 50))
+                extended = round(quantity * (900.0 + (part_key % 1000)), 2)
+                discount = rng.randint(0, 10) / 100.0
+                tax = rng.randint(0, 8) / 100.0
+                ship_date = order_date + datetime.timedelta(days=rng.randint(1, 121))
+                commit_date = order_date + datetime.timedelta(days=rng.randint(30, 90))
+                receipt_date = ship_date + datetime.timedelta(days=rng.randint(1, 30))
+                if receipt_date <= CURRENT_DATE:
+                    return_flag = "R" if rng.random() < 0.5 else "A"
+                else:
+                    return_flag = "N"
+                line_status = "F" if ship_date <= CURRENT_DATE else "O"
+                all_f = all_f and line_status == "F"
+                all_o = all_o and line_status == "O"
+                total += extended * (1 + tax) * (1 - discount)
+                lineitems.append(
+                    (
+                        order_key,
+                        part_key,
+                        supp_key,
+                        line_no,
+                        quantity,
+                        extended,
+                        discount,
+                        tax,
+                        return_flag,
+                        line_status,
+                        ship_date,
+                        commit_date,
+                        receipt_date,
+                        rng.choice(SHIP_INSTRUCT),
+                        rng.choice(SHIP_MODES),
+                        self._comment(rng, 2, 6),
+                    )
+                )
+            status = "F" if all_f else ("O" if all_o else "P")
+            comment = self._comment(rng, 4, 12)
+            # Q13 greps for '%special%requests%' in order comments (~1%).
+            if rng.random() < 0.01:
+                comment = f"{comment} special handling requests {comment[:10]}"
+            orders.append(
+                (
+                    order_key,
+                    cust_key,
+                    status,
+                    round(total, 2),
+                    order_date,
+                    rng.choice(PRIORITIES),
+                    f"Clerk#{rng.randint(1, max(1, int(1000 * self.scale_factor))):09d}",
+                    0,
+                    comment,
+                )
+            )
+        return orders, lineitems
+
+    # ------------------------------------------------------------------
+
+    def generate_all(self) -> dict[str, list[tuple]]:
+        """All eight tables keyed by name."""
+        orders, lineitems = self.orders_and_lineitems()
+        return {
+            "region": self.region(),
+            "nation": self.nation(),
+            "supplier": self.supplier(),
+            "customer": self.customer(),
+            "part": self.part(),
+            "partsupp": self.partsupp(),
+            "orders": orders,
+            "lineitem": lineitems,
+        }
+
+
+def load_tpch(db, scale_factor: float = 0.01, seed: int = 2022, batch: int = 2000) -> dict[str, int]:
+    """Create the schema on *db* and load generated data; returns row counts."""
+    from .schema import create_all
+
+    create_all(db)
+    generator = TPCHGenerator(scale_factor, seed)
+    counts = {}
+    for table, rows in generator.generate_all().items():
+        for start in range(0, len(rows), batch):
+            db.store.insert_rows(table, rows[start : start + batch])
+        counts[table] = len(rows)
+    db.commit()
+    return counts

@@ -1,0 +1,124 @@
+"""TPC-H schema DDL (all eight tables, full column sets)."""
+
+from __future__ import annotations
+
+TPCH_TABLES = (
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+)
+
+DDL = {
+    "region": """
+        CREATE TABLE region (
+            r_regionkey INTEGER,
+            r_name TEXT,
+            r_comment TEXT,
+            PRIMARY KEY (r_regionkey)
+        )
+    """,
+    "nation": """
+        CREATE TABLE nation (
+            n_nationkey INTEGER,
+            n_name TEXT,
+            n_regionkey INTEGER,
+            n_comment TEXT,
+            PRIMARY KEY (n_nationkey)
+        )
+    """,
+    "supplier": """
+        CREATE TABLE supplier (
+            s_suppkey INTEGER,
+            s_name TEXT,
+            s_address TEXT,
+            s_nationkey INTEGER,
+            s_phone TEXT,
+            s_acctbal REAL,
+            s_comment TEXT,
+            PRIMARY KEY (s_suppkey)
+        )
+    """,
+    "customer": """
+        CREATE TABLE customer (
+            c_custkey INTEGER,
+            c_name TEXT,
+            c_address TEXT,
+            c_nationkey INTEGER,
+            c_phone TEXT,
+            c_acctbal REAL,
+            c_mktsegment TEXT,
+            c_comment TEXT,
+            PRIMARY KEY (c_custkey)
+        )
+    """,
+    "part": """
+        CREATE TABLE part (
+            p_partkey INTEGER,
+            p_name TEXT,
+            p_mfgr TEXT,
+            p_brand TEXT,
+            p_type TEXT,
+            p_size INTEGER,
+            p_container TEXT,
+            p_retailprice REAL,
+            p_comment TEXT,
+            PRIMARY KEY (p_partkey)
+        )
+    """,
+    "partsupp": """
+        CREATE TABLE partsupp (
+            ps_partkey INTEGER,
+            ps_suppkey INTEGER,
+            ps_availqty INTEGER,
+            ps_supplycost REAL,
+            ps_comment TEXT,
+            PRIMARY KEY (ps_partkey, ps_suppkey)
+        )
+    """,
+    "orders": """
+        CREATE TABLE orders (
+            o_orderkey INTEGER,
+            o_custkey INTEGER,
+            o_orderstatus TEXT,
+            o_totalprice REAL,
+            o_orderdate DATE,
+            o_orderpriority TEXT,
+            o_clerk TEXT,
+            o_shippriority INTEGER,
+            o_comment TEXT,
+            PRIMARY KEY (o_orderkey)
+        )
+    """,
+    "lineitem": """
+        CREATE TABLE lineitem (
+            l_orderkey INTEGER,
+            l_partkey INTEGER,
+            l_suppkey INTEGER,
+            l_linenumber INTEGER,
+            l_quantity REAL,
+            l_extendedprice REAL,
+            l_discount REAL,
+            l_tax REAL,
+            l_returnflag TEXT,
+            l_linestatus TEXT,
+            l_shipdate DATE,
+            l_commitdate DATE,
+            l_receiptdate DATE,
+            l_shipinstruct TEXT,
+            l_shipmode TEXT,
+            l_comment TEXT,
+            PRIMARY KEY (l_orderkey, l_linenumber)
+        )
+    """,
+}
+
+
+def create_all(db) -> None:
+    """Run the DDL for every TPC-H table on *db*."""
+    for table in TPCH_TABLES:
+        db.execute(DDL[table])

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import Rng
+
+
+@pytest.fixture()
+def rng() -> Rng:
+    return Rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_deployment():
+    """A small, attested TPC-H deployment shared by integration tests."""
+    from repro.core import Deployment
+
+    deployment = Deployment(scale_factor=0.001, seed=11)
+    deployment.attest_all()
+    return deployment
+
+
+@pytest.fixture(scope="session")
+def tpch_memory_db():
+    """In-memory TPC-H database (tiny scale) for query-semantics tests."""
+    from repro.sql import memory_database
+    from repro.tpch import load_tpch
+
+    db = memory_database()
+    load_tpch(db, scale_factor=0.001, seed=11)
+    return db

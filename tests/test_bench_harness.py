@@ -1,0 +1,96 @@
+"""Benchmark harness: recosting consistency and table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    QueryRuns,
+    format_table,
+    geomean,
+    overhead_breakdown,
+    recost_split,
+    run_tpch_suite,
+    scaled_epc_limit,
+    storage_portion_ms,
+)
+from repro.tpch import ALL_QUERIES
+
+
+@pytest.fixture(scope="module")
+def suite(tiny_deployment):
+    return run_tpch_suite(
+        tiny_deployment, ("hons", "scs"), numbers=[3, 6], use_manual=True
+    )
+
+
+class TestHarness:
+    def test_suite_checks_result_agreement(self, suite):
+        assert {q.number for q in suite} == {3, 6}
+        for q in suite:
+            assert q.ms("hons") > 0 and q.ms("scs") > 0
+            assert q.speedup("hons", "scs") == q.ms("hons") / q.ms("scs")
+
+    def test_recost_matches_recorded_at_same_knobs(self, tiny_deployment, suite):
+        """Recosting with the deployment's own knobs reproduces the
+        recorded total (the sweep benches rely on this)."""
+        for q in suite:
+            recorded = q.ms("scs")
+            recosted = recost_split(
+                q.runs["scs"],
+                tiny_deployment.cost_model,
+                cpus=tiny_deployment.storage_cpus,
+                memory_bytes=tiny_deployment.storage_memory_bytes,
+            )
+            assert recosted == pytest.approx(recorded, rel=0.02)
+
+    def test_recost_monotone_in_cpus(self, tiny_deployment, suite):
+        q3 = next(q for q in suite if q.number == 3)
+        times = [
+            recost_split(
+                q3.runs["scs"], tiny_deployment.cost_model,
+                cpus=c, memory_bytes=tiny_deployment.storage_memory_bytes,
+            )
+            for c in (1, 2, 4, 8)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_storage_portion_positive(self, tiny_deployment, suite):
+        for q in suite:
+            assert storage_portion_ms(
+                q.runs["scs"], tiny_deployment.cost_model,
+                memory_bytes=tiny_deployment.storage_memory_bytes,
+            ) > 0
+
+    def test_overhead_breakdown_fields(self, tiny_deployment):
+        runs = run_tpch_suite(tiny_deployment, ("vcs", "scs"), numbers=[6])
+        q6 = runs[0]
+        b = overhead_breakdown(6, q6.runs["scs"], q6.runs["vcs"])
+        assert b.total_ms == pytest.approx(q6.ms("scs"))
+        assert b.ndp_ms == pytest.approx(q6.ms("vcs"))
+        assert 0 <= b.fraction(b.freshness_ms) <= 1
+
+    def test_scaled_epc_limit_ratio(self):
+        # 59 MiB tree / 96 MiB EPC: the inverse ratio must hold.
+        limit = scaled_epc_limit(59_000_000)
+        assert limit == pytest.approx(96_000_000, rel=0.01)
+        assert scaled_epc_limit(0) == 4096  # floor
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "metric"], [["x", 1.5], ["longer", 22.0]], "Title")
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert "1.50" in out and "22.00" in out
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded equal
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["h1", "h2"], [])
+        assert "h1" in out
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert geomean([0.0, 4.0]) == pytest.approx(4.0)  # zeros skipped

@@ -1,0 +1,98 @@
+"""Client library: identity, submission workflow, proof verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Deployment, register_client
+from repro.errors import AccessDenied, SignatureError
+
+
+@pytest.fixture(scope="module")
+def shared():
+    deployment = Deployment(workload="none", database_name="appdb", seed=31)
+    deployment.attest_all()
+    producer = register_client(deployment, "producer")
+    consumer = register_client(deployment, "consumer")
+    deployment.monitor.provision_database(
+        "appdb",
+        policy_text=(
+            f"read :- sessionKeyIs('{producer.fingerprint}')\n"
+            f"write :- sessionKeyIs('{producer.fingerprint}')\n"
+            f"read :- sessionKeyIs('{consumer.fingerprint}') & logUpdate(reads)\n"
+        ),
+    )
+    db = deployment.storage_engine.db
+    db.execute("CREATE TABLE items (id INTEGER, label TEXT)")
+    db.store.insert_rows("items", [(i, f"item-{i}") for i in range(50)])
+    db.commit()
+    return deployment, producer, consumer
+
+
+class TestClientIdentity:
+    def test_fingerprints_distinct_and_stable(self, shared):
+        _, producer, consumer = shared
+        assert producer.fingerprint != consumer.fingerprint
+        assert producer.fingerprint == producer.fingerprint
+
+    def test_request_signatures_verify(self, shared):
+        _, producer, _ = shared
+        signature = producer.sign_request("SELECT 1")
+        assert producer.public_key.verify(b"SELECT 1", signature)
+        assert not producer.public_key.verify(b"SELECT 2", signature)
+
+
+class TestSubmission:
+    def test_producer_reads(self, shared):
+        deployment, producer, _ = shared
+        response = producer.submit(deployment, "SELECT count(*) FROM items")
+        assert response.rows == [(50,)]
+        assert response.total_ms > 0
+
+    def test_consumer_reads_are_audited(self, shared):
+        deployment, _, consumer = shared
+        before = len(deployment.monitor.audit_log("reads").entries) if _has_log(deployment) else 0
+        consumer.submit(deployment, "SELECT id FROM items WHERE id < 3")
+        log = deployment.monitor.audit_log("reads")
+        assert len(log.entries) == before + 1
+
+    def test_unauthorized_client_denied(self, shared):
+        deployment, _, _ = shared
+        mallory = register_client(deployment, "mallory")
+        with pytest.raises(AccessDenied):
+            mallory.submit(deployment, "SELECT * FROM items")
+
+    def test_proof_travels_with_response(self, shared):
+        deployment, producer, _ = shared
+        from repro.monitor import verify_proof
+
+        response = producer.submit(deployment, "SELECT max(id) FROM items")
+        verify_proof(response.proof, deployment.monitor.public_key)
+        with pytest.raises(SignatureError):
+            from repro.crypto import Rng, generate_keypair
+
+            verify_proof(response.proof, generate_keypair(Rng("x")).public_key)
+
+    def test_host_only_fallback(self, shared):
+        deployment, producer, _ = shared
+        response = producer.submit(
+            deployment,
+            "SELECT count(*) FROM items",
+            exec_policy="storageLocIs(mars-base)",
+        )
+        assert response.rows == [(50,)]
+
+    def test_session_closed_after_submit(self, shared):
+        deployment, producer, _ = shared
+        producer.submit(deployment, "SELECT 1 FROM items LIMIT 1")
+        # No sessions should remain active beyond the harness's own.
+        active = deployment.monitor.key_manager.active_sessions()
+        assert all(s.client_key != producer.fingerprint for s in active)
+
+
+def _has_log(deployment) -> bool:
+    try:
+        deployment.monitor.audit_log("reads")
+        return True
+    except Exception:
+        return False

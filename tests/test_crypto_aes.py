@@ -1,0 +1,86 @@
+"""AES block cipher: FIPS-197 known-answer tests + properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import AES
+from repro.crypto.aes import INV_SBOX, SBOX
+from repro.errors import CryptoError
+
+# FIPS-197 appendix C vectors.
+_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+_KATS = [
+    ("000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ("000102030405060708090a0b0c0d0e0f1011121314151617", "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+@pytest.mark.parametrize("key_hex,expected_hex", _KATS)
+def test_fips197_known_answers(key_hex, expected_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.encrypt_block(_PLAINTEXT).hex() == expected_hex
+
+
+@pytest.mark.parametrize("key_hex,expected_hex", _KATS)
+def test_fips197_decrypt(key_hex, expected_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.decrypt_block(bytes.fromhex(expected_hex)) == _PLAINTEXT
+
+
+def test_sbox_is_a_permutation():
+    assert sorted(SBOX) == list(range(256))
+    assert sorted(INV_SBOX) == list(range(256))
+
+
+def test_sbox_inverse_relation():
+    for value in range(256):
+        assert INV_SBOX[SBOX[value]] == value
+
+
+def test_sbox_known_entries():
+    # Spot values from the FIPS-197 table.
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+@pytest.mark.parametrize("bad_len", [0, 1, 15, 17, 31, 33])
+def test_rejects_bad_key_sizes(bad_len):
+    with pytest.raises(CryptoError):
+        AES(bytes(bad_len))
+
+
+@pytest.mark.parametrize("bad_len", [0, 15, 17, 32])
+def test_rejects_bad_block_sizes(bad_len):
+    cipher = AES(bytes(16))
+    with pytest.raises(CryptoError):
+        cipher.encrypt_block(bytes(bad_len))
+    with pytest.raises(CryptoError):
+        cipher.decrypt_block(bytes(bad_len))
+
+
+@given(key=st.binary(min_size=32, max_size=32), block=st.binary(min_size=16, max_size=16))
+def test_roundtrip_property(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(key=st.binary(min_size=16, max_size=16), block=st.binary(min_size=16, max_size=16))
+def test_encryption_is_not_identity(key, block):
+    # With overwhelming probability a block never encrypts to itself AND
+    # to the same value under a flipped key.
+    cipher = AES(key)
+    flipped = bytes([key[0] ^ 1]) + key[1:]
+    assert cipher.encrypt_block(block) != AES(flipped).encrypt_block(block)
+
+
+def test_deterministic():
+    cipher = AES(bytes(range(16)))
+    block = bytes(range(16))
+    assert cipher.encrypt_block(block) == cipher.encrypt_block(block)

@@ -1,0 +1,169 @@
+"""GDPR anti-pattern scenarios: semantics, not just timings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AccessDenied, ComplianceError
+from repro.gdpr import GDPRWorkbench
+
+
+@pytest.fixture(scope="module")
+def workbench():
+    return GDPRWorkbench(rows=400)
+
+
+class TestTimelyDeletion:
+    def test_expired_rows_hidden_from_consumer(self, workbench):
+        sql = "SELECT count(*) FROM persons"
+        base, _ = workbench.run_baseline(sql)
+        consumer, _, _ = workbench.run_ironsafe(sql, workbench.bob)
+        assert consumer.scalar() < base.scalar()
+
+    def test_owner_sees_everything(self, workbench):
+        sql = "SELECT count(*) FROM persons"
+        base, _ = workbench.run_baseline(sql)
+        owner, _, _ = workbench.run_ironsafe(sql, workbench.alice)
+        assert owner.scalar() == base.scalar()
+
+    def test_expiry_is_relative_to_request_time(self, workbench):
+        sql = "SELECT count(*) FROM persons"
+        early, _, _ = workbench.run_ironsafe(sql, workbench.bob, now=500)
+        late, _, _ = workbench.run_ironsafe(sql, workbench.bob, now=50_000)
+        assert late.scalar() == 0  # everything expired by then
+        assert early.scalar() > 0
+
+
+class TestIndiscriminateUse:
+    def test_optout_rows_hidden(self, workbench):
+        # Rows with reuse_map bit 3 cleared (every 3rd row) are invisible.
+        result, _, _ = workbench.run_ironsafe(
+            "SELECT count(*) FROM persons", workbench.bob, now=500
+        )
+        base, _ = workbench.run_baseline("SELECT count(*) FROM persons")
+        # Consumer sees only opted-in rows.
+        expected_optins = sum(1 for i in range(workbench.rows) if i % 3)
+        assert result.scalar() == expected_optins
+        assert result.scalar() < base.scalar()
+
+    def test_unregistered_consumer_rejected(self, workbench):
+        other = "deadbeef" * 8
+        workbench.policy.key_directory["carol"] = other
+        # carol matches no rule at all -> denied outright
+        with pytest.raises(AccessDenied):
+            workbench.run_ironsafe("SELECT count(*) FROM persons", other)
+
+
+class TestTransparency:
+    def test_every_consumer_read_logged(self, workbench):
+        log = workbench.deployment.monitor.audit_log("sharing")
+        before = len(log.entries)
+        workbench.run_ironsafe("SELECT name FROM persons WHERE person_id = 1", workbench.bob)
+        workbench.run_ironsafe("SELECT name FROM persons WHERE person_id = 2", workbench.bob)
+        assert len(log.entries) == before + 2
+
+    def test_owner_reads_not_logged(self, workbench):
+        log = workbench.deployment.monitor.audit_log("sharing")
+        before = len(log.entries)
+        workbench.run_ironsafe("SELECT count(*) FROM persons", workbench.alice)
+        assert len(log.entries) == before
+
+    def test_log_records_query_text(self, workbench):
+        marker = "SELECT email FROM persons WHERE person_id = 77"
+        workbench.run_ironsafe(marker, workbench.bob)
+        log = workbench.deployment.monitor.audit_log("sharing")
+        assert any(marker in e.detail for e in log.entries)
+
+    def test_signed_export_verifies(self, workbench):
+        from repro.monitor import verify_export
+
+        workbench.run_ironsafe("SELECT count(*) FROM persons", workbench.bob)
+        export = workbench.deployment.monitor.export_log("sharing")
+        verify_export(
+            export,
+            workbench.deployment.monitor.audit_log("sharing"),
+            workbench.deployment.monitor.public_key,
+        )
+
+
+class TestRiskAgnostic:
+    def test_compliant_nodes_accepted(self, workbench):
+        from repro.gdpr import EXEC_POLICY
+
+        _, _, auth = workbench.run_ironsafe(
+            "SELECT count(*) FROM persons", workbench.bob, exec_policy=EXEC_POLICY
+        )
+        assert auth.storage_node is not None
+        assert auth.storage_node.location == "eu-west"
+
+    def test_noncompliant_host_refused(self, workbench):
+        with pytest.raises(ComplianceError):
+            workbench.run_ironsafe(
+                "SELECT count(*) FROM persons",
+                workbench.bob,
+                exec_policy="hostLocIs(us-east)",
+            )
+
+    def test_noncompliant_storage_falls_back_to_host(self, workbench):
+        _, _, auth = workbench.run_ironsafe(
+            "SELECT count(*) FROM persons",
+            workbench.bob,
+            exec_policy="storageLocIs(us-east)",
+        )
+        assert auth.storage_node is None  # paper §4.2: host-only fallback
+
+    def test_firmware_floor(self, workbench):
+        with pytest.raises(ComplianceError):
+            workbench.run_ironsafe(
+                "SELECT count(*) FROM persons",
+                workbench.bob,
+                exec_policy="fwVersionHost('99.0')",
+            )
+
+
+class TestBreachEvidence:
+    def test_proofs_verify(self, workbench):
+        from repro.monitor import verify_proof
+
+        _, _, auth = workbench.run_ironsafe(
+            "SELECT count(*) FROM persons", workbench.bob
+        )
+        verify_proof(auth.proof, workbench.deployment.monitor.public_key)
+
+    def test_audit_chain_tamper_evident(self, workbench):
+        from repro.errors import IntegrityError
+
+        workbench.run_ironsafe("SELECT count(*) FROM persons", workbench.bob)
+        log = workbench.deployment.monitor.audit_log("sharing")
+        log.verify_chain()
+        entry = log.entries[0]
+        original = log.entries[0]
+        log.entries[0] = type(entry)(
+            sequence=entry.sequence,
+            timestamp=entry.timestamp,
+            client_key=entry.client_key,
+            action=entry.action,
+            detail="covered-up",
+            prev_digest=entry.prev_digest,
+        )
+        with pytest.raises(IntegrityError):
+            log.verify_chain()
+        log.entries[0] = original  # restore for other tests
+
+
+class TestScenarioHarness:
+    def test_all_scenarios_produce_overheads(self):
+        workbench = GDPRWorkbench(rows=300)
+        results = workbench.run_all()
+        assert len(results) == 5
+        names = [r.name for r in results]
+        assert names == [
+            "timely deletion",
+            "indiscriminate use",
+            "transparent sharing",
+            "risk-agnostic processing",
+            "undetected data breaches",
+        ]
+        for r in results:
+            assert r.ironsafe_ms > r.baseline_ms > 0
+            assert r.overhead > 1

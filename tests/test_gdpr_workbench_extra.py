@@ -1,0 +1,96 @@
+"""Extra GDPR coverage: writes, deletion rights, and cross-client isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AccessDenied
+from repro.gdpr import GDPRWorkbench
+from repro.sql.parser import parse
+
+
+@pytest.fixture(scope="module")
+def workbench():
+    return GDPRWorkbench(seed=20, rows=300)
+
+
+class TestWritePath:
+    def test_owner_insert_gets_policy_columns(self, workbench):
+        auth = workbench.deployment.monitor.authorize(
+            "persons-db",
+            client_key=workbench.alice,
+            statement=parse(
+                "INSERT INTO persons (person_id, name, email, country, salary) "
+                "VALUES (99001, 'new', 'n@x.com', 'DE', 1.0)"
+            ),
+            host_id="host-1",
+            now=5000,
+        )
+        assert "expiry_ts" in auth.statement.columns
+        assert "reuse_map" in auth.statement.columns
+        workbench.deployment.storage_engine.db.execute_statement(auth.statement)
+        row = workbench.deployment.storage_engine.db.execute(
+            "SELECT expiry_ts, reuse_map FROM persons WHERE person_id = 99001"
+        ).rows[0]
+        assert row[0] == 5000 + workbench.policy.default_ttl
+        assert row[1] == workbench.policy.default_reuse_map
+
+    def test_consumer_cannot_write(self, workbench):
+        with pytest.raises(AccessDenied):
+            workbench.deployment.monitor.authorize(
+                "persons-db",
+                client_key=workbench.bob,
+                statement=parse("DELETE FROM persons WHERE person_id = 1"),
+                host_id="host-1",
+            )
+
+    def test_owner_can_delete(self, workbench):
+        """GDPR right to erasure: the controller deletes on request."""
+        db = workbench.deployment.storage_engine.db
+        before = db.execute("SELECT count(*) FROM persons").scalar()
+        auth = workbench.deployment.monitor.authorize(
+            "persons-db",
+            client_key=workbench.alice,
+            statement=parse("DELETE FROM persons WHERE person_id = 0"),
+            host_id="host-1",
+        )
+        result = db.execute_statement(auth.statement)
+        assert result.rowcount == 1
+        assert db.execute("SELECT count(*) FROM persons").scalar() == before - 1
+
+
+class TestViewIsolation:
+    def test_consumer_view_is_subset_of_owner_view(self, workbench):
+        sql = "SELECT person_id FROM persons"
+        owner, _, _ = workbench.run_ironsafe(sql, workbench.alice)
+        consumer, _, _ = workbench.run_ironsafe(sql, workbench.bob)
+        owner_ids = {r[0] for r in owner.rows}
+        consumer_ids = {r[0] for r in consumer.rows}
+        assert consumer_ids < owner_ids
+
+    def test_rewrites_do_not_leak_into_owner_queries(self, workbench):
+        sql = "SELECT count(*) FROM persons WHERE expiry_ts < 5000"
+        owner, _, auth = workbench.run_ironsafe(sql, workbench.alice)
+        # Owner's query text is untouched (no extra policy predicates).
+        assert auth.statement.to_sql().count("expiry_ts") == 1
+
+    def test_aggregates_respect_policy_view(self, workbench):
+        owner, _, _ = workbench.run_ironsafe(
+            "SELECT sum(salary) FROM persons", workbench.alice
+        )
+        consumer, _, _ = workbench.run_ironsafe(
+            "SELECT sum(salary) FROM persons", workbench.bob
+        )
+        assert consumer.scalar() < owner.scalar()
+
+    def test_policy_filters_follow_subqueries(self, workbench):
+        """A consumer cannot smuggle hidden rows out through a subquery."""
+        sql = (
+            "SELECT count(*) FROM persons WHERE person_id IN "
+            "(SELECT person_id FROM persons)"
+        )
+        consumer, _, _ = workbench.run_ironsafe(sql, workbench.bob)
+        direct, _, _ = workbench.run_ironsafe(
+            "SELECT count(*) FROM persons", workbench.bob
+        )
+        assert consumer.scalar() == direct.scalar()

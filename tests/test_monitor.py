@@ -1,0 +1,370 @@
+"""Trusted monitor: audit log, attestation service, authorization path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import Rng, generate_keypair
+from repro.errors import (
+    AccessDenied,
+    AttestationError,
+    ComplianceError,
+    IntegrityError,
+    MonitorError,
+    SignatureError,
+)
+from repro.monitor import (
+    AuditLog,
+    KeyManager,
+    TrustedMonitor,
+    export_signed,
+    verify_export,
+    verify_proof,
+)
+from repro.monitor.attestation import AttestationService
+from repro.sim import CostModel, SimClock
+from repro.sql.parser import parse
+from repro.tee.sgx import IntelAttestationService, SgxPlatform
+from repro.tee.trustzone import AttestationTA, DeviceVendor, TrustedOS
+
+
+class TestAuditLog:
+    def test_chain_verifies(self):
+        log = AuditLog("l")
+        for i in range(5):
+            log.append(i, "client", "query", f"q{i}")
+        log.verify_chain()
+
+    def test_in_place_edit_detected(self):
+        log = AuditLog("l")
+        log.append(0, "c", "query", "a")
+        log.append(1, "c", "query", "b")
+        entry = log.entries[0]
+        log.entries[0] = type(entry)(
+            sequence=entry.sequence,
+            timestamp=entry.timestamp,
+            client_key=entry.client_key,
+            action=entry.action,
+            detail="FORGED",
+            prev_digest=entry.prev_digest,
+        )
+        with pytest.raises(IntegrityError):
+            log.verify_chain()
+
+    def test_deletion_detected(self):
+        log = AuditLog("l")
+        for i in range(3):
+            log.append(i, "c", "query", f"q{i}")
+        del log.entries[1]
+        with pytest.raises(IntegrityError):
+            log.verify_chain()
+
+    def test_entries_for_filters_by_client(self):
+        log = AuditLog("l")
+        log.append(0, "alice", "query", "a")
+        log.append(1, "bob", "query", "b")
+        log.append(2, "alice", "query", "c")
+        assert len(log.entries_for("alice")) == 2
+        assert len(log.entries_for()) == 3
+
+    def test_signed_export_roundtrip(self):
+        key = generate_keypair(Rng("log"))
+        log = AuditLog("l")
+        log.append(0, "c", "query", "x")
+        export = export_signed(log, key)
+        verify_export(export, log, key.public_key)
+
+    def test_truncation_after_export_detected(self):
+        key = generate_keypair(Rng("log2"))
+        log = AuditLog("l")
+        log.append(0, "c", "query", "x")
+        log.append(1, "c", "query", "y")
+        export = export_signed(log, key)
+        del log.entries[1]
+        with pytest.raises(IntegrityError):
+            verify_export(export, log, key.public_key)
+
+    def test_forged_export_detected(self):
+        key = generate_keypair(Rng("log3"))
+        other = generate_keypair(Rng("log4"))
+        log = AuditLog("l")
+        log.append(0, "c", "query", "x")
+        export = export_signed(log, other)
+        with pytest.raises(IntegrityError):
+            verify_export(export, log, key.public_key)
+
+    def test_appending_after_export_is_fine(self):
+        key = generate_keypair(Rng("log5"))
+        log = AuditLog("l")
+        log.append(0, "c", "q", "x")
+        export = export_signed(log, key)
+        log.append(1, "c", "q", "y")
+        verify_export(export, log, key.public_key)
+
+
+class TestKeyManager:
+    def test_sessions_unique_keys(self):
+        km = KeyManager(Rng("km"))
+        s1 = km.open_session("c", "h", "s")
+        s2 = km.open_session("c", "h", "s")
+        assert s1.key != s2.key
+        assert s1.session_id != s2.session_id
+
+    def test_revocation_runs_cleanup(self):
+        km = KeyManager(Rng("km2"))
+        session = km.open_session("c", "h", "s")
+        ran = []
+        session.cleanup_hooks.append(lambda: ran.append(True))
+        km.revoke(session.session_id)
+        assert ran == [True]
+        assert not session.active
+
+    def test_double_revoke_rejected(self):
+        km = KeyManager(Rng("km3"))
+        session = km.open_session("c", "h", "s")
+        km.revoke(session.session_id)
+        with pytest.raises(MonitorError):
+            km.revoke(session.session_id)
+
+    def test_unknown_session_rejected(self):
+        with pytest.raises(MonitorError):
+            KeyManager(Rng("km4")).session("ghost")
+
+    def test_active_sessions(self):
+        km = KeyManager(Rng("km5"))
+        s1 = km.open_session("c", "h", "s")
+        km.open_session("c", "h", "s")
+        km.revoke(s1.session_id)
+        assert len(km.active_sessions()) == 1
+
+
+@pytest.fixture()
+def rig():
+    """Full monitor rig: SGX host + TrustZone storage + monitor."""
+    rng = Rng("monitor-rig")
+    clock = SimClock()
+    cm = CostModel()
+    ias = IntelAttestationService(rng)
+    platform = SgxPlatform("host-1", clock, cm, rng)
+    ias.register_platform("host-1", platform.attestation_key.public_key)
+    enclave = platform.create_enclave("host-engine", b"engine v1")
+
+    vendor = DeviceVendor("vend", rng)
+    device = vendor.provision_device("storage-1", location="eu-west")
+    device.secure_boot(
+        vendor.sign_firmware("optee", b"sw", "3.4"),
+        vendor.sign_firmware("linux", b"nw", "5.4.3"),
+    )
+    tos = TrustedOS(device)
+    tos.load_ta(AttestationTA(device))
+
+    service = AttestationService(
+        clock,
+        cm,
+        ias,
+        {vendor.name: vendor.root_public_key},
+        {enclave.measurement.hex()},
+        {device.boot_state.normal_world_measurement.hex()},
+    )
+    monitor = TrustedMonitor(clock, cm, service, rng, latest_fw={"storage": "5.4.3"})
+
+    host_node = service.attest_host(
+        enclave.generate_quote(rng.bytes(16)), location="eu-central", fw_version="1.0"
+    )
+    monitor.register_host(host_node)
+    challenge = rng.bytes(16)
+    quote, chain = tos.invoke("attestation", "attest", challenge)
+    storage_node = service.attest_storage(quote, chain, challenge)
+    monitor.register_storage(storage_node)
+
+    return monitor, enclave, device, tos, service, rng
+
+
+class TestAttestationService:
+    def test_unexpected_host_measurement_rejected(self, rig):
+        monitor, enclave, device, tos, service, rng = rig
+        rogue = enclave.platform.create_enclave("rogue", b"evil engine")
+        with pytest.raises(AttestationError, match="trusted build"):
+            service.attest_host(
+                rogue.generate_quote(b"c"), location="eu", fw_version="1.0"
+            )
+
+    def test_storage_challenge_replay_rejected(self, rig):
+        monitor, enclave, device, tos, service, rng = rig
+        quote, chain = tos.invoke("attestation", "attest", b"old-challenge-abc")
+        with pytest.raises(AttestationError, match="replay"):
+            service.attest_storage(quote, chain, b"fresh-challenge-xyz")
+
+    def test_storage_unknown_vendor_rejected(self, rig):
+        monitor, enclave, device, tos, service, rng = rig
+        mallory = DeviceVendor("mallory", Rng("m"))
+        dev = mallory.provision_device("storage-1", location="eu-west")
+        dev.secure_boot(
+            mallory.sign_firmware("optee", b"sw", "3.4"),
+            mallory.sign_firmware("linux", b"nw", "5.4.3"),
+        )
+        challenge = b"c" * 16
+        quote = dev.sign_attestation(challenge)
+        with pytest.raises(AttestationError, match="vendor"):
+            service.attest_storage(
+                quote, dev.boot_state.certificate_chain, challenge
+            )
+
+    def test_storage_modified_image_rejected(self, rig):
+        monitor, enclave, device, tos, service, rng = rig
+        vendor = DeviceVendor("vend2", Rng("v2"))
+        service.vendor_roots["vend2"] = vendor.root_public_key
+        dev = vendor.provision_device("storage-9", location="eu")
+        dev.secure_boot(
+            vendor.sign_firmware("optee", b"sw", "3.4"),
+            vendor.sign_firmware("linux", b"PATCHED normal world", "5.4.3"),
+        )
+        challenge = b"c" * 16
+        quote = dev.sign_attestation(challenge)
+        with pytest.raises(AttestationError, match="trusted build"):
+            service.attest_storage(quote, dev.boot_state.certificate_chain, challenge)
+
+    def test_attestation_charges_time(self, rig):
+        monitor, enclave, device, tos, service, rng = rig
+        assert service.clock.now_ms >= 689  # Table 4: 140 + 549
+
+
+class TestAuthorization:
+    POLICY = (
+        "read :- sessionKeyIs(alice)\n"
+        "read :- sessionKeyIs(bob) & le(T, expiry_ts)\n"
+        "write :- sessionKeyIs(alice)\n"
+    )
+
+    def _provision(self, monitor):
+        return monitor.provision_database(
+            "db",
+            self.POLICY,
+            key_directory={"alice": "k-alice", "bob": "k-bob"},
+            protected_tables={"persons"},
+        )
+
+    def test_authorize_read(self, rig):
+        monitor = rig[0]
+        self._provision(monitor)
+        auth = monitor.authorize(
+            "db", "k-alice", parse("SELECT 1 FROM persons"), host_id="host-1", now=10
+        )
+        assert auth.session.active
+        verify_proof(auth.proof, monitor.public_key)
+
+    def test_denied_client(self, rig):
+        monitor = rig[0]
+        self._provision(monitor)
+        with pytest.raises(AccessDenied):
+            monitor.authorize(
+                "db", "k-mallory", parse("SELECT 1 FROM persons"), host_id="host-1"
+            )
+
+    def test_write_permission_for_insert(self, rig):
+        monitor = rig[0]
+        self._provision(monitor)
+        stmt = parse("INSERT INTO persons (name) VALUES ('x')")
+        auth = monitor.authorize("db", "k-alice", stmt, host_id="host-1", now=5)
+        # Policy columns are appended at insert time.
+        assert "expiry_ts" in auth.statement.columns
+        with pytest.raises(AccessDenied):
+            monitor.authorize("db", "k-bob", stmt, host_id="host-1")
+
+    def test_expiry_rewrite_applied_for_bob(self, rig):
+        monitor = rig[0]
+        self._provision(monitor)
+        auth = monitor.authorize(
+            "db", "k-bob", parse("SELECT name FROM persons"), host_id="host-1", now=777
+        )
+        assert "expiry_ts" in auth.statement.to_sql()
+        assert "777" in auth.statement.to_sql()
+
+    def test_exec_policy_filters_storage_nodes(self, rig):
+        monitor = rig[0]
+        self._provision(monitor)
+        auth = monitor.authorize(
+            "db", "k-alice", parse("SELECT 1 FROM persons"), host_id="host-1",
+            exec_policy_text="storageLocIs(eu-west)",
+        )
+        assert auth.storage_node is not None
+        auth = monitor.authorize(
+            "db", "k-alice", parse("SELECT 1 FROM persons"), host_id="host-1",
+            exec_policy_text="storageLocIs(us-east)",
+        )
+        assert auth.storage_node is None  # falls back to host-only
+
+    def test_noncompliant_host_refused(self, rig):
+        monitor = rig[0]
+        self._provision(monitor)
+        with pytest.raises(ComplianceError):
+            monitor.authorize(
+                "db", "k-alice", parse("SELECT 1 FROM persons"), host_id="host-1",
+                exec_policy_text="hostLocIs(us-east)",
+            )
+
+    def test_unattested_host_rejected(self, rig):
+        monitor = rig[0]
+        self._provision(monitor)
+        with pytest.raises(MonitorError):
+            monitor.authorize(
+                "db", "k-alice", parse("SELECT 1 FROM persons"), host_id="ghost-host"
+            )
+
+    def test_unprovisioned_database_rejected(self, rig):
+        monitor = rig[0]
+        with pytest.raises(MonitorError):
+            monitor.authorize(
+                "nope", "k-alice", parse("SELECT 1 FROM persons"), host_id="host-1"
+            )
+
+    def test_double_provision_rejected(self, rig):
+        monitor = rig[0]
+        self._provision(monitor)
+        with pytest.raises(MonitorError):
+            self._provision(monitor)
+
+    def test_proof_binds_query(self, rig):
+        monitor = rig[0]
+        self._provision(monitor)
+        a = monitor.authorize(
+            "db", "k-alice", parse("SELECT 1 FROM persons"), host_id="host-1",
+            query_text="SELECT 1 FROM persons",
+        )
+        b = monitor.authorize(
+            "db", "k-alice", parse("SELECT 2 FROM persons"), host_id="host-1",
+            query_text="SELECT 2 FROM persons",
+        )
+        assert a.proof.query_digest != b.proof.query_digest
+
+    def test_forged_proof_rejected(self, rig):
+        monitor = rig[0]
+        self._provision(monitor)
+        auth = monitor.authorize(
+            "db", "k-alice", parse("SELECT 1 FROM persons"), host_id="host-1"
+        )
+        forged = type(auth.proof)(
+            query_digest=auth.proof.query_digest,
+            policy_digest=auth.proof.policy_digest,
+            host_measurement="0" * 64,  # claim a different host build
+            storage_measurement=auth.proof.storage_measurement,
+            session_id=auth.proof.session_id,
+            timestamp=auth.proof.timestamp,
+            signature=auth.proof.signature,
+        )
+        with pytest.raises(SignatureError):
+            verify_proof(forged, monitor.public_key)
+
+    def test_session_cleanup(self, rig):
+        monitor = rig[0]
+        self._provision(monitor)
+        auth = monitor.authorize(
+            "db", "k-alice", parse("SELECT 1 FROM persons"), host_id="host-1"
+        )
+        monitor.finish_session(auth.session.session_id)
+        assert not auth.session.active
+
+    def test_missing_audit_log_rejected(self, rig):
+        monitor = rig[0]
+        with pytest.raises(MonitorError):
+            monitor.audit_log("nothing")

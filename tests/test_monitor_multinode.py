@@ -1,0 +1,137 @@
+"""Multi-node placement: the monitor picks compliant storage nodes.
+
+The paper's monitor "checks which of the host and storage nodes comply
+with the execution policy" and "sends the list of compliant storage
+nodes" (§4.2) — exercised here with a fleet of storage servers in
+different regions and firmware versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import Rng
+from repro.errors import ComplianceError
+from repro.monitor import AttestationService, TrustedMonitor
+from repro.sim import CostModel, SimClock
+from repro.sql.parser import parse
+from repro.tee.sgx import IntelAttestationService, SgxPlatform
+from repro.tee.trustzone import AttestationTA, DeviceVendor, TrustedOS
+
+FLEET = [
+    ("storage-eu-1", "eu-west", "5.4.3"),
+    ("storage-eu-2", "eu-north", "5.4.1"),
+    ("storage-us-1", "us-east", "5.4.3"),
+]
+
+
+@pytest.fixture(scope="module")
+def fleet_rig():
+    rng = Rng("fleet")
+    clock = SimClock()
+    cm = CostModel()
+    ias = IntelAttestationService(rng)
+    platform = SgxPlatform("host-1", clock, cm, rng)
+    ias.register_platform("host-1", platform.attestation_key.public_key)
+    enclave = platform.create_enclave("host-engine", b"engine")
+
+    vendor = DeviceVendor("fleet-vendor", rng)
+    expected_storage = set()
+    nodes = []
+    for device_id, location, fw in FLEET:
+        device = vendor.provision_device(device_id, location=location)
+        device.secure_boot(
+            vendor.sign_firmware("optee", b"sw", "3.4"),
+            vendor.sign_firmware("linux", f"nw {fw}".encode(), fw),
+        )
+        tos = TrustedOS(device)
+        tos.load_ta(AttestationTA(device))
+        expected_storage.add(device.boot_state.normal_world_measurement.hex())
+        nodes.append((device, tos))
+
+    service = AttestationService(
+        clock, cm, ias,
+        {vendor.name: vendor.root_public_key},
+        {enclave.measurement.hex()},
+        expected_storage,
+    )
+    monitor = TrustedMonitor(
+        clock, cm, service, rng, latest_fw={"storage": "5.4.3", "host": "1.0"}
+    )
+    host_node = service.attest_host(
+        enclave.generate_quote(rng.bytes(16)), location="eu-central", fw_version="1.0"
+    )
+    monitor.register_host(host_node)
+    for device, tos in nodes:
+        challenge = rng.bytes(16)
+        quote, chain = tos.invoke("attestation", "attest", challenge)
+        monitor.register_storage(service.attest_storage(quote, chain, challenge))
+    monitor.provision_database("db", "read :- sessionKeyIs(k)\n", key_directory={"k": "k"})
+    return monitor, host_node
+
+
+def _compliant_ids(monitor, host, policy):
+    nodes = monitor.compliant_storage_nodes(policy, "k", host.config, now=0)
+    return sorted(n.config.node_id for n in nodes)
+
+
+class TestPlacement:
+    def test_no_policy_all_nodes(self, fleet_rig):
+        monitor, host = fleet_rig
+        assert len(_compliant_ids(monitor, host, None)) == 3
+
+    def test_location_filter(self, fleet_rig):
+        monitor, host = fleet_rig
+        assert _compliant_ids(monitor, host, "storageLocIs(eu-west, eu-north)") == [
+            "storage-eu-1",
+            "storage-eu-2",
+        ]
+
+    def test_firmware_floor(self, fleet_rig):
+        monitor, host = fleet_rig
+        assert _compliant_ids(monitor, host, "fwVersionStorage('5.4.2')") == [
+            "storage-eu-1",
+            "storage-us-1",
+        ]
+
+    def test_latest_firmware(self, fleet_rig):
+        monitor, host = fleet_rig
+        assert _compliant_ids(monitor, host, "fwVersionStorage(latest)") == [
+            "storage-eu-1",
+            "storage-us-1",
+        ]
+
+    def test_conjunction(self, fleet_rig):
+        monitor, host = fleet_rig
+        policy = "storageLocIs(eu-west, eu-north) & fwVersionStorage(latest)"
+        assert _compliant_ids(monitor, host, policy) == ["storage-eu-1"]
+
+    def test_disjunction(self, fleet_rig):
+        monitor, host = fleet_rig
+        policy = "storageLocIs(us-east) | fwVersionStorage('5.4.0')"
+        assert len(_compliant_ids(monitor, host, policy)) == 3
+
+    def test_empty_set_falls_back_to_host(self, fleet_rig):
+        monitor, host = fleet_rig
+        auth = monitor.authorize(
+            "db", "k", parse("SELECT 1 FROM t"), host_id="host-1",
+            exec_policy_text="storageLocIs(antarctica)",
+        )
+        assert auth.storage_node is None
+
+    def test_authorize_picks_compliant_node(self, fleet_rig):
+        monitor, host = fleet_rig
+        auth = monitor.authorize(
+            "db", "k", parse("SELECT 1 FROM t"), host_id="host-1",
+            exec_policy_text="storageLocIs(us-east)",
+        )
+        assert auth.storage_node.node_id == "storage-us-1"
+        assert auth.proof.storage_measurement != "-"
+
+    def test_host_and_storage_constraints_together(self, fleet_rig):
+        monitor, host = fleet_rig
+        with pytest.raises(ComplianceError):
+            monitor.authorize(
+                "db", "k", parse("SELECT 1 FROM t"), host_id="host-1",
+                exec_policy_text="hostLocIs(us-east) & storageLocIs(us-east)",
+            )

@@ -1,0 +1,278 @@
+"""Policy language: parser, predicate semantics, interpreter, rewriter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AccessDenied, PolicyError, PolicyParseError
+from repro.policy import (
+    And,
+    EvalContext,
+    ExpiryFilter,
+    LogUpdate,
+    NodeConfig,
+    Or,
+    PolicyInterpreter,
+    Pred,
+    ReuseMapFilter,
+    apply_expiry_filter,
+    apply_insert_extra_columns,
+    apply_reuse_filter,
+    evaluate,
+    parse_document,
+    parse_expression,
+)
+from repro.sql import ast_nodes as A
+from repro.sql import memory_database
+from repro.sql.parser import parse
+
+HOST = NodeConfig("host-1", "eu-central", "1.0", "x86-sgx")
+STORAGE = NodeConfig("storage-1", "eu-west", "5.4.3", "arm-trustzone")
+
+
+def ctx(client="k-alice", host=HOST, storage=STORAGE, now=100):
+    return EvalContext(
+        client_key=client,
+        host=host,
+        storage=storage,
+        current_time=now,
+        latest_fw={"host": "1.0", "storage": "5.4.3"},
+        key_directory={"alice": "k-alice", "bob": "k-bob"},
+    )
+
+
+class TestParser:
+    def test_single_rule(self):
+        doc = parse_document("read :- sessionKeyIs(alice)")
+        assert doc.rules[0].permission == "read"
+        assert doc.rules[0].expr == Pred("sessionKeyIs", ("alice",))
+
+    def test_alternative_rule_arrows(self):
+        for arrow in (":-", "::=", ":--"):
+            doc = parse_document(f"read {arrow} sessionKeyIs(alice)")
+            assert doc.rules[0].permission == "read"
+
+    def test_precedence_and_binds_tighter(self):
+        expr = parse_expression("sessionKeyIs(a) | sessionKeyIs(b) & le(T, ts)")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.right, And)
+
+    def test_parentheses(self):
+        expr = parse_expression("(sessionKeyIs(a) | sessionKeyIs(b)) & le(T, ts)")
+        assert isinstance(expr, And)
+        assert isinstance(expr.left, Or)
+
+    def test_multi_arg_and_string_args(self):
+        expr = parse_expression("storageLocIs('eu-west', 'eu-north')")
+        assert expr == Pred("storageLocIs", ("eu-west", "eu-north"))
+
+    def test_comments_and_blank_lines(self):
+        doc = parse_document(
+            """
+            # producer access
+            read :- sessionKeyIs(alice)   # trailing note is not supported here
+            write :- sessionKeyIs(alice)
+            """.replace("   # trailing note is not supported here", "")
+        )
+        assert len(doc.rules) == 2
+
+    def test_same_permission_multiple_rules(self):
+        doc = parse_document("read :- sessionKeyIs(a)\nread :- sessionKeyIs(b)")
+        assert len(doc.rules_for("read")) == 2
+
+    def test_bad_permission_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_document("fly :- sessionKeyIs(a)")
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_document("   \n  # only comments\n")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_expression("sessionKeyIs(a) sessionKeyIs(b)")
+
+    def test_missing_parens_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_expression("sessionKeyIs a")
+
+    def test_to_text_roundtrip(self):
+        text = "read :- sessionKeyIs(a) & le(T, expiry) | sessionKeyIs(b)"
+        doc = parse_document(text)
+        again = parse_document(doc.to_text())
+        assert doc == again
+
+
+class TestPredicates:
+    def test_session_key_match(self):
+        assert evaluate(Pred("sessionKeyIs", ("alice",)), ctx()).satisfied
+        assert not evaluate(Pred("sessionKeyIs", ("bob",)), ctx()).satisfied
+
+    def test_session_key_raw_fingerprint(self):
+        assert evaluate(Pred("sessionKeyIs", ("k-alice",)), ctx()).satisfied
+
+    def test_locations(self):
+        assert evaluate(Pred("hostLocIs", ("eu-central",)), ctx()).satisfied
+        assert not evaluate(Pred("hostLocIs", ("us-east",)), ctx()).satisfied
+        assert evaluate(Pred("storageLocIs", ("us-east", "eu-west")), ctx()).satisfied
+
+    def test_location_without_node_fails(self):
+        no_storage = ctx(storage=None)
+        assert not evaluate(Pred("storageLocIs", ("eu-west",)), no_storage).satisfied
+
+    def test_fw_version_floor(self):
+        assert evaluate(Pred("fwVersionStorage", ("5.4.0",)), ctx()).satisfied
+        assert evaluate(Pred("fwVersionStorage", ("5.4.3",)), ctx()).satisfied
+        assert not evaluate(Pred("fwVersionStorage", ("5.5.0",)), ctx()).satisfied
+
+    def test_fw_latest(self):
+        assert evaluate(Pred("fwVersionStorage", ("latest",)), ctx()).satisfied
+        stale = ctx(storage=NodeConfig("s", "eu-west", "5.4.2", "arm-trustzone"))
+        assert not evaluate(Pred("fwVersionStorage", ("latest",)), stale).satisfied
+
+    def test_latest_without_registry_rejected(self):
+        bare = EvalContext(client_key="k", host=HOST, storage=STORAGE)
+        with pytest.raises(PolicyError):
+            evaluate(Pred("fwVersionHost", ("latest",)), bare)
+
+    def test_bad_version_string_rejected(self):
+        with pytest.raises(PolicyError):
+            evaluate(Pred("fwVersionHost", ("one.two",)), ctx())
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(PolicyError):
+            evaluate(Pred("teleportIs", ("yes",)), ctx())
+
+    def test_arity_errors(self):
+        with pytest.raises(PolicyError):
+            evaluate(Pred("sessionKeyIs", ()), ctx())
+        with pytest.raises(PolicyError):
+            evaluate(Pred("fwVersionHost", ("1", "2")), ctx())
+
+    def test_directives_always_satisfied_and_collected(self):
+        verdict = evaluate(Pred("le", ("T", "expiry_ts")), ctx())
+        assert verdict.satisfied
+        assert verdict.directives == (ExpiryFilter("expiry_ts"),)
+        verdict = evaluate(Pred("reuseMap", ("consent",)), ctx())
+        assert verdict.directives == (ReuseMapFilter("consent"),)
+        verdict = evaluate(Pred("logUpdate", ("audit", "K", "Q")), ctx())
+        assert verdict.directives == (LogUpdate("audit", ("K", "Q")),)
+
+
+class TestInterpreter:
+    DOC = (
+        "read :- sessionKeyIs(alice)\n"
+        "read :- sessionKeyIs(bob) & le(T, expiry_ts) & logUpdate(shares)\n"
+        "write :- sessionKeyIs(alice)\n"
+    )
+
+    def test_first_alternative_wins_without_directives(self):
+        interp = PolicyInterpreter(parse_document(self.DOC))
+        verdict = interp.check("read", ctx("k-alice"))
+        assert verdict.directives == ()
+
+    def test_second_alternative_carries_directives(self):
+        interp = PolicyInterpreter(parse_document(self.DOC))
+        verdict = interp.check("read", ctx("k-bob"))
+        kinds = {type(d) for d in verdict.directives}
+        assert kinds == {ExpiryFilter, LogUpdate}
+
+    def test_denied_client(self):
+        interp = PolicyInterpreter(parse_document(self.DOC))
+        with pytest.raises(AccessDenied):
+            interp.check("read", ctx("k-mallory"))
+
+    def test_default_deny_missing_permission(self):
+        interp = PolicyInterpreter(parse_document("read :- sessionKeyIs(alice)"))
+        with pytest.raises(AccessDenied):
+            interp.check("write", ctx("k-alice"))
+
+    def test_write_denied_for_reader(self):
+        interp = PolicyInterpreter(parse_document(self.DOC))
+        with pytest.raises(AccessDenied):
+            interp.check("write", ctx("k-bob"))
+
+    def test_and_requires_both(self):
+        doc = parse_document("read :- sessionKeyIs(alice) & hostLocIs(us-east)")
+        with pytest.raises(AccessDenied):
+            PolicyInterpreter(doc).check("read", ctx("k-alice"))
+
+    def test_predicate_count(self):
+        interp = PolicyInterpreter(parse_document(self.DOC))
+        assert interp.predicate_count() == 5
+
+
+class TestRewriter:
+    def test_expiry_filter_added(self):
+        select = parse("SELECT name FROM persons WHERE country = 'DE'")
+        rewritten = apply_expiry_filter(select, "expiry_ts", 5000, {"persons"})
+        sql = rewritten.to_sql()
+        assert "expiry_ts" in sql and "5000" in sql
+        # Original predicate is preserved.
+        assert "country" in sql
+
+    def test_untouched_when_table_not_protected(self):
+        select = parse("SELECT a FROM other_table")
+        rewritten = apply_expiry_filter(select, "expiry_ts", 5000, {"persons"})
+        assert rewritten == select
+
+    def test_rewrites_inside_derived_tables(self):
+        select = parse("SELECT x FROM (SELECT name AS x FROM persons) sub")
+        rewritten = apply_expiry_filter(select, "expiry_ts", 1, {"persons"})
+        assert "expiry_ts" in rewritten.to_sql()
+
+    def test_rewrites_inside_where_subqueries(self):
+        select = parse(
+            "SELECT a FROM other WHERE a IN (SELECT person_id FROM persons)"
+        )
+        rewritten = apply_expiry_filter(select, "expiry_ts", 1, {"persons"})
+        assert "expiry_ts" in rewritten.to_sql()
+
+    def test_reuse_filter_bit_arithmetic(self):
+        select = parse("SELECT name FROM persons")
+        rewritten = apply_reuse_filter(select, "reuse_map", 3, {"persons"})
+        sql = rewritten.to_sql()
+        assert "% 16" in sql and ">= 8" in sql
+
+    def test_reuse_filter_semantics(self):
+        db = memory_database()
+        db.execute("CREATE TABLE persons (name TEXT, reuse_map INTEGER)")
+        db.execute(
+            "INSERT INTO persons VALUES ('optin', 15), ('optout', 7), ('other', 8)"
+        )
+        select = parse("SELECT name FROM persons")
+        rewritten = apply_reuse_filter(select, "reuse_map", 3, {"persons"})
+        rows = db.execute_statement(rewritten).rows
+        assert sorted(rows) == [("optin",), ("other",)]
+
+    def test_reuse_bad_position_rejected(self):
+        select = parse("SELECT 1 FROM persons")
+        with pytest.raises(PolicyError):
+            apply_reuse_filter(select, "m", -1, {"persons"})
+
+    def test_insert_extension(self):
+        insert = parse("INSERT INTO persons (name) VALUES ('x'), ('y')")
+        extended = apply_insert_extra_columns(
+            insert, {"expiry_ts": 9000, "reuse_map": 15}
+        )
+        assert extended.columns == ("name", "expiry_ts", "reuse_map")
+        assert all(len(row) == 3 for row in extended.rows)
+        assert extended.rows[0][1] == A.Literal(9000)
+
+    def test_insert_without_columns_rejected(self):
+        insert = parse("INSERT INTO persons VALUES ('x')")
+        with pytest.raises(PolicyError):
+            apply_insert_extra_columns(insert, {"expiry_ts": 1})
+
+    def test_insert_duplicate_policy_column_rejected(self):
+        insert = parse("INSERT INTO persons (name, expiry_ts) VALUES ('x', 1)")
+        with pytest.raises(PolicyError):
+            apply_insert_extra_columns(insert, {"expiry_ts": 2})
+
+    def test_expiry_semantics_end_to_end(self):
+        db = memory_database()
+        db.execute("CREATE TABLE persons (name TEXT, expiry_ts INTEGER)")
+        db.execute("INSERT INTO persons VALUES ('live', 10000), ('expired', 10)")
+        select = parse("SELECT name FROM persons")
+        rewritten = apply_expiry_filter(select, "expiry_ts", 5000, {"persons"})
+        assert db.execute_statement(rewritten).rows == [("live",)]

@@ -1,0 +1,134 @@
+"""Property-based tests for the policy language (hypothesis-generated)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.policy import (
+    And,
+    EvalContext,
+    NodeConfig,
+    Or,
+    Pred,
+    evaluate,
+    parse_document,
+    parse_expression,
+)
+from repro.policy.ast import PolicyDocument, Rule
+
+# -- generators -------------------------------------------------------------
+
+_locations = st.sampled_from(["eu-west", "eu-north", "us-east", "ap-south"])
+_keys = st.sampled_from(["ka", "kb", "kc"])
+_versions = st.sampled_from(["1.0", "2.3", "5.4.3", "latest"])
+
+_admission_pred = st.one_of(
+    _keys.map(lambda k: Pred("sessionKeyIs", (k,))),
+    st.lists(_locations, min_size=1, max_size=2, unique=True).map(
+        lambda ls: Pred("hostLocIs", tuple(ls))
+    ),
+    st.lists(_locations, min_size=1, max_size=2, unique=True).map(
+        lambda ls: Pred("storageLocIs", tuple(ls))
+    ),
+    _versions.map(lambda v: Pred("fwVersionHost", (v,))),
+    _versions.map(lambda v: Pred("fwVersionStorage", (v,))),
+)
+
+_directive_pred = st.one_of(
+    st.just(Pred("le", ("T", "expiry_ts"))),
+    st.just(Pred("reuseMap", ("reuse_map",))),
+    st.sampled_from(["log1", "log2"]).map(lambda l: Pred("logUpdate", (l,))),
+)
+
+_any_pred = st.one_of(_admission_pred, _directive_pred)
+
+
+def _exprs(depth: int):
+    if depth == 0:
+        return _any_pred
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        _any_pred,
+        st.tuples(sub, sub).map(lambda ab: And(*ab)),
+        st.tuples(sub, sub).map(lambda ab: Or(*ab)),
+    )
+
+
+_expr = _exprs(3)
+
+_ctx = st.builds(
+    EvalContext,
+    client_key=_keys,
+    host=st.one_of(
+        st.none(),
+        st.builds(
+            NodeConfig,
+            node_id=st.just("h"),
+            location=_locations,
+            fw_version=st.sampled_from(["1.0", "5.4.3"]),
+            platform=st.just("x86-sgx"),
+        ),
+    ),
+    storage=st.one_of(
+        st.none(),
+        st.builds(
+            NodeConfig,
+            node_id=st.just("s"),
+            location=_locations,
+            fw_version=st.sampled_from(["1.0", "5.4.3"]),
+            platform=st.just("arm-trustzone"),
+        ),
+    ),
+    current_time=st.integers(0, 10_000),
+    latest_fw=st.just({"host": "5.4.3", "storage": "5.4.3"}),
+)
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(expr=_expr)
+def test_to_text_parse_roundtrip(expr):
+    assert parse_expression(expr.to_text()) == expr
+
+
+@settings(max_examples=80, deadline=None)
+@given(exprs=st.lists(_expr, min_size=1, max_size=4))
+def test_document_roundtrip(exprs):
+    perms = ["read", "write", "exec"]
+    doc = PolicyDocument(
+        tuple(Rule(perms[i % 3], e) for i, e in enumerate(exprs))
+    )
+    assert parse_document(doc.to_text()) == doc
+
+
+@settings(max_examples=150, deadline=None)
+@given(expr=_expr, ctx=_ctx)
+def test_evaluation_total_and_deterministic(expr, ctx):
+    """Evaluation never crashes on well-formed policies and is stable."""
+    first = evaluate(expr, ctx)
+    second = evaluate(expr, ctx)
+    assert first == second
+    assert isinstance(first.satisfied, bool)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=_expr, b=_expr, ctx=_ctx)
+def test_and_or_laws(a, b, ctx):
+    va, vb = evaluate(a, ctx), evaluate(b, ctx)
+    v_and = evaluate(And(a, b), ctx)
+    v_or = evaluate(Or(a, b), ctx)
+    assert v_and.satisfied == (va.satisfied and vb.satisfied)
+    assert v_or.satisfied == (va.satisfied or vb.satisfied)
+    # OR short-circuits left: a satisfied => a's directives exactly.
+    if va.satisfied:
+        assert v_or == va
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=_expr, ctx=_ctx)
+def test_directives_only_from_satisfied_paths(expr, ctx):
+    verdict = evaluate(expr, ctx)
+    if not verdict.satisfied:
+        assert verdict.directives == ()

@@ -1,0 +1,271 @@
+"""Simulation substrate: clock, meters, cost model, network."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ChannelError
+from repro.sim import (
+    CAT_CPU,
+    CAT_DECRYPTION,
+    CAT_EPC_PAGING,
+    CAT_FRESHNESS,
+    CAT_IO,
+    CAT_NETWORK,
+    CostModel,
+    Meter,
+    MIB,
+    NetworkLink,
+    PAGE_SIZE,
+    SimClock,
+    TimeBreakdown,
+)
+
+
+class TestClock:
+    def test_charge_advances(self):
+        clock = SimClock()
+        clock.charge(1000, CAT_CPU)
+        clock.charge(500, CAT_IO)
+        assert clock.now_ns == 1500
+        assert clock.breakdown.by_category[CAT_CPU] == 1000
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge(-1)
+
+    def test_breakdown_minus(self):
+        a = TimeBreakdown()
+        a.add(CAT_CPU, 100)
+        a.add(CAT_IO, 50)
+        b = a.copy()
+        b.add(CAT_CPU, 30)
+        delta = b.minus(a)
+        assert delta.by_category == {CAT_CPU: 30}
+
+    def test_breakdown_scaled(self):
+        a = TimeBreakdown()
+        a.add(CAT_CPU, 100)
+        assert a.scaled(0.5).by_category[CAT_CPU] == 50
+
+    def test_fraction(self):
+        a = TimeBreakdown()
+        a.add(CAT_CPU, 75)
+        a.add(CAT_IO, 25)
+        assert a.fraction(CAT_CPU) == 0.75
+        assert TimeBreakdown().fraction(CAT_CPU) == 0
+
+    def test_merge(self):
+        a, b = TimeBreakdown(), TimeBreakdown()
+        a.add(CAT_CPU, 10)
+        b.add(CAT_CPU, 5)
+        b.add(CAT_IO, 2)
+        a.merge(b)
+        assert a.by_category[CAT_CPU] == 15
+        assert a.total_ns == 17
+
+
+class TestMeter:
+    def test_merge_sums_counts(self):
+        a, b = Meter(), Meter()
+        a.rows_scanned = 10
+        b.rows_scanned = 5
+        b.pages_read = 2
+        a.merge(b)
+        assert a.rows_scanned == 15
+        assert a.pages_read == 2
+
+    def test_merge_maxes_peak_memory(self):
+        a, b = Meter(), Meter()
+        a.peak_memory_bytes = 100
+        b.peak_memory_bytes = 50
+        a.merge(b)
+        assert a.peak_memory_bytes == 100
+
+    def test_bump_known_and_extra(self):
+        m = Meter()
+        m.bump("rows_scanned", 3)
+        m.bump("custom_counter", 2)
+        assert m.rows_scanned == 3
+        assert m.extra["custom_counter"] == 2
+
+    def test_note_memory_high_water(self):
+        m = Meter()
+        m.note_memory(100)
+        m.note_memory(50)
+        assert m.peak_memory_bytes == 100
+
+    def test_cpu_ops_weighting(self):
+        m = Meter()
+        m.rows_scanned = 10
+        assert m.cpu_ops == 10.0
+        m.hash_inserts = 4
+        assert m.cpu_ops == 10.0 + 2.5 * 4
+
+    def test_copy_is_independent(self):
+        m = Meter()
+        m.rows_scanned = 1
+        c = m.copy()
+        c.rows_scanned = 99
+        assert m.rows_scanned == 1
+
+
+class TestCostModel:
+    cm = CostModel()
+
+    def test_arm_slower_than_x86(self):
+        m = Meter()
+        m.rows_scanned = 1000
+        x86 = self.cm.cpu_time_ns(m, platform="x86")
+        arm = self.cm.cpu_time_ns(m, platform="arm")
+        assert arm > x86
+        assert arm == pytest.approx(x86 / self.cm.arm_core_speed)
+
+    def test_enclave_overhead(self):
+        m = Meter()
+        m.rows_scanned = 1000
+        plain = self.cm.cpu_time_ns(m, platform="x86")
+        enclave = self.cm.cpu_time_ns(m, platform="x86", in_enclave=True)
+        assert enclave == pytest.approx(plain * self.cm.sgx_cpu_overhead)
+
+    def test_multicore_helps_but_sublinearly(self):
+        m = Meter()
+        m.rows_scanned = 10_000
+        one = self.cm.cpu_time_ns(m, platform="arm", cores=1)
+        sixteen = self.cm.cpu_time_ns(m, platform="arm", cores=16)
+        assert sixteen < one
+        assert sixteen > one / 16  # Amdahl: never perfectly linear
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            self.cm.cpu_time_ns(Meter(), platform="risc-v")
+
+    def test_crypto_costs_scale_with_counts(self):
+        m = Meter()
+        m.pages_decrypted = 10
+        assert self.cm.decryption_ns(m, platform="x86") == 10 * self.cm.page_decrypt_ns
+        m2 = Meter()
+        m2.page_macs_verified = 5
+        m2.merkle_nodes_hashed = 20
+        expected = 5 * self.cm.page_mac_ns + 20 * self.cm.merkle_node_hash_ns
+        assert self.cm.freshness_ns(m2, platform="x86") == expected
+
+    def test_arm_crypto_cheaper_than_arm_cpu(self):
+        # The crypto accelerators narrow the ARM gap for crypto work.
+        assert self.cm.arm_crypto_speed > self.cm.arm_core_speed
+
+    def test_epc_no_faults_below_limit(self):
+        m = Meter()
+        m.pages_read = 10
+        m.peak_memory_bytes = 1 * MIB
+        bd = self.cm.phase_breakdown(m, platform="x86", in_enclave=True)
+        assert bd.by_category.get(CAT_EPC_PAGING, 0) == 0
+
+    def test_epc_streaming_faults(self):
+        cm = self.cm.scaled(epc_limit_bytes=100 * PAGE_SIZE)
+        m = Meter()
+        m.pages_read = 500
+        m.peak_memory_bytes = 90 * PAGE_SIZE
+        bd = cm.phase_breakdown(m, platform="x86", in_enclave=True)
+        # budget = 10 pages -> 490 streamed faults
+        assert bd.by_category[CAT_EPC_PAGING] == pytest.approx(490 * cm.epc_fault_ns)
+
+    def test_epc_thrash_regime_continuous(self):
+        cm = self.cm.scaled(epc_limit_bytes=100 * PAGE_SIZE)
+        m = Meter()
+        m.pages_read = 500
+        m.peak_memory_bytes = 100 * PAGE_SIZE  # exactly at the limit
+        at_limit = cm.phase_breakdown(m, platform="x86", in_enclave=True)
+        m.peak_memory_bytes = 101 * PAGE_SIZE
+        just_over = cm.phase_breakdown(m, platform="x86", in_enclave=True)
+        assert just_over.by_category[CAT_EPC_PAGING] >= at_limit.by_category[CAT_EPC_PAGING]
+
+    def test_remote_io_charges_network(self):
+        m = Meter()
+        m.pages_read = 100
+        local = self.cm.phase_breakdown(m, platform="x86")
+        remote = self.cm.phase_breakdown(m, platform="x86", remote_io=True)
+        assert CAT_IO in local.by_category
+        assert CAT_NETWORK in remote.by_category
+        assert remote.total_ns > local.total_ns
+
+    def test_memory_limit_spill(self):
+        m = Meter()
+        m.peak_memory_bytes = 10 * MIB
+        fits = self.cm.phase_breakdown(m, platform="arm", memory_limit_bytes=20 * MIB)
+        spills = self.cm.phase_breakdown(m, platform="arm", memory_limit_bytes=5 * MIB)
+        assert spills.total_ns > fits.total_ns
+
+    def test_scaled_returns_modified_copy(self):
+        other = self.cm.scaled(net_bandwidth=1e9)
+        assert other.net_bandwidth == 1e9
+        assert self.cm.net_bandwidth != 1e9
+
+    @given(pages=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_breakdown_nonnegative(self, pages):
+        m = Meter()
+        m.pages_read = pages
+        bd = self.cm.phase_breakdown(m, platform="arm")
+        assert all(v >= 0 for v in bd.by_category.values())
+
+
+class TestNetwork:
+    def _link(self):
+        clock = SimClock()
+        link = NetworkLink(clock, CostModel())
+        link.register("a")
+        link.register("b")
+        return clock, link
+
+    def test_send_receive(self):
+        _, link = self._link()
+        link.send("a", "b", b"hello")
+        sender, payload = link.receive("b")
+        assert (sender, payload) == ("a", b"hello")
+
+    def test_charges_time(self):
+        clock, link = self._link()
+        link.send("a", "b", bytes(1_000_000))
+        assert clock.now_ns > 0
+
+    def test_in_order_delivery(self):
+        _, link = self._link()
+        link.send("a", "b", b"1")
+        link.send("a", "b", b"2")
+        assert link.receive("b")[1] == b"1"
+        assert link.receive("b")[1] == b"2"
+
+    def test_unknown_endpoint_rejected(self):
+        _, link = self._link()
+        with pytest.raises(ChannelError):
+            link.send("a", "nobody", b"x")
+        with pytest.raises(ChannelError):
+            link.receive("nobody")
+
+    def test_empty_inbox_rejected(self):
+        _, link = self._link()
+        with pytest.raises(ChannelError):
+            link.receive("b")
+
+    def test_duplicate_registration_rejected(self):
+        _, link = self._link()
+        with pytest.raises(ChannelError):
+            link.register("a")
+
+    def test_meter_accounting(self):
+        _, link = self._link()
+        meter = Meter()
+        link.send("a", "b", bytes(100), meter=meter)
+        assert meter.bytes_sent == 100
+        assert meter.messages_sent == 1
+        recv_meter = Meter()
+        link.receive("b", meter=recv_meter)
+        assert recv_meter.bytes_received == 100
+
+    def test_pending(self):
+        _, link = self._link()
+        assert link.pending("b") == 0
+        link.send("a", "b", b"x")
+        assert link.pending("b") == 1

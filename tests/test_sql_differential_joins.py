@@ -1,0 +1,118 @@
+"""Second differential suite: randomized multi-table queries vs SQLite."""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+
+import pytest
+
+from repro.crypto import Rng
+from repro.sql import memory_database
+
+
+@pytest.fixture(scope="module")
+def engines():
+    rng = Rng("diff-joins")
+    ours = memory_database()
+    oracle = sqlite3.connect(":memory:")
+    for db_exec in (ours.execute, oracle.execute):
+        db_exec("CREATE TABLE fact (fk INTEGER, dim1 INTEGER, dim2 INTEGER, measure REAL)")
+        db_exec("CREATE TABLE d1 (id INTEGER, name TEXT, bucket INTEGER)")
+        db_exec("CREATE TABLE d2 (id INTEGER, region TEXT)")
+
+    d1_rows = [(i, f"d1-{i % 7}", i % 3) for i in range(25)]
+    d2_rows = [(i, ["north", "south", "east"][i % 3]) for i in range(12)]
+    fact_rows = []
+    for i in range(300):
+        fact_rows.append(
+            (
+                i,
+                rng.randint(0, 30),   # some fks dangle past d1's ids
+                rng.randint(0, 11),
+                round(rng.random() * 50, 2) if rng.random() > 0.05 else None,
+            )
+        )
+    ours.store.insert_rows("d1", d1_rows)
+    ours.store.insert_rows("d2", d2_rows)
+    ours.store.insert_rows("fact", [(r[0], r[1], r[2], r[3]) for r in fact_rows])
+    oracle.executemany("INSERT INTO d1 VALUES (?,?,?)", d1_rows)
+    oracle.executemany("INSERT INTO d2 VALUES (?,?)", d2_rows)
+    oracle.executemany("INSERT INTO fact VALUES (?,?,?,?)", fact_rows)
+    return ours, oracle
+
+
+def _check(engines, sql, ordered=False):
+    ours, oracle = engines
+    a = [tuple(round(v, 6) if isinstance(v, float) else v for v in r) for r in ours.execute(sql).rows]
+    b = [tuple(round(float(v), 6) if isinstance(v, float) else v for v in r) for r in oracle.execute(sql).fetchall()]
+    if not ordered:
+        a, b = sorted(a, key=repr), sorted(b, key=repr)
+    assert len(a) == len(b), f"{sql}: {len(a)} vs {len(b)}"
+    for ra, rb in zip(a, b):
+        for x, y in zip(ra, rb):
+            if isinstance(x, float) and y is not None:
+                assert math.isclose(x, float(y), rel_tol=1e-9, abs_tol=1e-9)
+            else:
+                assert x == y, (sql, ra, rb)
+
+
+FIXED = [
+    "SELECT d1.name, count(*) FROM fact, d1 WHERE fact.dim1 = d1.id GROUP BY d1.name",
+    "SELECT d2.region, sum(fact.measure) FROM fact, d2 WHERE fact.dim2 = d2.id GROUP BY d2.region",
+    "SELECT d1.bucket, d2.region, count(*) FROM fact, d1, d2 "
+    "WHERE fact.dim1 = d1.id AND fact.dim2 = d2.id GROUP BY d1.bucket, d2.region",
+    "SELECT d1.name, count(fact.fk) FROM d1 LEFT OUTER JOIN fact ON fact.dim1 = d1.id "
+    "GROUP BY d1.name",
+    "SELECT count(*) FROM fact WHERE dim1 NOT IN (SELECT id FROM d1)",
+    "SELECT fact.fk FROM fact WHERE EXISTS "
+    "(SELECT 1 FROM d1 WHERE d1.id = fact.dim1 AND d1.bucket = 2) AND fact.measure > 45",
+    "SELECT d1.id FROM d1 WHERE NOT EXISTS (SELECT 1 FROM fact WHERE fact.dim1 = d1.id)",
+    "SELECT b, mx FROM (SELECT bucket AS b, max(id) AS mx FROM d1 GROUP BY bucket) s WHERE mx > 10",
+    "SELECT fact.fk, d1.name FROM fact, d1 "
+    "WHERE fact.dim1 = d1.id AND fact.measure IS NULL",
+    "SELECT d2.region, avg(fact.measure) FROM fact, d2 WHERE fact.dim2 = d2.id "
+    "GROUP BY d2.region HAVING count(*) > 50",
+]
+
+
+@pytest.mark.parametrize("sql", FIXED, ids=[s[:55] for s in FIXED])
+def test_fixed_join_queries(engines, sql):
+    _check(engines, sql)
+
+
+def test_randomized_join_aggregates(engines):
+    rng = Rng("join-sweep")
+    aggs = ["count(*)", "sum(fact.measure)", "avg(fact.measure)", "max(fact.measure)"]
+    groups = ["d1.name", "d1.bucket", "d2.region"]
+    for _ in range(40):
+        agg = rng.choice(aggs)
+        group = rng.choice(groups)
+        lo = rng.randint(0, 40)
+        sql = (
+            f"SELECT {group}, {agg} FROM fact, d1, d2 "
+            f"WHERE fact.dim1 = d1.id AND fact.dim2 = d2.id AND fact.measure > {lo} "
+            f"GROUP BY {group}"
+        )
+        _check(engines, sql)
+
+
+def test_randomized_semijoins(engines):
+    rng = Rng("semi-sweep")
+    for _ in range(25):
+        bucket = rng.randint(0, 2)
+        neg = "NOT " if rng.random() < 0.5 else ""
+        sql = (
+            f"SELECT count(*) FROM fact WHERE {neg}EXISTS "
+            f"(SELECT 1 FROM d1 WHERE d1.id = fact.dim1 AND d1.bucket = {bucket})"
+        )
+        _check(engines, sql)
+
+
+def test_order_by_limit_agreement(engines):
+    for sql in [
+        "SELECT fk, measure FROM fact WHERE measure IS NOT NULL ORDER BY measure DESC, fk LIMIT 15",
+        "SELECT d1.name, count(*) AS n FROM fact, d1 WHERE fact.dim1 = d1.id "
+        "GROUP BY d1.name ORDER BY n DESC, d1.name LIMIT 4",
+    ]:
+        _check(engines, sql, ordered=True)

@@ -1,0 +1,379 @@
+"""End-to-end SQL engine semantics (plans, joins, subqueries, DML)."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.errors import CatalogError, ExecutionError, ParseError, PlanError
+from repro.sql import memory_database
+
+
+@pytest.fixture()
+def db():
+    database = memory_database()
+    database.execute("CREATE TABLE emp (id INTEGER, name TEXT, dept INTEGER, salary REAL, hired DATE)")
+    database.execute(
+        "INSERT INTO emp VALUES "
+        "(1, 'ada', 10, 3000.0, DATE '2019-01-15'), "
+        "(2, 'bob', 10, 2500.0, DATE '2020-06-01'), "
+        "(3, 'cyd', 20, 4000.0, DATE '2018-03-20'), "
+        "(4, 'dee', 20, 3500.0, DATE '2021-11-11'), "
+        "(5, 'eli', NULL, NULL, NULL)"
+    )
+    database.execute("CREATE TABLE dept (dept_id INTEGER, dept_name TEXT)")
+    database.execute("INSERT INTO dept VALUES (10, 'eng'), (20, 'ops'), (30, 'empty')")
+    return database
+
+
+class TestBasicSelect:
+    def test_projection_and_alias(self, db):
+        r = db.execute("SELECT name, salary * 2 AS double_pay FROM emp WHERE id = 1")
+        assert r.columns == ["name", "double_pay"]
+        assert r.rows == [("ada", 6000.0)]
+
+    def test_star(self, db):
+        r = db.execute("SELECT * FROM dept ORDER BY dept_id")
+        assert r.rows[0] == (10, "eng")
+        assert r.columns == ["dept_id", "dept_name"]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 2").rows == [(3,)]
+
+    def test_where_null_filtered(self, db):
+        r = db.execute("SELECT id FROM emp WHERE salary > 0")
+        assert len(r.rows) == 4  # eli's NULL salary never satisfies
+
+    def test_order_by_nulls_last(self, db):
+        r = db.execute("SELECT id, salary FROM emp ORDER BY salary")
+        assert r.rows[-1][0] == 5
+        r = db.execute("SELECT id, salary FROM emp ORDER BY salary DESC")
+        assert r.rows[-1][0] == 5
+
+    def test_multi_key_order(self, db):
+        r = db.execute("SELECT dept, salary FROM emp WHERE dept IS NOT NULL ORDER BY dept DESC, salary")
+        assert r.rows == [(20, 3500.0), (20, 4000.0), (10, 2500.0), (10, 3000.0)]
+
+    def test_limit(self, db):
+        assert len(db.execute("SELECT id FROM emp LIMIT 2").rows) == 2
+        assert db.execute("SELECT id FROM emp LIMIT 0").rows == []
+
+    def test_distinct(self, db):
+        r = db.execute("SELECT DISTINCT dept FROM emp WHERE dept IS NOT NULL")
+        assert sorted(r.rows) == [(10,), (20,)]
+
+    def test_date_filtering(self, db):
+        r = db.execute("SELECT id FROM emp WHERE hired >= DATE '2020-01-01' ORDER BY id")
+        assert r.rows == [(2,), (4,)]
+
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM ghost")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT nonexistent FROM emp")
+
+    def test_ambiguous_column(self, db):
+        db.execute("CREATE TABLE emp2 (id INTEGER)")
+        with pytest.raises(PlanError):
+            db.execute("SELECT id FROM emp, emp2")
+
+
+class TestJoins:
+    def test_implicit_equi_join(self, db):
+        r = db.execute(
+            "SELECT name, dept_name FROM emp, dept WHERE dept = dept_id ORDER BY id"
+        )
+        assert r.rows == [
+            ("ada", "eng"), ("bob", "eng"), ("cyd", "ops"), ("dee", "ops"),
+        ]
+
+    def test_explicit_inner_join(self, db):
+        r = db.execute(
+            "SELECT name FROM emp JOIN dept ON dept = dept_id WHERE dept_name = 'eng' ORDER BY name"
+        )
+        assert r.rows == [("ada",), ("bob",)]
+
+    def test_left_outer_join(self, db):
+        r = db.execute(
+            "SELECT dept_name, count(id) AS n FROM dept "
+            "LEFT OUTER JOIN emp ON dept = dept_id GROUP BY dept_name ORDER BY dept_name"
+        )
+        assert r.rows == [("empty", 0), ("eng", 2), ("ops", 2)]
+
+    def test_left_join_on_residual(self, db):
+        r = db.execute(
+            "SELECT dept_name, count(id) FROM dept "
+            "LEFT OUTER JOIN emp ON dept = dept_id AND salary > 2600 "
+            "GROUP BY dept_name ORDER BY dept_name"
+        )
+        assert r.rows == [("empty", 0), ("eng", 1), ("ops", 2)]
+
+    def test_cross_join_fallback(self, db):
+        r = db.execute("SELECT count(*) FROM emp, dept")
+        assert r.rows == [(15,)]
+
+    def test_non_equi_join_condition(self, db):
+        r = db.execute(
+            "SELECT count(*) FROM emp e, dept d WHERE e.dept < d.dept_id"
+        )
+        assert r.rows == [(6,)]  # dept 10 < {20,30} x2 emps, 20 < 30 x2
+
+    def test_self_join_with_aliases(self, db):
+        r = db.execute(
+            "SELECT a.name, b.name FROM emp a, emp b "
+            "WHERE a.dept = b.dept AND a.id < b.id ORDER BY a.id"
+        )
+        assert r.rows == [("ada", "bob"), ("cyd", "dee")]
+
+    def test_null_keys_never_join(self, db):
+        db.execute("CREATE TABLE n1 (k INTEGER)")
+        db.execute("CREATE TABLE n2 (k INTEGER)")
+        db.execute("INSERT INTO n1 VALUES (NULL), (1)")
+        db.execute("INSERT INTO n2 VALUES (NULL), (1)")
+        r = db.execute("SELECT count(*) FROM n1, n2 WHERE n1.k = n2.k")
+        assert r.rows == [(1,)]
+
+    def test_three_way_join(self, db):
+        db.execute("CREATE TABLE loc (dept_id INTEGER, city TEXT)")
+        db.execute("INSERT INTO loc VALUES (10, 'berlin'), (20, 'lisbon')")
+        r = db.execute(
+            "SELECT name, city FROM emp, dept, loc "
+            "WHERE emp.dept = dept.dept_id AND dept.dept_id = loc.dept_id "
+            "AND name = 'cyd'"
+        )
+        assert r.rows == [("cyd", "lisbon")]
+
+
+class TestAggregation:
+    def test_global_aggregates(self, db):
+        r = db.execute("SELECT count(*), count(salary), sum(salary), avg(salary), min(salary), max(salary) FROM emp")
+        assert r.rows == [(5, 4, 13000.0, 3250.0, 2500.0, 4000.0)]
+
+    def test_empty_input_global(self, db):
+        r = db.execute("SELECT count(*), sum(salary), min(salary) FROM emp WHERE id > 99")
+        assert r.rows == [(0, None, None)]
+
+    def test_group_by(self, db):
+        r = db.execute(
+            "SELECT dept, count(*) AS n, sum(salary) FROM emp "
+            "WHERE dept IS NOT NULL GROUP BY dept ORDER BY dept"
+        )
+        assert r.rows == [(10, 2, 5500.0), (20, 2, 7500.0)]
+
+    def test_group_by_expression(self, db):
+        r = db.execute(
+            "SELECT EXTRACT(YEAR FROM hired) AS y, count(*) FROM emp "
+            "WHERE hired IS NOT NULL GROUP BY EXTRACT(YEAR FROM hired) ORDER BY y"
+        )
+        assert [row[0] for row in r.rows] == [2018, 2019, 2020, 2021]
+
+    def test_having(self, db):
+        r = db.execute(
+            "SELECT dept FROM emp WHERE dept IS NOT NULL "
+            "GROUP BY dept HAVING sum(salary) > 6000"
+        )
+        assert r.rows == [(20,)]
+
+    def test_count_distinct(self, db):
+        db.execute("CREATE TABLE dups (v INTEGER)")
+        db.execute("INSERT INTO dups VALUES (1), (1), (2), (NULL), (2), (3)")
+        r = db.execute("SELECT count(DISTINCT v), count(v), count(*) FROM dups")
+        assert r.rows == [(3, 5, 6)]
+
+    def test_sum_distinct(self, db):
+        db.execute("CREATE TABLE dups2 (v INTEGER)")
+        db.execute("INSERT INTO dups2 VALUES (5), (5), (2)")
+        assert db.execute("SELECT sum(DISTINCT v) FROM dups2").rows == [(7,)]
+
+    def test_aggregate_expression_arithmetic(self, db):
+        r = db.execute(
+            "SELECT sum(salary) / count(salary) AS mean, avg(salary) FROM emp"
+        )
+        assert r.rows[0][0] == r.rows[0][1]
+
+    def test_case_inside_aggregate(self, db):
+        r = db.execute(
+            "SELECT sum(CASE WHEN dept = 10 THEN 1 ELSE 0 END) FROM emp"
+        )
+        assert r.rows == [(2,)]
+
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT name, count(*) FROM emp GROUP BY dept")
+
+    def test_having_without_aggregation_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT name FROM emp HAVING name = 'x'")
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT name FROM emp WHERE count(*) > 1")
+
+
+class TestSubqueries:
+    def test_uncorrelated_scalar(self, db):
+        r = db.execute("SELECT name FROM emp WHERE salary = (SELECT max(salary) FROM emp)")
+        assert r.rows == [("cyd",)]
+
+    def test_scalar_subquery_multi_row_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT name FROM emp WHERE salary = (SELECT salary FROM emp)")
+
+    def test_uncorrelated_in(self, db):
+        r = db.execute(
+            "SELECT name FROM emp WHERE dept IN (SELECT dept_id FROM dept WHERE dept_name = 'ops') ORDER BY name"
+        )
+        assert r.rows == [("cyd",), ("dee",)]
+
+    def test_not_in_with_nulls_matches_nothing(self, db):
+        db.execute("CREATE TABLE nullset (v INTEGER)")
+        db.execute("INSERT INTO nullset VALUES (1), (NULL)")
+        r = db.execute("SELECT id FROM emp WHERE id NOT IN (SELECT v FROM nullset)")
+        assert r.rows == []  # SQL semantics: NULL in the set poisons NOT IN
+
+    def test_not_in_without_nulls(self, db):
+        r = db.execute(
+            "SELECT dept_name FROM dept WHERE dept_id NOT IN (SELECT dept FROM emp WHERE dept IS NOT NULL)"
+        )
+        assert r.rows == [("empty",)]
+
+    def test_correlated_exists(self, db):
+        r = db.execute(
+            "SELECT dept_name FROM dept WHERE EXISTS "
+            "(SELECT 1 FROM emp WHERE dept = dept_id) ORDER BY dept_name"
+        )
+        assert r.rows == [("eng",), ("ops",)]
+
+    def test_correlated_not_exists(self, db):
+        r = db.execute(
+            "SELECT dept_name FROM dept WHERE NOT EXISTS "
+            "(SELECT 1 FROM emp WHERE dept = dept_id)"
+        )
+        assert r.rows == [("empty",)]
+
+    def test_exists_with_residual_correlation(self, db):
+        # Pairs in the same department with a *different* id (Q21 shape).
+        r = db.execute(
+            "SELECT name FROM emp e1 WHERE EXISTS "
+            "(SELECT 1 FROM emp e2 WHERE e2.dept = e1.dept AND e2.id <> e1.id) "
+            "ORDER BY name"
+        )
+        assert r.rows == [("ada",), ("bob",), ("cyd",), ("dee",)]
+
+    def test_correlated_scalar_aggregate(self, db):
+        # Highest-paid per department (Q2/Q17 shape).
+        r = db.execute(
+            "SELECT name FROM emp e WHERE salary = "
+            "(SELECT max(salary) FROM emp e2 WHERE e2.dept = e.dept) ORDER BY name"
+        )
+        assert r.rows == [("ada",), ("cyd",)]
+
+    def test_uncorrelated_exists_true(self, db):
+        assert len(db.execute("SELECT id FROM emp WHERE EXISTS (SELECT 1 FROM dept)").rows) == 5
+
+    def test_uncorrelated_exists_false(self, db):
+        r = db.execute(
+            "SELECT id FROM emp WHERE EXISTS (SELECT 1 FROM dept WHERE dept_id = 999)"
+        )
+        assert r.rows == []
+
+    def test_in_subquery_with_having(self, db):
+        # Q18 shape: IN over a grouped/HAVING subquery.
+        r = db.execute(
+            "SELECT dept_name FROM dept WHERE dept_id IN "
+            "(SELECT dept FROM emp GROUP BY dept HAVING count(*) >= 2)"
+            " ORDER BY dept_name"
+        )
+        assert r.rows == [("eng",), ("ops",)]
+
+    def test_derived_table(self, db):
+        r = db.execute(
+            "SELECT d, total FROM "
+            "(SELECT dept AS d, sum(salary) AS total FROM emp WHERE dept IS NOT NULL GROUP BY dept) sums "
+            "WHERE total > 6000"
+        )
+        assert r.rows == [(20, 7500.0)]
+
+    def test_nested_derived_tables(self, db):
+        r = db.execute(
+            "SELECT m FROM (SELECT max(t) AS m FROM "
+            "(SELECT sum(salary) AS t FROM emp GROUP BY dept) inner_sums) outer_q"
+        )
+        assert r.rows == [(7500.0,)]
+
+
+class TestDML:
+    def test_insert_reorders_columns(self, db):
+        db.execute("INSERT INTO dept (dept_name, dept_id) VALUES ('lab', 40)")
+        r = db.execute("SELECT dept_id FROM dept WHERE dept_name = 'lab'")
+        assert r.rows == [(40,)]
+
+    def test_insert_partial_columns_fills_null(self, db):
+        db.execute("INSERT INTO dept (dept_id) VALUES (50)")
+        r = db.execute("SELECT dept_name FROM dept WHERE dept_id = 50")
+        assert r.rows == [(None,)]
+
+    def test_insert_select(self, db):
+        db.execute("CREATE TABLE emp_backup (id INTEGER, name TEXT)")
+        result = db.execute("INSERT INTO emp_backup SELECT id, name FROM emp")
+        assert result.rowcount == 5
+        assert db.execute("SELECT count(*) FROM emp_backup").scalar() == 5
+
+    def test_update(self, db):
+        r = db.execute("UPDATE emp SET salary = salary + 100 WHERE dept = 10")
+        assert r.rowcount == 2
+        assert db.execute("SELECT sum(salary) FROM emp WHERE dept = 10").scalar() == 5700.0
+
+    def test_update_all_rows(self, db):
+        r = db.execute("UPDATE dept SET dept_name = 'x'")
+        assert r.rowcount == 3
+
+    def test_delete(self, db):
+        r = db.execute("DELETE FROM emp WHERE salary IS NULL")
+        assert r.rowcount == 1
+        assert db.execute("SELECT count(*) FROM emp").scalar() == 4
+
+    def test_delete_all(self, db):
+        db.execute("DELETE FROM dept")
+        assert db.execute("SELECT count(*) FROM dept").scalar() == 0
+
+    def test_params(self, db):
+        r = db.execute("SELECT name FROM emp WHERE id = ? OR name = ?", (1, "cyd"))
+        assert sorted(r.rows) == [("ada",), ("cyd",)]
+
+    def test_params_in_insert(self, db):
+        db.execute("INSERT INTO dept VALUES (?, ?)", (60, "io"))
+        assert db.execute("SELECT dept_name FROM dept WHERE dept_id = 60").scalar() == "io"
+
+    def test_missing_param_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT 1 FROM emp WHERE id = ?")
+
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE dept")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM dept")
+
+    def test_scalar_on_empty_result(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT id FROM emp WHERE id = 999").scalar()
+
+
+class TestMetering:
+    def test_scan_counts_rows(self, db):
+        before = db.meter.rows_scanned
+        db.execute("SELECT * FROM emp")
+        assert db.meter.rows_scanned - before == 5
+
+    def test_output_counted(self, db):
+        before = db.meter.rows_output
+        db.execute("SELECT * FROM emp WHERE dept = 10")
+        assert db.meter.rows_output - before == 2
+
+    def test_join_memory_tracked(self, db):
+        before = db.meter.peak_memory_bytes
+        db.execute("SELECT count(*) FROM emp, dept WHERE dept = dept_id")
+        assert db.meter.peak_memory_bytes >= before

@@ -1,0 +1,260 @@
+"""SQL front end: lexer, parser, AST rendering."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast_nodes as A
+from repro.sql.lexer import TT_IDENT, TT_KEYWORD, TT_NUMBER, TT_OP, TT_STRING, tokenize
+from repro.sql.parser import parse, parse_expression
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, 1.5 FROM t WHERE b = 'x'")
+        kinds = [t.type for t in tokens[:-1]]
+        assert kinds == [
+            TT_KEYWORD, TT_IDENT, TT_OP, TT_NUMBER, TT_KEYWORD, TT_IDENT,
+            TT_KEYWORD, TT_IDENT, TT_OP, TT_STRING,
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].is_kw("SELECT")
+        assert tokenize("SeLeCt")[0].is_kw("SELECT")
+
+    def test_identifiers_lowercased(self):
+        assert tokenize("MyTable")[0].value == "mytable"
+
+    def test_quoted_identifier_preserves_case(self):
+        assert tokenize('"MyTable"')[0].value == "MyTable"
+
+    def test_string_escape(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- comment here\n + 2")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1", "+", "2"]
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 1e3 1.5e-2")[:-1]]
+        assert values == ["1", "2.5", "1e3", "1.5e-2"]
+
+    def test_two_char_operators(self):
+        values = [t.value for t in tokenize("<= >= <> != ||")[:-1]]
+        assert values == ["<=", ">=", "<>", "!=", "||"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @")
+
+
+class TestExpressionParsing:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, A.Binary) and expr.op == "+"
+        assert isinstance(expr.right, A.Binary) and expr.right.op == "*"
+
+    def test_precedence_and_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, A.Binary) and expr.op == "OR"
+        assert isinstance(expr.right, A.Binary) and expr.right.op == "AND"
+
+    def test_not_between_like_in(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 2") == A.Between(
+            A.Column("a"), A.Literal(1), A.Literal(2), negated=True
+        )
+        assert parse_expression("a NOT LIKE 'x%'") == A.Like(
+            A.Column("a"), A.Literal("x%"), negated=True
+        )
+        expr = parse_expression("a NOT IN (1, 2)")
+        assert isinstance(expr, A.InList) and expr.negated
+
+    def test_is_null(self):
+        assert parse_expression("a IS NULL") == A.IsNull(A.Column("a"))
+        assert parse_expression("a IS NOT NULL") == A.IsNull(A.Column("a"), True)
+
+    def test_date_literal(self):
+        expr = parse_expression("DATE '2020-05-17'")
+        assert expr == A.Literal(datetime.date(2020, 5, 17))
+
+    def test_bad_date_literal(self):
+        with pytest.raises(ParseError):
+            parse_expression("DATE 'not-a-date'")
+
+    def test_interval(self):
+        expr = parse_expression("d + INTERVAL '3' MONTH")
+        assert isinstance(expr, A.Binary)
+        assert expr.right == A.Interval(3, "MONTH")
+
+    def test_case(self):
+        expr = parse_expression("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, A.Case)
+        assert expr.default == A.Literal("y")
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_extract(self):
+        expr = parse_expression("EXTRACT(YEAR FROM d)")
+        assert expr == A.Extract("YEAR", A.Column("d"))
+
+    def test_substring_both_syntaxes(self):
+        a = parse_expression("SUBSTRING(s FROM 1 FOR 2)")
+        b = parse_expression("SUBSTRING(s, 1, 2)")
+        assert a == b == A.Substring(A.Column("s"), A.Literal(1), A.Literal(2))
+
+    def test_aggregates(self):
+        assert parse_expression("count(*)") == A.AggCall("count", None)
+        assert parse_expression("sum(DISTINCT x)") == A.AggCall(
+            "sum", A.Column("x"), distinct=True
+        )
+
+    def test_qualified_column(self):
+        assert parse_expression("t1.col") == A.Column("col", "t1")
+
+    def test_unary_minus(self):
+        assert parse_expression("-x") == A.Unary("-", A.Column("x"))
+
+    def test_params(self):
+        expr = parse_expression("a = ?")
+        assert isinstance(expr.right, A.Param)
+
+    def test_concat(self):
+        expr = parse_expression("a || b")
+        assert isinstance(expr, A.Binary) and expr.op == "||"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 extra")
+
+
+class TestStatementParsing:
+    def test_select_shape(self):
+        stmt = parse(
+            "SELECT a, b AS total FROM t1, t2 x WHERE a = 1 "
+            "GROUP BY a HAVING count(*) > 2 ORDER BY total DESC LIMIT 5"
+        )
+        assert isinstance(stmt, A.Select)
+        assert stmt.items[1].alias == "total"
+        assert stmt.from_items[1].alias == "x"
+        assert stmt.limit == 5
+        assert stmt.order_by[0].descending
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, A.Star)
+
+    def test_table_dot_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].expr == A.Star(table="t")
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_joins(self):
+        stmt = parse("SELECT a FROM t LEFT OUTER JOIN u ON t.a = u.a AND u.b > 1")
+        assert stmt.joins[0].kind == "LEFT"
+        stmt = parse("SELECT a FROM t JOIN u ON t.a = u.a")
+        assert stmt.joins[0].kind == "INNER"
+
+    def test_derived_table(self):
+        stmt = parse("SELECT s FROM (SELECT a AS s FROM t) sub")
+        assert isinstance(stmt.from_items[0], A.SubqueryRef)
+        assert stmt.from_items[0].alias == "sub"
+
+    def test_subqueries(self):
+        stmt = parse("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u) AND a IN (SELECT b FROM v)")
+        conjuncts = stmt.where
+        assert isinstance(conjuncts, A.Binary)
+
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE t (a INTEGER, b VARCHAR(10), c DECIMAL(15,2), "
+            "d DATE, PRIMARY KEY (a))"
+        )
+        assert isinstance(stmt, A.CreateTable)
+        assert [c.type_name for c in stmt.columns] == ["INTEGER", "TEXT", "REAL", "DATE"]
+        assert stmt.primary_key == ("a",)
+
+    def test_create_table_needs_columns(self):
+        with pytest.raises(ParseError):
+            parse("CREATE TABLE t (PRIMARY KEY (a))")
+
+    def test_insert_values(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, A.Insert)
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse("INSERT INTO t SELECT a FROM u")
+        assert stmt.select is not None
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert isinstance(stmt, A.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a IS NULL")
+        assert isinstance(stmt, A.Delete)
+
+    def test_drop(self):
+        assert isinstance(parse("DROP TABLE t"), A.DropTable)
+
+    def test_trailing_semicolon_ok(self):
+        parse("SELECT 1;")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(ParseError):
+            parse("VACUUM")
+
+    def test_limit_needs_number(self):
+        with pytest.raises(ParseError):
+            parse("SELECT 1 LIMIT x")
+
+
+class TestToSqlRoundtrip:
+    """`to_sql` output must re-parse to the same AST (the monitor ships
+    rewritten queries as text, so this is load-bearing)."""
+
+    CASES = [
+        "SELECT a, b + 1 AS c FROM t WHERE a = 1 AND b <> 2",
+        "SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 3",
+        "SELECT count(*), sum(a) FROM t GROUP BY b HAVING count(*) > 1",
+        "SELECT a FROM t WHERE b BETWEEN 1 AND 2 OR c LIKE 'x%'",
+        "SELECT a FROM t WHERE d <= DATE '1998-12-01' - INTERVAL '90' DAY",
+        "SELECT a FROM t WHERE a IN (1, 2, 3) AND b IS NOT NULL",
+        "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = t.a)",
+        "SELECT a FROM t WHERE a IN (SELECT b FROM u)",
+        "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+        "SELECT x FROM (SELECT a AS x FROM t) sub WHERE x > 0",
+        "SELECT a FROM t LEFT OUTER JOIN u ON t.a = u.a",
+        "SELECT EXTRACT(YEAR FROM d), SUBSTRING(s FROM 1 FOR 2) FROM t",
+        "INSERT INTO t (a, b) VALUES (1, 'x')",
+        "UPDATE t SET a = 2 WHERE b = 'y'",
+        "DELETE FROM t WHERE a < 0",
+        "CREATE TABLE t (a INTEGER, b TEXT)",
+        "DROP TABLE t",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_roundtrip(self, sql):
+        first = parse(sql)
+        second = parse(first.to_sql())
+        assert first == second
+
+    def test_tpch_queries_roundtrip(self):
+        from repro.tpch import ALL_QUERIES
+
+        for query in ALL_QUERIES.values():
+            first = parse(query.sql)
+            assert parse(first.to_sql()) == first, f"Q{query.number} round-trip"

@@ -1,0 +1,245 @@
+"""Direct unit tests for the physical operators (no parser/planner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sql.expressions import Scope
+from repro.sql.operators import (
+    Aggregate,
+    AggSpec,
+    Distinct,
+    ExecContext,
+    Filter,
+    HashJoin,
+    HashSemiJoin,
+    Limit,
+    NestedLoopJoin,
+    Operator,
+    Project,
+    RowsSource,
+    Sort,
+)
+
+
+def _source(rows, *names):
+    ctx = ExecContext()
+    scope = Scope([(None, n) for n in names])
+    return ctx, RowsSource(ctx, rows, scope)
+
+
+def col(i):
+    return lambda row: row[i]
+
+
+class TestScanFilterProject:
+    def test_rows_source(self):
+        _, src = _source([(1,), (2,)], "a")
+        assert list(src.rows()) == [(1,), (2,)]
+
+    def test_filter_three_valued(self):
+        ctx, src = _source([(1,), (None,), (3,)], "a")
+        predicate = lambda row: None if row[0] is None else row[0] > 1
+        out = list(Filter(ctx, src, predicate).rows())
+        assert out == [(3,)]  # NULL predicate drops the row
+        assert ctx.meter.predicate_evals == 3
+
+    def test_project(self):
+        ctx, src = _source([(1, 2)], "a", "b")
+        scope = Scope([(None, "s")])
+        out = list(Project(ctx, src, [lambda r: r[0] + r[1]], scope).rows())
+        assert out == [(3,)]
+
+
+class TestHashJoinDirect:
+    def _join(self, left_rows, right_rows, kind="inner", residual=None):
+        ctx = ExecContext()
+        left = RowsSource(ctx, left_rows, Scope([("l", "k"), ("l", "v")]))
+        right = RowsSource(ctx, right_rows, Scope([("r", "k"), ("r", "w")]))
+        join = HashJoin(ctx, left, right, [col(0)], [col(0)], kind=kind, residual=residual)
+        return ctx, list(join.rows())
+
+    def test_inner(self):
+        _, out = self._join([(1, "a"), (2, "b")], [(1, "x"), (3, "y")])
+        assert out == [(1, "a", 1, "x")]
+
+    def test_duplicates_multiply(self):
+        _, out = self._join([(1, "a")], [(1, "x"), (1, "y")])
+        assert len(out) == 2
+
+    def test_left_outer_pads(self):
+        _, out = self._join([(1, "a"), (2, "b")], [(1, "x")], kind="left")
+        assert (2, "b", None, None) in out
+
+    def test_residual_applies(self):
+        _, out = self._join(
+            [(1, 10), (1, 20)], [(1, 15)],
+            residual=lambda row: row[1] > row[3],
+        )
+        assert out == [(1, 20, 1, 15)]
+
+    def test_left_outer_residual_miss_pads(self):
+        _, out = self._join(
+            [(1, 10)], [(1, 15)], kind="left",
+            residual=lambda row: row[1] > row[3],
+        )
+        assert out == [(1, 10, None, None)]
+
+    def test_null_keys_do_not_match(self):
+        _, out = self._join([(None, "a")], [(None, "x")])
+        assert out == []
+
+    def test_bad_kind_rejected(self):
+        ctx = ExecContext()
+        src = RowsSource(ctx, [], Scope([(None, "a")]))
+        with pytest.raises(ExecutionError):
+            HashJoin(ctx, src, src, [], [], kind="full")
+
+    def test_memory_released_after_iteration(self):
+        ctx, out = self._join([(1, "a")], [(1, "x")] * 100)
+        assert ctx.allocated_bytes == 0
+        assert ctx.meter.peak_memory_bytes > 0
+
+
+class TestSemiAntiJoin:
+    def _semi(self, left_rows, right_rows, **kw):
+        ctx = ExecContext()
+        left = RowsSource(ctx, left_rows, Scope([("l", "k")]))
+        right = RowsSource(ctx, right_rows, Scope([("r", "k")]))
+        return list(HashSemiJoin(ctx, left, right, [col(0)], [col(0)], **kw).rows())
+
+    def test_semi(self):
+        assert self._semi([(1,), (2,)], [(1,)]) == [(1,)]
+
+    def test_semi_no_duplication(self):
+        assert self._semi([(1,)], [(1,), (1,)]) == [(1,)]
+
+    def test_anti(self):
+        assert self._semi([(1,), (2,)], [(1,)], anti=True) == [(2,)]
+
+    def test_null_aware_anti_poisoned_by_null(self):
+        assert self._semi([(1,)], [(None,), (2,)], anti=True, null_aware=True) == []
+
+    def test_anti_without_null_awareness(self):
+        assert self._semi([(1,)], [(None,), (2,)], anti=True) == [(1,)]
+
+    def test_null_probe_dropped(self):
+        assert self._semi([(None,)], [(1,)]) == []
+        assert self._semi([(None,)], [(1,)], anti=True) == []
+
+    def test_residual(self):
+        ctx = ExecContext()
+        left = RowsSource(ctx, [(1, 5), (1, 50)], Scope([("l", "k"), ("l", "v")]))
+        right = RowsSource(ctx, [(1, 10)], Scope([("r", "k"), ("r", "w")]))
+        out = list(
+            HashSemiJoin(
+                ctx, left, right, [col(0)], [col(0)],
+                residual=lambda row: row[1] > row[3],
+            ).rows()
+        )
+        assert out == [(1, 50)]
+
+
+class TestNestedLoop:
+    def test_cross(self):
+        ctx = ExecContext()
+        left = RowsSource(ctx, [(1,), (2,)], Scope([("l", "a")]))
+        right = RowsSource(ctx, [(10,), (20,)], Scope([("r", "b")]))
+        out = list(NestedLoopJoin(ctx, left, right, None).rows())
+        assert len(out) == 4
+
+    def test_condition(self):
+        ctx = ExecContext()
+        left = RowsSource(ctx, [(1,), (2,)], Scope([("l", "a")]))
+        right = RowsSource(ctx, [(1,), (2,)], Scope([("r", "b")]))
+        out = list(
+            NestedLoopJoin(ctx, left, right, lambda row: row[0] < row[1]).rows()
+        )
+        assert out == [(1, 2)]
+
+    def test_left_outer(self):
+        ctx = ExecContext()
+        left = RowsSource(ctx, [(1,), (9,)], Scope([("l", "a")]))
+        right = RowsSource(ctx, [(1,)], Scope([("r", "b")]))
+        out = list(
+            NestedLoopJoin(ctx, left, right, lambda row: row[0] == row[1], kind="left").rows()
+        )
+        assert out == [(1, 1), (9, None)]
+
+
+class TestAggregateDirect:
+    def _agg(self, rows, group_fns, specs):
+        ctx = ExecContext()
+        src = RowsSource(ctx, rows, Scope([(None, "g"), (None, "v")]))
+        scope = Scope([(None, f"o{i}") for i in range(len(group_fns) + len(specs))])
+        return list(Aggregate(ctx, src, group_fns, specs, scope).rows())
+
+    def test_grouped(self):
+        out = self._agg(
+            [("a", 1), ("a", 2), ("b", 5)],
+            [col(0)],
+            [AggSpec("sum", col(1), False), AggSpec("count_star", None, False)],
+        )
+        assert sorted(out) == [("a", 3, 2), ("b", 5, 1)]
+
+    def test_global_empty_input(self):
+        out = self._agg([], [], [AggSpec("sum", col(1), False), AggSpec("count_star", None, False)])
+        assert out == [(None, 0)]
+
+    def test_min_max_ignore_nulls(self):
+        out = self._agg(
+            [("a", None), ("a", 3), ("a", 1)],
+            [col(0)],
+            [AggSpec("min", col(1), False), AggSpec("max", col(1), False),
+             AggSpec("count", col(1), False)],
+        )
+        assert out == [("a", 1, 3, 2)]
+
+    def test_avg(self):
+        out = self._agg(
+            [("a", 2), ("a", 4)], [col(0)], [AggSpec("avg", col(1), False)]
+        )
+        assert out == [("a", 3)]
+
+    def test_distinct_spec(self):
+        out = self._agg(
+            [("a", 1), ("a", 1), ("a", 2)],
+            [col(0)],
+            [AggSpec("sum", col(1), True)],
+        )
+        assert out == [("a", 3)]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExecutionError):
+            AggSpec("median", col(1), False)
+
+
+class TestSortLimitDistinct:
+    def test_sort_multi_key(self):
+        ctx, src = _source([(2, "b"), (1, "z"), (1, "a")], "n", "s")
+        out = list(Sort(ctx, src, [col(0), col(1)], [False, True]).rows())
+        assert out == [(1, "z"), (1, "a"), (2, "b")]
+
+    def test_sort_nulls_last_both_directions(self):
+        ctx, src = _source([(None,), (2,), (1,)], "n")
+        asc = list(Sort(ctx, src, [col(0)], [False]).rows())
+        assert asc == [(1,), (2,), (None,)]
+        ctx2, src2 = _source([(None,), (2,), (1,)], "n")
+        desc = list(Sort(ctx2, src2, [col(0)], [True]).rows())
+        assert desc == [(2,), (1,), (None,)]
+
+    def test_limit(self):
+        ctx, src = _source([(i,) for i in range(10)], "a")
+        assert len(list(Limit(ctx, src, 3).rows())) == 3
+        ctx2, src2 = _source([(1,)], "a")
+        assert list(Limit(ctx2, src2, 0).rows()) == []
+
+    def test_distinct(self):
+        ctx, src = _source([(1,), (1,), (2,)], "a")
+        assert list(Distinct(ctx, src).rows()) == [(1,), (2,)]
+
+    def test_sort_counts_ops(self):
+        ctx, src = _source([(i,) for i in range(100)], "a")
+        list(Sort(ctx, src, [col(0)], [False]).rows())
+        assert ctx.meter.sort_ops >= 100

@@ -1,0 +1,232 @@
+"""SQL storage: record codec, catalog, memory and paged stores."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import Rng
+from repro.errors import CatalogError, StorageError
+from repro.sql.catalog import Catalog, TableSchema
+from repro.sql.records import decode_row, encode_row, pack_page, unpack_page
+from repro.sql.stores import MemoryStore, PagedStore
+from repro.storage import BlockDevice, InMemoryAnchor, Pager, SecurePager
+
+sql_value = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=40),
+    st.dates(min_value=datetime.date(1, 1, 1)),
+)
+
+
+class TestRecords:
+    def test_roundtrip_all_types(self):
+        row = (1, -5, 2.5, "text", None, datetime.date(1995, 6, 17))
+        decoded, offset = decode_row(encode_row(row))
+        assert decoded == row
+        assert offset == len(encode_row(row))
+
+    def test_page_roundtrip(self):
+        rows = [(i, f"row{i}") for i in range(50)]
+        payload = pack_page([encode_row(r) for r in rows])
+        assert unpack_page(payload) == rows
+
+    def test_empty_page(self):
+        assert unpack_page(pack_page([])) == []
+        assert unpack_page(b"") == []
+
+    def test_bool_becomes_int(self):
+        decoded, _ = decode_row(encode_row((True, False)))
+        assert decoded == (1, 0)
+
+    def test_oversized_text_rejected(self):
+        with pytest.raises(StorageError):
+            encode_row(("x" * 70_000,))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(StorageError):
+            encode_row(([1, 2],))
+
+    def test_corrupt_tag_rejected(self):
+        data = bytes([1, 99])  # one column with unknown tag 99
+        with pytest.raises(StorageError):
+            decode_row(data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(row=st.lists(sql_value, max_size=10).map(tuple))
+    def test_roundtrip_property(self, row):
+        decoded, _ = decode_row(encode_row(row))
+        assert decoded == row
+
+
+class TestCatalog:
+    def _schema(self, name="t"):
+        return TableSchema(name=name, columns=[("a", "INTEGER"), ("b", "TEXT")])
+
+    def test_create_and_lookup(self):
+        cat = Catalog()
+        cat.create_table(self._schema())
+        assert cat.table("t").column_names == ["a", "b"]
+        assert cat.has_table("t")
+        assert not cat.has_table("u")
+
+    def test_duplicate_table_rejected(self):
+        cat = Catalog()
+        cat.create_table(self._schema())
+        with pytest.raises(CatalogError):
+            cat.create_table(self._schema())
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema(name="t", columns=[("a", "INTEGER"), ("a", "TEXT")])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema(name="t", columns=[("a", "BLOB")])
+
+    def test_drop(self):
+        cat = Catalog()
+        cat.create_table(self._schema())
+        cat.drop_table("t")
+        with pytest.raises(CatalogError):
+            cat.table("t")
+        with pytest.raises(CatalogError):
+            cat.drop_table("t")
+
+    def test_column_index_and_type(self):
+        schema = self._schema()
+        assert schema.column_index("b") == 1
+        assert schema.column_type("b") == "TEXT"
+        with pytest.raises(CatalogError):
+            schema.column_index("z")
+
+    def test_owner_of_column(self):
+        cat = Catalog()
+        cat.create_table(self._schema("t1"))
+        cat.create_table(
+            TableSchema(name="t2", columns=[("a", "INTEGER"), ("c", "TEXT")])
+        )
+        assert cat.owner_of_column("b") == "t1"
+        assert cat.owner_of_column("c") == "t2"
+        assert cat.owner_of_column("a") is None  # ambiguous
+        assert cat.owner_of_column("zzz") is None
+
+    def test_serialize_roundtrip(self):
+        cat = Catalog()
+        schema = self._schema()
+        schema.pages = [1, 5, 9]
+        schema.row_count = 42
+        cat.create_table(schema)
+        restored = Catalog.deserialize(cat.serialize())
+        assert restored.table("t").pages == [1, 5, 9]
+        assert restored.table("t").row_count == 42
+
+
+def _make_paged(secure: bool = False) -> PagedStore:
+    device = BlockDevice()
+    if secure:
+        rng = Rng("store")
+        pager = SecurePager(device, rng.bytes(32), InMemoryAnchor(), rng.fork("iv"))
+    else:
+        pager = Pager(device)
+    return PagedStore(pager)
+
+
+@pytest.mark.parametrize("make_store", [MemoryStore, _make_paged, lambda: _make_paged(True)],
+                         ids=["memory", "paged-plain", "paged-secure"])
+class TestStores:
+    def _schema(self):
+        return TableSchema(
+            name="t", columns=[("a", "INTEGER"), ("b", "TEXT"), ("c", "REAL")]
+        )
+
+    def test_insert_and_scan(self, make_store):
+        store = make_store()
+        store.create_table(self._schema())
+        store.insert_rows("t", [(1, "x", 1.5), (2, "y", 2.5)])
+        assert list(store.scan("t")) == [(1, "x", 1.5), (2, "y", 2.5)]
+        assert store.catalog.table("t").row_count == 2
+
+    def test_coercion_on_insert(self, make_store):
+        store = make_store()
+        store.create_table(self._schema())
+        store.insert_rows("t", [("7", 123, 1)])
+        assert list(store.scan("t")) == [(7, "123", 1.0)]
+
+    def test_wrong_width_rejected(self, make_store):
+        store = make_store()
+        store.create_table(self._schema())
+        with pytest.raises(StorageError):
+            store.insert_rows("t", [(1,)])
+
+    def test_replace_rows(self, make_store):
+        store = make_store()
+        store.create_table(self._schema())
+        store.insert_rows("t", [(i, "r", 0.0) for i in range(100)])
+        store.replace_rows("t", [(999, "only", 9.9)])
+        assert list(store.scan("t")) == [(999, "only", 9.9)]
+        assert store.catalog.table("t").row_count == 1
+
+    def test_scan_unknown_table(self, make_store):
+        store = make_store()
+        with pytest.raises(CatalogError):
+            list(store.scan("missing"))
+
+    def test_many_rows_span_pages(self, make_store):
+        store = make_store()
+        store.create_table(self._schema())
+        rows = [(i, "data" * 20, float(i)) for i in range(500)]
+        store.insert_rows("t", rows)
+        assert list(store.scan("t")) == rows
+
+
+class TestPagedStorePersistence:
+    def test_reopen_preserves_data(self):
+        device = BlockDevice()
+        store = PagedStore(Pager(device))
+        store.create_table(TableSchema(name="t", columns=[("a", "INTEGER")]))
+        store.insert_rows("t", [(1,), (2,)])
+        store.commit()
+
+        reopened = PagedStore(Pager(device))
+        assert list(reopened.scan("t")) == [(1,), (2,)]
+
+    def test_incremental_insert_reuses_last_page(self):
+        device = BlockDevice()
+        store = PagedStore(Pager(device))
+        store.create_table(TableSchema(name="t", columns=[("a", "INTEGER")]))
+        store.insert_rows("t", [(1,)])
+        pages_after_first = len(store.catalog.table("t").pages)
+        store.insert_rows("t", [(2,)])
+        assert len(store.catalog.table("t").pages) == pages_after_first
+        assert list(store.scan("t")) == [(1,), (2,)]
+
+    def test_replace_reuses_freed_pages(self):
+        device = BlockDevice()
+        store = PagedStore(Pager(device))
+        store.create_table(TableSchema(name="t", columns=[("a", "TEXT")]))
+        store.insert_rows("t", [("x" * 1000,) for _ in range(50)])
+        allocated_before = store.pager.page_count
+        store.replace_rows("t", [("y" * 1000,) for _ in range(50)])
+        assert store.pager.page_count == allocated_before  # freelist reuse
+
+    def test_row_larger_than_page_rejected(self):
+        store = _make_paged()
+        store.create_table(TableSchema(name="t", columns=[("a", "TEXT")]))
+        with pytest.raises(StorageError):
+            store.insert_rows("t", [("z" * 5000,)])
+
+    def test_secure_store_data_encrypted_at_rest(self):
+        device = BlockDevice()
+        rng = Rng("enc")
+        pager = SecurePager(device, rng.bytes(32), InMemoryAnchor(), rng.fork("iv"))
+        store = PagedStore(pager)
+        store.create_table(TableSchema(name="t", columns=[("secret", "TEXT")]))
+        store.insert_rows("t", [("CONFIDENTIAL-VALUE-123",)])
+        store.commit()
+        for pgno in range(device.num_pages):
+            assert b"CONFIDENTIAL-VALUE-123" not in device.raw_page(pgno)

@@ -1,0 +1,194 @@
+"""SQL value semantics: three-valued logic, comparisons, LIKE, dates."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExecutionError
+from repro.sql import values as V
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert V.sql_and(True, True) is True
+        assert V.sql_and(True, False) is False
+        assert V.sql_and(False, None) is False  # False dominates
+        assert V.sql_and(None, False) is False
+        assert V.sql_and(True, None) is None
+        assert V.sql_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert V.sql_or(False, False) is False
+        assert V.sql_or(True, None) is True  # True dominates
+        assert V.sql_or(None, True) is True
+        assert V.sql_or(False, None) is None
+        assert V.sql_or(None, None) is None
+
+    def test_not(self):
+        assert V.sql_not(True) is False
+        assert V.sql_not(False) is True
+        assert V.sql_not(None) is None
+
+    def test_is_true(self):
+        assert V.is_true(True)
+        assert not V.is_true(False)
+        assert not V.is_true(None)
+
+
+class TestComparisons:
+    def test_null_propagation(self):
+        for fn in (V.sql_eq, V.sql_ne, V.sql_lt, V.sql_le, V.sql_gt, V.sql_ge):
+            assert fn(None, 1) is None
+            assert fn(1, None) is None
+
+    def test_numeric_cross_type(self):
+        assert V.sql_eq(1, 1.0) is True
+        assert V.sql_lt(1, 1.5) is True
+
+    def test_strings(self):
+        assert V.sql_lt("apple", "banana") is True
+        assert V.sql_eq("a", "a") is True
+
+    def test_dates(self):
+        a, b = datetime.date(2020, 1, 1), datetime.date(2021, 1, 1)
+        assert V.sql_lt(a, b) is True
+
+    def test_incompatible_types_rejected(self):
+        with pytest.raises(ExecutionError):
+            V.sql_eq(1, "one")
+        with pytest.raises(ExecutionError):
+            V.sql_lt(datetime.date(2020, 1, 1), 5)
+
+
+class TestArithmetic:
+    def test_null_propagation(self):
+        for fn in (V.sql_add, V.sql_sub, V.sql_mul, V.sql_div, V.sql_mod, V.sql_concat):
+            assert fn(None, 1) is None
+            assert fn(1, None) is None
+
+    def test_integer_division_is_true_division(self):
+        assert V.sql_div(7, 2) == 3.5
+
+    def test_division_by_zero_is_null(self):
+        assert V.sql_div(1, 0) is None
+        assert V.sql_mod(1, 0) is None
+
+    def test_date_difference_in_days(self):
+        a, b = datetime.date(2020, 1, 10), datetime.date(2020, 1, 1)
+        assert V.sql_sub(a, b) == 9
+
+    def test_date_plus_number_rejected(self):
+        with pytest.raises(ExecutionError):
+            V.sql_add(datetime.date(2020, 1, 1), 5)
+
+    def test_concat(self):
+        assert V.sql_concat("a", "b") == "ab"
+
+    def test_negate(self):
+        assert V.sql_neg(5) == -5
+        assert V.sql_neg(None) is None
+
+
+class TestIntervals:
+    def test_day(self):
+        d = datetime.date(2020, 1, 31)
+        assert V.interval_shift(d, 1, "DAY", 1) == datetime.date(2020, 2, 1)
+        assert V.interval_shift(d, 31, "DAY", -1) == datetime.date(2019, 12, 31)
+
+    def test_month_clamps_day(self):
+        d = datetime.date(2020, 1, 31)
+        assert V.interval_shift(d, 1, "MONTH", 1) == datetime.date(2020, 2, 29)
+
+    def test_year(self):
+        d = datetime.date(2020, 2, 29)
+        assert V.interval_shift(d, 1, "YEAR", 1) == datetime.date(2021, 2, 28)
+
+    def test_null(self):
+        assert V.interval_shift(None, 1, "DAY", 1) is None
+
+    def test_unknown_unit(self):
+        with pytest.raises(ExecutionError):
+            V.interval_shift(datetime.date(2020, 1, 1), 1, "FORTNIGHT", 1)
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("hello", "hello", True),
+            ("hello", "h%", True),
+            ("hello", "%llo", True),
+            ("hello", "%ell%", True),
+            ("hello", "h_llo", True),
+            ("hello", "h__lo", True),
+            ("hello", "h___lo", False),
+            ("hello", "", False),
+            ("", "%", True),
+            ("a.b", "a.b", True),
+            ("axb", "a.b", False),  # '.' is literal, not regex
+            ("100%", "100%", True),
+            ("PROMO BURNISHED", "PROMO%", True),
+            ("special packages requests", "%special%requests%", True),
+        ],
+    )
+    def test_patterns(self, value, pattern, expected):
+        assert V.sql_like(value, pattern) is expected
+
+    def test_null(self):
+        assert V.sql_like(None, "%") is None
+        assert V.sql_like("x", None) is None
+
+
+class TestScalarFunctions:
+    def test_extract(self):
+        d = datetime.date(1998, 7, 15)
+        assert V.sql_extract("YEAR", d) == 1998
+        assert V.sql_extract("MONTH", d) == 7
+        assert V.sql_extract("DAY", d) == 15
+        assert V.sql_extract("YEAR", None) is None
+
+    def test_extract_type_error(self):
+        with pytest.raises(ExecutionError):
+            V.sql_extract("YEAR", 1998)
+
+    def test_substring(self):
+        assert V.sql_substring("abcdef", 2, 3) == "bcd"
+        assert V.sql_substring("abcdef", 2) == "bcdef"
+        assert V.sql_substring("abc", 10, 2) == ""
+        assert V.sql_substring(None, 1) is None
+
+    def test_builtin_functions(self):
+        f = V.SCALAR_FUNCTIONS
+        assert f["abs"](-3) == 3
+        assert f["round"](3.14159, 2) == 3.14
+        assert f["lower"]("ABC") == "abc"
+        assert f["upper"]("abc") == "ABC"
+        assert f["length"]("abcd") == 4
+        assert f["coalesce"](None, None, 7, 8) == 7
+        assert f["coalesce"](None) is None
+
+    def test_coerce(self):
+        assert V.coerce("5", "INTEGER") == 5
+        assert V.coerce(5, "REAL") == 5.0
+        assert V.coerce(5, "TEXT") == "5"
+        assert V.coerce("2020-01-01", "DATE") == datetime.date(2020, 1, 1)
+        assert V.coerce(None, "INTEGER") is None
+        with pytest.raises(ExecutionError):
+            V.coerce(1.5, "DATE")
+        with pytest.raises(ExecutionError):
+            V.coerce(1, "BLOB")
+
+    def test_row_byte_estimates(self):
+        small = V.estimate_row_bytes((1,))
+        big = V.estimate_row_bytes((1, "a long string value", 2.5))
+        assert big > small > 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=st.integers(), b=st.integers())
+def test_comparison_trichotomy(a, b):
+    results = [V.sql_lt(a, b), V.sql_eq(a, b), V.sql_gt(a, b)]
+    assert results.count(True) == 1

@@ -1,0 +1,155 @@
+"""ARM v9 Realms: isolation, attestation, and the smaller TCB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import Rng, verify_chain
+from repro.errors import AttestationError, EnclaveError, SecureBootError
+from repro.tee.trustzone import DeviceVendor, RealmManager
+
+
+@pytest.fixture()
+def booted():
+    vendor = DeviceVendor("v9-vendor", Rng(55))
+    device = vendor.provision_device("ccadev", location="eu-west")
+    device.secure_boot(
+        vendor.sign_firmware("rmm+optee", b"secure world with RMM", "9.0"),
+        vendor.sign_firmware("linux", b"untrusted normal world", "6.1"),
+    )
+    return vendor, device
+
+
+class TestRealmLifecycle:
+    def test_requires_boot(self):
+        vendor = DeviceVendor("cold-vendor", Rng(56))
+        cold = vendor.provision_device("cold", location="eu")
+        with pytest.raises(SecureBootError):
+            RealmManager(cold)
+
+    def test_create_and_lookup(self, booted):
+        _, device = booted
+        rmm = RealmManager(device)
+        realm = rmm.create_realm("engine", b"engine image")
+        assert rmm.realm("engine") is realm
+
+    def test_duplicate_rejected(self, booted):
+        _, device = booted
+        rmm = RealmManager(device)
+        rmm.create_realm("engine", b"x")
+        with pytest.raises(EnclaveError):
+            rmm.create_realm("engine", b"y")
+
+    def test_unknown_realm_rejected(self, booted):
+        _, device = booted
+        with pytest.raises(EnclaveError):
+            RealmManager(device).realm("ghost")
+
+    def test_measurement_tracks_image(self, booted):
+        _, device = booted
+        rmm = RealmManager(device)
+        a = rmm.create_realm("a", b"image v1")
+        b = rmm.create_realm("b", b"image v2")
+        assert a.measurement.digest != b.measurement.digest
+
+
+class TestRealmIsolation:
+    def test_normal_world_cannot_read(self, booted):
+        _, device = booted
+        realm = RealmManager(device).create_realm("engine", b"img")
+        realm.register_entry("store", lambda: realm.put("k", "secret"))
+        realm.enter("store")
+        with pytest.raises(EnclaveError):
+            realm.get("k")
+
+    def test_inside_access_works(self, booted):
+        _, device = booted
+        realm = RealmManager(device).create_realm("engine", b"img")
+
+        def roundtrip():
+            realm.put("k", 42)
+            return realm.get("k")
+
+        realm.register_entry("rt", roundtrip)
+        assert realm.enter("rt") == 42
+
+    def test_entries_count_transitions(self, booted):
+        _, device = booted
+        realm = RealmManager(device).create_realm("engine", b"img")
+        realm.register_entry("noop", lambda: None)
+        realm.enter("noop")
+        assert realm.meter.enclave_transitions == 2
+
+    def test_unknown_entry_rejected(self, booted):
+        _, device = booted
+        realm = RealmManager(device).create_realm("engine", b"img")
+        with pytest.raises(EnclaveError):
+            realm.enter("missing")
+
+
+class TestRealmAttestation:
+    def test_token_verifies_against_chain(self, booted):
+        vendor, device = booted
+        realm = RealmManager(device).create_realm("engine", b"img")
+        token = realm.attestation_token(b"challenge")
+        leaf = verify_chain(device.boot_state.certificate_chain, vendor.root_public_key)
+        assert leaf.public_key.verify(token.signed_payload(), token.signature)
+        assert token.report_data == b"cca-realm-token"
+
+    def test_token_quotes_realm_not_os(self, booted):
+        _, device = booted
+        realm = RealmManager(device).create_realm("engine", b"img")
+        token = realm.attestation_token(b"c")
+        assert token.measurement.digest != device.boot_state.normal_world_measurement.digest
+
+
+class TestRealmDeployment:
+    def test_modified_os_still_attests_in_realm_mode(self):
+        """The whole point: a patched normal-world OS no longer breaks
+        attestation, because only the realm image is quoted."""
+        from repro.core import Deployment
+        from repro.tpch import ALL_QUERIES
+
+        dep = Deployment(scale_factor=0.0005, seed=12, armv9_realms=True,
+                         storage_fw_version="6.1")
+        dep.attest_all()
+        result = dep.run_query(ALL_QUERIES[6].sql, "scs")
+        assert result.rows is not None
+
+    def test_modified_realm_image_rejected(self):
+        from repro.core import Deployment
+
+        dep = Deployment(scale_factor=0.0005, seed=13, armv9_realms=True)
+        backdoored = dep.storage_engine._rmm.create_realm(
+            "evil-engine", b"engine + backdoor"
+        )
+        challenge = dep.rng.bytes(16)
+        token = backdoored.attestation_token(challenge)
+        with pytest.raises(AttestationError):
+            dep.attestation.attest_storage(
+                token, dep.tz_device.boot_state.certificate_chain, challenge
+            )
+
+    def test_tcb_shrinks(self):
+        from repro.core import Deployment
+
+        classic = Deployment(scale_factor=0.0005, seed=14)
+        realms = Deployment(scale_factor=0.0005, seed=14, armv9_realms=True)
+        assert realms.tcb_bytes() < classic.tcb_bytes()
+        classic_components = {c["component"] for c in classic.tcb_report() if c["trusted"]}
+        realm_components = {c["component"] for c in realms.tcb_report() if c["trusted"]}
+        assert any("OS" in c or "normal world" in c for c in classic_components)
+        assert not any("OS" in c for c in realm_components)
+
+    def test_realm_mode_slightly_slower(self):
+        from repro.core import Deployment
+        from repro.tpch import ALL_QUERIES
+
+        classic = Deployment(scale_factor=0.0005, seed=15)
+        classic.attest_all()
+        realms = Deployment(scale_factor=0.0005, seed=15, armv9_realms=True)
+        realms.attest_all()
+        a = classic.run_query(ALL_QUERIES[6].sql, "sos")
+        b = realms.run_query(ALL_QUERIES[6].sql, "sos")
+        assert sorted(a.rows) == sorted(b.rows)
+        assert a.total_ms < b.total_ms <= a.total_ms * 1.15

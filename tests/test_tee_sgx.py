@@ -1,0 +1,240 @@
+"""Simulated SGX: enclaves, isolation, sealing, quotes and the IAS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import Rng
+from repro.errors import AttestationError, EnclaveError, SealingError
+from repro.sim import CostModel, SimClock
+from repro.tee.sgx import IntelAttestationService, SgxPlatform, check_report
+
+
+@pytest.fixture()
+def platform():
+    return SgxPlatform("plat-1", SimClock(), CostModel(), Rng(1))
+
+
+@pytest.fixture()
+def ias_setup():
+    rng = Rng(2)
+    ias = IntelAttestationService(rng)
+    platform = SgxPlatform("plat-2", SimClock(), CostModel(), rng)
+    ias.register_platform("plat-2", platform.attestation_key.public_key)
+    return ias, platform
+
+
+class TestEnclaveLifecycle:
+    def test_measurement_depends_on_code(self, platform):
+        a = platform.create_enclave("a", b"code v1")
+        b = platform.create_enclave("b", b"code v2")
+        assert a.measurement.digest != b.measurement.digest
+
+    def test_same_code_same_measurement(self, platform):
+        a = platform.create_enclave("a", b"identical")
+        b = platform.create_enclave("b", b"identical")
+        assert a.measurement.digest == b.measurement.digest
+
+    def test_duplicate_name_rejected(self, platform):
+        platform.create_enclave("dup", b"x")
+        with pytest.raises(EnclaveError):
+            platform.create_enclave("dup", b"y")
+
+    def test_destroyed_enclave_unusable(self, platform):
+        enclave = platform.create_enclave("gone", b"x")
+        platform.destroy_enclave("gone")
+        with pytest.raises(EnclaveError):
+            enclave.ecall("anything")
+
+    def test_destroy_unknown_rejected(self, platform):
+        with pytest.raises(EnclaveError):
+            platform.destroy_enclave("ghost")
+
+
+class TestIsolation:
+    def test_outside_read_rejected(self, platform):
+        enclave = platform.create_enclave("iso", b"x")
+        enclave.register_ecall("store", lambda: enclave.put("secret", 42, 8))
+        enclave.ecall("store")
+        with pytest.raises(EnclaveError, match="untrusted"):
+            enclave.get("secret")
+
+    def test_outside_write_rejected(self, platform):
+        enclave = platform.create_enclave("iso2", b"x")
+        with pytest.raises(EnclaveError):
+            enclave.put("planted", "evil")
+
+    def test_inside_access_works(self, platform):
+        enclave = platform.create_enclave("iso3", b"x")
+
+        def roundtrip():
+            enclave.put("k", "v", 16)
+            return enclave.get("k")
+
+        enclave.register_ecall("rt", roundtrip)
+        assert enclave.ecall("rt") == "v"
+
+    def test_memory_accounting(self, platform):
+        enclave = platform.create_enclave("mem", b"x")
+
+        def allocate():
+            enclave.put("blob", bytes(100), 1000)
+
+        enclave.register_ecall("alloc", allocate)
+        enclave.ecall("alloc")
+        assert enclave.memory_in_use == 1000
+        assert enclave.meter.peak_memory_bytes >= 1000
+
+        def free():
+            enclave.drop("blob", 1000)
+
+        enclave.register_ecall("free", free)
+        enclave.ecall("free")
+        assert enclave.memory_in_use == 0
+
+    def test_wipe_clears_state(self, platform):
+        enclave = platform.create_enclave("wipe", b"x")
+
+        def setup():
+            enclave.put("a", 1, 10)
+            enclave.wipe()
+            return "a" in enclave._protected
+
+        enclave.register_ecall("s", setup)
+        assert enclave.ecall("s") is False
+        assert enclave.memory_in_use == 0
+
+
+class TestTransitions:
+    def test_ecall_counts_two_transitions(self, platform):
+        enclave = platform.create_enclave("t", b"x")
+        enclave.register_ecall("noop", lambda: None)
+        enclave.ecall("noop")
+        assert enclave.meter.enclave_transitions == 2
+
+    def test_ocall_counts_two_more(self, platform):
+        enclave = platform.create_enclave("t2", b"x")
+
+        def body():
+            return enclave.ocall(lambda: "outside result")
+
+        enclave.register_ecall("with_ocall", body)
+        assert enclave.ecall("with_ocall") == "outside result"
+        assert enclave.meter.enclave_transitions == 4
+
+    def test_ocall_outside_rejected(self, platform):
+        enclave = platform.create_enclave("t3", b"x")
+        with pytest.raises(EnclaveError):
+            enclave.ocall(lambda: None)
+
+    def test_unknown_ecall_rejected(self, platform):
+        enclave = platform.create_enclave("t4", b"x")
+        with pytest.raises(EnclaveError):
+            enclave.ecall("missing")
+
+    def test_ocall_leaves_then_reenters(self, platform):
+        enclave = platform.create_enclave("t5", b"x")
+        observed = {}
+
+        def body():
+            observed["inside_before"] = enclave.inside
+            enclave.ocall(lambda: observed.update(outside=enclave.inside))
+            observed["inside_after"] = enclave.inside
+
+        enclave.register_ecall("obs", body)
+        enclave.ecall("obs")
+        assert observed == {
+            "inside_before": True,
+            "outside": False,
+            "inside_after": True,
+        }
+
+
+class TestSealing:
+    def test_roundtrip(self, platform):
+        enclave = platform.create_enclave("seal", b"x")
+        assert enclave.unseal(enclave.seal(b"secret")) == b"secret"
+
+    def test_other_enclave_cannot_unseal(self, platform):
+        a = platform.create_enclave("a", b"code-a")
+        b = platform.create_enclave("b", b"code-b")
+        sealed = a.seal(b"for a only")
+        with pytest.raises(SealingError):
+            b.unseal(sealed)
+
+    def test_other_platform_cannot_unseal(self):
+        p1 = SgxPlatform("p1", SimClock(), CostModel(), Rng(5))
+        p2 = SgxPlatform("p2", SimClock(), CostModel(), Rng(6))
+        a = p1.create_enclave("same", b"identical code")
+        b = p2.create_enclave("same", b"identical code")
+        with pytest.raises(SealingError):
+            b.unseal(a.seal(b"bound to p1"))
+
+    def test_malformed_blob_rejected(self, platform):
+        enclave = platform.create_enclave("m", b"x")
+        with pytest.raises(SealingError):
+            enclave.unseal(b"not json at all")
+
+
+class TestAttestation:
+    def test_valid_quote_accepted(self, ias_setup):
+        ias, platform = ias_setup
+        enclave = platform.create_enclave("e", b"app")
+        report = ias.verify_quote(enclave.generate_quote(b"nonce"))
+        check_report(report, ias.report_signing_key)
+
+    def test_unregistered_platform_rejected(self, ias_setup):
+        ias, _ = ias_setup
+        rogue = SgxPlatform("rogue", SimClock(), CostModel(), Rng(7))
+        enclave = rogue.create_enclave("e", b"app")
+        report = ias.verify_quote(enclave.generate_quote(b"nonce"))
+        with pytest.raises(AttestationError):
+            check_report(report, ias.report_signing_key)
+
+    def test_revoked_platform_rejected(self, ias_setup):
+        ias, platform = ias_setup
+        enclave = platform.create_enclave("e", b"app")
+        ias.revoke_platform("plat-2")
+        report = ias.verify_quote(enclave.generate_quote(b"nonce"))
+        with pytest.raises(AttestationError):
+            check_report(report, ias.report_signing_key)
+
+    def test_tampered_quote_rejected(self, ias_setup):
+        ias, platform = ias_setup
+        enclave = platform.create_enclave("e", b"app")
+        quote = enclave.generate_quote(b"nonce")
+        forged = type(quote)(
+            measurement=quote.measurement,
+            challenge=b"different nonce",
+            report_data=quote.report_data,
+            platform_id=quote.platform_id,
+            signature=quote.signature,
+        )
+        report = ias.verify_quote(forged)
+        with pytest.raises(AttestationError):
+            check_report(report, ias.report_signing_key)
+
+    def test_forged_report_rejected(self, ias_setup):
+        ias, platform = ias_setup
+        enclave = platform.create_enclave("e", b"app")
+        report = ias.verify_quote(enclave.generate_quote(b"n"))
+        forged = type(report)(
+            quote_payload=report.quote_payload,
+            is_valid=True,
+            platform_id="someone-else",
+            signature=report.signature,
+        )
+        with pytest.raises(AttestationError):
+            check_report(forged, ias.report_signing_key)
+
+    def test_quote_binds_report_data(self, ias_setup):
+        _, platform = ias_setup
+        enclave = platform.create_enclave("e", b"app")
+        q1 = enclave.generate_quote(b"n", report_data=b"key-hash-1")
+        q2 = enclave.generate_quote(b"n", report_data=b"key-hash-2")
+        assert q1.signature != q2.signature
+
+    def test_double_platform_registration_rejected(self, ias_setup):
+        ias, platform = ias_setup
+        with pytest.raises(AttestationError):
+            ias.register_platform("plat-2", platform.attestation_key.public_key)

@@ -1,0 +1,270 @@
+"""Simulated TrustZone: secure boot, RPMB, trusted OS, TAs, attestation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import Rng, verify_chain
+from repro.errors import FreshnessError, RPMBError, SecureBootError, TEEError
+from repro.tee.trustzone import (
+    RPMB,
+    AttestationTA,
+    DeviceVendor,
+    RPMBClient,
+    SecureStorageTA,
+    TrustedApplication,
+    TrustedOS,
+)
+
+
+@pytest.fixture()
+def vendor():
+    return DeviceVendor("vendor-x", Rng(10))
+
+
+@pytest.fixture()
+def booted(vendor):
+    device = vendor.provision_device("dev-1", location="eu-west")
+    sw = vendor.sign_firmware("optee", b"secure world", "3.4")
+    nw = vendor.sign_firmware("linux", b"normal world", "5.4.3")
+    device.secure_boot(sw, nw)
+    return device
+
+
+class TestSecureBoot:
+    def test_boot_success(self, booted):
+        assert booted.booted
+        assert booted.boot_state.normal_world_measurement.digest
+
+    def test_unsigned_secure_world_refused(self, vendor):
+        device = vendor.provision_device("dev-2", location="eu")
+        from repro.tee.trustzone.device import FirmwareImage
+
+        unsigned = FirmwareImage("optee", b"evil secure world", "3.4", b"")
+        nw = vendor.sign_firmware("linux", b"nw", "5.4.3")
+        with pytest.raises(SecureBootError):
+            device.secure_boot(unsigned, nw)
+
+    def test_tampered_secure_world_refused(self, vendor):
+        device = vendor.provision_device("dev-3", location="eu")
+        sw = vendor.sign_firmware("optee", b"secure world", "3.4")
+        tampered = type(sw)(sw.name, b"secure world (patched)", sw.version, sw.signature)
+        nw = vendor.sign_firmware("linux", b"nw", "5.4.3")
+        with pytest.raises(SecureBootError):
+            device.secure_boot(tampered, nw)
+
+    def test_modified_normal_world_changes_measurement(self, vendor):
+        d1 = vendor.provision_device("d-a", location="eu")
+        d2 = vendor.provision_device("d-b", location="eu")
+        sw = vendor.sign_firmware("optee", b"sw", "3.4")
+        d1.secure_boot(sw, vendor.sign_firmware("linux", b"good image", "5.4.3"))
+        d2.secure_boot(sw, vendor.sign_firmware("linux", b"evil image", "5.4.3"))
+        assert (
+            d1.boot_state.normal_world_measurement.digest
+            != d2.boot_state.normal_world_measurement.digest
+        )
+
+    def test_boot_certificate_attributes(self, booted, vendor):
+        leaf = verify_chain(booted.boot_state.certificate_chain, vendor.root_public_key)
+        assert leaf.attributes["fw_version"] == "5.4.3"
+        assert leaf.attributes["location"] == "eu-west"
+        assert leaf.attributes["normal_world_hash"] == (
+            booted.boot_state.normal_world_measurement.hex()
+        )
+
+    def test_attestation_requires_boot(self, vendor):
+        device = vendor.provision_device("cold", location="eu")
+        with pytest.raises(SecureBootError):
+            device.sign_attestation(b"challenge")
+
+    def test_key_derivation_purpose_bound(self, booted):
+        assert booted.derive_key("a") != booted.derive_key("b")
+        assert booted.derive_key("a") == booted.derive_key("a")
+
+    def test_key_derivation_device_bound(self, vendor):
+        d1 = vendor.provision_device("kd-1", location="eu")
+        d2 = vendor.provision_device("kd-2", location="eu")
+        assert d1.derive_key("same") != d2.derive_key("same")
+
+
+class TestRPMB:
+    def test_key_programs_once(self):
+        rpmb = RPMB()
+        rpmb.program_key(bytes(32))
+        with pytest.raises(RPMBError):
+            rpmb.program_key(bytes(32))
+
+    def test_short_key_rejected(self):
+        with pytest.raises(RPMBError):
+            RPMB().program_key(b"short")
+
+    def test_client_roundtrip(self):
+        rpmb = RPMB()
+        client = RPMBClient(rpmb, bytes(range(32)))
+        client.write(0, b"hello rpmb")
+        assert client.read(0, b"nonce0123456789a") == b"hello rpmb"
+
+    def test_write_counter_increments(self):
+        rpmb = RPMB()
+        client = RPMBClient(rpmb, bytes(range(32)))
+        assert rpmb.write_counter == 0
+        client.write(0, b"a")
+        client.write(1, b"b")
+        assert rpmb.write_counter == 2
+
+    def test_replayed_write_rejected(self):
+        from repro.tee.trustzone.rpmb import _write_mac
+
+        rpmb = RPMB()
+        key = bytes(range(32))
+        RPMBClient(rpmb, key).write(0, b"v1")
+        # Replaying the same (counter=0) authenticated write must fail.
+        mac = _write_mac(key, 0, b"v1", 0)
+        with pytest.raises(RPMBError, match="stale"):
+            rpmb.authenticated_write(0, b"v1", 0, mac)
+
+    def test_forged_mac_rejected(self):
+        rpmb = RPMB()
+        rpmb.program_key(bytes(32))
+        with pytest.raises(RPMBError):
+            rpmb.authenticated_write(0, b"evil", 0, bytes(32))
+
+    def test_unprogrammed_access_rejected(self):
+        rpmb = RPMB()
+        with pytest.raises(RPMBError):
+            rpmb.authenticated_read(0, bytes(16))
+
+    def test_read_response_mac_binds_nonce(self):
+        rpmb = RPMB()
+        client = RPMBClient(rpmb, bytes(range(32)))
+        client.write(0, b"data")
+        response = rpmb.authenticated_read(0, b"nonce-A-........")
+        # Verifying against a different key must fail.
+        with pytest.raises(RPMBError):
+            response.verify(bytes(32))
+
+    def test_address_bounds(self):
+        rpmb = RPMB(num_blocks=4)
+        rpmb.program_key(bytes(32))
+        with pytest.raises(RPMBError):
+            rpmb.authenticated_read(4, bytes(16))
+
+    def test_oversized_block_rejected(self):
+        rpmb = RPMB()
+        client = RPMBClient(rpmb, bytes(range(32)))
+        with pytest.raises(RPMBError):
+            client.write(0, bytes(300))
+
+
+class TestTrustedOS:
+    def test_requires_boot(self, vendor):
+        cold = vendor.provision_device("cold-2", location="eu")
+        with pytest.raises(SecureBootError):
+            TrustedOS(cold)
+
+    def test_ta_dispatch(self, booted):
+        tos = TrustedOS(booted)
+        tos.load_ta(AttestationTA(booted))
+        quote, chain = tos.invoke("attestation", "attest", b"challenge-1")
+        assert quote.challenge == b"challenge-1"
+        assert len(chain) == 3
+
+    def test_smc_transitions_counted(self, booted):
+        tos = TrustedOS(booted)
+        tos.load_ta(AttestationTA(booted))
+        tos.invoke("attestation", "attest", b"c")
+        assert tos.meter.enclave_transitions == 2
+
+    def test_unknown_ta_rejected(self, booted):
+        tos = TrustedOS(booted)
+        with pytest.raises(TEEError):
+            tos.invoke("ghost", "cmd")
+
+    def test_unknown_command_rejected(self, booted):
+        tos = TrustedOS(booted)
+        tos.load_ta(AttestationTA(booted))
+        with pytest.raises(TEEError):
+            tos.invoke("attestation", "ghost-cmd")
+
+    def test_duplicate_ta_rejected(self, booted):
+        tos = TrustedOS(booted)
+        tos.load_ta(AttestationTA(booted))
+        with pytest.raises(TEEError):
+            tos.load_ta(AttestationTA(booted))
+
+
+class TestSecureStorageTA:
+    def _tos(self, device):
+        tos = TrustedOS(device)
+        tos.load_ta(SecureStorageTA(device))
+        return tos
+
+    def test_master_key_stable(self, booted):
+        tos = self._tos(booted)
+        k1 = tos.invoke("secure-storage", "get_master_key")
+        k2 = tos.invoke("secure-storage", "get_master_key")
+        assert k1 == k2
+        assert len(k1) == 32
+
+    def test_anchor_and_verify(self, booted):
+        tos = self._tos(booted)
+        tos.invoke("secure-storage", "anchor_root", b"root-1")
+        tos.invoke("secure-storage", "verify_root", b"root-1")
+
+    def test_rollback_detected(self, booted):
+        tos = self._tos(booted)
+        tos.invoke("secure-storage", "anchor_root", b"root-1")
+        tos.invoke("secure-storage", "anchor_root", b"root-2")
+        with pytest.raises(FreshnessError):
+            tos.invoke("secure-storage", "verify_root", b"root-1")
+
+    def test_epoch_monotonic(self, booted):
+        tos = self._tos(booted)
+        assert tos.invoke("secure-storage", "current_epoch") == 0
+        tos.invoke("secure-storage", "anchor_root", b"r1")
+        assert tos.invoke("secure-storage", "current_epoch") == 1
+        tos.invoke("secure-storage", "anchor_root", b"r2")
+        assert tos.invoke("secure-storage", "current_epoch") == 2
+
+    def test_unanchored_store_accepts_first_root(self, booted):
+        tos = self._tos(booted)
+        tos.invoke("secure-storage", "verify_root", b"anything")  # no anchor yet
+
+
+class TestAttestationProtocol:
+    def test_quote_verifies_against_chain(self, booted, vendor):
+        tos = TrustedOS(booted)
+        tos.load_ta(AttestationTA(booted))
+        quote, chain = tos.invoke("attestation", "attest", b"challenge-xyz")
+        leaf = verify_chain(chain, vendor.root_public_key)
+        assert leaf.public_key.verify(quote.signed_payload(), quote.signature)
+
+    def test_impersonation_fails(self, vendor):
+        """A device from another vendor cannot impersonate this fleet."""
+        other_vendor = DeviceVendor("mallory-inc", Rng(77))
+        rogue = other_vendor.provision_device("dev-1", location="eu-west")
+        sw = other_vendor.sign_firmware("optee", b"secure world", "3.4")
+        nw = other_vendor.sign_firmware("linux", b"normal world", "5.4.3")
+        rogue.secure_boot(sw, nw)
+        quote = rogue.sign_attestation(b"c")
+        chain = rogue.boot_state.certificate_chain
+        from repro.errors import CertificateError
+
+        with pytest.raises(CertificateError):
+            verify_chain(chain, vendor.root_public_key)
+        assert quote.platform_id == "dev-1"  # same id, but the chain fails
+
+
+class TestCustomTA:
+    def test_command_registration(self, booted):
+        class EchoTA(TrustedApplication):
+            name = "echo"
+
+            def _register_commands(self):
+                self.command("echo", lambda x: x)
+
+        tos = TrustedOS(booted)
+        tos.load_ta(EchoTA(booted))
+        assert tos.invoke("echo", "echo", "ping") == "ping"
+        assert tos.has_ta("echo")
+        assert not tos.has_ta("missing")

@@ -1,0 +1,222 @@
+"""TPC-H substrate: generator fidelity and query semantics."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.tpch import (
+    ALL_QUERIES,
+    EVALUATED_NUMBERS,
+    Cardinalities,
+    TPCHGenerator,
+    q1_with_selectivity,
+)
+from repro.tpch.dbgen import (
+    DATE_HI,
+    DATE_LO,
+    NATIONS,
+    PRIORITIES,
+    REGIONS,
+    SEGMENTS,
+    SHIP_MODES,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return TPCHGenerator(scale_factor=0.002, seed=7).generate_all()
+
+
+class TestCardinalities:
+    def test_scaling(self):
+        card = Cardinalities.for_scale(1.0)
+        assert card.supplier == 10_000
+        assert card.part == 200_000
+        assert card.customer == 150_000
+        assert card.orders == 1_500_000
+
+    def test_minimums_at_tiny_scale(self):
+        card = Cardinalities.for_scale(1e-9)
+        assert card.supplier >= 3
+        assert card.orders >= 10
+
+    def test_fixed_tables(self, data):
+        assert len(data["region"]) == 5
+        assert len(data["nation"]) == 25
+
+    def test_partsupp_four_per_part(self, data):
+        assert len(data["partsupp"]) == 4 * len(data["part"])
+
+    def test_lineitems_per_order(self, data):
+        per_order: dict[int, int] = {}
+        for row in data["lineitem"]:
+            per_order[row[0]] = per_order.get(row[0], 0) + 1
+        assert set(per_order) == {o[0] for o in data["orders"]}
+        assert all(1 <= n <= 7 for n in per_order.values())
+
+
+class TestReferentialIntegrity:
+    def test_nation_region_fk(self, data):
+        regions = {r[0] for r in data["region"]}
+        assert all(n[2] in regions for n in data["nation"])
+
+    def test_supplier_nation_fk(self, data):
+        nations = {n[0] for n in data["nation"]}
+        assert all(s[3] in nations for s in data["supplier"])
+
+    def test_orders_customer_fk(self, data):
+        customers = {c[0] for c in data["customer"]}
+        assert all(o[1] in customers for o in data["orders"])
+
+    def test_lineitem_fks(self, data):
+        parts = {p[0] for p in data["part"]}
+        suppliers = {s[0] for s in data["supplier"]}
+        orders = {o[0] for o in data["orders"]}
+        partsupp = {(ps[0], ps[1]) for ps in data["partsupp"]}
+        for li in data["lineitem"]:
+            assert li[0] in orders
+            assert li[1] in parts
+            assert li[2] in suppliers
+            # dbgen invariant: the lineitem's supplier stocks its part.
+            assert (li[1], li[2]) in partsupp
+
+    def test_primary_keys_unique(self, data):
+        for table, key_width in [("supplier", 1), ("customer", 1), ("part", 1), ("orders", 1)]:
+            keys = [row[:key_width] for row in data[table]]
+            assert len(keys) == len(set(keys)), table
+        li_keys = [(r[0], r[3]) for r in data["lineitem"]]
+        assert len(li_keys) == len(set(li_keys))
+
+
+class TestValueDomains:
+    def test_categoricals(self, data):
+        assert {r[1] for r in data["region"]} == set(REGIONS)
+        assert {n[1] for n in data["nation"]} == {n for n, _ in NATIONS}
+        assert {c[6] for c in data["customer"]} <= set(SEGMENTS)
+        assert {o[5] for o in data["orders"]} <= set(PRIORITIES)
+        assert {li[14] for li in data["lineitem"]} <= set(SHIP_MODES)
+
+    def test_part_brand_format(self, data):
+        for p in data["part"]:
+            assert p[3].startswith("Brand#")
+            brand_num = int(p[3].removeprefix("Brand#"))
+            assert 11 <= brand_num <= 55
+
+    def test_part_size_range(self, data):
+        assert all(1 <= p[5] <= 50 for p in data["part"])
+
+    def test_lineitem_numeric_domains(self, data):
+        for li in data["lineitem"]:
+            assert 1 <= li[4] <= 50  # quantity
+            assert 0 <= li[6] <= 0.10  # discount
+            assert 0 <= li[7] <= 0.08  # tax
+            assert li[8] in ("R", "A", "N")
+            assert li[9] in ("F", "O")
+
+    def test_date_relationships(self, data):
+        orders_by_key = {o[0]: o for o in data["orders"]}
+        for li in data["lineitem"]:
+            order_date = orders_by_key[li[0]][4]
+            ship, commit, receipt = li[10], li[11], li[12]
+            assert order_date < ship
+            assert ship < receipt
+            assert DATE_LO <= order_date <= DATE_HI
+
+    def test_order_status_consistent_with_lines(self, data):
+        lines_by_order: dict[int, list] = {}
+        for li in data["lineitem"]:
+            lines_by_order.setdefault(li[0], []).append(li[9])
+        for o in data["orders"]:
+            statuses = set(lines_by_order[o[0]])
+            if statuses == {"F"}:
+                assert o[2] == "F"
+            elif statuses == {"O"}:
+                assert o[2] == "O"
+            else:
+                assert o[2] == "P"
+
+    def test_q16_complaint_suppliers_exist_at_scale(self):
+        rows = TPCHGenerator(scale_factor=0.05, seed=1).supplier()
+        assert any("Complaints" in r[6] for r in rows)
+
+    def test_q13_special_requests_exist_at_scale(self):
+        orders, _ = TPCHGenerator(scale_factor=0.005, seed=1).orders_and_lineitems()
+        assert any("special" in o[8] and "requests" in o[8] for o in orders)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = TPCHGenerator(0.001, seed=5).generate_all()
+        b = TPCHGenerator(0.001, seed=5).generate_all()
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = TPCHGenerator(0.001, seed=5).orders_and_lineitems()
+        b = TPCHGenerator(0.001, seed=6).orders_and_lineitems()
+        assert a != b
+
+
+class TestQueries:
+    def test_sixteen_evaluated(self):
+        assert EVALUATED_NUMBERS == [2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 13, 14, 16, 18, 19, 21]
+        assert 1 in ALL_QUERIES and len(ALL_QUERIES) == 17
+
+    def test_q1_selectivity_variant(self):
+        q = q1_with_selectivity(0.15)
+        assert "l_shipdate <= DATE '" in q.sql
+        with pytest.raises(ValueError):
+            q1_with_selectivity(0.0)
+        with pytest.raises(ValueError):
+            q1_with_selectivity(1.5)
+
+    def test_selectivity_monotone(self, tpch_memory_db):
+        counts = []
+        for s in (0.1, 0.3, 0.6):
+            q = q1_with_selectivity(s)
+            rows = tpch_memory_db.execute(
+                q.sql.split("GROUP BY")[0].replace(
+                    q.sql.split("FROM")[0], "SELECT count(*) "
+                )
+            )
+            counts.append(rows.scalar())
+        assert counts == sorted(counts)
+
+    @pytest.mark.parametrize("number", sorted(ALL_QUERIES))
+    def test_queries_run(self, tpch_memory_db, number):
+        result = tpch_memory_db.execute(ALL_QUERIES[number].sql)
+        assert result.columns  # executed and produced a shape
+
+    def test_q1_semantics(self, tpch_memory_db):
+        result = tpch_memory_db.execute(ALL_QUERIES[1].sql)
+        assert 1 <= len(result.rows) <= 6  # at most |returnflag| x |linestatus|
+        for row in result.rows:
+            assert row[0] in ("R", "A", "N")
+            assert row[1] in ("F", "O")
+            sum_qty, avg_qty, count = row[2], row[6], row[9]
+            assert avg_qty == pytest.approx(sum_qty / count)
+
+    def test_q6_equals_manual_computation(self, tpch_memory_db):
+        result = tpch_memory_db.execute(ALL_QUERIES[6].sql).scalar()
+        manual = 0.0
+        d0 = datetime.date(1994, 1, 1)
+        d1 = datetime.date(1995, 1, 1)
+        for li in tpch_memory_db.store.scan("lineitem"):
+            if d0 <= li[10] < d1 and 0.05 <= li[6] <= 0.07 and li[4] < 24:
+                manual += li[5] * li[6]
+        if manual == 0.0:
+            assert result is None or result == pytest.approx(0.0)
+        else:
+            assert result == pytest.approx(manual)
+
+    def test_q4_counts_match_exists_semantics(self, tpch_memory_db):
+        result = tpch_memory_db.execute(ALL_QUERIES[4].sql)
+        total = sum(row[1] for row in result.rows)
+        check = tpch_memory_db.execute(
+            "SELECT count(*) FROM orders WHERE o_orderdate >= DATE '1993-07-01' "
+            "AND o_orderdate < DATE '1993-10-01' AND EXISTS ("
+            "SELECT * FROM lineitem WHERE l_orderkey = o_orderkey "
+            "AND l_commitdate < l_receiptdate)"
+        ).scalar()
+        assert total == check
