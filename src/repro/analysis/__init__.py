@@ -1,0 +1,40 @@
+"""Security-lint and architecture-conformance framework for the reproduction.
+
+IronSafe's guarantees (constant-time MAC checks, DRBG-only randomness,
+enclave-boundary isolation, audited monitor mutations) are invariants of
+the *source tree*, not of any single run — so they are enforced here, by a
+stdlib-only ``ast``-based analyzer that CI runs over ``src/repro`` on
+every change.
+
+Usage::
+
+    python -m repro.analysis src/repro --fail-on-findings
+    repro-lint --list-rules
+
+The framework is deliberately self-contained: it imports nothing from the
+rest of ``repro`` (rule ARCH001 enforces that, on itself), so it can lint
+a tree that does not even import cleanly.
+"""
+
+from .baseline import Baseline
+from .engine import AnalysisResult, Analyzer, ModuleContext
+from .findings import Finding, Severity
+from .importgraph import ImportGraph
+from .registry import Rule, all_rules, get_rule, register
+
+# Importing the rule modules registers every built-in rule.
+from . import rules as _rules  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "AnalysisResult",
+    "Analyzer",
+    "Baseline",
+    "Finding",
+    "ImportGraph",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "register",
+]

@@ -1,0 +1,61 @@
+"""JSON baseline of grandfathered findings.
+
+A baseline lets the analyzer gate *new* violations while an old one is
+being paid down: findings whose (rule, path, message) triple appears in
+the baseline file are reported as grandfathered instead of failing the
+run.  Line numbers are deliberately not part of the identity so that
+unrelated edits do not resurrect entries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Set of grandfathered finding identities."""
+
+    entries: set[tuple[str, str, str]] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path}: unsupported version {data.get('version')!r}"
+            )
+        entries = {
+            (item["rule"], item["path"].replace("\\", "/"), item["message"])
+            for item in data.get("findings", [])
+        }
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls({f.baseline_key() for f in findings})
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.baseline_key() in self.entries
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, grandfathered)."""
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in findings:
+            (old if self.contains(finding) else new).append(finding)
+        return new, old
+
+    def dump(self, path: str | Path) -> None:
+        items = [
+            {"rule": rule, "path": rel, "message": message}
+            for rule, rel, message in sorted(self.entries)
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": items}
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,150 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit status: 0 when clean (or when findings exist but
+``--fail-on-findings`` was not requested), 1 when findings remain after
+suppressions and baseline filtering and ``--fail-on-findings`` is set,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import Baseline
+from .engine import Analyzer
+from .registry import all_rules, select_rules
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Security-lint and architecture-conformance checks "
+        "for the IronSafe reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to analyze (default: {DEFAULT_PATHS[0]})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings to ignore",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings to FILE as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--fail-on-findings",
+        action="store_true",
+        help="exit 1 if any non-grandfathered finding remains",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by '# lint: disable=...' comments",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe every registered rule"
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.rule_id}  {rule.title}")
+        print(f"        {rule.rationale}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+
+    paths = args.paths or [p for p in DEFAULT_PATHS if Path(p).exists()]
+    if not paths:
+        print("repro-lint: no paths given and default src/repro not found", file=sys.stderr)
+        return 2
+
+    try:
+        selected = (
+            select_rules([r.strip() for r in args.select.split(",") if r.strip()])
+            if args.select
+            else None
+        )
+    except KeyError as exc:
+        print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"repro-lint: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        result = Analyzer(rules=selected).run(paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).dump(args.write_baseline)
+        print(
+            f"wrote baseline with {len(result.findings)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        payload = {
+            "modules_analyzed": result.modules_analyzed,
+            "findings": [f.to_json() for f in result.findings],
+            "grandfathered": [f.to_json() for f in result.grandfathered],
+            "suppressed": [f.to_json() for f in result.suppressed]
+            if args.show_suppressed
+            else len(result.suppressed),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        if args.show_suppressed:
+            for finding in result.suppressed:
+                print(f"{finding.render()}  (suppressed)")
+        tail = (
+            f"{result.modules_analyzed} module(s), "
+            f"{len(result.findings)} finding(s), "
+            f"{len(result.grandfathered)} grandfathered, "
+            f"{len(result.suppressed)} suppressed"
+        )
+        print(tail)
+
+    if result.findings and args.fail_on_findings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

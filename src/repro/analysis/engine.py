@@ -1,0 +1,147 @@
+"""Analysis driver: walk paths, parse modules, run rules, filter output.
+
+Two passes: the first parses every file and feeds the import graph (so
+architecture rules see the whole tree before judging any module), the
+second runs each rule over each module and applies per-line suppressions
+and the optional baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import Baseline
+from .findings import Finding, Severity
+from .importgraph import ImportGraph, module_name_for
+from .registry import Rule, select_rules
+from .suppressions import line_suppressions
+
+SKIP_DIR_SUFFIXES = (".egg-info",)
+SKIP_DIR_NAMES = {"__pycache__", ".git", ".pytest_cache", ".hypothesis"}
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one module."""
+
+    path: Path
+    relpath: str  # as reported in findings / baselines (posix separators)
+    module: str | None  # dotted name, None for loose scripts
+    is_package: bool  # True for __init__.py files
+    tree: ast.Module
+    lines: list[str]
+    graph: ImportGraph
+
+    @property
+    def subpackage(self) -> str | None:
+        """Top-level ``repro`` subpackage this module belongs to."""
+        from .importgraph import top_subpackage
+
+        return top_subpackage(self.module) if self.module else None
+
+
+@dataclass
+class AnalysisResult:
+    findings: list[Finding] = field(default_factory=list)
+    grandfathered: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    modules_analyzed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def collect_files(paths: list[str | Path]) -> list[Path]:
+    """Expand the CLI path arguments into a sorted list of .py files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if _skippable(candidate):
+                    continue
+                files.add(candidate)
+        elif path.is_file() and path.suffix == ".py":
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return sorted(files)
+
+
+def _skippable(path: Path) -> bool:
+    for part in path.parts[:-1]:
+        if part in SKIP_DIR_NAMES or part.endswith(SKIP_DIR_SUFFIXES):
+            return True
+    return False
+
+
+class Analyzer:
+    """Run a rule set over a file tree."""
+
+    def __init__(self, rules: list[Rule] | None = None, root: Path | None = None):
+        self.rules = rules if rules is not None else select_rules()
+        self.root = Path(root) if root is not None else Path.cwd()
+
+    def run(self, paths: list[str | Path], baseline: Baseline | None = None) -> AnalysisResult:
+        result = AnalysisResult()
+        contexts: list[ModuleContext] = []
+        graph = ImportGraph()
+
+        # Pass 1: parse everything, build the import graph.
+        for path in collect_files(paths):
+            relpath = self._relpath(path)
+            try:
+                source = path.read_text()
+                tree = ast.parse(source, filename=str(path))
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                result.findings.append(
+                    Finding(
+                        rule_id="PARSE",
+                        path=relpath,
+                        line=getattr(exc, "lineno", None) or 1,
+                        col=(getattr(exc, "offset", None) or 0) + 1,
+                        message=f"file could not be analyzed: {exc.__class__.__name__}: {exc}",
+                    )
+                )
+                continue
+            module = module_name_for(path)
+            is_package = path.name == "__init__.py"
+            graph.add_module(module, tree, is_package=is_package)
+            contexts.append(
+                ModuleContext(
+                    path=path,
+                    relpath=relpath,
+                    module=module,
+                    is_package=is_package,
+                    tree=tree,
+                    lines=source.splitlines(),
+                    graph=graph,
+                )
+            )
+
+        # Pass 2: rules, then suppressions.
+        for ctx in contexts:
+            result.modules_analyzed += 1
+            suppress_table = line_suppressions(ctx.lines)
+            for rule in self.rules:
+                for finding in rule.check(ctx):
+                    rules_here = suppress_table.get(finding.line, frozenset())
+                    if finding.rule_id.upper() in rules_here or "ALL" in rules_here:
+                        result.suppressed.append(finding)
+                    else:
+                        result.findings.append(finding)
+
+        if baseline is not None:
+            result.findings, result.grandfathered = baseline.split(result.findings)
+        result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return result
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            rel = path.resolve().relative_to(self.root.resolve())
+        except ValueError:
+            rel = path
+        return rel.as_posix()

@@ -1,0 +1,57 @@
+"""The unit of analyzer output: one finding at one source location."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ``error`` gates CI, ``warning`` informs."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is the path exactly as the analyzer walked it (normally
+    relative to the invocation directory) so findings are stable across
+    machines and usable as baseline entries.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = field(default=Severity.ERROR)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity.value,
+        }
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching.
+
+        Deliberately excludes line/column so grandfathered findings do not
+        resurface when unrelated edits shift the file.
+        """
+        return (self.rule_id, self.path.replace("\\", "/"), self.message)

@@ -1,0 +1,9 @@
+"""Built-in rule families.
+
+Importing this package registers every rule with the registry; the
+engine then discovers them via :func:`repro.analysis.registry.all_rules`.
+"""
+
+from . import architecture, security  # noqa: F401  (import for side effect)
+
+__all__ = ["architecture", "security"]

@@ -1,0 +1,203 @@
+"""Architecture-conformance rules (ARCH001–ARCH003).
+
+The reproduction's trust argument depends on its layering: ``crypto`` is
+the bottom of the TCB, enclave internals are reachable only through the
+deployment/channel layer, and every monitor mutation leaves an audit
+trace.  These rules pin that structure so a refactor cannot silently
+invert it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..importgraph import top_subpackage
+from ..registry import Rule, register
+
+# Allowed repro-internal dependencies per top-level subpackage.  "errors"
+# is the shared bottom; a package absent from this table is unconstrained
+# (new packages opt in by adding a row).
+LAYERING: dict[str, frozenset[str]] = {
+    "errors": frozenset(),
+    "crypto": frozenset({"errors"}),
+    "sim": frozenset({"errors"}),
+    "sql": frozenset({"errors", "sim"}),
+    "storage": frozenset({"errors", "sim", "crypto"}),
+    "tee": frozenset({"errors", "sim", "crypto"}),
+    "policy": frozenset({"errors", "sql"}),
+    "monitor": frozenset({"errors", "sim", "crypto", "sql", "policy", "tee"}),
+    "tpch": frozenset({"errors", "crypto", "sql"}),
+    "core": frozenset(
+        {"errors", "sim", "crypto", "sql", "storage", "tee", "policy", "monitor", "tpch"}
+    ),
+    "gdpr": frozenset(
+        {"errors", "sim", "crypto", "sql", "storage", "policy", "monitor", "core"}
+    ),
+    "bench": frozenset({"errors", "sim", "crypto", "sql", "tpch", "core"}),
+    # The analyzer lints trees that may not import; it depends on nothing.
+    "analysis": frozenset(),
+}
+
+# Class names that are enclave/secure-storage internals: only the trusted
+# assembly layer may touch them; untrusted code goes through core.channel
+# or the Deployment API.
+ENCLAVE_INTERNALS = frozenset(
+    {
+        "SecurePager",
+        "TAAnchor",
+        "Enclave",
+        "TrustedOS",
+        "TrustedApplication",
+        "SecureStorageTA",
+        "AttestationTA",
+        "RPMB",
+        "RPMBClient",
+        "TrustZoneDevice",
+        "RealmManager",
+    }
+)
+TRUSTED_SUBPACKAGES = frozenset({"storage", "tee", "monitor", "core"})
+
+# Monitor methods whose name starts with one of these verbs mutate
+# monitor state and must leave an audit-log trace.
+MUTATION_PREFIXES = ("register_", "provision_", "revoke", "rotate_", "finish_", "delete_")
+AUDIT_CALL_NAMES = frozenset({"_audit", "append", "audit_log"})
+
+
+@register
+class LayeringViolation(Rule):
+    """Module imports a subpackage its layer may not depend on.
+
+    Keeps the TCB partial order acyclic and honest: ``crypto`` must stay
+    importable inside the most constrained TEE (so it cannot pull in
+    ``monitor``/``core``), and the ``sql`` engine runs inside enclaves on
+    both sides of the channel, so it may never reach back into ``tee``.
+    """
+
+    rule_id = "ARCH001"
+    title = "package layering violation"
+    rationale = "the TCB dependency order is part of the trust argument"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        subpackage = ctx.subpackage
+        if ctx.module is None or subpackage is None:
+            return
+        allowed = LAYERING.get(subpackage)
+        if allowed is None:
+            return
+        for record in ctx.graph.imports_of(ctx.module):
+            target = top_subpackage(record.module)
+            if target is None:
+                # Importing the bare "repro" package root from inside a
+                # subpackage would also invert the layering.
+                if record.module == "repro" and subpackage != "analysis":
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        path=ctx.relpath,
+                        line=record.lineno,
+                        col=record.col,
+                        message=f"'{subpackage}' imports the repro package root; "
+                        "import the concrete subpackage instead",
+                    )
+                continue
+            if target == subpackage or target in allowed:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.relpath,
+                line=record.lineno,
+                col=record.col,
+                message=(
+                    f"'{subpackage}' may not import 'repro.{target}' "
+                    f"(allowed: {', '.join(sorted(allowed)) or 'nothing'})"
+                ),
+            )
+
+
+@register
+class EnclaveBoundaryViolation(Rule):
+    """Untrusted module reaches into enclave / secure-storage internals.
+
+    ``SecurePager``, ``Enclave``, the TrustZone TAs and the RPMB are
+    inside the trust boundary; host-side and workload code must cross it
+    only through ``repro.core.channel`` (MAC'd messages) or the
+    ``Deployment`` API, exactly like the hardware would force it to.
+    """
+
+    rule_id = "ARCH002"
+    title = "enclave internals referenced outside the trusted layer"
+    rationale = "the enclave boundary is only real if no code bypasses it"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        subpackage = ctx.subpackage
+        if subpackage is None or subpackage in TRUSTED_SUBPACKAGES:
+            return
+        if subpackage == "analysis":
+            return  # the linter names these classes in its own tables
+        for node in ast.walk(ctx.tree):
+            name: str | None = None
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in ENCLAVE_INTERNALS:
+                        name = alias.name
+                        break
+            elif isinstance(node, ast.Name) and node.id in ENCLAVE_INTERNALS:
+                name = node.id
+            elif isinstance(node, ast.Attribute) and node.attr in ENCLAVE_INTERNALS:
+                name = node.attr
+            if name is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"untrusted package '{subpackage}' references enclave-internal "
+                    f"'{name}'; go through repro.core.channel or the Deployment API",
+                )
+
+
+@register
+class UnauditedMonitorMutation(Rule):
+    """Monitor state mutated without an audit-log append.
+
+    The paper's transparency obligation (and GDPR Art. 30) requires the
+    trusted monitor to record provisioning, registration and revocation —
+    not just queries.  Any ``register_*``/``provision_*``/``revoke*``/...
+    method on a ``*Monitor`` class must append to an audit log (directly
+    or via an ``_audit`` helper).
+    """
+
+    rule_id = "ARCH003"
+    title = "monitor mutation without audit-log append"
+    rationale = "unaudited mutations break the tamper-evident history"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if ctx.subpackage != "monitor":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or "Monitor" not in node.name:
+                continue
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not item.name.startswith(MUTATION_PREFIXES):
+                    continue
+                if self._audits(item):
+                    continue
+                yield self.finding(
+                    ctx,
+                    item,
+                    f"{node.name}.{item.name} mutates monitor state but never "
+                    "appends to an audit log",
+                )
+
+    @staticmethod
+    def _audits(func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                callee = node.func
+                if isinstance(callee, ast.Attribute) and callee.attr in AUDIT_CALL_NAMES:
+                    return True
+                if isinstance(callee, ast.Name) and callee.id in AUDIT_CALL_NAMES:
+                    return True
+        return False

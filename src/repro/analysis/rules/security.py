@@ -1,0 +1,297 @@
+"""Security-hygiene rules (SEC001–SEC005).
+
+These encode the paper's side-channel and key-management discipline as
+machine-checked invariants: MAC/digest comparisons must be constant-time,
+randomness must flow through the deterministic DRBG, and the tree must
+stay free of deserialization/exec gadgets, swallowed security errors and
+hard-coded secrets.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Rule, register
+
+_CAMEL = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def name_segments(identifier: str) -> frozenset[str]:
+    """Lower-cased word segments of a snake_case / CamelCase identifier."""
+    spaced = _CAMEL.sub("_", identifier)
+    return frozenset(seg for seg in re.split(r"[^a-zA-Z]+", spaced.lower()) if seg)
+
+
+def operand_identifier(node: ast.AST) -> str | None:
+    """Best-effort identifier for one side of a comparison."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return operand_identifier(node.func)
+    if isinstance(node, ast.Subscript):
+        return operand_identifier(node.value)
+    if isinstance(node, ast.Starred):
+        return operand_identifier(node.value)
+    return None
+
+
+@register
+class ConstantTimeComparison(Rule):
+    """Digest/MAC/signature material compared with ``==`` / ``!=``.
+
+    Verifier-side equality on authenticator bytes leaks the position of
+    the first mismatching byte through timing (the classic HMAC-forgery
+    oracle); the paper's integrity walk does one MAC check per page read,
+    so the oracle would be queryable at line rate.  Use
+    ``repro.crypto.constant_time_eq`` instead.
+
+    ``key`` and ``tag`` are deliberately *not* matched: in this tree they
+    overwhelmingly name dict keys, client-key strings and serializer type
+    tags, none of which are secret-dependent byte comparisons.
+    """
+
+    rule_id = "SEC001"
+    title = "non-constant-time comparison of authenticator material"
+    rationale = "timing side channel on MAC/digest verification"
+
+    SENSITIVE = frozenset(
+        {"mac", "hmac", "digest", "sig", "signature", "fingerprint", "measurement", "root"}
+    )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            for operand in (node.left, *node.comparators):
+                identifier = operand_identifier(operand)
+                if identifier is None:
+                    continue
+                hits = name_segments(identifier) & self.SENSITIVE
+                if hits:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'{identifier}' looks like authenticator material; "
+                        "compare with repro.crypto.constant_time_eq, not ==/!=",
+                    )
+                    break  # one finding per comparison
+
+
+@register
+class NonDeterministicRandomness(Rule):
+    """``random`` / ``os.urandom`` / time-seeded randomness.
+
+    Every IV, nonce, key and attestation challenge in the reproduction
+    must come from ``repro.crypto.rng.Rng`` (an HMAC-DRBG) so runs are
+    bit-for-bit reproducible and nonce reuse is impossible by
+    construction.  ``random`` is a Mersenne Twister — predictable from
+    624 outputs — and wall-clock seeding makes freshness nonces guessable.
+    """
+
+    rule_id = "SEC002"
+    title = "randomness outside repro.crypto.rng"
+    rationale = "predictable or non-reproducible random material"
+
+    _SEEDY = frozenset({"rng", "seed", "random"})
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield self.finding(
+                            ctx, node, "import of 'random'; use repro.crypto.rng.Rng"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and (
+                    node.module.split(".")[0] == "random"
+                ):
+                    yield self.finding(
+                        ctx, node, "import from 'random'; use repro.crypto.rng.Rng"
+                    )
+                elif node.level == 0 and node.module == "os":
+                    if any(alias.name == "urandom" for alias in node.names):
+                        yield self.finding(
+                            ctx, node, "os.urandom import; use repro.crypto.rng.Rng"
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(self, ctx, call: ast.Call) -> Iterator[Finding]:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "urandom"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "os"
+        ):
+            yield self.finding(
+                ctx, call, "os.urandom() call; draw bytes from repro.crypto.rng.Rng"
+            )
+            return
+        # time.time() flowing into anything seed/rng-named makes the
+        # "random" material guessable to anyone who knows the clock.
+        callee = operand_identifier(func)
+        if callee is None or not (name_segments(callee) & self._SEEDY):
+            return
+        for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+            if (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Attribute)
+                and arg.func.attr in {"time", "time_ns", "monotonic"}
+                and isinstance(arg.func.value, ast.Name)
+                and arg.func.value.id == "time"
+            ):
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"wall-clock seed passed to '{callee}'; seed Rng explicitly",
+                )
+
+
+@register
+class DangerousConstruct(Rule):
+    """``pickle`` / ``eval`` / ``exec`` usage.
+
+    ``pickle.loads`` on attacker-reachable bytes is arbitrary code
+    execution — fatal in a codebase whose storage device is *assumed*
+    adversarial — and ``eval``/``exec`` turn any string-injection bug
+    into the same.  Pages and records here serialize through explicit
+    ``struct``/JSON codecs instead.
+    """
+
+    rule_id = "SEC003"
+    title = "pickle/eval/exec construct"
+    rationale = "deserialization / code-execution gadget"
+
+    _MODULES = frozenset({"pickle", "cPickle", "dill", "shelve", "marshal"})
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in self._MODULES:
+                        yield self.finding(
+                            ctx, node, f"import of '{alias.name}'; use explicit codecs"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and (
+                    node.module.split(".")[0] in self._MODULES
+                ):
+                    yield self.finding(
+                        ctx, node, f"import from '{node.module}'; use explicit codecs"
+                    )
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id in {"eval", "exec"}:
+                    yield self.finding(
+                        ctx, node, f"call to builtin {node.func.id}()"
+                    )
+
+
+@register
+class SwallowedSecurityError(Rule):
+    """Broad ``except`` that never re-raises.
+
+    ``except Exception`` (or a bare ``except``) around storage or monitor
+    calls silently swallows ``IntegrityError`` / ``FreshnessError`` — the
+    exact signals a rollback or tamper attack produces — turning a
+    detected attack into a benign-looking empty result.  Catch the
+    narrowest error type, or re-raise.
+    """
+
+    rule_id = "SEC004"
+    title = "broad except swallows security errors"
+    rationale = "IntegrityError/FreshnessError must not be silently dropped"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if any(isinstance(inner, ast.Raise) for inner in ast.walk(node)):
+                continue
+            caught = "bare except" if node.type is None else "except Exception"
+            yield self.finding(
+                ctx,
+                node,
+                f"{caught} without re-raise can swallow IntegrityError/"
+                "FreshnessError; catch the specific error instead",
+            )
+
+    @staticmethod
+    def _is_broad(type_node: ast.AST | None) -> bool:
+        if type_node is None:
+            return True
+        if isinstance(type_node, ast.Name):
+            return type_node.id in {"Exception", "BaseException"}
+        if isinstance(type_node, ast.Tuple):
+            return any(
+                isinstance(el, ast.Name) and el.id in {"Exception", "BaseException"}
+                for el in type_node.elts
+            )
+        return False
+
+
+@register
+class HardcodedSecret(Rule):
+    """Key-like name bound to a high-entropy literal.
+
+    Keys in this system are derived (HKDF from the hardware-unique key or
+    the monitor's DRBG) — a literal key in source ships the same secret
+    to every deployment and outlives every rotation.  Flags assignments
+    and keyword arguments whose name says key/secret/password/token and
+    whose value is a bytes literal (≥ 8 bytes) or a long token-looking
+    string.
+    """
+
+    rule_id = "SEC005"
+    title = "hard-coded key/secret literal"
+    rationale = "literal secrets defeat key derivation and rotation"
+
+    _NAMES = frozenset({"key", "secret", "password", "token", "passphrase"})
+    _TOKENISH = re.compile(r"^[A-Za-z0-9+/=_\-]{16,}$")
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    identifier = operand_identifier(target)
+                    if self._match(identifier, node.value):
+                        yield self._report(ctx, node, identifier)
+                        break
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                identifier = operand_identifier(node.target)
+                if self._match(identifier, node.value):
+                    yield self._report(ctx, node, identifier)
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg and self._match(kw.arg, kw.value):
+                        yield self._report(ctx, kw.value, kw.arg)
+
+    def _match(self, identifier: str | None, value: ast.AST) -> bool:
+        if identifier is None or not (name_segments(identifier) & self._NAMES):
+            return False
+        if not isinstance(value, ast.Constant):
+            return False
+        if isinstance(value.value, bytes):
+            return len(value.value) >= 8
+        if isinstance(value.value, str):
+            text = value.value
+            return bool(self._TOKENISH.match(text)) and any(c.isdigit() for c in text)
+        return False
+
+    def _report(self, ctx, node, identifier) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"'{identifier}' is bound to a literal secret; derive keys via "
+            "HKDF / provision them through the monitor",
+        )

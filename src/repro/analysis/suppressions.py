@@ -1,0 +1,38 @@
+"""Per-line suppression comments.
+
+A finding on a line carrying ``# lint: disable=SEC001`` (or a
+comma-separated list, or ``all``) is dropped.  Suppressions are meant to
+be rare and justified in an adjacent comment; the CLI's ``--show-suppressed``
+makes them auditable.
+"""
+
+from __future__ import annotations
+
+import re
+
+_DISABLE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def suppressed_rules(line: str) -> frozenset[str]:
+    """Rule ids suppressed by the source *line* (empty set if none)."""
+    match = _DISABLE.search(line)
+    if not match:
+        return frozenset()
+    return frozenset(
+        token.strip().upper() for token in match.group(1).split(",") if token.strip()
+    )
+
+
+def is_suppressed(rule_id: str, line: str) -> bool:
+    rules = suppressed_rules(line)
+    return rule_id.upper() in rules or "ALL" in rules
+
+
+def line_suppressions(source_lines: list[str]) -> dict[int, frozenset[str]]:
+    """Map of 1-based line number → suppressed rule ids, sparse."""
+    table: dict[int, frozenset[str]] = {}
+    for index, line in enumerate(source_lines, start=1):
+        rules = suppressed_rules(line)
+        if rules:
+            table[index] = rules
+    return table

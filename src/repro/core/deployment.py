@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..crypto import Rng
-from ..errors import IronSafeError
+from ..errors import IronSafeError, MonitorError
 from ..monitor import AttestationService, AttestedNode, TrustedMonitor
 from ..sim import (
     CAT_NETWORK,
@@ -567,7 +567,7 @@ class Deployment:
             self._client_fp = fingerprint
             try:
                 self.monitor.database(self.database_name)
-            except Exception:
+            except MonitorError:  # not provisioned yet; anything else propagates
                 self.monitor.provision_database(
                     self.database_name,
                     policy_text=f"read :- sessionKeyIs('{fingerprint}')\n"

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.deployment import Deployment
-from ..errors import ComplianceError
+from ..errors import ComplianceError, MonitorError
 from ..monitor import verify_proof
 from ..sim import Meter, TimeBreakdown
 from ..sql import Database, PagedStore
@@ -210,7 +210,9 @@ class GDPRWorkbench:
     def _sharing_log_entries(self):
         try:
             return self.deployment.monitor.audit_log("sharing").entries
-        except Exception:
+        except MonitorError:
+            # Only "log not created yet" is benign; integrity failures
+            # on the log itself must keep propagating.
             return []
 
     def scenario_risk_agnostic(self) -> ScenarioResult:

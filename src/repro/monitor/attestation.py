@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..crypto import Certificate, PublicKey, verify_chain
+from ..crypto import Certificate, PublicKey, constant_time_eq, verify_chain
 from ..errors import AttestationError
 from ..policy import NodeConfig
 from ..sim import CAT_ATTESTATION, CostModel, SimClock
@@ -98,7 +98,9 @@ class AttestationService:
             # image recorded by secure boot.  (A CCA realm token quotes the
             # realm image instead — the normal world is outside the TCB.)
             recorded = leaf.attributes.get("normal_world_hash")
-            if recorded != measurement:
+            if recorded is None or not constant_time_eq(
+                recorded.encode(), measurement.encode()
+            ):
                 raise AttestationError(
                     "quoted measurement does not match the secure-boot certificate"
                 )

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
-from ..crypto import PrivateKey, PublicKey, sha256
+from ..crypto import PrivateKey, PublicKey, constant_time_eq, sha256
 from ..errors import IntegrityError
 
 GENESIS = bytes(32)
@@ -72,7 +72,7 @@ class AuditLog:
         for index, entry in enumerate(self.entries):
             if entry.sequence != index:
                 raise IntegrityError(f"audit log {self.name!r}: bad sequence at {index}")
-            if entry.prev_digest != prev:
+            if not constant_time_eq(entry.prev_digest, prev):
                 raise IntegrityError(
                     f"audit log {self.name!r}: chain broken at entry {index}"
                 )
@@ -129,5 +129,5 @@ def verify_export(export: SignedLogExport, log: AuditLog, key: PublicKey) -> Non
     partial_head = (
         log.entries[export.length - 1].digest() if export.length else GENESIS
     )
-    if partial_head != export.head_digest:
+    if not constant_time_eq(partial_head, export.head_digest):
         raise IntegrityError("audit log diverges from the signed export")

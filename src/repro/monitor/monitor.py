@@ -34,6 +34,10 @@ from .attestation import AttestationService, AttestedNode
 from .auditlog import AuditLog, SignedLogExport, export_signed
 from .keymanager import KeyManager, Session
 
+#: Name of the always-on audit log recording monitor-state mutations
+#: (node registration, database provisioning, session revocation).
+OPERATIONS_LOG = "operations"
+
 
 @dataclass
 class DatabasePolicy:
@@ -116,15 +120,28 @@ class TrustedMonitor:
         """Clients pin this key to verify proofs and log exports."""
         return self._signing_key.public_key
 
+    def _audit(self, action: str, detail: str, client_key: str = "monitor") -> None:
+        """Append one monitor-state mutation to the ``operations`` log.
+
+        Queries are logged per the policy's ``logUpdate`` directives;
+        provisioning, registration and revocation are logged here
+        unconditionally — the regulator's view of the deployment history
+        must include who was admitted, not just who queried (ARCH003).
+        """
+        log = self._logs.setdefault(OPERATIONS_LOG, AuditLog(OPERATIONS_LOG))
+        log.append(int(self.clock.now_ns), client_key, action, detail)
+
     # ------------------------------------------------------------------
     # Node registration (post-attestation)
     # ------------------------------------------------------------------
 
     def register_host(self, node: AttestedNode) -> None:
         self._hosts[node.config.node_id] = node
+        self._audit("register_host", node.config.node_id)
 
     def register_storage(self, node: AttestedNode) -> None:
         self._storages[node.config.node_id] = node
+        self._audit("register_storage", node.config.node_id)
 
     def host_node(self, node_id: str) -> AttestedNode:
         node = self._hosts.get(node_id)
@@ -161,6 +178,7 @@ class TrustedMonitor:
             default_ttl=default_ttl,
         )
         self._databases[name] = policy
+        self._audit("provision_database", name)
         return policy
 
     def database(self, name: str) -> DatabasePolicy:
@@ -371,6 +389,7 @@ class TrustedMonitor:
     def finish_session(self, session_id: str) -> None:
         """Revoke the session key and run cleanup (deletes temp state)."""
         self.key_manager.revoke(session_id)
+        self._audit("finish_session", session_id)
 
 
 def verify_proof(proof: ComplianceProof, monitor_key: PublicKey) -> None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 
-from ..crypto import hmac_sha256
+from ..crypto import constant_time_eq, hmac_sha256
 from ..errors import IntegrityError
 from ..sim import Meter
 
@@ -122,7 +122,7 @@ class MerkleTree:
         """
         if not 0 <= leaf_index < self._capacity:
             raise IntegrityError(f"leaf {leaf_index} out of range")
-        if self._levels[0][leaf_index] != digest:
+        if not constant_time_eq(self._levels[0][leaf_index], digest):
             raise IntegrityError(
                 f"page MAC for leaf {leaf_index} does not match the integrity tree"
             )
@@ -136,7 +136,7 @@ class MerkleTree:
             else:
                 current = self._hash_pair(level, index // 2, sibling, current)
             index //= 2
-        if current != expected_root:
+        if not constant_time_eq(current, expected_root):
             raise IntegrityError("Merkle path does not reach the trusted root")
 
     # ------------------------------------------------------------------

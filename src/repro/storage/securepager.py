@@ -72,7 +72,7 @@ class InMemoryAnchor(SecureStorageAnchor):
 
         if self._root is None:
             return  # first open of an empty store
-        if self._root != root:
+        if not constant_time_eq(self._root, root):
             raise FreshnessError(
                 "Merkle root does not match the anchored value: rollback detected"
             )

@@ -1,0 +1,63 @@
+"""CI self-check: the shipped tree must stay clean under its own analyzer.
+
+Runs the real CLI in a subprocess, exactly as CI and developers invoke it,
+so regressions in packaging (``python -m repro.analysis``) fail here too.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+
+def run_lint(*args: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestSelfCheck:
+    def test_shipped_tree_is_clean(self):
+        """``repro-lint src/repro --fail-on-findings`` gates every PR."""
+        proc = run_lint("src/repro", "--fail-on-findings")
+        assert proc.returncode == 0, (
+            "the analyzer found violations in the shipped tree:\n" + proc.stdout
+        )
+
+    def test_seeded_violation_fails_the_gate(self, tmp_path):
+        """A digest compared with ``==`` must flip the exit code to 1."""
+        bad = tmp_path / "seeded.py"
+        bad.write_text(
+            "def verify(page_digest, expected):\n"
+            "    return page_digest == expected\n"
+        )
+        proc = run_lint(str(bad), "--fail-on-findings")
+        assert proc.returncode == 1
+        assert "SEC001" in proc.stdout
+
+    def test_seeded_layering_violation_fails_the_gate(self, tmp_path):
+        """An inverted import (crypto → monitor) must also fail."""
+        pkg = tmp_path / "repro" / "crypto"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "seeded.py").write_text("from ..monitor import TrustedMonitor\n")
+        proc = run_lint(str(tmp_path / "repro"), "--fail-on-findings")
+        assert proc.returncode == 1
+        assert "ARCH001" in proc.stdout
+
+    def test_entry_point_registered(self):
+        """The ``repro-lint`` console script ships in pyproject.toml."""
+        pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+        assert 'repro-lint = "repro.analysis.cli:main"' in pyproject
