@@ -7,22 +7,42 @@ of the same 16-query execution, exactly as in the paper.
 Scale: ``REPRO_BENCH_SF`` (default 0.002) sets the TPC-H scale factor.
 The simulated database stands in for the paper's SF-3 instance; EPC size
 and storage memory scale by the data ratio (see repro.bench.harness).
+
+Tracing: set ``REPRO_TRACE_DIR`` to a directory to record every
+benchmark query as telemetry spans; on teardown the fixture writes
+``bench-traces.jsonl`` (replayable with ``repro-trace``) and
+``bench-traces.chrome.json`` (loadable in Perfetto / chrome://tracing)
+there.  Tracing never charges the simulated clock, so the recorded
+numbers match an untraced run exactly.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.bench import build_deployment, run_tpch_suite
 
 BENCH_SF = float(os.environ.get("REPRO_BENCH_SF", "0.002"))
+TRACE_DIR = os.environ.get("REPRO_TRACE_DIR", "")
 
 
 @pytest.fixture(scope="session")
 def deployment():
-    return build_deployment(BENCH_SF)
+    deployment = build_deployment(BENCH_SF)
+    if not TRACE_DIR:
+        yield deployment
+        return
+    tracer = deployment.enable_tracing()
+    yield deployment
+    from repro.telemetry import write_chrome_trace, write_jsonl
+
+    out = Path(TRACE_DIR)
+    out.mkdir(parents=True, exist_ok=True)
+    write_jsonl(tracer.traces, out / "bench-traces.jsonl", metrics=tracer.metrics)
+    write_chrome_trace(tracer.traces, out / "bench-traces.chrome.json")
 
 
 @pytest.fixture(scope="session")

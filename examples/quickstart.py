@@ -7,9 +7,17 @@ TPC-H Q6 under every configuration of the paper's Table 2 — printing the
 simulated execution times and the security-cost breakdown.
 
 Run:  python examples/quickstart.py
+
+Pass ``--trace out.json`` to also record every query as telemetry spans
+and write a Chrome trace-event file (open it in Perfetto or
+chrome://tracing to see the flame timeline across client, monitor,
+storage and host).  Tracing never charges the simulated clock, so the
+printed numbers are identical either way.
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro import Deployment
 from repro.tpch import ALL_QUERIES
@@ -24,8 +32,18 @@ CONFIG_LABELS = {
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="record telemetry spans and write a Chrome trace-event file",
+    )
+    args = parser.parse_args()
+
     print("Building the simulated CSA testbed (TPC-H SF 0.002)...")
     deployment = Deployment(scale_factor=0.002)
+    tracer = deployment.enable_tracing() if args.trace else None
 
     print("Attesting the host enclave and the storage server...")
     nodes = deployment.attest_all()
@@ -67,6 +85,17 @@ def main() -> None:
         f"(vs {results['hons'].host_meter.pages_read * 4096} bytes of pages "
         f"the host-only run pulled over the network)"
     )
+
+    if tracer is not None:
+        from repro.telemetry import render_summary, render_tree, write_chrome_trace
+
+        write_chrome_trace(tracer.traces, args.trace)
+        print(f"\nWrote {len(tracer.traces)} traces to {args.trace} "
+              f"(open in Perfetto or chrome://tracing).")
+        scs_trace = tracer.traces[-2]  # run order: hons, hos, vcs, scs, sos
+        print("\nIronSafe (scs) span tree:")
+        print(render_tree(scs_trace))
+        print(render_summary(tracer.traces))
 
 
 if __name__ == "__main__":

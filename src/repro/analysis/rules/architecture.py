@@ -1,4 +1,4 @@
-"""Architecture-conformance rules (ARCH001–ARCH003).
+"""Architecture-conformance rules (ARCH001–ARCH004).
 
 The reproduction's trust argument depends on its layering: ``crypto`` is
 the bottom of the TCB, enclave internals are reachable only through the
@@ -23,19 +23,28 @@ LAYERING: dict[str, frozenset[str]] = {
     "errors": frozenset(),
     "crypto": frozenset({"errors"}),
     "sim": frozenset({"errors"}),
+    # Telemetry is pure observation: it may see simulated time but never
+    # the security machinery it observes (ARCH004 enforces the latter by
+    # name too, so even an allowed layer can't smuggle key material in).
+    "telemetry": frozenset({"errors", "sim"}),
     "sql": frozenset({"errors", "sim"}),
-    "storage": frozenset({"errors", "sim", "crypto"}),
+    "storage": frozenset({"errors", "sim", "crypto", "telemetry"}),
     "tee": frozenset({"errors", "sim", "crypto"}),
     "policy": frozenset({"errors", "sql"}),
-    "monitor": frozenset({"errors", "sim", "crypto", "sql", "policy", "tee"}),
+    "monitor": frozenset(
+        {"errors", "sim", "crypto", "sql", "policy", "tee", "telemetry"}
+    ),
     "tpch": frozenset({"errors", "crypto", "sql"}),
     "core": frozenset(
-        {"errors", "sim", "crypto", "sql", "storage", "tee", "policy", "monitor", "tpch"}
+        {"errors", "sim", "crypto", "sql", "storage", "tee", "policy", "monitor",
+         "tpch", "telemetry"}
     ),
     "gdpr": frozenset(
         {"errors", "sim", "crypto", "sql", "storage", "policy", "monitor", "core"}
     ),
-    "bench": frozenset({"errors", "sim", "crypto", "sql", "tpch", "core"}),
+    "bench": frozenset(
+        {"errors", "sim", "crypto", "sql", "tpch", "core", "telemetry"}
+    ),
     # The analyzer lints trees that may not import; it depends on nothing.
     "analysis": frozenset(),
 }
@@ -201,3 +210,69 @@ class UnauditedMonitorMutation(Rule):
                 if isinstance(callee, ast.Name) and callee.id in AUDIT_CALL_NAMES:
                     return True
         return False
+
+
+# Packages the observability layer must never depend on, and the secret-
+# bearing attribute/function names it must never reference.  A span that
+# could reach key material would turn the trace files — which leave the
+# enclave by design — into an exfiltration channel.
+TELEMETRY_FORBIDDEN_PACKAGES = frozenset({"crypto", "tee"})
+TELEMETRY_FORBIDDEN_NAMES = frozenset(
+    {
+        "master_key",
+        "session_key",
+        "get_master_key",
+        "private_key",
+        "_signing_key",
+        "_keypair",
+        "_enc_key",
+        "_mac_key",
+        "_merkle_key",
+        "attestation_key",
+    }
+)
+
+
+@register
+class TelemetryIsolationViolation(Rule):
+    """Telemetry reaches into crypto/TEE internals or names key material.
+
+    Traces and metrics are exported to untrusted storage (JSONL files,
+    Chrome trace viewers) — the one place data intentionally leaves the
+    trust boundary.  The telemetry package therefore must stay blind to
+    the security machinery: no imports of ``repro.crypto`` or
+    ``repro.tee``, and no references to key-bearing attributes.  Audit
+    correlation uses duck-typed entry digests for exactly this reason.
+    """
+
+    rule_id = "ARCH004"
+    title = "telemetry reaches into security internals"
+    rationale = "exported traces must be incapable of carrying key material"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if ctx.subpackage != "telemetry":
+            return
+        for record in ctx.graph.imports_of(ctx.module) if ctx.module else ():
+            target = top_subpackage(record.module)
+            if target in TELEMETRY_FORBIDDEN_PACKAGES:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=ctx.relpath,
+                    line=record.lineno,
+                    col=record.col,
+                    message=f"telemetry may not import 'repro.{target}': "
+                    "the observability layer stays outside the TCB",
+                )
+        for node in ast.walk(ctx.tree):
+            name: str | None = None
+            if isinstance(node, ast.Attribute) and node.attr in TELEMETRY_FORBIDDEN_NAMES:
+                name = node.attr
+            elif isinstance(node, ast.Name) and node.id in TELEMETRY_FORBIDDEN_NAMES:
+                name = node.id
+            if name is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"telemetry references key material {name!r}; spans may "
+                    "carry counts and digests only",
+                )

@@ -14,6 +14,7 @@ import struct
 from ..crypto import constant_time_eq, hash_ctr_crypt, hkdf, hmac_sha256
 from ..errors import ChannelError
 from ..sim import Meter, NetworkLink
+from ..telemetry import NOOP_TRACER, SPAN_CHANNEL_SEND, Tracer
 
 _SEQ = struct.Struct(">Q")
 _MAC_LEN = 32
@@ -29,6 +30,7 @@ class SecureChannel:
         peer: str,
         session_key: bytes,
         meter: Meter | None = None,
+        tracer: Tracer | None = None,
     ):
         self.link = link
         self.local = local
@@ -36,6 +38,7 @@ class SecureChannel:
         self._enc_key = hkdf(session_key, b"channel-enc", 32)
         self._mac_key = hkdf(session_key, b"channel-mac", 32)
         self.meter = meter if meter is not None else Meter()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self._send_seq = 0
         self._recv_seq = 0
 
@@ -50,6 +53,10 @@ class SecureChannel:
         mac = hmac_sha256(self._mac_key, _SEQ.pack(seq) + ciphertext)
         record = _SEQ.pack(seq) + mac + ciphertext
         self.meter.channel_bytes_encrypted += len(payload)
+        if self.tracer.enabled:
+            self.tracer.event(
+                SPAN_CHANNEL_SEND, node=self.local, seq=seq, bytes=len(payload)
+            )
         self.link.send(self.local, self.peer, record, meter=self.meter, charge_time=charge_time)
 
     def receive(self) -> bytes:
@@ -81,8 +88,9 @@ def channel_pair(
     session_key: bytes,
     meter_a: Meter | None = None,
     meter_b: Meter | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[SecureChannel, SecureChannel]:
     """Create both ends of a channel (endpoints must be pre-registered)."""
-    a = SecureChannel(link, name_a, name_b, session_key, meter_a)
-    b = SecureChannel(link, name_b, name_a, session_key, meter_b)
+    a = SecureChannel(link, name_a, name_b, session_key, meter_a, tracer=tracer)
+    b = SecureChannel(link, name_b, name_a, session_key, meter_b, tracer=tracer)
     return a, b

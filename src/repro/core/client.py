@@ -17,6 +17,7 @@ from ..crypto import PrivateKey, PublicKey, Rng, generate_keypair
 from ..errors import IronSafeError
 from ..monitor import ComplianceProof, verify_proof
 from ..sim import TimeBreakdown
+from ..telemetry import NODE_CLIENT, SPAN_PROOF_VERIFY, SPAN_QUERY
 from .deployment import Deployment, RunResult
 
 
@@ -71,31 +72,49 @@ class Client:
         from ..sql.parser import parse
 
         statement = parse(sql)
-        clock_before = deployment.clock.breakdown.copy()
-        auth = deployment.monitor.authorize(
-            deployment.database_name,
-            client_key=self.fingerprint,
-            statement=statement,
-            host_id="host-1",
-            exec_policy_text=exec_policy,
-            now=now,
-            query_text=sql,
-        )
-        monitor_breakdown = deployment.clock.breakdown.minus(clock_before)
-
-        verify_proof(auth.proof, self._monitor_key)
-
-        if auth.storage_node is not None:
-            result: RunResult = deployment.run_query(
-                auth.statement.to_sql(), "scs", authorization=auth
+        tracer = deployment.tracer
+        with tracer.maybe_root(
+            SPAN_QUERY, node=NODE_CLIENT, client=self.name, sql=sql
+        ) as root:
+            clock_before = deployment.clock.breakdown.copy()
+            auth = deployment.monitor.authorize(
+                deployment.database_name,
+                client_key=self.fingerprint,
+                statement=statement,
+                host_id="host-1",
+                exec_policy_text=exec_policy,
+                now=now,
+                query_text=sql,
             )
-        else:
-            # Host-only fallback (no compliant storage node).
-            result = deployment.run_query(auth.statement.to_sql(), "hos")
-        breakdown = result.breakdown.copy().merge(monitor_breakdown)
-        rows, columns = result.rows, result.columns
+            monitor_breakdown = deployment.clock.breakdown.minus(clock_before)
 
-        deployment.monitor.finish_session(auth.session.session_id)
+            with tracer.span(
+                SPAN_PROOF_VERIFY, node=NODE_CLIENT
+            ) as verify_span:
+                verify_proof(auth.proof, self._monitor_key)
+                verify_span.set_attrs(
+                    query_digest=auth.proof.query_digest.hex()
+                )
+
+            if auth.storage_node is not None:
+                result: RunResult = deployment.run_query(
+                    auth.statement.to_sql(), "scs", authorization=auth
+                )
+            else:
+                # Host-only fallback (no compliant storage node).
+                result = deployment.run_query(auth.statement.to_sql(), "hos")
+            breakdown = result.breakdown.copy().merge(monitor_breakdown)
+            rows, columns = result.rows, result.columns
+
+            # finish_session appends the session-close audit entry; the
+            # monitor's tracer hook annotates the open root with its hash.
+            deployment.monitor.finish_session(auth.session.session_id)
+            root.set_sim_ns(breakdown.total_ns)
+            root.set_attrs(
+                rows=len(rows),
+                config=result.config,
+                query_digest=auth.proof.query_digest.hex(),
+            )
         return QueryResponse(
             columns=columns, rows=rows, proof=auth.proof, breakdown=breakdown
         )

@@ -30,6 +30,26 @@ from ..sql import Database, PagedStore
 from ..sql import ast_nodes as A
 from ..sql.parser import parse
 from ..storage import BlockDevice, InMemoryAnchor, Pager, SecurePager
+from ..telemetry import (
+    NODE_CLIENT,
+    NODE_HOST,
+    NODE_MONITOR,
+    NODE_NETWORK,
+    NODE_STORAGE,
+    NOOP_TRACER,
+    RecordingTracer,
+    SPAN_ATTESTATION,
+    SPAN_CHANNEL_SHIP,
+    SPAN_CHANNEL_TRANSFER,
+    SPAN_HOST_EXECUTE,
+    SPAN_HOST_JOIN_AGG,
+    SPAN_NDP_FILTER,
+    SPAN_PARTITION,
+    SPAN_QUERY,
+    SPAN_SESSION_SETUP,
+    SPAN_STORAGE_PHASE,
+    Tracer,
+)
 from ..tee.sgx import IntelAttestationService, SgxPlatform
 from ..tee.trustzone import DeviceVendor
 from ..tpch import load_tpch
@@ -106,8 +126,10 @@ class Deployment:
         workload: str = "tpch",
         database_name: str = "tpch",
         armv9_realms: bool = False,
+        tracer: Tracer | None = None,
     ):
         self.scale_factor = scale_factor
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.storage_cpus = storage_cpus
         self.storage_memory_bytes = storage_memory_bytes
@@ -195,6 +217,29 @@ class Deployment:
         self._cipher = cipher
         self.partitioner = QueryPartitioner(self.storage_engine.db.store.catalog)
         self._attested = False
+        self._bind_tracer()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _bind_tracer(self) -> None:
+        """Propagate the deployment's tracer to every instrumented layer."""
+        self.monitor.tracer = self.tracer
+        self.host_engine.tracer = self.tracer
+        self.storage_engine.tracer = self.tracer
+        self.storage_engine_plain.tracer = self.tracer
+
+    def enable_tracing(self, tracer: Tracer | None = None) -> Tracer:
+        """Install (and return) a recording tracer across all layers.
+
+        Tracing never charges the simulated clock, so enabling it leaves
+        every benchmark number unchanged; it only *records* where the
+        simulated nanoseconds went.
+        """
+        self.tracer = tracer if tracer is not None else RecordingTracer(clock=self.clock)
+        self._bind_tracer()
+        return self.tracer
 
     # ------------------------------------------------------------------
     # Attestation (Table 4 path)
@@ -202,19 +247,25 @@ class Deployment:
 
     def attest_all(self) -> dict[str, AttestedNode]:
         """Run both attestation protocols and register the nodes."""
-        challenge = self.rng.bytes(16)
-        host_quote = self.host_enclave.generate_quote(challenge)
-        host_node = self.attestation.attest_host(
-            host_quote, location=self.host_location, fw_version="1.0"
-        )
-        self.monitor.register_host(host_node)
+        with self.tracer.maybe_root(
+            SPAN_ATTESTATION, node=NODE_MONITOR, enclave=True
+        ) as span:
+            challenge = self.rng.bytes(16)
+            host_quote = self.host_enclave.generate_quote(challenge)
+            host_node = self.attestation.attest_host(
+                host_quote, location=self.host_location, fw_version="1.0"
+            )
+            self.monitor.register_host(host_node)
 
-        storage_challenge = self.rng.bytes(16)
-        quote, chain = self.storage_engine.attest(storage_challenge)
-        storage_node = self.attestation.attest_storage(quote, chain, storage_challenge)
-        self.monitor.register_storage(storage_node)
-        self._attested = True
-        return {"host": host_node, "storage": storage_node}
+            storage_challenge = self.rng.bytes(16)
+            quote, chain = self.storage_engine.attest(storage_challenge)
+            storage_node = self.attestation.attest_storage(quote, chain, storage_challenge)
+            self.monitor.register_storage(storage_node)
+            self._attested = True
+            span.set_attrs(
+                host=host_node.config.node_id, storage=storage_node.config.node_id
+            )
+            return {"host": host_node, "storage": storage_node}
 
     # ------------------------------------------------------------------
     # Query execution under each configuration
@@ -241,20 +292,43 @@ class Deployment:
             if storage_memory_bytes is not None
             else self.storage_memory_bytes
         )
-        if config == "hons":
-            return self._run_host_only(statement, secure=False)
-        if config == "hos":
-            return self._run_host_only(statement, secure=True)
-        if config == "vcs":
-            return self._run_split(
-                statement, secure=False, cpus=cpus, memory=memory, manual=manual_partition
-            )
-        if config == "scs":
-            return self._run_split(
-                statement, secure=True, cpus=cpus, memory=memory,
-                manual=manual_partition, authorization=authorization,
-            )
-        return self._run_storage_only(statement, cpus=cpus, memory=memory)
+        # Root span when called standalone; when the client library already
+        # opened the query root, the phases below attach to it instead.
+        with self.tracer.maybe_root(
+            SPAN_QUERY, node=NODE_CLIENT, config=config, sql=sql
+        ) as root:
+            if config == "hons":
+                result = self._run_host_only(statement, secure=False)
+            elif config == "hos":
+                result = self._run_host_only(statement, secure=True)
+            elif config == "vcs":
+                result = self._run_split(
+                    statement, secure=False, cpus=cpus, memory=memory,
+                    manual=manual_partition,
+                )
+            elif config == "scs":
+                result = self._run_split(
+                    statement, secure=True, cpus=cpus, memory=memory,
+                    manual=manual_partition, authorization=authorization,
+                )
+            else:
+                result = self._run_storage_only(statement, cpus=cpus, memory=memory)
+            root.set_sim_ns(result.breakdown.total_ns)
+            root.set_attrs(rows=len(result.rows), bytes_shipped=result.bytes_shipped)
+        self._absorb_run_metrics(result, config)
+        return result
+
+    def _absorb_run_metrics(self, result: RunResult, config: str) -> None:
+        """Fold one run's meters into the tracer's metrics registry."""
+        metrics = getattr(self.tracer, "metrics", None)
+        if metrics is None:
+            return
+        metrics.counter("queries_total", config=config).inc()
+        metrics.absorb_meter(result.storage_meter, node=NODE_STORAGE, phase=config)
+        metrics.absorb_meter(result.host_meter, node=NODE_HOST, phase=config)
+        metrics.histogram("query_sim_ms", config=config).observe(
+            result.breakdown.total_ms
+        )
 
     # -- host-only (hons / hos) ---------------------------------------------
 
@@ -288,8 +362,13 @@ class Deployment:
         pager.meter = meter
         if secure:
             pager.tree.meter = meter
+            pager.tracer = self.tracer
+            pager.trace_node = NODE_HOST
 
-        result = db.execute_statement(statement)
+        with self.tracer.span(
+            SPAN_HOST_EXECUTE, node=NODE_HOST, enclave=secure
+        ) as exec_span:
+            result = db.execute_statement(statement)
 
         if secure:
             # Every page fetch exits/re-enters the enclave, and the Merkle
@@ -302,6 +381,8 @@ class Deployment:
             in_enclave=secure,
             remote_io=True,
         )
+        exec_span.set_sim_ns(breakdown.total_ns)
+        exec_span.set_attrs(rows=len(result.rows), pages_read=meter.pages_read)
         return RunResult(
             config="hos" if secure else "hons",
             columns=result.columns,
@@ -355,7 +436,12 @@ class Deployment:
         manual=None, authorization=None,
     ) -> RunResult:
         engine = self.storage_engine if secure else self.storage_engine_plain
-        plan = None if manual is not None else self.partitioner.partition(statement)
+        if manual is not None:
+            plan = None
+        else:
+            with self.tracer.span(SPAN_PARTITION, node=NODE_HOST) as part_span:
+                plan = self.partitioner.partition(statement)
+                part_span.set_attrs(scans=len(plan.scans))
 
         clock_before = self.clock.breakdown.copy()
         session_key = self.rng.fork("adhoc-session").bytes(32)
@@ -386,7 +472,8 @@ class Deployment:
         self.host_engine.begin_session()
         if secure:
             chan_host, chan_storage = channel_pair(
-                self.link, "host", "storage", session_key, host_meter, ship_meter
+                self.link, "host", "storage", session_key, host_meter, ship_meter,
+                tracer=self.tracer,
             )
 
         # Storage phase: run every offloaded portion with its own meter so
@@ -398,44 +485,80 @@ class Deployment:
         portion_meters: list[Meter] = []
         storage_meter = Meter()
         ships = manual.ships if manual is not None else plan.scans
+        in_realm = secure and self.armv9_realms
+        phase_ctx = self.tracer.span(
+            SPAN_STORAGE_PHASE, node=NODE_STORAGE, enclave=in_realm, portions=len(ships)
+        )
+        phase_span = phase_ctx.__enter__()
         for ship in ships:
             portion_meter = engine.fresh_meter()
             portion_meters.append(portion_meter)
-            if manual is not None:
-                result = engine.db.execute(ship.sql)
-                columns, rows = result.columns, result.rows
-                nbytes = sum(len(encode_row(r)) for r in rows)
-                portion_meter.note_memory(nbytes)
-                table_name = ship.table
-                column_types = self._infer_column_types(columns, rows)
-            else:
-                columns, rows, nbytes = engine.execute_scan(ship)
-                table_name = ship.table
-                schema = engine.db.store.catalog.table(ship.table)
-                column_types = [(name, schema.column_type(name)) for name in ship.columns]
-            total_bytes += nbytes
-            portion_breakdown = self.cost_model.phase_breakdown(
-                portion_meter, platform="arm", cores=1, memory_limit_bytes=memory,
-                in_realm=(secure and self.armv9_realms),
+            with self.tracer.span(
+                SPAN_NDP_FILTER, node=NODE_STORAGE, enclave=in_realm, table=ship.table
+            ) as portion_span:
+                if manual is not None:
+                    result = engine.db.execute(ship.sql)
+                    columns, rows = result.columns, result.rows
+                    nbytes = sum(len(encode_row(r)) for r in rows)
+                    portion_meter.note_memory(nbytes)
+                    table_name = ship.table
+                    column_types = self._infer_column_types(columns, rows)
+                else:
+                    columns, rows, nbytes = engine.execute_scan(ship)
+                    table_name = ship.table
+                    schema = engine.db.store.catalog.table(ship.table)
+                    column_types = [
+                        (name, schema.column_type(name)) for name in ship.columns
+                    ]
+                total_bytes += nbytes
+                portion_breakdown = self.cost_model.phase_breakdown(
+                    portion_meter, platform="arm", cores=1, memory_limit_bytes=memory,
+                    in_realm=in_realm,
+                )
+                scan_durations.append(portion_breakdown.total_ns)
+                storage_meter.merge(portion_meter)
+                if secure:
+                    shipped_before = ship_meter.channel_bytes_encrypted
+                    with self.tracer.span(
+                        SPAN_CHANNEL_SHIP, node=NODE_STORAGE, table=table_name
+                    ) as ship_span:
+                        # Really push the bytes through the authenticated
+                        # channel (record framing mirrors the host's ingest
+                        # batching).
+                        for start in range(0, max(1, len(rows)), RECORD_ROWS):
+                            batch = rows[start : start + RECORD_ROWS]
+                            payload = b"".join(encode_row(r) for r in batch)
+                            chan_storage.send(payload, charge_time=False)
+                            chan_host.receive()
+                    shipped = ship_meter.channel_bytes_encrypted - shipped_before
+                    ship_span.set_sim_ns(
+                        shipped * self.cost_model.channel_crypto_ns_per_byte
+                    )
+                    ship_span.set_attrs(bytes=nbytes, rows=len(rows))
+                self.host_engine.receive_table(table_name, column_types, rows)
+            portion_span.set_sim_ns(portion_breakdown.total_ns)
+            portion_span.set_attrs(
+                rows=len(rows),
+                bytes=nbytes,
+                **{
+                    f"{category}_ns": ns
+                    for category, ns in sorted(
+                        portion_breakdown.by_category.items()
+                    )
+                },
             )
-            scan_durations.append(portion_breakdown.total_ns)
-            storage_meter.merge(portion_meter)
-            if secure:
-                # Really push the bytes through the authenticated channel
-                # (record framing mirrors the host's ingest batching).
-                for start in range(0, max(1, len(rows)), RECORD_ROWS):
-                    batch = rows[start : start + RECORD_ROWS]
-                    payload = b"".join(encode_row(r) for r in batch)
-                    chan_storage.send(payload, charge_time=False)
-                    chan_host.receive()
-            self.host_engine.receive_table(table_name, column_types, rows)
+
+        phase_ctx.__exit__(None, None, None)
 
         # Host phase: the full query over the shipped tables.
         host_statement = (
             parse(manual.host_sql) if manual is not None else statement
         )
-        result = self.host_engine.run(host_statement)
-        self.monitorless_cleanup()
+        with self.tracer.span(
+            SPAN_HOST_JOIN_AGG, node=NODE_HOST, enclave=secure
+        ) as host_span:
+            result = self.host_engine.run(host_statement)
+            self.monitorless_cleanup()
 
         # Storage wall time: LPT schedule of the serial portions, plus the
         # (serial) channel encryption work.
@@ -453,12 +576,18 @@ class Deployment:
             )
         else:
             storage_breakdown = work_breakdown
+        # The phase's wall time is the LPT schedule, not the sum of the
+        # portion spans (extra CPUs overlap portions): stamp it explicitly.
+        phase_span.set_sim_ns(storage_breakdown.total_ns)
+        phase_span.set_attrs(bytes_shipped=total_bytes, cpus=cpus)
 
         host_breakdown = self.cost_model.phase_breakdown(
             host_meter,
             platform="x86",
             in_enclave=secure,
         )
+        host_span.set_sim_ns(host_breakdown.total_ns)
+        host_span.set_attrs(rows=len(result.rows))
         # Shipping overlaps with storage-side execution (the paper streams
         # records asynchronously): only the excess transfer time shows up.
         transfer_ns = self.cost_model.net_transfer_ns(
@@ -470,10 +599,18 @@ class Deployment:
         overflow = transfer_ns - storage_breakdown.total_ns
         if overflow > 0:
             total.add(CAT_NETWORK, overflow)
+            span = self.tracer.event(
+                SPAN_CHANNEL_TRANSFER, node=NODE_NETWORK, bytes=total_bytes
+            )
+            if span is not None:
+                span.set_sim_ns(overflow)
         total.merge(host_breakdown)
         if secure:
             # Control-path cost: per-request TLS session establishment.
             total.add(CAT_POLICY, self.cost_model.tls_handshake_ns)
+            span = self.tracer.event(SPAN_SESSION_SETUP, node=NODE_HOST)
+            if span is not None:
+                span.set_sim_ns(self.cost_model.tls_handshake_ns)
 
         return RunResult(
             config="scs" if secure else "vcs",
@@ -498,7 +635,13 @@ class Deployment:
 
     def _run_storage_only(self, statement: A.Select, cpus: int, memory: int) -> RunResult:
         meter = self.storage_engine.fresh_meter()
-        result = self.storage_engine.execute_full(statement)
+        with self.tracer.span(
+            SPAN_STORAGE_PHASE,
+            node=NODE_STORAGE,
+            enclave=self.armv9_realms,
+            portions=1,
+        ) as phase_span:
+            result = self.storage_engine.execute_full(statement)
         # One single-threaded engine instance processes the whole query.
         breakdown = self.cost_model.phase_breakdown(
             meter,
@@ -507,6 +650,8 @@ class Deployment:
             memory_limit_bytes=memory,
             in_realm=self.armv9_realms,
         )
+        phase_span.set_sim_ns(breakdown.total_ns)
+        phase_span.set_attrs(rows=len(result.rows), pages_read=meter.pages_read)
         return RunResult(
             config="sos",
             columns=result.columns,

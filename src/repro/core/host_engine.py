@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..errors import EnclaveError
 from ..sim import Meter
+from ..telemetry import NODE_HOST, NOOP_TRACER, SPAN_HOST_INGEST
 from ..sql import Database, MemoryStore
 from ..sql import ast_nodes as A
 from ..sql.catalog import TableSchema
@@ -28,6 +29,7 @@ class HostEngine:
     def __init__(self, enclave: Enclave):
         self.enclave = enclave
         self.meter = Meter()
+        self.tracer = NOOP_TRACER
         self._db: Database | None = None
         enclave.register_ecall("reset_session", self._reset_session)
         enclave.register_ecall("load_table", self._load_table)
@@ -79,8 +81,13 @@ class HostEngine:
         """Ingest a shipped table, one enclave entry per channel record."""
         if self._db is None:
             raise EnclaveError("no active session: call begin_session first")
-        for start in range(0, max(1, len(rows)), RECORD_ROWS):
-            self.enclave.ecall("load_table", name, columns, rows[start : start + RECORD_ROWS])
+        with self.tracer.span(
+            SPAN_HOST_INGEST, node=NODE_HOST, enclave=True, table=name, rows=len(rows)
+        ):
+            for start in range(0, max(1, len(rows)), RECORD_ROWS):
+                self.enclave.ecall(
+                    "load_table", name, columns, rows[start : start + RECORD_ROWS]
+                )
 
     def run(self, statement: A.Statement):
         return self.enclave.ecall("run_statement", statement)

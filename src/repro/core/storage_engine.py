@@ -14,6 +14,7 @@ from __future__ import annotations
 from ..crypto import Rng
 from ..errors import SecureBootError
 from ..sim import Meter
+from ..telemetry import NOOP_TRACER, Tracer
 from ..sql import Database, PagedStore
 from ..sql import ast_nodes as A
 from ..sql.records import encode_row
@@ -49,6 +50,7 @@ class StorageEngine:
         self.block_device = block_device
         self.secure = secure
         self.meter = Meter()
+        self._tracer = NOOP_TRACER
         self.trusted_os = TrustedOS(device)
         self.trusted_os.load_ta(AttestationTA(device))
         self.trusted_os.load_ta(SecureStorageTA(device))
@@ -74,6 +76,16 @@ class StorageEngine:
         self.db = Database(PagedStore(self.pager, self.meter))
 
     # ------------------------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Tracer) -> None:
+        """Install a tracer on the engine and its secure pager."""
+        self._tracer = tracer
+        self.pager.tracer = tracer
 
     def fresh_meter(self) -> Meter:
         """Install a fresh meter for the next run (rebinds all layers)."""

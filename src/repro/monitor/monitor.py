@@ -30,6 +30,12 @@ from ..policy import (
 )
 from ..sim import CAT_POLICY, CostModel, SimClock
 from ..sql import ast_nodes as A
+from ..telemetry import (
+    NODE_MONITOR,
+    NOOP_TRACER,
+    SPAN_POLICY_CHECK,
+    SPAN_REWRITE,
+)
 from .attestation import AttestationService, AttestedNode
 from .auditlog import AuditLog, SignedLogExport, export_signed
 from .keymanager import KeyManager, Session
@@ -107,6 +113,10 @@ class TrustedMonitor:
         self.clock = clock
         self.cost_model = cost_model
         self.attestation = attestation
+        #: Observability hook (no-op by default; the deployment installs a
+        #: recording tracer).  Spans observe the admission path and carry
+        #: audit-entry digests — never key material.
+        self.tracer = NOOP_TRACER
         self._signing_key: PrivateKey = generate_keypair(rng.fork("monitor-signing"))
         self.key_manager = KeyManager(rng.fork("monitor-keys"))
         self.latest_fw = dict(latest_fw or {})
@@ -129,7 +139,8 @@ class TrustedMonitor:
         must include who was admitted, not just who queried (ARCH003).
         """
         log = self._logs.setdefault(OPERATIONS_LOG, AuditLog(OPERATIONS_LOG))
-        log.append(int(self.clock.now_ns), client_key, action, detail)
+        entry = log.append(int(self.clock.now_ns), client_key, action, detail)
+        self.tracer.annotate_audit(OPERATIONS_LOG, entry)
 
     # ------------------------------------------------------------------
     # Node registration (post-attestation)
@@ -279,6 +290,43 @@ class TrustedMonitor:
         now: int = 0,
         query_text: str = "",
     ) -> Authorization:
+        """Admit one client request (traced as a ``policy_check`` span).
+
+        The span records the admission's simulated time (the policy and
+        proof work charged to the clock), the proof's query digest, and
+        the digests of every audit entry this admission appended — so a
+        trace doubles as checkable evidence of compliant execution.
+        """
+        with self.tracer.span(
+            SPAN_POLICY_CHECK, node=NODE_MONITOR, enclave=True, database=database
+        ) as span:
+            auth = self._authorize(
+                database,
+                client_key,
+                statement,
+                host_id=host_id,
+                exec_policy_text=exec_policy_text,
+                now=now,
+                query_text=query_text,
+            )
+            span.set_attrs(
+                query_digest=auth.proof.query_digest.hex(),
+                session_id=auth.session.session_id,
+                directives=len(auth.directives),
+            )
+            return auth
+
+    def _authorize(
+        self,
+        database: str,
+        client_key: str,
+        statement: A.Statement,
+        *,
+        host_id: str,
+        exec_policy_text: str | None = None,
+        now: int = 0,
+        query_text: str = "",
+    ) -> Authorization:
         """Full §4.2 admission path for one client request.
 
         1. evaluate the data-access policy for the statement's permission;
@@ -311,24 +359,33 @@ class TrustedMonitor:
 
         # Apply directives.
         rewritten = statement
-        for directive in verdict.directives:
-            self.clock.charge(self.cost_model.query_rewrite_ns, CAT_POLICY)
-            if isinstance(directive, ExpiryFilter) and isinstance(rewritten, A.Select):
-                rewritten = apply_expiry_filter(
-                    rewritten, directive.column, now, policy.protected_tables
-                )
-            elif isinstance(directive, ReuseMapFilter) and isinstance(rewritten, A.Select):
-                position = policy.reuse_positions.get(client_key)
-                if position is None:
-                    raise PolicyViolation(
-                        "client has no reuse-map position: purpose not registered"
+        with self.tracer.span(
+            SPAN_REWRITE, node=NODE_MONITOR, enclave=True,
+            directives=len(verdict.directives),
+        ):
+            for directive in verdict.directives:
+                self.clock.charge(self.cost_model.query_rewrite_ns, CAT_POLICY)
+                if isinstance(directive, ExpiryFilter) and isinstance(rewritten, A.Select):
+                    rewritten = apply_expiry_filter(
+                        rewritten, directive.column, now, policy.protected_tables
                     )
-                rewritten = apply_reuse_filter(
-                    rewritten, directive.column, position, policy.protected_tables
-                )
-            elif isinstance(directive, LogUpdate):
-                log = self._logs.setdefault(directive.log_name, AuditLog(directive.log_name))
-                log.append(now, client_key, "query", query_text or rewritten.to_sql())
+                elif isinstance(directive, ReuseMapFilter) and isinstance(rewritten, A.Select):
+                    position = policy.reuse_positions.get(client_key)
+                    if position is None:
+                        raise PolicyViolation(
+                            "client has no reuse-map position: purpose not registered"
+                        )
+                    rewritten = apply_reuse_filter(
+                        rewritten, directive.column, position, policy.protected_tables
+                    )
+                elif isinstance(directive, LogUpdate):
+                    log = self._logs.setdefault(
+                        directive.log_name, AuditLog(directive.log_name)
+                    )
+                    entry = log.append(
+                        now, client_key, "query", query_text or rewritten.to_sql()
+                    )
+                    self.tracer.annotate_audit(directive.log_name, entry)
         if isinstance(rewritten, A.Insert) and policy.protected_tables and (
             rewritten.table in policy.protected_tables
         ):

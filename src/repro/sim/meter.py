@@ -54,6 +54,16 @@ class Meter:
 
     extra: dict[str, int] = field(default_factory=dict)
 
+    @classmethod
+    def counter_names(cls) -> tuple[str, ...]:
+        """The declared counter names (everything except ``extra``).
+
+        ``bump`` routes any other name into ``extra`` silently; callers
+        (and the telemetry metrics registry, which warns once per unknown
+        name) can check against this list to catch typos.
+        """
+        return tuple(f.name for f in fields(cls) if f.name != "extra")
+
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment a named counter (declared field or ad-hoc extra)."""
         if hasattr(self, name) and name != "extra":

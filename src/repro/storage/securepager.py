@@ -30,6 +30,12 @@ from ..crypto import (
 )
 from ..errors import IntegrityError, StorageError
 from ..sim import PAGE_SIZE, Meter
+from ..telemetry import (
+    NODE_STORAGE,
+    NOOP_TRACER,
+    SPAN_MERKLE_VERIFY,
+    SPAN_PAGE_WRITE,
+)
 from .blockdevice import BlockDevice
 from .merkle import MerkleTree
 from .pager import PAYLOAD_SIZE, PLAINTEXT_FRAME
@@ -118,6 +124,13 @@ class SecurePager:
         self.device = device
         self.anchor = anchor
         self.meter = meter if meter is not None else Meter()
+        # Observability hook: emits per-page freshness/write markers when
+        # a recording tracer is installed (no-op and branch-free cost
+        # otherwise).  The tracer observes counts only — never keys.
+        # ``trace_node`` is the node the pager runs on: the storage server
+        # normally, the host in the host-only secure configuration.
+        self.tracer = NOOP_TRACER
+        self.trace_node = NODE_STORAGE
         self.cipher = cipher
         # The paper uses a single symmetric key for all data units "for
         # simplicity ... but other management schemes can be adopted
@@ -214,6 +227,8 @@ class SecurePager:
 
         self._trusted_root = self.tree.update_leaf(pgno, sha256(mac))
         self._dirty = True
+        if self.tracer.enabled:
+            self.tracer.event(SPAN_PAGE_WRITE, node=self.trace_node, page=pgno)
 
     def read_page(self, pgno: int) -> bytes:
         """Verify MAC + Merkle path + decrypt.  Raises on any tampering."""
@@ -235,7 +250,15 @@ class SecurePager:
             raise IntegrityError(f"page {pgno}: HMAC mismatch — data was tampered with")
 
         # Freshness: the per-read Merkle walk against the trusted root.
+        nodes_before = self.meter.merkle_nodes_hashed
         self.tree.verify_leaf(pgno, sha256(mac), self._trusted_root)
+        if self.tracer.enabled:
+            self.tracer.event(
+                SPAN_MERKLE_VERIFY,
+                node=self.trace_node,
+                page=pgno,
+                nodes_hashed=self.meter.merkle_nodes_hashed - nodes_before,
+            )
 
         frame = self._decrypt(pgno, iv, ciphertext)
         self.meter.pages_decrypted += 1

@@ -1,0 +1,106 @@
+"""End-to-end observability for the heterogeneous CSA pipeline.
+
+Span-based tracing (simulated **and** wall-clock nanoseconds), a unified
+metrics registry that absorbs the per-phase :class:`~repro.sim.Meter`
+counters, exporters (JSONL + Chrome trace-event format), and audit
+correlation that ties every trace back to the trusted monitor's
+hash-chained logs.
+
+Design rules:
+
+* **zero-overhead by default** — components hold :data:`NOOP_TRACER`
+  until a deployment enables tracing, so figures are unchanged;
+* **deterministic** — simulated timestamps/durations only; wall time is
+  carried alongside, never used for layout;
+* **observe, never touch** — telemetry may depend on ``repro.errors`` and
+  ``repro.sim`` only, and never references key material (ARCH004).
+"""
+
+from .correlate import audit_references, query_digest_of, verify_trace_audit
+from .exporters import (
+    read_jsonl,
+    sequential_layout,
+    to_chrome_trace,
+    trace_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .render import render_diff, render_summary, render_top, render_tree, top_spans
+from .spans import (
+    KNOWN_SPAN_NAMES,
+    NODE_CLIENT,
+    NODE_HOST,
+    NODE_MONITOR,
+    NODE_NETWORK,
+    NODE_STORAGE,
+    SPAN_ATTESTATION,
+    SPAN_CHANNEL_SEND,
+    SPAN_CHANNEL_SHIP,
+    SPAN_CHANNEL_TRANSFER,
+    SPAN_HOST_EXECUTE,
+    SPAN_HOST_INGEST,
+    SPAN_HOST_JOIN_AGG,
+    SPAN_MERKLE_VERIFY,
+    SPAN_NDP_FILTER,
+    SPAN_PAGE_WRITE,
+    SPAN_PARTITION,
+    SPAN_POLICY_CHECK,
+    SPAN_PROOF_VERIFY,
+    SPAN_QUERY,
+    SPAN_REWRITE,
+    SPAN_SESSION_SETUP,
+    SPAN_STORAGE_PHASE,
+    Span,
+    Trace,
+)
+from .tracer import NOOP_TRACER, RecordingTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KNOWN_SPAN_NAMES",
+    "MetricsRegistry",
+    "NODE_CLIENT",
+    "NODE_HOST",
+    "NODE_MONITOR",
+    "NODE_NETWORK",
+    "NODE_STORAGE",
+    "NOOP_TRACER",
+    "RecordingTracer",
+    "SPAN_ATTESTATION",
+    "SPAN_CHANNEL_SEND",
+    "SPAN_CHANNEL_SHIP",
+    "SPAN_CHANNEL_TRANSFER",
+    "SPAN_HOST_EXECUTE",
+    "SPAN_HOST_INGEST",
+    "SPAN_HOST_JOIN_AGG",
+    "SPAN_MERKLE_VERIFY",
+    "SPAN_NDP_FILTER",
+    "SPAN_PAGE_WRITE",
+    "SPAN_PARTITION",
+    "SPAN_POLICY_CHECK",
+    "SPAN_PROOF_VERIFY",
+    "SPAN_QUERY",
+    "SPAN_REWRITE",
+    "SPAN_SESSION_SETUP",
+    "SPAN_STORAGE_PHASE",
+    "Span",
+    "Trace",
+    "Tracer",
+    "audit_references",
+    "query_digest_of",
+    "read_jsonl",
+    "render_diff",
+    "render_summary",
+    "render_top",
+    "render_tree",
+    "sequential_layout",
+    "to_chrome_trace",
+    "top_spans",
+    "trace_events",
+    "verify_trace_audit",
+    "write_chrome_trace",
+    "write_jsonl",
+]

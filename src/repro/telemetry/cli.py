@@ -1,0 +1,108 @@
+"""``repro-trace``: inspect, export and diff trace files.
+
+Subcommands over the JSONL traces written by the instrumented deployment
+(``Deployment.enable_tracing()`` + ``repro.telemetry.write_jsonl``):
+
+* ``summary TRACE``      — per-span-name totals across all traces
+* ``tree TRACE``         — indented span tree per trace
+* ``top TRACE [-n N]``   — largest spans by simulated self-time
+* ``export TRACE -o OUT``— re-export (chrome trace-event or JSONL)
+* ``diff OLD NEW``       — per-span-name simulated-time change
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .exporters import read_jsonl, write_chrome_trace, write_jsonl
+from .render import render_diff, render_summary, render_top, render_tree
+
+
+def _load(path: str):
+    try:
+        return read_jsonl(path)
+    except OSError as exc:
+        raise SystemExit(f"repro-trace: cannot read {path!r}: {exc}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="inspect, export and diff repro.telemetry trace files",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summary", help="per-span-name totals")
+    p.add_argument("trace", help="JSONL trace file")
+
+    p = sub.add_parser("tree", help="indented span tree per trace")
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument("--trace-id", help="render only this trace id")
+
+    p = sub.add_parser("top", help="largest spans by simulated self-time")
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument("-n", type=int, default=10, help="how many spans (default 10)")
+
+    p = sub.add_parser("export", help="re-export a trace file")
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument("-o", "--output", required=True, help="output path")
+    p.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="chrome trace-event JSON (default) or normalized JSONL",
+    )
+
+    p = sub.add_parser("diff", help="compare two trace files")
+    p.add_argument("old", help="baseline JSONL trace file")
+    p.add_argument("new", help="candidate JSONL trace file")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "summary":
+        traces, metrics = _load(args.trace)
+        print(render_summary(traces))
+        if metrics:
+            print(f"\n{len(metrics)} metric value(s) in snapshot")
+        return 0
+
+    if args.command == "tree":
+        traces, _ = _load(args.trace)
+        if args.trace_id:
+            traces = [t for t in traces if t.trace_id == args.trace_id]
+            if not traces:
+                print(f"no trace with id {args.trace_id!r}", file=sys.stderr)
+                return 1
+        print("\n\n".join(render_tree(t) for t in traces))
+        return 0
+
+    if args.command == "top":
+        traces, _ = _load(args.trace)
+        print(render_top(traces, args.n))
+        return 0
+
+    if args.command == "export":
+        traces, _ = _load(args.trace)
+        if args.format == "chrome":
+            write_chrome_trace(traces, args.output)
+        else:
+            write_jsonl(traces, args.output)
+        total_spans = sum(len(t) for t in traces)
+        print(f"wrote {len(traces)} trace(s), {total_spans} spans to {args.output}")
+        return 0
+
+    if args.command == "diff":
+        before, _ = _load(args.old)
+        after, _ = _load(args.new)
+        print(render_diff(before, after))
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the subcommands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""Audit correlation: traces as verifiable evidence of compliant execution.
+
+The trusted monitor stamps spans with the hash-chain digests of the audit
+entries it appends while admitting a query (``logUpdate`` obligations,
+session lifecycle in the ``operations`` log) plus the compliance proof's
+query digest.  A trace is then not just a profile: an auditor holding the
+monitor (or its exported, signed logs) can check that every audit
+reference in the trace points at a real, chain-valid entry — and,
+conversely, which logged queries have a trace.
+
+The monitor objects are duck-typed (``audit_log(name)`` returning an
+object with ``entries`` and ``verify_chain()``): telemetry observes the
+monitor, it never imports it — and it never touches key material
+(enforced by ARCH004).
+"""
+
+from __future__ import annotations
+
+from ..errors import IntegrityError
+from .spans import Trace
+
+
+def audit_references(trace: Trace) -> list[dict]:
+    """All audit-log references stamped anywhere in *trace*."""
+    refs: list[dict] = []
+    for span in trace.spans:
+        for ref in span.audit:
+            refs.append(
+                {
+                    "span_id": span.span_id,
+                    "span": span.name,
+                    "log": ref["log"],
+                    "sequence": ref["sequence"],
+                    "digest": ref["digest"],
+                }
+            )
+    return refs
+
+
+def verify_trace_audit(trace: Trace, monitor) -> int:
+    """Check every audit reference in *trace* against *monitor*'s logs.
+
+    For each referenced log: replay its hash chain, then confirm the
+    referenced entry exists and its digest matches the one recorded in
+    the span.  Returns the number of verified references; raises
+    :class:`~repro.errors.IntegrityError` if the trace carries no audit
+    evidence at all, or if any reference fails.
+    """
+    refs = audit_references(trace)
+    if not refs:
+        raise IntegrityError(
+            f"trace {trace.trace_id!r} carries no audit references: "
+            "it is not evidence of policy-compliant execution"
+        )
+    verified_logs: set[str] = set()
+    for ref in refs:
+        log = monitor.audit_log(ref["log"])
+        if ref["log"] not in verified_logs:
+            log.verify_chain()
+            verified_logs.add(ref["log"])
+        sequence = ref["sequence"]
+        if sequence >= len(log.entries):
+            raise IntegrityError(
+                f"trace {trace.trace_id!r} references entry {sequence} of "
+                f"log {ref['log']!r}, which has only {len(log.entries)} entries"
+            )
+        entry = log.entries[sequence]
+        if entry.digest().hex() != ref["digest"]:
+            raise IntegrityError(
+                f"trace {trace.trace_id!r}: span {ref['span']!r} references "
+                f"log {ref['log']!r} entry {sequence} with a stale digest — "
+                "the log and the trace disagree"
+            )
+    return len(refs)
+
+
+def query_digest_of(trace: Trace) -> str | None:
+    """The compliance proof's query digest stamped on the trace, if any."""
+    for span in trace.spans:
+        digest = span.attributes.get("query_digest")
+        if digest is not None:
+            return str(digest)
+    return None

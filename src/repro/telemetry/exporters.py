@@ -1,0 +1,212 @@
+"""Trace exporters: JSONL event streams and Chrome trace-event JSON.
+
+* **JSONL** is the canonical on-disk format: one JSON object per line
+  (``{"type": "span", ...}``), ending with an optional metrics snapshot
+  line.  It round-trips losslessly through :func:`read_jsonl`.
+* **Chrome trace-event format** (``chrome://tracing`` / Perfetto): each
+  node becomes a "process", spans become complete (``X``) events with
+  microsecond timestamps in *simulated* time, and zero-duration marker
+  spans (per-page ``merkle_verify`` etc.) become instant (``i``) events.
+
+Simulated time in this system advances only where code charges the
+``SimClock``; phases costed from meters after the fact all share one
+clock reading.  Exported timelines therefore use a **sequential layout**:
+children are placed back to back inside their parent, and a parent's
+extent is at least the sum of its children.  The result is a flame graph
+of simulated nanoseconds that matches the benchmark breakdowns exactly,
+deterministic across machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Iterable
+
+from .metrics import MetricsRegistry
+from .spans import Span, Trace
+
+NS_PER_US = 1_000.0
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def trace_events(traces: Iterable[Trace]) -> list[dict]:
+    events = []
+    for trace in traces:
+        for span in trace.spans:
+            events.append(span.to_dict())
+    return events
+
+
+def write_jsonl(
+    traces: Iterable[Trace],
+    destination: str | os.PathLike | IO[str],
+    metrics: MetricsRegistry | None = None,
+) -> None:
+    """Stream spans (and an optional metrics snapshot) as JSON lines."""
+
+    def _write(fp: IO[str]) -> None:
+        for event in trace_events(traces):
+            fp.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+        if metrics is not None:
+            fp.write(
+                json.dumps(
+                    {"type": "metrics", "values": metrics.snapshot()}, sort_keys=True
+                )
+                + "\n"
+            )
+
+    if isinstance(destination, (str, os.PathLike)):
+        with open(destination, "w", encoding="utf-8") as fp:
+            _write(fp)
+    else:
+        _write(destination)
+
+
+def read_jsonl(source: str | os.PathLike | IO[str]) -> tuple[list[Trace], dict[str, float]]:
+    """Load traces (and the metrics snapshot, if present) back."""
+
+    def _read(fp: IO[str]) -> tuple[list[Trace], dict[str, float]]:
+        traces: dict[str, Trace] = {}
+        order: list[str] = []
+        metrics: dict[str, float] = {}
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            kind = data.get("type")
+            if kind == "span":
+                span = Span.from_dict(data)
+                trace = traces.get(span.trace_id)
+                if trace is None:
+                    trace = Trace(span.trace_id)
+                    traces[span.trace_id] = trace
+                    order.append(span.trace_id)
+                trace.add(span)
+            elif kind == "metrics":
+                metrics.update(data.get("values", {}))
+        return [traces[tid] for tid in order], metrics
+
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "r", encoding="utf-8") as fp:
+            return _read(fp)
+    return _read(source)
+
+
+# ---------------------------------------------------------------------------
+# Sequential layout (shared by the chrome exporter and the tree renderer)
+# ---------------------------------------------------------------------------
+
+
+def sequential_layout(trace: Trace, origin_ns: float = 0.0) -> dict[int, tuple[float, float]]:
+    """Assign ``span_id -> (start_ns, duration_ns)`` on a virtual timeline.
+
+    Children are placed back to back from their parent's start; a span's
+    extent is ``max(own sim_ns, sum of children)`` so the flame graph
+    nests correctly even when a parent's stamped time is finer-grained
+    than its children's counts (or vice versa).
+    """
+    children: dict[int | None, list[Span]] = {}
+    for span in trace.spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    placed: dict[int, tuple[float, float]] = {}
+
+    def place(span: Span, start: float) -> float:
+        cursor = start
+        child_total = 0.0
+        for child in children.get(span.span_id, ()):
+            extent = place(child, cursor)
+            cursor += extent
+            child_total += extent
+        extent = max(span.sim_ns, child_total)
+        placed[span.span_id] = (start, extent)
+        return extent
+
+    cursor = origin_ns
+    for root in children.get(None, ()):
+        cursor += place(root, cursor)
+    return placed
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(traces: Iterable[Trace]) -> dict:
+    """Build a ``chrome://tracing`` / Perfetto-loadable trace dict.
+
+    Multiple traces are laid out one after another on the shared
+    simulated timeline.  Nodes map to process ids (with ``process_name``
+    metadata); every span runs on ``tid`` 1 of its node.
+    """
+    pids: dict[str, int] = {}
+    events: list[dict] = []
+
+    def pid_for(node: str) -> int:
+        label = node or "unattributed"
+        pid = pids.get(label)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[label] = pid
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        return pid
+
+    origin = 0.0
+    for trace in traces:
+        layout = sequential_layout(trace, origin)
+        for span in trace.spans:
+            start_ns, dur_ns = layout[span.span_id]
+            args: dict[str, object] = dict(span.attributes)
+            args["trace_id"] = trace.trace_id
+            args["sim_ns"] = span.sim_ns
+            args["wall_ns"] = span.wall_ns
+            args["enclave"] = span.enclave
+            if span.audit:
+                args["audit"] = [dict(ref) for ref in span.audit]
+            if span.status != "ok":
+                args["status"] = span.status
+            event = {
+                "name": span.name,
+                "cat": "sim",
+                "pid": pid_for(span.node),
+                "tid": 1,
+                "ts": start_ns / NS_PER_US,
+                "args": args,
+            }
+            if dur_ns > 0:
+                event["ph"] = "X"
+                event["dur"] = dur_ns / NS_PER_US
+            else:
+                event["ph"] = "i"
+                event["s"] = "t"
+            events.append(event)
+        if layout:
+            origin = max(start + dur for start, dur in layout.values())
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    traces: Iterable[Trace], destination: str | os.PathLike | IO[str]
+) -> None:
+    document = to_chrome_trace(traces)
+    if isinstance(destination, (str, os.PathLike)):
+        with open(destination, "w", encoding="utf-8") as fp:
+            json.dump(document, fp, sort_keys=True, default=str)
+    else:
+        json.dump(document, destination, sort_keys=True, default=str)

@@ -1,0 +1,185 @@
+"""Unified metrics registry: counters, gauges and histograms with labels.
+
+The registry absorbs the existing :class:`~repro.sim.Meter` objects — every
+``Meter.bump`` becomes visible as a named metric with ``node``/``phase``
+labels — and adds snapshot/diff APIs so experiments can measure exactly
+what one query (or one sweep step) contributed.
+
+Ad-hoc counter names (``Meter.bump`` silently routes unknown names into
+``Meter.extra``) are still absorbed, but the registry warns **once per
+name** so typo'd counters surface instead of vanishing into ``extra``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+from ..sim import Meter
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_key(name: str, labels: _LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing value."""
+
+    name: str
+    labels: _LabelKey = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write value (also tracks the high-water mark)."""
+
+    name: str
+    labels: _LabelKey = ()
+    value: float = 0.0
+    max_value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if self.value > self.max_value:
+            self.max_value = self.value
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary (count/sum/min/max)."""
+
+    name: str
+    labels: _LabelKey = ()
+    count: int = 0
+    sum: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """All metrics of one tracer/deployment, keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, _LabelKey], object] = {}
+        self._warned_names: set[str] = set()
+
+    # -- get-or-create --------------------------------------------------
+
+    def _get(self, cls, name: str, labels: dict[str, str]):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name=name, labels=key[1])
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- Meter absorption -----------------------------------------------
+
+    def absorb_meter(self, meter: Meter, *, node: str = "", phase: str = "") -> None:
+        """Fold one phase meter into labelled metrics.
+
+        Declared counters land under ``meter.<name>``; the peak working
+        set becomes a gauge; ad-hoc ``extra`` names are absorbed under
+        ``meter.extra.<name>`` with a one-time warning each (they are
+        usually typos — see :meth:`Meter.counter_names`).
+        """
+        for name in Meter.counter_names():
+            value = getattr(meter, name)
+            if not value:
+                continue
+            if name == "peak_memory_bytes":
+                gauge = self.gauge("meter.peak_memory_bytes", node=node, phase=phase)
+                gauge.set(max(gauge.value, value))
+            else:
+                self.counter(f"meter.{name}", node=node, phase=phase).inc(value)
+        for name, value in meter.extra.items():
+            self.warn_unknown_counter(name)
+            self.counter(f"meter.extra.{name}", node=node, phase=phase).inc(value)
+
+    def warn_unknown_counter(self, name: str) -> None:
+        """Warn once that *name* is not a declared ``Meter`` counter."""
+        if name in self._warned_names:
+            return
+        self._warned_names.add(name)
+        warnings.warn(
+            f"meter counter {name!r} is not declared on Meter "
+            f"(typo? declared: {', '.join(Meter.counter_names())}); "
+            "it was absorbed under meter.extra.*",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    # -- snapshot / diff -------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat, deterministic view: ``name{label=value,...}`` → number."""
+        out: dict[str, float] = {}
+        for (name, labels), metric in self._metrics.items():
+            key = _format_key(name, labels)
+            if isinstance(metric, Counter):
+                out[key] = metric.value
+            elif isinstance(metric, Gauge):
+                out[key] = metric.value
+                out[key + ".max"] = metric.max_value
+            elif isinstance(metric, Histogram):
+                out[key + ".count"] = float(metric.count)
+                out[key + ".sum"] = metric.sum
+                if metric.count:
+                    out[key + ".min"] = metric.min
+                    out[key + ".max"] = metric.max
+        return dict(sorted(out.items()))
+
+    @staticmethod
+    def diff(before: dict[str, float], after: dict[str, float]) -> dict[str, float]:
+        """Per-key change between two snapshots (zero deltas dropped)."""
+        out: dict[str, float] = {}
+        for key in sorted(set(before) | set(after)):
+            delta = after.get(key, 0.0) - before.get(key, 0.0)
+            if delta:
+                out[key] = delta
+        return out
+
+    def __len__(self) -> int:
+        return len(self._metrics)

@@ -1,0 +1,157 @@
+"""Human-readable trace rendering: trees, summaries, top spans, diffs."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..sim import NS_PER_MS
+from .spans import Span, Trace
+
+
+def _fmt_ms(ns: float) -> str:
+    return f"{ns / NS_PER_MS:.3f}ms"
+
+
+def _span_label(span: Span, root_ns: float) -> str:
+    parts = [span.name]
+    if span.node:
+        parts.append(f"[{span.node}{'+enclave' if span.enclave else ''}]")
+    parts.append(_fmt_ms(span.sim_ns))
+    if root_ns > 0:
+        parts.append(f"({100.0 * span.sim_ns / root_ns:.1f}%)")
+    if span.audit:
+        parts.append(f"audit×{len(span.audit)}")
+    if span.status != "ok":
+        parts.append(span.status)
+    interesting = {
+        k: v
+        for k, v in span.attributes.items()
+        if k in ("table", "rows", "bytes", "config", "query", "sql", "session_id")
+    }
+    if interesting:
+        parts.append(" ".join(f"{k}={v}" for k, v in sorted(interesting.items())))
+    return "  ".join(parts)
+
+
+def render_tree(trace: Trace, *, max_children: int = 40) -> str:
+    """Indented span tree for one trace (marker spans are folded)."""
+    children: dict[int | None, list[Span]] = {}
+    for span in trace.spans:
+        children.setdefault(span.parent_id, []).append(span)
+    root_ns = trace.total_sim_ns
+    lines = [f"trace {trace.trace_id}  total {_fmt_ms(root_ns)}  spans {len(trace.spans)}"]
+
+    def walk(span: Span, depth: int) -> None:
+        lines.append("  " * depth + _span_label(span, root_ns))
+        kids = children.get(span.span_id, [])
+        # Fold long runs of identical markers (per-page merkle walks).
+        if len(kids) > max_children:
+            by_name: dict[str, list[Span]] = {}
+            for kid in kids:
+                by_name.setdefault(kid.name, []).append(kid)
+            for name, group in by_name.items():
+                if len(group) > 3:
+                    total = sum(s.sim_ns for s in group)
+                    lines.append(
+                        "  " * (depth + 1)
+                        + f"{name} ×{len(group)}  {_fmt_ms(total)} (folded)"
+                    )
+                else:
+                    for kid in group:
+                        walk(kid, depth + 1)
+            return
+        for kid in kids:
+            walk(kid, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 1)
+    return "\n".join(lines)
+
+
+def aggregate_by_name(traces: Iterable[Trace]) -> dict[str, dict[str, float]]:
+    """Per span name: count, total/simulated ns, total wall ns."""
+    out: dict[str, dict[str, float]] = {}
+    for trace in traces:
+        for span in trace.spans:
+            row = out.setdefault(
+                span.name, {"count": 0.0, "sim_ns": 0.0, "wall_ns": 0.0}
+            )
+            row["count"] += 1
+            row["sim_ns"] += span.sim_ns
+            row["wall_ns"] += span.wall_ns
+    return out
+
+
+def render_summary(traces: list[Trace]) -> str:
+    """Per-name totals across all traces, largest simulated time first."""
+    rows = aggregate_by_name(traces)
+    total_sim = sum(t.total_sim_ns for t in traces)
+    lines = [
+        f"{len(traces)} trace(s), {sum(len(t) for t in traces)} spans, "
+        f"root total {_fmt_ms(total_sim)}",
+        f"{'span':20s} {'count':>7s} {'sim ms':>12s} {'share':>7s} {'wall ms':>10s}",
+    ]
+    for name, row in sorted(rows.items(), key=lambda kv: -kv[1]["sim_ns"]):
+        share = 100.0 * row["sim_ns"] / total_sim if total_sim else 0.0
+        lines.append(
+            f"{name:20s} {int(row['count']):7d} {row['sim_ns'] / NS_PER_MS:12.3f} "
+            f"{share:6.1f}% {row['wall_ns'] / NS_PER_MS:10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def top_spans(traces: Iterable[Trace], n: int = 10) -> list[Span]:
+    """The *n* individually largest spans by simulated self-time."""
+    scored: list[tuple[float, Span]] = []
+    for trace in traces:
+        child_ns: dict[int, float] = {}
+        for span in trace.spans:
+            if span.parent_id is not None:
+                child_ns[span.parent_id] = child_ns.get(span.parent_id, 0.0) + span.sim_ns
+        for span in trace.spans:
+            self_ns = max(0.0, span.sim_ns - child_ns.get(span.span_id, 0.0))
+            scored.append((self_ns, span))
+    scored.sort(key=lambda pair: -pair[0])
+    return [span for _, span in scored[:n]]
+
+
+def render_top(traces: list[Trace], n: int = 10) -> str:
+    lines = [f"{'self ms':>10s}  {'total ms':>10s}  {'node':8s} span"]
+    child_ns: dict[tuple[str, int], float] = {}
+    for trace in traces:
+        for span in trace.spans:
+            if span.parent_id is not None:
+                key = (trace.trace_id, span.parent_id)
+                child_ns[key] = child_ns.get(key, 0.0) + span.sim_ns
+    for span in top_spans(traces, n):
+        self_ns = max(0.0, span.sim_ns - child_ns.get((span.trace_id, span.span_id), 0.0))
+        lines.append(
+            f"{self_ns / NS_PER_MS:10.3f}  {span.sim_ns / NS_PER_MS:10.3f}  "
+            f"{span.node:8s} {span.name} ({span.trace_id}#{span.span_id})"
+        )
+    return "\n".join(lines)
+
+
+def render_diff(before: list[Trace], after: list[Trace]) -> str:
+    """Per-span-name simulated-time change between two trace files."""
+    rows_a = aggregate_by_name(before)
+    rows_b = aggregate_by_name(after)
+    lines = [f"{'span':20s} {'before ms':>12s} {'after ms':>12s} {'delta ms':>12s} {'delta':>8s}"]
+    deltas = []
+    for name in sorted(set(rows_a) | set(rows_b)):
+        a = rows_a.get(name, {}).get("sim_ns", 0.0)
+        b = rows_b.get(name, {}).get("sim_ns", 0.0)
+        deltas.append((abs(b - a), name, a, b))
+    for _, name, a, b in sorted(deltas, reverse=True):
+        pct = f"{100.0 * (b - a) / a:+.1f}%" if a else "new" if b else "-"
+        lines.append(
+            f"{name:20s} {a / NS_PER_MS:12.3f} {b / NS_PER_MS:12.3f} "
+            f"{(b - a) / NS_PER_MS:+12.3f} {pct:>8s}"
+        )
+    total_a = sum(t.total_sim_ns for t in before)
+    total_b = sum(t.total_sim_ns for t in after)
+    lines.append(
+        f"{'TOTAL (roots)':20s} {total_a / NS_PER_MS:12.3f} {total_b / NS_PER_MS:12.3f} "
+        f"{(total_b - total_a) / NS_PER_MS:+12.3f}"
+    )
+    return "\n".join(lines)

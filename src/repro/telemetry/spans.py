@@ -1,0 +1,221 @@
+"""Span and trace records.
+
+A :class:`Span` is one named phase of a query's life (see the taxonomy
+constants below), tagged with the node it ran on, whether that node was
+inside an enclave/realm, and *two* clocks: the deterministic simulated
+nanoseconds everything in this reproduction is costed in, and wall-clock
+nanoseconds for profiling the simulator itself.  Spans nest parent→child
+across the client → monitor → storage-engine → channel → host-engine
+lifecycle; one query = one :class:`Trace`.
+
+Simulated durations come from the :class:`~repro.sim.SimClock` where the
+instrumented code charges the clock directly (the monitor's admission
+path), and are stamped explicitly (:meth:`Span.set_sim_ns`) where the
+deployment layer costs meters after the fact (the storage/host phases) —
+so a trace reproduces the same numbers as the benchmark figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# ---------------------------------------------------------------------------
+# Span taxonomy: the phases of the paper's §3.1 workflow.
+# ---------------------------------------------------------------------------
+
+SPAN_QUERY = "query"                  # root: one client request, end to end
+SPAN_ATTESTATION = "attestation"      # monitor attests host + storage (Table 4)
+SPAN_POLICY_CHECK = "policy_check"    # monitor admission: access + exec policy
+SPAN_REWRITE = "rewrite"              # policy-directed query rewriting
+SPAN_PROOF_VERIFY = "proof_verify"    # client checks the compliance proof
+SPAN_PARTITION = "partition"          # host splits the query plan
+SPAN_STORAGE_PHASE = "storage_phase"  # whole near-data phase on the server
+SPAN_NDP_FILTER = "ndp_filter"        # one offloaded filtering scan
+SPAN_MERKLE_VERIFY = "merkle_verify"  # per-page freshness walk (marker)
+SPAN_PAGE_WRITE = "page_write"        # secure page write (marker)
+SPAN_CHANNEL_SHIP = "channel_ship"    # records pushed through the channel
+SPAN_CHANNEL_SEND = "channel_send"    # one channel record on the wire (marker)
+SPAN_CHANNEL_TRANSFER = "channel_transfer"  # non-overlapped network time
+SPAN_HOST_INGEST = "host_ingest"      # enclave ingests shipped tables
+SPAN_HOST_JOIN_AGG = "host_join_agg"  # host-side joins/aggregation
+SPAN_HOST_EXECUTE = "host_execute"    # host-only full-query execution
+SPAN_SESSION_SETUP = "session_setup"  # per-request TLS establishment
+
+KNOWN_SPAN_NAMES = frozenset(
+    {
+        SPAN_QUERY,
+        SPAN_ATTESTATION,
+        SPAN_POLICY_CHECK,
+        SPAN_REWRITE,
+        SPAN_PROOF_VERIFY,
+        SPAN_PARTITION,
+        SPAN_STORAGE_PHASE,
+        SPAN_NDP_FILTER,
+        SPAN_MERKLE_VERIFY,
+        SPAN_PAGE_WRITE,
+        SPAN_CHANNEL_SHIP,
+        SPAN_CHANNEL_SEND,
+        SPAN_CHANNEL_TRANSFER,
+        SPAN_HOST_INGEST,
+        SPAN_HOST_JOIN_AGG,
+        SPAN_HOST_EXECUTE,
+        SPAN_SESSION_SETUP,
+    }
+)
+
+#: Node names used by the instrumentation (chrome-trace "processes").
+NODE_CLIENT = "client"
+NODE_MONITOR = "monitor"
+NODE_HOST = "host"
+NODE_STORAGE = "storage"
+NODE_NETWORK = "network"
+
+
+@dataclass
+class Span:
+    """One timed phase, on one node, of one traced query."""
+
+    name: str
+    span_id: int
+    trace_id: str
+    parent_id: int | None = None
+    node: str = ""
+    enclave: bool = False
+    start_sim_ns: float = 0.0
+    end_sim_ns: float | None = None
+    start_wall_ns: int = 0
+    end_wall_ns: int | None = None
+    #: Explicit simulated duration, overriding the clock delta.  The
+    #: deployment stamps this for phases whose cost is computed from
+    #: meters after execution rather than charged to the clock live.
+    sim_ns_override: float | None = None
+    attributes: dict[str, object] = field(default_factory=dict)
+    #: Audit-log references: {"log": name, "sequence": int, "digest": hex}.
+    audit: list[dict] = field(default_factory=list)
+    status: str = "ok"
+
+    # -- durations -----------------------------------------------------
+
+    @property
+    def sim_ns(self) -> float:
+        """Simulated duration (explicit stamp wins over the clock delta)."""
+        if self.sim_ns_override is not None:
+            return self.sim_ns_override
+        if self.end_sim_ns is None:
+            return 0.0
+        return self.end_sim_ns - self.start_sim_ns
+
+    @property
+    def wall_ns(self) -> int:
+        if self.end_wall_ns is None:
+            return 0
+        return self.end_wall_ns - self.start_wall_ns
+
+    # -- mutation helpers (instrumentation-facing) ---------------------
+
+    def set_sim_ns(self, ns: float) -> "Span":
+        self.sim_ns_override = float(ns)
+        return self
+
+    def set_attrs(self, **attributes: object) -> "Span":
+        self.attributes.update(attributes)
+        return self
+
+    def annotate_audit(self, log_name: str, sequence: int, digest_hex: str) -> "Span":
+        self.audit.append({"log": log_name, "sequence": sequence, "digest": digest_hex})
+        return self
+
+    # -- (de)serialization ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "node": self.node,
+            "enclave": self.enclave,
+            "start_sim_ns": self.start_sim_ns,
+            "end_sim_ns": self.end_sim_ns,
+            "sim_ns": self.sim_ns,
+            "start_wall_ns": self.start_wall_ns,
+            "end_wall_ns": self.end_wall_ns,
+            "wall_ns": self.wall_ns,
+            "attributes": dict(self.attributes),
+            "audit": [dict(ref) for ref in self.audit],
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls(
+            name=data["name"],
+            span_id=int(data["span_id"]),
+            trace_id=data["trace_id"],
+            parent_id=data.get("parent_id"),
+            node=data.get("node", ""),
+            enclave=bool(data.get("enclave", False)),
+            start_sim_ns=float(data.get("start_sim_ns", 0.0)),
+            end_sim_ns=data.get("end_sim_ns"),
+            start_wall_ns=int(data.get("start_wall_ns", 0)),
+            end_wall_ns=data.get("end_wall_ns"),
+            attributes=dict(data.get("attributes", {})),
+            audit=[dict(ref) for ref in data.get("audit", ())],
+            status=data.get("status", "ok"),
+        )
+        # Round-trip the effective duration whatever produced it.
+        recorded = data.get("sim_ns")
+        if recorded is not None and abs(span.sim_ns - recorded) > 1e-9:
+            span.sim_ns_override = float(recorded)
+        return span
+
+
+class Trace:
+    """All spans of one traced query, rooted at its ``query`` span."""
+
+    def __init__(self, trace_id: str, spans: list[Span] | None = None):
+        self.trace_id = trace_id
+        self.spans: list[Span] = spans if spans is not None else []
+
+    def add(self, span: Span) -> None:
+        self.spans.append(span)
+
+    @property
+    def root(self) -> Span | None:
+        for span in self.spans:
+            if span.parent_id is None:
+                return span
+        return None
+
+    def children_of(self, span_id: int) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    @property
+    def total_sim_ns(self) -> float:
+        root = self.root
+        return root.sim_ns if root is not None else 0.0
+
+    def coverage(self) -> float:
+        """Fraction of the root's simulated time covered by its children."""
+        root = self.root
+        if root is None or root.sim_ns <= 0:
+            return 0.0
+        covered = sum(child.sim_ns for child in self.children_of(root.span_id))
+        return covered / root.sim_ns
+
+    def by_name(self) -> dict[str, float]:
+        """Total simulated ns per span name."""
+        totals: dict[str, float] = {}
+        for span in self.spans:
+            totals[span.name] = totals.get(span.name, 0.0) + span.sim_ns
+        return totals
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({self.trace_id!r}, {len(self.spans)} spans)"

@@ -1,0 +1,228 @@
+"""Tracers: the no-op default and the recording implementation.
+
+Tracing is **off by default**: every instrumented component holds
+:data:`NOOP_TRACER`, whose ``span()`` returns one shared, stateless
+context manager — no allocation, no timestamps, no trace state — so the
+tier-1 tests and benchmark figures are byte-identical with tracing
+disabled.  Hot paths additionally gate on ``tracer.enabled`` before
+building attribute dicts.
+
+:class:`RecordingTracer` keeps a span stack (so nested instrumentation
+composes into a tree without any component knowing about any other),
+captures simulated time from the shared :class:`~repro.sim.SimClock` and
+wall-clock time from ``time.perf_counter_ns``, and finalizes one
+:class:`~repro.telemetry.spans.Trace` per root span.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from .metrics import MetricsRegistry
+from .spans import Span, Trace
+
+
+class _NoopSpan:
+    """Shared do-nothing span/context manager (the disabled path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_sim_ns(self, ns: float) -> "_NoopSpan":
+        return self
+
+    def set_attrs(self, **attributes: object) -> "_NoopSpan":
+        return self
+
+    def annotate_audit(self, log_name: str, sequence: int, digest_hex: str) -> "_NoopSpan":
+        return self
+
+    @property
+    def sim_ns(self) -> float:
+        return 0.0
+
+    @property
+    def wall_ns(self) -> int:
+        return 0
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """No-op base tracer; also the interface instrumented code sees."""
+
+    enabled: bool = False
+
+    def span(self, name: str, *, node: str = "", enclave: bool = False, **attributes):
+        """Context manager for one phase.  No-op unless recording."""
+        return _NOOP_SPAN
+
+    def maybe_root(self, name: str, *, node: str = "", enclave: bool = False, **attributes):
+        """A root span if no trace is active, else a pass-through no-op.
+
+        Lets ``Deployment.run_query`` own the root when called standalone
+        while attaching its phases to the client's root when called
+        through ``Client.submit``.
+        """
+        return _NOOP_SPAN
+
+    def event(self, name: str, *, node: str = "", enclave: bool = False, **attributes):
+        """Zero-duration marker span under the current span (dropped when
+        no trace is active, so setup-time work never pollutes traces)."""
+        return None
+
+    def annotate(self, **attributes: object) -> None:
+        """Attach attributes to the current span (no-op when idle)."""
+
+    def annotate_audit(self, log_name: str, entry) -> None:
+        """Stamp the current span with one audit-log entry's digest."""
+
+    @property
+    def current(self) -> Span | None:
+        return None
+
+
+#: The shared disabled tracer every component defaults to.
+NOOP_TRACER = Tracer()
+
+
+class _SpanContext:
+    """Opens a recorded span on ``__enter__``, closes it on ``__exit__``.
+
+    ``__enter__`` returns the :class:`Span` itself so callers can keep the
+    handle and stamp simulated durations / attributes after the block.
+    """
+
+    __slots__ = ("_tracer", "_name", "_node", "_enclave", "_attributes", "_span")
+
+    def __init__(self, tracer: "RecordingTracer", name: str, node: str,
+                 enclave: bool, attributes: dict):
+        self._tracer = tracer
+        self._name = name
+        self._node = node
+        self._enclave = enclave
+        self._attributes = attributes
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._begin(
+            self._name, self._node, self._enclave, self._attributes
+        )
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._span is not None
+        if exc_type is not None:
+            self._span.status = f"error:{exc_type.__name__}"
+        self._tracer._end(self._span)
+        return False
+
+
+class RecordingTracer(Tracer):
+    """Records spans into per-query traces (deterministic in sim time)."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock=None,
+        metrics: MetricsRegistry | None = None,
+        wall_clock: Callable[[], int] | None = None,
+    ):
+        #: The deployment's SimClock (or None: sim timestamps stay 0 and
+        #: durations come from explicit stamps only).
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._wall = wall_clock if wall_clock is not None else time.perf_counter_ns
+        #: Completed traces, in completion order.
+        self.traces: list[Trace] = []
+        self._stack: list[Span] = []
+        self._active: Trace | None = None
+        self._trace_seq = 0
+        self._span_seq = 0
+
+    # -- clock access ---------------------------------------------------
+
+    def _now_sim(self) -> float:
+        return self.clock.now_ns if self.clock is not None else 0.0
+
+    # -- span lifecycle -------------------------------------------------
+
+    def _begin(self, name: str, node: str, enclave: bool, attributes: dict) -> Span:
+        if self._active is None:
+            self._trace_seq += 1
+            self._active = Trace(f"q{self._trace_seq:04d}")
+        self._span_seq += 1
+        span = Span(
+            name=name,
+            span_id=self._span_seq,
+            trace_id=self._active.trace_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            node=node,
+            enclave=enclave,
+            start_sim_ns=self._now_sim(),
+            start_wall_ns=self._wall(),
+            attributes=dict(attributes),
+        )
+        self._active.add(span)
+        self._stack.append(span)
+        return span
+
+    def _end(self, span: Span) -> None:
+        span.end_sim_ns = self._now_sim()
+        span.end_wall_ns = self._wall()
+        # Tolerate mis-nested exits (an exception may unwind several
+        # levels): pop up to and including the closing span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if not self._stack and self._active is not None:
+            self.traces.append(self._active)
+            self._active = None
+
+    # -- public API -----------------------------------------------------
+
+    def span(self, name: str, *, node: str = "", enclave: bool = False, **attributes):
+        return _SpanContext(self, name, node, enclave, attributes)
+
+    def maybe_root(self, name: str, *, node: str = "", enclave: bool = False, **attributes):
+        if self._stack:
+            return _NOOP_SPAN
+        return _SpanContext(self, name, node, enclave, attributes)
+
+    def event(self, name: str, *, node: str = "", enclave: bool = False, **attributes):
+        if not self._stack:
+            return None  # no active trace: setup-time markers are dropped
+        span = self._begin(name, node, enclave, attributes)
+        self._end(span)
+        return span
+
+    def annotate(self, **attributes: object) -> None:
+        if self._stack:
+            self._stack[-1].attributes.update(attributes)
+
+    def annotate_audit(self, log_name: str, entry) -> None:
+        """Stamp the current span with an audit entry's chain digest.
+
+        *entry* is duck-typed (``sequence`` + ``digest()``) so this layer
+        never imports the monitor package.
+        """
+        if self._stack:
+            self._stack[-1].annotate_audit(
+                log_name, entry.sequence, entry.digest().hex()
+            )
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def last_trace(self) -> Trace | None:
+        return self.traces[-1] if self.traces else None

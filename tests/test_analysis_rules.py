@@ -394,6 +394,71 @@ class TestARCH003AuditedMutation:
         assert result.clean
 
 
+class TestARCH004TelemetryIsolation:
+    def test_telemetry_importing_crypto_triggers(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/telemetry/bad.py": "from ..crypto import hmac_sha256\n"},
+            select=["ARCH004"],
+        )
+        assert rule_ids(result) == ["ARCH004"]
+        assert "may not import 'repro.crypto'" in result.findings[0].message
+
+    def test_telemetry_importing_tee_triggers(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/telemetry/bad.py": "import repro.tee.sgx\n"},
+            select=["ARCH004"],
+        )
+        assert rule_ids(result) == ["ARCH004"]
+
+    def test_telemetry_touching_key_material_triggers(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {
+                "repro/telemetry/bad.py": """
+                def leak(span, pager):
+                    span.attributes["key"] = pager._enc_key
+                """
+            },
+            select=["ARCH004"],
+        )
+        assert rule_ids(result) == ["ARCH004"]
+        assert "_enc_key" in result.findings[0].message
+
+    def test_digest_and_count_attributes_are_clean(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {
+                "repro/telemetry/ok.py": """
+                from ..sim import SimClock
+
+                def annotate(span, entry):
+                    span.audit.append(
+                        {"sequence": entry.sequence, "digest": entry.digest().hex()}
+                    )
+                """
+            },
+            select=["ARCH004"],
+        )
+        assert result.clean
+
+    def test_other_packages_are_exempt(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {
+                "repro/storage/ok.py": """
+                from ..crypto import hkdf
+
+                def keys(master_key):
+                    return hkdf(master_key, b"page-encryption", 32)
+                """
+            },
+            select=["ARCH004"],
+        )
+        assert result.clean
+
+
 class TestSuppressions:
     def test_disable_comment_suppresses(self, tmp_path):
         result = run_source(
@@ -485,6 +550,7 @@ class TestFramework:
             "ARCH001",
             "ARCH002",
             "ARCH003",
+            "ARCH004",
             "SEC001",
             "SEC002",
             "SEC003",

@@ -61,3 +61,26 @@ class TestSelfCheck:
         """The ``repro-lint`` console script ships in pyproject.toml."""
         pyproject = (REPO_ROOT / "pyproject.toml").read_text()
         assert 'repro-lint = "repro.analysis.cli:main"' in pyproject
+
+    def test_telemetry_tree_is_gated(self):
+        """The telemetry package is linted (ARCH004 guards its isolation)."""
+        proc = run_lint("src/repro/telemetry", "--fail-on-findings")
+        assert proc.returncode == 0, (
+            "the telemetry package violates its isolation rules:\n" + proc.stdout
+        )
+
+    def test_seeded_telemetry_violation_fails_the_gate(self, tmp_path):
+        """Telemetry importing repro.crypto must fail the gate (ARCH004)."""
+        pkg = tmp_path / "repro" / "telemetry"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "seeded.py").write_text("from ..crypto import hmac_sha256\n")
+        proc = run_lint(str(tmp_path / "repro"), "--fail-on-findings")
+        assert proc.returncode == 1
+        assert "ARCH004" in proc.stdout
+
+    def test_trace_entry_point_registered(self):
+        """The ``repro-trace`` console script ships in pyproject.toml."""
+        pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+        assert 'repro-trace = "repro.telemetry.cli:main"' in pyproject

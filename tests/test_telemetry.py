@@ -1,0 +1,472 @@
+"""Tests for repro.telemetry: tracing, metrics, exporters, audit correlation.
+
+Covers the span lifecycle (nesting, sim vs wall time, the disabled no-op
+path), the metrics registry (Meter absorption, unknown-counter warnings,
+snapshot/diff), both exporters (JSONL round-trip, Chrome trace-event
+schema), the ``repro-trace`` CLI, and the acceptance path: a TPC-H query
+submitted through the client produces a trace whose spans cover ≥90% of
+the simulated time, nest correctly across nodes, and carry verifiable
+audit-log digests.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.client import register_client
+from repro.core.deployment import Deployment
+from repro.errors import IntegrityError
+from repro.sim import CAT_POLICY, Meter, SimClock
+from repro.telemetry import (
+    KNOWN_SPAN_NAMES,
+    MetricsRegistry,
+    NODE_CLIENT,
+    NODE_HOST,
+    NODE_MONITOR,
+    NODE_STORAGE,
+    NOOP_TRACER,
+    RecordingTracer,
+    SPAN_HOST_JOIN_AGG,
+    SPAN_NDP_FILTER,
+    SPAN_POLICY_CHECK,
+    SPAN_QUERY,
+    SPAN_STORAGE_PHASE,
+    Span,
+    Trace,
+    audit_references,
+    query_digest_of,
+    read_jsonl,
+    render_summary,
+    render_tree,
+    sequential_layout,
+    to_chrome_trace,
+    verify_trace_audit,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.cli import main as trace_cli
+
+
+class FakeWall:
+    """Deterministic wall clock: advances a fixed step per reading."""
+
+    def __init__(self, step_ns: int = 1000):
+        self.now = 0
+        self.step = step_ns
+
+    def __call__(self) -> int:
+        self.now += self.step
+        return self.now
+
+
+def make_tracer(clock=None):
+    return RecordingTracer(clock=clock, wall_clock=FakeWall())
+
+
+# ---------------------------------------------------------------------------
+# Span lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestSpanLifecycle:
+    def test_nesting_builds_a_tree(self):
+        tracer = make_tracer()
+        with tracer.span(SPAN_QUERY, node=NODE_CLIENT) as root:
+            with tracer.span(SPAN_POLICY_CHECK, node=NODE_MONITOR) as policy:
+                assert tracer.current is policy
+            with tracer.span(SPAN_STORAGE_PHASE, node=NODE_STORAGE) as phase:
+                with tracer.span(SPAN_NDP_FILTER, node=NODE_STORAGE) as scan:
+                    pass
+        trace = tracer.last_trace()
+        assert trace is not None and trace.root is root
+        assert {s.span_id for s in trace.children_of(root.span_id)} == {
+            policy.span_id,
+            phase.span_id,
+        }
+        assert trace.children_of(phase.span_id) == [scan]
+        assert all(s.trace_id == trace.trace_id for s in trace.spans)
+
+    def test_one_trace_per_root(self):
+        tracer = make_tracer()
+        for _ in range(3):
+            with tracer.span(SPAN_QUERY):
+                pass
+        assert len(tracer.traces) == 3
+        assert [t.trace_id for t in tracer.traces] == ["q0001", "q0002", "q0003"]
+
+    def test_sim_time_from_clock_and_wall_time_independent(self):
+        clock = SimClock()
+        tracer = make_tracer(clock=clock)
+        with tracer.span(SPAN_POLICY_CHECK) as span:
+            clock.charge(5000, CAT_POLICY)
+        assert span.sim_ns == pytest.approx(5000)
+        assert span.wall_ns > 0  # the fake wall clock always advances
+        assert span.wall_ns != span.sim_ns
+
+    def test_explicit_sim_stamp_overrides_clock_delta(self):
+        clock = SimClock()
+        tracer = make_tracer(clock=clock)
+        with tracer.span(SPAN_STORAGE_PHASE) as span:
+            clock.charge(100, CAT_POLICY)
+        span.set_sim_ns(123456.0)
+        assert span.sim_ns == 123456.0
+
+    def test_exception_marks_status_and_unwinds(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span(SPAN_QUERY):
+                with tracer.span(SPAN_NDP_FILTER):
+                    raise ValueError("boom")
+        trace = tracer.last_trace()
+        assert trace is not None
+        scan = trace.find(SPAN_NDP_FILTER)[0]
+        assert scan.status == "error:ValueError"
+        assert tracer.current is None  # stack fully unwound
+
+    def test_maybe_root_attaches_to_open_root(self):
+        tracer = make_tracer()
+        with tracer.span(SPAN_QUERY):
+            with tracer.maybe_root(SPAN_QUERY) as inner:
+                # Pass-through no-op: no second root span is recorded.
+                inner.set_attrs(ignored=True)
+        assert len(tracer.traces) == 1
+        assert len(tracer.traces[0].find(SPAN_QUERY)) == 1
+
+    def test_events_outside_a_trace_are_dropped(self):
+        tracer = make_tracer()
+        assert tracer.event("merkle_verify", node=NODE_STORAGE) is None
+        assert tracer.traces == []
+
+
+class TestNoopPath:
+    def test_noop_tracer_allocates_nothing(self):
+        span_a = NOOP_TRACER.span(SPAN_QUERY, node=NODE_CLIENT)
+        span_b = NOOP_TRACER.span(SPAN_NDP_FILTER)
+        assert span_a is span_b  # one shared stateless no-op span
+        with span_a as span:
+            span.set_sim_ns(1.0).set_attrs(x=1)
+        assert NOOP_TRACER.event("anything") is None
+        assert NOOP_TRACER.enabled is False
+
+    def test_tracing_does_not_change_query_results(self):
+        plain = Deployment(scale_factor=0.001, seed=11)
+        traced = Deployment(scale_factor=0.001, seed=11)
+        traced.enable_tracing()
+
+        sql = "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 25"
+        for config in ("hons", "scs"):
+            a = plain.run_query(sql, config)
+            b = traced.run_query(sql, config)
+            assert a.rows == b.rows
+            assert a.breakdown.by_category == b.breakdown.by_category
+            assert a.bytes_shipped == b.bytes_shipped
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total", config="scs").inc()
+        registry.counter("queries_total", config="scs").inc(2)
+        registry.gauge("memory", node="host").set(10)
+        registry.gauge("memory", node="host").set(4)
+        registry.histogram("latency").observe(1.0)
+        registry.histogram("latency").observe(3.0)
+
+        snap = registry.snapshot()
+        assert snap["queries_total{config=scs}"] == 3
+        assert snap["memory{node=host}"] == 4
+        assert snap["memory{node=host}.max"] == 10
+        assert snap["latency.count"] == 2
+        assert snap["latency.sum"] == 4.0
+
+    def test_counter_rejects_decrease_and_type_collision(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("n").inc(-1)
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_absorb_meter_declared_counters(self):
+        registry = MetricsRegistry()
+        meter = Meter()
+        meter.rows_scanned = 100
+        meter.pages_read = 7
+        meter.note_memory(2048)
+        registry.absorb_meter(meter, node=NODE_STORAGE, phase="scs")
+        snap = registry.snapshot()
+        assert snap["meter.rows_scanned{node=storage,phase=scs}"] == 100
+        assert snap["meter.pages_read{node=storage,phase=scs}"] == 7
+        assert snap["meter.peak_memory_bytes{node=storage,phase=scs}.max"] == 2048
+
+    def test_unknown_counter_warns_once(self):
+        registry = MetricsRegistry()
+        meter = Meter()
+        meter.bump("rows_scanend", 5)  # typo'd name lands in extra
+        assert "rows_scanend" in meter.extra
+        with pytest.warns(RuntimeWarning, match="rows_scanend"):
+            registry.absorb_meter(meter, node=NODE_STORAGE, phase="scs")
+        # Second absorption of the same name: no second warning.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            registry.absorb_meter(meter, node=NODE_STORAGE, phase="scs")
+        snap = registry.snapshot()
+        assert snap["meter.extra.rows_scanend{node=storage,phase=scs}"] == 10
+
+    def test_counter_names_lists_declared_fields(self):
+        names = Meter.counter_names()
+        assert "rows_scanned" in names
+        assert "peak_memory_bytes" in names
+        assert "extra" not in names
+
+    def test_snapshot_diff(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("queries_total")
+        counter.inc()
+        before = registry.snapshot()
+        counter.inc(4)
+        after = registry.snapshot()
+        assert MetricsRegistry.diff(before, after) == {"queries_total": 4}
+        assert MetricsRegistry.diff(after, after) == {}
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+def small_trace() -> Trace:
+    trace = Trace("q0001")
+    root = Span(name=SPAN_QUERY, span_id=1, trace_id="q0001", node=NODE_CLIENT)
+    root.set_sim_ns(100.0)
+    child = Span(
+        name=SPAN_STORAGE_PHASE,
+        span_id=2,
+        trace_id="q0001",
+        parent_id=1,
+        node=NODE_STORAGE,
+    )
+    child.set_sim_ns(60.0)
+    child.annotate_audit("reads", 0, "ab" * 32)
+    marker = Span(
+        name="merkle_verify", span_id=3, trace_id="q0001", parent_id=2,
+        node=NODE_STORAGE,
+    )
+    trace.add(root), trace.add(child), trace.add(marker)
+    return trace
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("queries_total").inc()
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl([small_trace()], path, metrics=registry)
+
+        traces, metrics = read_jsonl(path)
+        assert len(traces) == 1 and traces[0].trace_id == "q0001"
+        assert metrics == {"queries_total": 1.0}
+        loaded = {s.span_id: s for s in traces[0].spans}
+        assert loaded[1].sim_ns == 100.0
+        assert loaded[2].parent_id == 1
+        assert loaded[2].audit == [{"log": "reads", "sequence": 0, "digest": "ab" * 32}]
+        assert loaded[3].sim_ns == 0.0
+
+    def test_sequential_layout_nests(self):
+        layout = sequential_layout(small_trace())
+        root_start, root_dur = layout[1]
+        child_start, child_dur = layout[2]
+        assert root_start == 0.0 and root_dur == 100.0
+        assert child_start >= root_start
+        assert child_start + child_dur <= root_start + root_dur
+
+    def test_chrome_trace_schema(self):
+        doc = to_chrome_trace([small_trace()])
+        events = doc["traceEvents"]
+        by_ph = {}
+        for event in events:
+            by_ph.setdefault(event["ph"], []).append(event)
+        # Process-name metadata for each node, X for timed, i for markers.
+        meta_names = {e["args"]["name"] for e in by_ph["M"]}
+        assert {NODE_CLIENT, NODE_STORAGE} <= meta_names
+        complete = {e["name"]: e for e in by_ph["X"]}
+        assert complete[SPAN_QUERY]["dur"] == pytest.approx(100.0 / 1000)
+        assert complete[SPAN_STORAGE_PHASE]["args"]["audit"]
+        assert all("ts" in e for e in events if e["ph"] != "M")
+        instants = by_ph["i"]
+        assert instants[0]["name"] == "merkle_verify"
+        assert instants[0]["s"] == "t"
+
+    def test_chrome_file_is_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace([small_trace()], path)
+        with open(path, encoding="utf-8") as fp:
+            doc = json.load(fp)
+        assert "traceEvents" in doc
+
+
+# ---------------------------------------------------------------------------
+# End-to-end acceptance: traced client round trip on TPC-H
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traced_submit():
+    deployment = Deployment(scale_factor=0.001, seed=11)
+    tracer = deployment.enable_tracing()
+    deployment.attest_all()
+    client = register_client(deployment, "alice")
+    deployment.monitor.provision_database(
+        "tpch",
+        policy_text=(
+            f"read :- sessionKeyIs('{client.fingerprint}') & logUpdate(reads)"
+        ),
+    )
+    response = client.submit(
+        deployment, "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 25"
+    )
+    return deployment, tracer, response
+
+
+class TestAcceptance:
+    def test_trace_covers_simulated_time(self, traced_submit):
+        deployment, tracer, response = traced_submit
+        trace = tracer.last_trace()
+        assert trace is not None
+        # The root's simulated time is the client-visible breakdown...
+        assert trace.total_sim_ns == pytest.approx(response.breakdown.total_ns)
+        # ...and the phase spans cover at least 90% of it.
+        assert trace.coverage() >= 0.9
+
+    def test_spans_nest_across_nodes(self, traced_submit):
+        _, tracer, _ = traced_submit
+        trace = tracer.last_trace()
+        root = trace.root
+        assert root.name == SPAN_QUERY and root.node == NODE_CLIENT
+        nodes_by_name = {s.name: s.node for s in trace.spans}
+        assert nodes_by_name[SPAN_POLICY_CHECK] == NODE_MONITOR
+        assert nodes_by_name[SPAN_STORAGE_PHASE] == NODE_STORAGE
+        assert nodes_by_name[SPAN_HOST_JOIN_AGG] == NODE_HOST
+        # ndp_filter nests under storage_phase which nests under the root.
+        phase = trace.find(SPAN_STORAGE_PHASE)[0]
+        scan = trace.find(SPAN_NDP_FILTER)[0]
+        assert phase.parent_id == root.span_id
+        assert scan.parent_id == phase.span_id
+        assert all(s.name in KNOWN_SPAN_NAMES for s in trace.spans)
+
+    def test_trace_carries_verifiable_audit_digests(self, traced_submit):
+        deployment, tracer, response = traced_submit
+        trace = tracer.last_trace()
+        refs = audit_references(trace)
+        logs = {r["log"] for r in refs}
+        assert "reads" in logs  # the logUpdate obligation
+        assert "operations" in logs  # session lifecycle
+        assert verify_trace_audit(trace, deployment.monitor) == len(refs)
+        assert query_digest_of(trace) == response.proof.query_digest.hex()
+
+    def test_tampered_reference_is_detected(self, traced_submit):
+        deployment, tracer, _ = traced_submit
+        source = tracer.last_trace()
+        # Work on a copy via the JSONL round trip, then flip one digest.
+        import io
+
+        buffer = io.StringIO()
+        write_jsonl([source], buffer)
+        buffer.seek(0)
+        (copy,), _ = read_jsonl(buffer)
+        for span in copy.spans:
+            if span.audit:
+                span.audit[0]["digest"] = "00" * 32
+                break
+        with pytest.raises(IntegrityError, match="stale digest"):
+            verify_trace_audit(copy, deployment.monitor)
+
+    def test_untraced_trace_is_not_evidence(self, traced_submit):
+        deployment, _, _ = traced_submit
+        empty = Trace("q9999")
+        empty.add(Span(name=SPAN_QUERY, span_id=1, trace_id="q9999"))
+        with pytest.raises(IntegrityError, match="no audit references"):
+            verify_trace_audit(empty, deployment.monitor)
+
+    def test_chrome_export_of_real_trace(self, traced_submit, tmp_path):
+        _, tracer, _ = traced_submit
+        path = str(tmp_path / "query.json")
+        write_chrome_trace([tracer.last_trace()], path)
+        with open(path, encoding="utf-8") as fp:
+            doc = json.load(fp)
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] in ("X", "i")}
+        assert {SPAN_QUERY, SPAN_STORAGE_PHASE, SPAN_HOST_JOIN_AGG} <= names
+
+
+# ---------------------------------------------------------------------------
+# repro-trace CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("queries_total").inc()
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl([small_trace()], path, metrics=registry)
+        return path
+
+    def test_summary(self, trace_file, capsys):
+        assert trace_cli(["summary", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert SPAN_QUERY in out and "metric value" in out
+
+    def test_tree_and_filter(self, trace_file, capsys):
+        assert trace_cli(["tree", trace_file]) == 0
+        assert "q0001" in capsys.readouterr().out
+        assert trace_cli(["tree", trace_file, "--trace-id", "missing"]) == 1
+
+    def test_top(self, trace_file, capsys):
+        assert trace_cli(["top", trace_file, "-n", "2"]) == 0
+        assert SPAN_QUERY in capsys.readouterr().out
+
+    def test_export_chrome_and_jsonl(self, trace_file, tmp_path, capsys):
+        chrome = str(tmp_path / "out.json")
+        assert trace_cli(["export", trace_file, "-o", chrome]) == 0
+        with open(chrome, encoding="utf-8") as fp:
+            assert "traceEvents" in json.load(fp)
+
+        jsonl = str(tmp_path / "out.jsonl")
+        assert (
+            trace_cli(["export", trace_file, "-o", jsonl, "--format", "jsonl"]) == 0
+        )
+        traces, _ = read_jsonl(jsonl)
+        assert len(traces) == 1
+
+    def test_diff(self, trace_file, tmp_path, capsys):
+        other = small_trace()
+        other.root.set_sim_ns(250.0)
+        new = str(tmp_path / "new.jsonl")
+        write_jsonl([other], new)
+        assert trace_cli(["diff", trace_file, new]) == 0
+        assert SPAN_QUERY in capsys.readouterr().out
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            trace_cli(["summary", "/nonexistent/trace.jsonl"])
+
+
+def test_render_helpers_accept_real_traces():
+    tracer = make_tracer()
+    with tracer.span(SPAN_QUERY, node=NODE_CLIENT) as root:
+        with tracer.span(SPAN_STORAGE_PHASE, node=NODE_STORAGE) as phase:
+            phase.set_sim_ns(10.0)
+    root.set_sim_ns(20.0)
+    trace = tracer.last_trace()
+    assert SPAN_STORAGE_PHASE in render_tree(trace)
+    assert SPAN_QUERY in render_summary([trace])
