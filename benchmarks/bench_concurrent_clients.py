@@ -1,0 +1,88 @@
+"""Concurrent client sessions: scheduler makespan, isolation, determinism.
+
+``Deployment.run_concurrent`` serves a batch of client sessions and
+overlaps them across storage workers with deterministic sim-clock
+arbitration.  This benchmark measures the multi-tenant win (makespan vs
+the serial sum), checks that every session stayed isolated (distinct
+monitor-issued session keys, intact audit chain), and that the numbers
+are bit-reproducible across identically-seeded deployments.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SF, run_once
+
+from repro.bench import build_deployment, format_table
+from repro.tpch import ALL_QUERIES
+
+#: Storage-heavy single-table queries that auto-partition (no manual split).
+#: Four sessions (two distinct durations) so two workers already overlap —
+#: the list stays the same in smoke mode, where savings come from the SF.
+QUERY_NUMBERS = (6, 14, 6, 14)
+WORKER_COUNTS = (1, 2, 4)
+CACHE_PAGES = 4096
+
+
+def _run_batch(workers: int):
+    deployment = build_deployment(BENCH_SF)
+    deployment.enable_page_cache(CACHE_PAGES)
+    queries = [ALL_QUERIES[n].sql for n in QUERY_NUMBERS]
+    return deployment, deployment.run_concurrent(queries, workers=workers)
+
+
+def test_concurrent_clients(benchmark):
+    def experiment():
+        rows = []
+        results = {}
+        for workers in WORKER_COUNTS:
+            deployment, outcome = _run_batch(workers)
+            results[workers] = (deployment, outcome)
+            rows.append(
+                [
+                    workers,
+                    len(outcome.sessions),
+                    outcome.serial_ms,
+                    outcome.makespan_ms,
+                    outcome.speedup,
+                    outcome.throughput_qps,
+                ]
+            )
+        # Determinism: an identically-seeded rebuild reproduces the widest
+        # schedule bit-for-bit.
+        _, rerun = _run_batch(WORKER_COUNTS[-1])
+        return rows, results, rerun
+
+    rows, results, rerun = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["workers", "sessions", "serial ms", "makespan ms", "speedup", "qps"],
+            rows,
+            title=(
+                f"Concurrent sessions — Q{list(QUERY_NUMBERS)} (scs, SF {BENCH_SF})"
+            ),
+        )
+    )
+
+    one_worker = results[1][1]
+    widest = results[WORKER_COUNTS[-1]][1]
+    # One worker = pure serialization; more workers must shrink the makespan.
+    assert abs(one_worker.makespan_ms - one_worker.serial_ms) < 1e-6
+    assert widest.makespan_ms < one_worker.makespan_ms
+    assert widest.speedup > 1.3, f"speedup {widest.speedup:.2f}x too small"
+
+    # Per-session isolation: every scs session got its own monitor session
+    # and its own HKDF key, and the operations audit chain survived intact.
+    for deployment, outcome in results.values():
+        ids = [s.session_id for s in outcome.sessions]
+        digests = [s.key_digest for s in outcome.sessions]
+        assert len(set(ids)) == len(ids), "session ids reused"
+        assert len(set(digests)) == len(digests), "session keys reused"
+        operations = deployment.monitor.audit_log("operations")
+        operations.verify_chain()
+        closed = [e for e in operations.entries if e.action == "finish_session"]
+        assert len(closed) == len(outcome.sessions), "missing session-close audits"
+
+    # Determinism: same seed, same workload, same makespan to the bit.
+    assert rerun.makespan_ms == widest.makespan_ms
+    assert [s.worker for s in rerun.sessions] == [s.worker for s in widest.sessions]

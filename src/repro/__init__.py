@@ -11,11 +11,18 @@ Public API tour:
 * :mod:`repro.storage` — the secure storage framework
 * :mod:`repro.tpch` — TPC-H data generator and queries
 * :mod:`repro.sim` — the deterministic cost model everything is timed with
+* :mod:`repro.perf` — in-enclave page cache + concurrent session scheduler
 """
 
-from .core import Deployment, RunResult
+from .core import ConcurrentRunResult, Deployment, RunResult
 from .errors import IronSafeError
 
 __version__ = "1.0.0"
 
-__all__ = ["Deployment", "IronSafeError", "RunResult", "__version__"]
+__all__ = [
+    "ConcurrentRunResult",
+    "Deployment",
+    "IronSafeError",
+    "RunResult",
+    "__version__",
+]

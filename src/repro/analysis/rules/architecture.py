@@ -27,8 +27,12 @@ LAYERING: dict[str, frozenset[str]] = {
     # the security machinery it observes (ARCH004 enforces the latter by
     # name too, so even an allowed layer can't smuggle key material in).
     "telemetry": frozenset({"errors", "sim"}),
+    # The performance layer (page cache, session scheduler) is policy, not
+    # security: it handles opaque bytes and simulated durations, so it may
+    # never import the crypto it sits next to.
+    "perf": frozenset({"errors", "sim"}),
     "sql": frozenset({"errors", "sim"}),
-    "storage": frozenset({"errors", "sim", "crypto", "telemetry"}),
+    "storage": frozenset({"errors", "sim", "crypto", "telemetry", "perf"}),
     "tee": frozenset({"errors", "sim", "crypto"}),
     "policy": frozenset({"errors", "sql"}),
     "monitor": frozenset(
@@ -37,7 +41,7 @@ LAYERING: dict[str, frozenset[str]] = {
     "tpch": frozenset({"errors", "crypto", "sql"}),
     "core": frozenset(
         {"errors", "sim", "crypto", "sql", "storage", "tee", "policy", "monitor",
-         "tpch", "telemetry"}
+         "tpch", "telemetry", "perf"}
     ),
     "gdpr": frozenset(
         {"errors", "sim", "crypto", "sql", "storage", "policy", "monitor", "core"}

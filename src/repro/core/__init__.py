@@ -3,7 +3,12 @@
 from .channel import SecureChannel, channel_pair
 from .client import Client, QueryResponse, register_client
 from .configs import CONFIG_NAMES, CONFIGS, HONS, HOS, SCS, SOS, SystemConfig, VCS
-from .deployment import Deployment, RunResult
+from .deployment import (
+    ConcurrentRunResult,
+    ConcurrentSession,
+    Deployment,
+    RunResult,
+)
 from .host_engine import HostEngine
 from .partitioner import PartitionPlan, QueryPartitioner, TableScanSpec
 from .storage_engine import StorageEngine
@@ -11,6 +16,8 @@ from .storage_engine import StorageEngine
 __all__ = [
     "CONFIGS",
     "Client",
+    "ConcurrentRunResult",
+    "ConcurrentSession",
     "QueryResponse",
     "register_client",
     "CONFIG_NAMES",

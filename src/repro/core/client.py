@@ -18,7 +18,7 @@ from ..errors import IronSafeError
 from ..monitor import ComplianceProof, verify_proof
 from ..sim import TimeBreakdown
 from ..telemetry import NODE_CLIENT, SPAN_PROOF_VERIFY, SPAN_QUERY
-from .deployment import Deployment, RunResult
+from .deployment import ConcurrentRunResult, Deployment, RunResult
 
 
 @dataclass
@@ -118,6 +118,33 @@ class Client:
         return QueryResponse(
             columns=columns, rows=rows, proof=auth.proof, breakdown=breakdown
         )
+
+    def submit_concurrent(
+        self,
+        deployment: Deployment,
+        sqls: list[str],
+        *,
+        workers: int = 2,
+    ) -> ConcurrentRunResult:
+        """Submit a batch of queries as one multi-tenant workload.
+
+        Each query becomes its own monitor-admitted session under this
+        client's identity (own session key, own audit entries); the
+        deployment's deterministic scheduler overlaps them across storage
+        workers.  Every per-session compliance proof is verified against
+        the pinned monitor key before the result is returned — one
+        unverifiable session fails the whole batch.
+        """
+        result = deployment.run_concurrent(
+            sqls, workers=workers, client_key=self.fingerprint
+        )
+        for session in result.sessions:
+            if session.proof is None:
+                raise IronSafeError(
+                    f"session {session.session_id!r} returned no compliance proof"
+                )
+            verify_proof(session.proof, self._monitor_key)
+        return result
 
 
 def register_client(deployment: Deployment, name: str) -> Client:

@@ -13,9 +13,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from ..crypto import Rng
+from ..crypto import Rng, sha256
 from ..errors import IronSafeError, MonitorError
-from ..monitor import AttestationService, AttestedNode, TrustedMonitor
+from ..monitor import AttestationService, AttestedNode, ComplianceProof, TrustedMonitor
+from ..perf import SessionTask, arbitrate, makespan_ns
 from ..sim import (
     CAT_NETWORK,
     CAT_POLICY,
@@ -46,6 +47,7 @@ from ..telemetry import (
     SPAN_NDP_FILTER,
     SPAN_PARTITION,
     SPAN_QUERY,
+    SPAN_SCHEDULER,
     SPAN_SESSION_SETUP,
     SPAN_STORAGE_PHASE,
     Tracer,
@@ -109,6 +111,59 @@ class RunResult:
         return self.host_meter.pages_read
 
 
+@dataclass
+class ConcurrentSession:
+    """One client session inside a :meth:`Deployment.run_concurrent` batch."""
+
+    index: int
+    sql: str
+    config: str
+    result: RunResult
+    #: Monitor-issued session id (``local-*`` for configurations that run
+    #: without the monitor's admission path).
+    session_id: str = ""
+    #: SHA-256 digest prefix of the per-session HKDF key — exposes key
+    #: *distinctness* across sessions without exposing key material.
+    key_digest: str = ""
+    proof: ComplianceProof | None = None
+    worker: int = 0
+    start_ms: float = 0.0
+    end_ms: float = 0.0
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    @property
+    def rows(self) -> list[tuple]:
+        return self.result.rows
+
+
+@dataclass
+class ConcurrentRunResult:
+    """Outcome of one concurrent multi-session run."""
+
+    sessions: list[ConcurrentSession]
+    workers: int
+    makespan_ms: float
+    serial_ms: float
+
+    @property
+    def speedup(self) -> float:
+        """Serial-sum time over the scheduled makespan (≥ 1.0)."""
+        return self.serial_ms / self.makespan_ms if self.makespan_ms else 1.0
+
+    @property
+    def throughput_qps(self) -> float:
+        """Sessions completed per simulated second."""
+        if not self.makespan_ms:
+            return 0.0
+        return len(self.sessions) / (self.makespan_ms / 1e3)
+
+    def session(self, index: int) -> ConcurrentSession:
+        return self.sessions[index]
+
+
 class Deployment:
     """A complete simulated CSA testbed with one host and one storage server."""
 
@@ -127,8 +182,10 @@ class Deployment:
         database_name: str = "tpch",
         armv9_realms: bool = False,
         tracer: Tracer | None = None,
+        page_cache_pages: int = 0,
     ):
         self.scale_factor = scale_factor
+        self.page_cache_pages = page_cache_pages
         self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.storage_cpus = storage_cpus
@@ -169,6 +226,7 @@ class Deployment:
         self.storage_engine = StorageEngine(
             self.tz_device, self.secure_device, self.rng.fork("storage-secure"),
             secure=True, cipher=cipher, realm_mode=armv9_realms,
+            cache_pages=page_cache_pages,
         )
         self.storage_engine_plain = StorageEngine(
             self.tz_device, self.plain_device, self.rng.fork("storage-plain"),
@@ -217,6 +275,9 @@ class Deployment:
         self._cipher = cipher
         self.partitioner = QueryPartitioner(self.storage_engine.db.store.catalog)
         self._attested = False
+        # Storage-side integrity failures are reported to the monitor so
+        # tampering attempts land in the hash-chained operations log.
+        self.storage_engine.pager.on_violation = self._storage_violation
         self._bind_tracer()
 
     # ------------------------------------------------------------------
@@ -240,6 +301,31 @@ class Deployment:
         self.tracer = tracer if tracer is not None else RecordingTracer(clock=self.clock)
         self._bind_tracer()
         return self.tracer
+
+    # ------------------------------------------------------------------
+    # Performance layer
+    # ------------------------------------------------------------------
+
+    def enable_page_cache(self, capacity_pages: int) -> None:
+        """Install the in-enclave decrypted-page cache on the storage side.
+
+        Applies to the secure storage engine (and, through
+        ``page_cache_pages``, to host-side secure pagers opened for the
+        host-only configuration).  With the cache off — the default — every
+        read pays the full MAC + Merkle + freshness chain, byte-identical
+        to the paper baseline.
+        """
+        self.page_cache_pages = capacity_pages
+        self.storage_engine.enable_page_cache(capacity_pages)
+
+    def disable_page_cache(self) -> None:
+        """Flush and drop the cache, restoring verify-every-read behavior."""
+        self.page_cache_pages = 0
+        self.storage_engine.disable_page_cache()
+
+    def _storage_violation(self, pgno: int, reason: str) -> None:
+        """Secure-pager hook: audit integrity failures before they raise."""
+        self.monitor.record_integrity_violation("storage-1", pgno, reason)
 
     # ------------------------------------------------------------------
     # Attestation (Table 4 path)
@@ -330,6 +416,129 @@ class Deployment:
             result.breakdown.total_ms
         )
 
+    # -- concurrent multi-session execution ---------------------------------
+
+    def run_concurrent(
+        self,
+        queries,
+        *,
+        workers: int = 2,
+        config: str = "scs",
+        client_key: str | None = None,
+    ) -> ConcurrentRunResult:
+        """Serve several client sessions and overlap them across *workers*.
+
+        *queries* is a list of SQL strings (all run under *config*) or
+        ``(sql, config)`` pairs.  Sessions are fully isolated exactly as
+        serial runs are: each ``scs`` session goes through the monitor's
+        admission path, gets its own HKDF-derived session key, its own
+        audit-chain entries, and is closed (``finish_session``) before the
+        next session's keys exist.  Execution itself is serialized — the
+        simulator is single-threaded — and the deterministic sim-clock
+        arbiter (:func:`repro.perf.arbitrate`) then places the finished
+        sessions on the earliest-available worker, so the reported
+        makespan/throughput are reproducible run to run.
+        """
+        specs: list[tuple[str, str]] = []
+        for query in queries:
+            if isinstance(query, str):
+                specs.append((query, config))
+            else:
+                sql, cfg = query
+                specs.append((sql, cfg))
+        if not specs:
+            raise IronSafeError("run_concurrent needs at least one query")
+        if workers <= 0:
+            raise IronSafeError(f"run_concurrent needs at least one worker, got {workers}")
+
+        with self.tracer.maybe_root(
+            SPAN_SCHEDULER, node=NODE_HOST, sessions=len(specs), workers=workers
+        ) as root:
+            sessions: list[ConcurrentSession] = []
+            for index, (sql, cfg) in enumerate(specs):
+                session_id = f"local-{index:04d}"
+                key_digest = ""
+                proof = None
+                if cfg == "scs":
+                    if not self._attested:
+                        self.attest_all()
+                    statement = parse(sql)
+                    if not isinstance(statement, A.Select):
+                        raise IronSafeError(
+                            "the evaluation harness runs SELECT statements"
+                        )
+                    clock_before = self.clock.breakdown.copy()
+                    auth = self.monitor.authorize(
+                        self.database_name,
+                        client_key=(
+                            client_key if client_key is not None
+                            else self._client_fingerprint()
+                        ),
+                        statement=statement,
+                        host_id="host-1",
+                        now=0,
+                        query_text=sql,
+                    )
+                    monitor_breakdown = self.clock.breakdown.minus(clock_before)
+                    session_id = auth.session.session_id
+                    key_digest = sha256(auth.session.key).hex()[:16]
+                    proof = auth.proof
+                    result = self.run_query(
+                        auth.statement.to_sql(), cfg, authorization=auth
+                    )
+                    result.breakdown.merge(monitor_breakdown)
+                    result.monitor_breakdown.merge(monitor_breakdown)
+                    # Closing the session revokes its key and appends the
+                    # session-close entry to the operations audit chain —
+                    # the next session starts from a clean key space.
+                    self.monitor.finish_session(session_id)
+                else:
+                    result = self.run_query(sql, cfg)
+                sessions.append(
+                    ConcurrentSession(
+                        index=index,
+                        sql=sql,
+                        config=cfg,
+                        result=result,
+                        session_id=session_id,
+                        key_digest=key_digest,
+                        proof=proof,
+                    )
+                )
+
+            tasks = [
+                SessionTask(s.index, s.result.breakdown.total_ns) for s in sessions
+            ]
+            slots = arbitrate(tasks, workers)
+            for session, slot in zip(sessions, slots):
+                session.worker = slot.worker
+                session.start_ms = slot.start_ns / 1e6
+                session.end_ms = slot.end_ns / 1e6
+            makespan_ms = makespan_ns(slots) / 1e6
+            serial_ms = sum(s.result.breakdown.total_ms for s in sessions)
+            outcome = ConcurrentRunResult(
+                sessions=sessions,
+                workers=workers,
+                makespan_ms=makespan_ms,
+                serial_ms=serial_ms,
+            )
+            root.set_sim_ns(makespan_ms * 1e6)
+            root.set_attrs(
+                sessions=len(sessions),
+                workers=workers,
+                makespan_ms=makespan_ms,
+                speedup=outcome.speedup,
+            )
+        metrics = getattr(self.tracer, "metrics", None)
+        if metrics is not None:
+            metrics.counter("scheduler.sessions", workers=str(workers)).inc(
+                len(sessions)
+            )
+            metrics.histogram("scheduler.makespan_ms", workers=str(workers)).observe(
+                makespan_ms
+            )
+        return outcome
+
     # -- host-only (hons / hos) ---------------------------------------------
 
     def _host_only_db(self, secure: bool):
@@ -350,6 +559,12 @@ class Deployment:
                 self.rng.fork("host-pager"),
                 meter=Meter(),
                 cipher=self._cipher,
+                cache_pages=self.page_cache_pages,
+            )
+            pager.on_violation = (
+                lambda pgno, reason: self.monitor.record_integrity_violation(
+                    "host-1", pgno, reason
+                )
             )
         else:
             pager = Pager(self.plain_device, meter=Meter())

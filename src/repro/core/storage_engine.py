@@ -43,6 +43,7 @@ class StorageEngine:
         secure: bool,
         cipher: str = "hash-ctr",
         realm_mode: bool = False,
+        cache_pages: int = 0,
     ):
         if not device.booted:
             raise SecureBootError("storage engine starts after secure boot only")
@@ -69,11 +70,25 @@ class StorageEngine:
             anchor = TAAnchor(self.trusted_os, self.meter)
             self.pager = SecurePager(
                 block_device, master_key, anchor, rng.fork("pager-iv"),
-                meter=self.meter, cipher=cipher,
+                meter=self.meter, cipher=cipher, cache_pages=cache_pages,
             )
         else:
             self.pager = Pager(block_device, meter=self.meter)
         self.db = Database(PagedStore(self.pager, self.meter))
+
+    # ------------------------------------------------------------------
+    # Page cache (secure pager only; the plain pager has nothing to skip)
+    # ------------------------------------------------------------------
+
+    def enable_page_cache(self, capacity_pages: int) -> None:
+        """Turn on the in-enclave decrypted-page cache on the secure pager."""
+        if isinstance(self.pager, SecurePager):
+            self.pager.enable_cache(capacity_pages)
+
+    def disable_page_cache(self) -> None:
+        """Flush and drop the cache, restoring verify-every-read reads."""
+        if isinstance(self.pager, SecurePager):
+            self.pager.disable_cache()
 
     # ------------------------------------------------------------------
 

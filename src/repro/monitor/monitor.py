@@ -142,6 +142,16 @@ class TrustedMonitor:
         entry = log.append(int(self.clock.now_ns), client_key, action, detail)
         self.tracer.annotate_audit(OPERATIONS_LOG, entry)
 
+    def record_integrity_violation(self, node_id: str, page: int, reason: str) -> None:
+        """Record a storage-side integrity failure in the operations log.
+
+        The secure pager reports here (via the deployment's wiring) when a
+        read fails its MAC/Merkle/freshness checks, so a tampering attempt
+        is part of the tamper-evident history even though the read itself
+        is refused.
+        """
+        self._audit("integrity_violation", f"page {page}: {reason}", client_key=node_id)
+
     # ------------------------------------------------------------------
     # Node registration (post-attestation)
     # ------------------------------------------------------------------

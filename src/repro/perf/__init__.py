@@ -1,0 +1,47 @@
+"""Performance layer: in-enclave page caching and concurrent scheduling.
+
+Two mechanisms that move the reproduction toward the ROADMAP's
+production-scale goal without touching any security invariant:
+
+* :class:`PageCache` — an LRU cache of *decrypted, verified* page payloads
+  that the secure pager keeps inside the enclave boundary, so repeated
+  scans skip the per-page AES + HMAC + Merkle + freshness work (write-back
+  on commit; eviction re-encrypts dirty pages).
+* :func:`arbitrate` — deterministic earliest-available-worker placement of
+  finished client sessions across storage nodes, backing
+  ``Deployment.run_concurrent``.
+
+The package sits outside the TCB's crypto layer (it may import only
+``errors`` and ``sim``; see the LAYERING table in ``repro.analysis``) —
+the pager hands it opaque bytes and interprets hits/evictions itself.
+"""
+
+from ..sim import Meter
+from .pagecache import PageCache, PageCacheError
+from .scheduler import ScheduledSlot, SessionTask, arbitrate, makespan_ns, serial_ns
+
+#: Counters this layer bumps on the owning phase's Meter.  Registered so
+#: the telemetry registry absorbs them as first-class ``meter.<name>``
+#: metrics instead of warn-once ``meter.extra.*`` entries.
+PERF_COUNTERS = (
+    "page_cache_hits",
+    "page_cache_misses",
+    "page_cache_evictions",
+    "page_cache_flushes",
+    "merkle_batch_pages",
+)
+
+for _name in PERF_COUNTERS:
+    Meter.register_counter(_name)
+del _name
+
+__all__ = [
+    "PERF_COUNTERS",
+    "PageCache",
+    "PageCacheError",
+    "ScheduledSlot",
+    "SessionTask",
+    "arbitrate",
+    "makespan_ns",
+    "serial_ns",
+]

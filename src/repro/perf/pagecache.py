@@ -1,0 +1,136 @@
+"""In-enclave decrypted-page cache (LRU, write-back).
+
+The secure pager's hot path pays AES + HMAC + a Merkle walk + (on commit)
+an RPMB round-trip for every page it touches.  Pages that stay resident
+*inside the enclave* need none of that on re-access: enclave memory is
+confidentiality- and integrity-protected by the hardware model, so a
+decrypted payload cached there is exactly as trustworthy as the moment it
+was verified.  DuckDB-SGX2 (PAPERS.md) makes the same observation — the
+performance of enclave analytics is governed by how much verified state
+you can keep inside the trust boundary.
+
+This module is deliberately crypto-blind: it stores opaque payload bytes
+keyed by page number and implements the replacement policy only.  The
+pager on top decides what goes in (a payload it has just MAC/Merkle/RPMB
+verified) and what eviction means (a dirty page must be re-encrypted and
+re-MAC'd on the way out).  Keeping the policy free of security machinery
+keeps the cache auditable and keeps ``repro.perf`` out of the TCB's
+crypto layer (see the LAYERING table in ``repro.analysis``).
+
+Determinism: iteration and eviction order follow insertion/recency order
+of a plain ``OrderedDict`` — no clocks, no randomness — so simulated
+results are bit-reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import IronSafeError
+
+
+class PageCacheError(IronSafeError):
+    """Invalid page-cache configuration or use."""
+
+
+class PageCache:
+    """Bounded LRU map ``page number -> decrypted payload bytes``.
+
+    ``capacity`` is counted in pages.  Entries carry a *dirty* bit: a
+    dirty payload is newer than the on-device ciphertext and must be
+    written back (by the owner) when evicted or flushed.
+    """
+
+    __slots__ = ("_capacity", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise PageCacheError(f"page cache capacity must be positive, got {capacity}")
+        self._capacity = int(capacity)
+        # pgno -> [payload, dirty]
+        self._entries: OrderedDict[int, list] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core operations -----------------------------------------------
+
+    def get(self, pgno: int) -> bytes | None:
+        """Return the cached payload (promoting it to MRU), or ``None``."""
+        entry = self._entries.get(pgno)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(pgno)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, pgno: int, payload: bytes, *, dirty: bool) -> tuple[int, bytes, bool] | None:
+        """Insert or update a page; return the evicted LRU entry, if any.
+
+        Updating an existing entry keeps its dirty bit sticky (a clean
+        re-read never forgets a pending write-back).  The return value is
+        ``(pgno, payload, dirty)`` for the evicted victim so the owner can
+        write back a dirty payload before the bytes are dropped.
+        """
+        entry = self._entries.get(pgno)
+        if entry is not None:
+            entry[0] = payload
+            entry[1] = entry[1] or dirty
+            self._entries.move_to_end(pgno)
+            return None
+        self._entries[pgno] = [payload, dirty]
+        if len(self._entries) <= self._capacity:
+            return None
+        victim_pgno, victim = self._entries.popitem(last=False)
+        self.evictions += 1
+        return (victim_pgno, victim[0], victim[1])
+
+    def take_dirty(self) -> list[tuple[int, bytes]]:
+        """Return all dirty entries (LRU-first) and mark them clean.
+
+        The entries stay cached — this is the write-back flush, not an
+        invalidation.  Order is deterministic (recency order), which keeps
+        the owner's IV consumption and device-write order reproducible.
+        """
+        dirty: list[tuple[int, bytes]] = []
+        for pgno, entry in self._entries.items():
+            if entry[1]:
+                dirty.append((pgno, entry[0]))
+                entry[1] = False
+        return dirty
+
+    def discard(self, pgno: int) -> None:
+        """Drop one entry without write-back (caller's responsibility)."""
+        self._entries.pop(pgno, None)
+
+    def clear(self) -> None:
+        """Drop every entry without write-back (caller's responsibility)."""
+        self._entries.clear()
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def dirty_count(self) -> int:
+        return sum(1 for entry in self._entries.values() if entry[1])
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pgno: int) -> bool:
+        return pgno in self._entries
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PageCache({len(self._entries)}/{self._capacity} pages, "
+            f"{self.hits} hits / {self.misses} misses)"
+        )

@@ -1,0 +1,80 @@
+"""Deterministic sim-clock arbitration for concurrent client sessions.
+
+The simulator executes one query at a time (it is single-threaded Python),
+but a deployment serving several clients would overlap their storage-side
+work across storage nodes.  This module models that overlap the same way
+the rest of the reproduction models time: deterministically.  Each
+finished session contributes a task with its simulated duration; the
+arbiter assigns tasks to the earliest-available worker (FIFO in submission
+order, ties broken by the lowest worker index), which is classic
+list-scheduling — the same greedy LPT-style policy the deployment already
+uses to spread portions of one query across storage cores.
+
+Because the inputs are simulated durations and the policy is a pure
+function of them, the reported makespan/throughput numbers are bit-stable
+run to run — the property the benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..errors import IronSafeError
+
+
+@dataclass(frozen=True)
+class SessionTask:
+    """One session's worth of work to place on a worker."""
+
+    task_id: int
+    duration_ns: float
+    arrival_ns: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScheduledSlot:
+    """Where and when one task ran under the arbitration."""
+
+    task_id: int
+    worker: int
+    start_ns: float
+    end_ns: float
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+def arbitrate(tasks: list[SessionTask], workers: int) -> list[ScheduledSlot]:
+    """Place *tasks* on *workers* with earliest-available-worker arbitration.
+
+    Tasks are served FIFO by ``(arrival_ns, task_id)``; a task starts at
+    ``max(worker free time, arrival)``.  Ties between equally free workers
+    go to the lowest worker index, so the placement is a deterministic
+    function of the task list.  Returns one slot per task, in task order.
+    """
+    if workers <= 0:
+        raise IronSafeError(f"scheduler needs at least one worker, got {workers}")
+    free: list[tuple[float, int]] = [(0.0, w) for w in range(workers)]
+    heapq.heapify(free)
+    slots: list[ScheduledSlot] = []
+    for task in sorted(tasks, key=lambda t: (t.arrival_ns, t.task_id)):
+        if task.duration_ns < 0:
+            raise IronSafeError(f"task {task.task_id} has negative duration")
+        free_ns, worker = heapq.heappop(free)
+        start = max(free_ns, task.arrival_ns)
+        end = start + task.duration_ns
+        slots.append(ScheduledSlot(task.task_id, worker, start, end))
+        heapq.heappush(free, (end, worker))
+    return sorted(slots, key=lambda s: s.task_id)
+
+
+def makespan_ns(slots: list[ScheduledSlot]) -> float:
+    """End-to-end simulated time of the schedule (latest task end)."""
+    return max((slot.end_ns for slot in slots), default=0.0)
+
+
+def serial_ns(slots: list[ScheduledSlot]) -> float:
+    """What the same tasks would cost back to back on one worker."""
+    return sum(slot.duration_ns for slot in slots)

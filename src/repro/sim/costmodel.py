@@ -105,6 +105,9 @@ class CostModel:
     page_mac_ns: float = 9_500.0
     merkle_node_hash_ns: float = 2_800.0
     rpmb_access_ns: float = 120_000.0
+    # Serving a page from the in-enclave decrypted-page cache: a hash-map
+    # probe plus an in-EPC copy — no device I/O, crypto or tree walk.
+    page_cache_hit_ns: float = 450.0
 
     # --- Attestation (Table 4 anchors, charged directly) -----------------
     host_cas_response_ns: float = 140.0 * NS_PER_MS
@@ -259,6 +262,12 @@ class CostModel:
 
         out.add(CAT_DECRYPTION, self.decryption_ns(meter, platform=platform))
         out.add(CAT_FRESHNESS, self.freshness_ns(meter, platform=platform))
+
+        # Page-cache hits bypass I/O, decryption and freshness but are not
+        # free: each pays a probe-and-copy inside the enclave.
+        cache_hits = meter.extra.get("page_cache_hits", 0)
+        if cache_hits:
+            out.add(CAT_CPU, cache_hits * self.page_cache_hit_ns)
 
         if meter.channel_bytes_encrypted:
             out.add(CAT_CHANNEL_CRYPTO, meter.channel_bytes_encrypted * self.channel_crypto_ns_per_byte)

@@ -11,6 +11,7 @@ free of timing constants and makes the paper's "pages processed" /
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from typing import ClassVar
 
 
 @dataclass
@@ -54,15 +55,37 @@ class Meter:
 
     extra: dict[str, int] = field(default_factory=dict)
 
+    #: Counter names declared at runtime via :meth:`register_counter`.
+    #: Subsystems outside ``sim`` (the page cache, the scheduler) register
+    #: their counters here so they are first-class citizens of
+    #: :meth:`counter_names` instead of anonymous ``extra`` entries.
+    _registered: ClassVar[set[str]] = set()
+
+    @classmethod
+    def register_counter(cls, name: str) -> None:
+        """Declare an ad-hoc counter name as a known counter.
+
+        Registered counters are still stored in ``extra`` (the dataclass
+        fields stay fixed) but appear in :meth:`counter_names`, so the
+        telemetry registry absorbs them as ``meter.<name>`` without the
+        unknown-counter warning reserved for typos.
+        """
+        if not name.isidentifier():
+            raise ValueError(f"counter name {name!r} is not an identifier")
+        if name in {f.name for f in fields(cls)}:
+            return  # already a declared field
+        cls._registered.add(name)
+
     @classmethod
     def counter_names(cls) -> tuple[str, ...]:
-        """The declared counter names (everything except ``extra``).
+        """All known counter names: declared fields plus registered ones.
 
         ``bump`` routes any other name into ``extra`` silently; callers
         (and the telemetry metrics registry, which warns once per unknown
         name) can check against this list to catch typos.
         """
-        return tuple(f.name for f in fields(cls) if f.name != "extra")
+        declared = tuple(f.name for f in fields(cls) if f.name != "extra")
+        return declared + tuple(sorted(cls._registered))
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment a named counter (declared field or ad-hoc extra)."""
@@ -70,6 +93,12 @@ class Meter:
             setattr(self, name, getattr(self, name) + amount)
         else:
             self.extra[name] = self.extra.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Read a counter by name, whether declared, registered or extra."""
+        if name != "extra" and name in self.__dataclass_fields__:
+            return getattr(self, name)
+        return self.extra.get(name, 0)
 
     def note_memory(self, nbytes: int) -> None:
         """Record a working-set high-water mark."""

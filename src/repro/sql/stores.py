@@ -186,8 +186,23 @@ class PagedStore(TableStore):
         self._save_catalog()
         return len(coerced)
 
+    #: Pages per batched pager request when the pager advertises the
+    #: batched path — large enough to amortize shared Merkle prefixes,
+    #: small enough to keep scans streaming.
+    SCAN_BATCH_PAGES = 32
+
     def scan(self, name: str) -> Iterator[tuple]:
         schema = self.catalog.table(name)
+        # A pager in performance mode (the secure pager with its in-enclave
+        # cache enabled) exposes read_pages/batch_enabled, letting a
+        # contiguous scan amortize integrity verification across a batch.
+        # Duck-typed so this module stays agnostic of the pager's security.
+        if getattr(self.pager, "batch_enabled", False):
+            batch = self.SCAN_BATCH_PAGES
+            for start in range(0, len(schema.pages), batch):
+                for payload in self.pager.read_pages(schema.pages[start : start + batch]):
+                    yield from unpack_page(payload)
+            return
         for page_no in schema.pages:
             payload = self.pager.read_page(page_no)
             yield from unpack_page(payload)

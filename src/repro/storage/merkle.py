@@ -139,6 +139,52 @@ class MerkleTree:
         if not constant_time_eq(current, expected_root):
             raise IntegrityError("Merkle path does not reach the trusted root")
 
+    def verify_leaves(
+        self,
+        leaf_indices: list[int],
+        digests: list[bytes],
+        expected_root: bytes,
+    ) -> None:
+        """Batch-verify several leaves against *expected_root* at once.
+
+        Recomputes the *union* of the leaves' root paths level by level,
+        hashing every shared interior node once instead of once per leaf —
+        for a contiguous K-page scan this costs ~K + log2(N) HMACs rather
+        than the K*log2(N) of per-leaf :meth:`verify_leaf` walks.  Exactly
+        the same tree positions are authenticated: every recomputed parent
+        uses recomputed children where available and stored siblings
+        otherwise, and the final recomputed root is compared against
+        *expected_root*.  Raises :class:`IntegrityError` on any leaf
+        mismatch or a root that does not verify.
+        """
+        if len(leaf_indices) != len(digests):
+            raise IntegrityError("batch verify: index/digest count mismatch")
+        if not leaf_indices:
+            return
+        current: dict[int, bytes] = {}
+        for leaf_index, digest in zip(leaf_indices, digests):
+            if not 0 <= leaf_index < self._capacity:
+                raise IntegrityError(f"leaf {leaf_index} out of range")
+            if not constant_time_eq(self._levels[0][leaf_index], digest):
+                raise IntegrityError(
+                    f"page MAC for leaf {leaf_index} does not match the integrity tree"
+                )
+            current[leaf_index] = digest
+        for level in range(1, len(self._levels)):
+            below = self._levels[level - 1]
+            parents: dict[int, bytes] = {}
+            for index in sorted(current):
+                parent = index // 2
+                if parent in parents:
+                    continue  # sibling already folded in with this parent
+                left_i, right_i = 2 * parent, 2 * parent + 1
+                left = current[left_i] if left_i in current else below[left_i]
+                right = current[right_i] if right_i in current else below[right_i]
+                parents[parent] = self._hash_pair(level, parent, left, right)
+            current = parents
+        if not constant_time_eq(current[0], expected_root):
+            raise IntegrityError("Merkle path does not reach the trusted root")
+
     # ------------------------------------------------------------------
     # Persistence: leaves round-trip through the device metadata region.
     # ------------------------------------------------------------------

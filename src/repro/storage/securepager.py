@@ -13,10 +13,18 @@ on-storage data") at the same layer SQLiteCipher hooks SQLite:
 
 Every read decrypts and walks the Merkle path (no page cache by default) —
 exactly the per-request work that makes freshness dominate the secure
-storage overhead in Figures 8 and 9c.
+storage overhead in Figures 8 and 9c.  :meth:`SecurePager.enable_cache`
+installs an optional in-enclave LRU cache of decrypted, verified payloads
+(write-back on commit): a hit stays inside the trust boundary and skips
+the device read, MAC check, Merkle walk and decryption entirely, while a
+miss — including re-reading an evicted page — repeats the full
+verification chain.  With the cache disabled the pager behaves (and
+costs) exactly as before.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from ..crypto import (
     Rng,
@@ -29,11 +37,13 @@ from ..crypto import (
     sha256,
 )
 from ..errors import IntegrityError, StorageError
+from ..perf import PageCache
 from ..sim import PAGE_SIZE, Meter
 from ..telemetry import (
     NODE_STORAGE,
     NOOP_TRACER,
     SPAN_MERKLE_VERIFY,
+    SPAN_PAGE_CACHE,
     SPAN_PAGE_WRITE,
 )
 from .blockdevice import BlockDevice
@@ -116,6 +126,7 @@ class SecurePager:
         meter: Meter | None = None,
         cipher: str = "hash-ctr",
         key_scheme: str = "single",
+        cache_pages: int = 0,
     ):
         if cipher not in ("hash-ctr", "aes-cbc"):
             raise StorageError(f"unknown page cipher {cipher!r}")
@@ -159,6 +170,14 @@ class SecurePager:
         self.anchor.verify_root(self.tree.root)
         self._trusted_root = self.tree.root
         self._dirty = False
+        # Optional in-enclave decrypted-page cache (None = verify every
+        # read, the paper's baseline).  ``on_violation`` is an observer the
+        # deployment wires to the trusted monitor so storage-side
+        # integrity failures land in the audit chain before propagating.
+        self.cache: PageCache | None = None
+        self.on_violation: Callable[[int, str], None] | None = None
+        if cache_pages > 0:
+            self.cache = PageCache(cache_pages)
 
     # ------------------------------------------------------------------
 
@@ -201,13 +220,31 @@ class SecurePager:
     # -- public API ---------------------------------------------------------
 
     def write_page(self, pgno: int, payload: bytes) -> None:
-        """Encrypt + MAC + update the integrity tree, then hit the device."""
+        """Encrypt + MAC + update the integrity tree, then hit the device.
+
+        With the cache enabled the write is buffered (write-back): the
+        plaintext stays in enclave memory, marked dirty, and reaches the
+        device — re-encrypted, re-MAC'd, tree updated — when it is
+        evicted, flushed or committed.
+        """
         if pgno >= self._page_count:
             raise StorageError(f"page {pgno} not allocated")
         if len(payload) > PAYLOAD_SIZE:
             raise StorageError(
                 f"payload of {len(payload)} bytes exceeds page capacity {PAYLOAD_SIZE}"
             )
+        if self.cache is not None:
+            self._cache_insert(pgno, bytes(payload), dirty=True)
+            self._dirty = True
+            if self.tracer.enabled:
+                self.tracer.event(
+                    SPAN_PAGE_WRITE, node=self.trace_node, page=pgno, buffered=True
+                )
+            return
+        self._store_page(pgno, payload)
+
+    def _store_page(self, pgno: int, payload: bytes) -> None:
+        """The real write path: encrypt, MAC, device write, tree update."""
         frame = len(payload).to_bytes(2, "big") + payload
         frame += bytes(PLAINTEXT_FRAME - len(frame))
         iv = self._rng.bytes(IV_LEN)
@@ -231,9 +268,116 @@ class SecurePager:
             self.tracer.event(SPAN_PAGE_WRITE, node=self.trace_node, page=pgno)
 
     def read_page(self, pgno: int) -> bytes:
-        """Verify MAC + Merkle path + decrypt.  Raises on any tampering."""
+        """Verify MAC + Merkle path + decrypt.  Raises on any tampering.
+
+        A cache hit returns the decrypted payload that was verified when
+        it entered enclave memory; a miss (or an evicted page) pays the
+        full MAC + Merkle + freshness chain again.
+        """
         if pgno >= self._page_count:
             raise StorageError(f"page {pgno} not allocated")
+        if self.cache is not None:
+            payload = self.cache.get(pgno)
+            if payload is not None:
+                self.meter.bump("page_cache_hits")
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        SPAN_PAGE_CACHE, node=self.trace_node, page=pgno, hit=True
+                    )
+                return payload
+            self.meter.bump("page_cache_misses")
+        try:
+            iv, ciphertext, mac = self._read_verified(pgno)
+            # Freshness: the per-read Merkle walk against the trusted root.
+            nodes_before = self.meter.merkle_nodes_hashed
+            self.tree.verify_leaf(pgno, sha256(mac), self._trusted_root)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    SPAN_MERKLE_VERIFY,
+                    node=self.trace_node,
+                    page=pgno,
+                    nodes_hashed=self.meter.merkle_nodes_hashed - nodes_before,
+                )
+            payload = self._decode_frame(pgno, iv, ciphertext)
+        except IntegrityError as exc:
+            self._report_violation(pgno, exc)
+            raise
+        if self.cache is not None:
+            self._cache_insert(pgno, payload, dirty=False)
+        return payload
+
+    def read_pages(self, pgnos: list[int]) -> list[bytes]:
+        """Batch read: one amortized Merkle verification for all misses.
+
+        Cache hits are served from enclave memory; the remaining pages are
+        MAC-checked individually and then freshness-checked with a single
+        :meth:`MerkleTree.verify_leaves` walk that hashes shared path
+        prefixes once.  Without a cache this degrades to per-page
+        :meth:`read_page` calls (the baseline cost model).
+        """
+        if self.cache is None:
+            return [self.read_page(pgno) for pgno in pgnos]
+        results: list[bytes | None] = [None] * len(pgnos)
+        pending: dict[int, list[int]] = {}
+        hits = 0
+        for pos, pgno in enumerate(pgnos):
+            if pgno >= self._page_count:
+                raise StorageError(f"page {pgno} not allocated")
+            payload = self.cache.get(pgno)
+            if payload is not None:
+                self.meter.bump("page_cache_hits")
+                hits += 1
+                results[pos] = payload
+            else:
+                self.meter.bump("page_cache_misses")
+                pending.setdefault(pgno, []).append(pos)
+        if pending:
+            misses = sorted(pending)
+            raws: dict[int, tuple[bytes, bytes, bytes]] = {}
+            digests: list[bytes] = []
+            for pgno in misses:
+                try:
+                    iv, ciphertext, mac = self._read_verified(pgno)
+                except IntegrityError as exc:
+                    self._report_violation(pgno, exc)
+                    raise
+                raws[pgno] = (iv, ciphertext, mac)
+                digests.append(sha256(mac))
+            nodes_before = self.meter.merkle_nodes_hashed
+            try:
+                self.tree.verify_leaves(misses, digests, self._trusted_root)
+            except IntegrityError:
+                # Re-walk per leaf so the violation report names the page.
+                for pgno, digest in zip(misses, digests):
+                    try:
+                        self.tree.verify_leaf(pgno, digest, self._trusted_root)
+                    except IntegrityError as exc:
+                        self._report_violation(pgno, exc)
+                        raise
+                raise
+            self.meter.bump("merkle_batch_pages", len(misses))
+            if self.tracer.enabled:
+                self.tracer.event(
+                    SPAN_PAGE_CACHE,
+                    node=self.trace_node,
+                    hits=hits,
+                    misses=len(misses),
+                    nodes_hashed=self.meter.merkle_nodes_hashed - nodes_before,
+                )
+            for pgno in misses:
+                iv, ciphertext, _mac = raws[pgno]
+                try:
+                    payload = self._decode_frame(pgno, iv, ciphertext)
+                except IntegrityError as exc:
+                    self._report_violation(pgno, exc)
+                    raise
+                self._cache_insert(pgno, payload, dirty=False)
+                for pos in pending[pgno]:
+                    results[pos] = payload
+        return results  # type: ignore[return-value]
+
+    def _read_verified(self, pgno: int) -> tuple[bytes, bytes, bytes]:
+        """Device read + frame split + MAC check; returns (iv, ct, mac)."""
         raw = self.device.read_page(pgno)
         self.meter.pages_read += 1
 
@@ -248,18 +392,9 @@ class SecurePager:
         self.meter.page_macs_verified += 1
         if not constant_time_eq(expected_mac, mac):
             raise IntegrityError(f"page {pgno}: HMAC mismatch — data was tampered with")
+        return iv, ciphertext, mac
 
-        # Freshness: the per-read Merkle walk against the trusted root.
-        nodes_before = self.meter.merkle_nodes_hashed
-        self.tree.verify_leaf(pgno, sha256(mac), self._trusted_root)
-        if self.tracer.enabled:
-            self.tracer.event(
-                SPAN_MERKLE_VERIFY,
-                node=self.trace_node,
-                page=pgno,
-                nodes_hashed=self.meter.merkle_nodes_hashed - nodes_before,
-            )
-
+    def _decode_frame(self, pgno: int, iv: bytes, ciphertext: bytes) -> bytes:
         frame = self._decrypt(pgno, iv, ciphertext)
         self.meter.pages_decrypted += 1
         length = int.from_bytes(frame[:2], "big")
@@ -267,8 +402,61 @@ class SecurePager:
             raise IntegrityError(f"page {pgno}: corrupt plaintext frame")
         return frame[2 : 2 + length]
 
+    def _report_violation(self, pgno: int, exc: IntegrityError) -> None:
+        """Surface an integrity failure to the wired-in observer.
+
+        The deployment points this at the trusted monitor so the tampering
+        attempt is recorded in the hash-chained audit log *before* the
+        exception propagates; the read still fails either way.
+        """
+        if self.on_violation is not None:
+            self.on_violation(pgno, str(exc))
+
+    # -- cache management ---------------------------------------------------
+
+    def enable_cache(self, capacity_pages: int) -> None:
+        """Install (or resize) the in-enclave decrypted-page LRU cache.
+
+        A payload enters the cache only after the full MAC + Merkle +
+        freshness verification chain; eviction re-encrypts dirty payloads
+        on the way out, and re-reading an evicted page repeats the chain.
+        """
+        self.flush_cache()
+        self.cache = PageCache(capacity_pages)
+
+    def disable_cache(self) -> None:
+        """Flush and drop the cache, restoring verify-every-read behavior."""
+        self.flush_cache()
+        self.cache = None
+
+    @property
+    def batch_enabled(self) -> bool:
+        """Whether scans should prefer the batched :meth:`read_pages` path."""
+        return self.cache is not None
+
+    def flush_cache(self) -> None:
+        """Write back every dirty cached page (entries stay cached, clean)."""
+        if self.cache is None:
+            return
+        for pgno, payload in self.cache.take_dirty():
+            self.meter.bump("page_cache_flushes")
+            self._store_page(pgno, payload)
+
+    def _cache_insert(self, pgno: int, payload: bytes, *, dirty: bool) -> None:
+        evicted = self.cache.put(pgno, payload, dirty=dirty)
+        self.meter.note_memory(len(self.cache) * PAGE_SIZE)
+        if evicted is None:
+            return
+        self.meter.bump("page_cache_evictions")
+        victim_pgno, victim_payload, victim_dirty = evicted
+        if victim_dirty:
+            self.meter.bump("page_cache_flushes")
+            self._store_page(victim_pgno, victim_payload)
+
     def commit(self) -> None:
-        """Persist the integrity tree and re-anchor the root in RPMB."""
+        """Write back dirty cached pages, persist the integrity tree and
+        re-anchor the root in RPMB."""
+        self.flush_cache()
         if not self._dirty:
             return
         self.device.write_meta(META_LEAVES, self.tree.serialize_leaves())

@@ -43,12 +43,14 @@ from .spans import (
     SPAN_HOST_JOIN_AGG,
     SPAN_MERKLE_VERIFY,
     SPAN_NDP_FILTER,
+    SPAN_PAGE_CACHE,
     SPAN_PAGE_WRITE,
     SPAN_PARTITION,
     SPAN_POLICY_CHECK,
     SPAN_PROOF_VERIFY,
     SPAN_QUERY,
     SPAN_REWRITE,
+    SPAN_SCHEDULER,
     SPAN_SESSION_SETUP,
     SPAN_STORAGE_PHASE,
     Span,
@@ -78,12 +80,14 @@ __all__ = [
     "SPAN_HOST_JOIN_AGG",
     "SPAN_MERKLE_VERIFY",
     "SPAN_NDP_FILTER",
+    "SPAN_PAGE_CACHE",
     "SPAN_PAGE_WRITE",
     "SPAN_PARTITION",
     "SPAN_POLICY_CHECK",
     "SPAN_PROOF_VERIFY",
     "SPAN_QUERY",
     "SPAN_REWRITE",
+    "SPAN_SCHEDULER",
     "SPAN_SESSION_SETUP",
     "SPAN_STORAGE_PHASE",
     "Span",

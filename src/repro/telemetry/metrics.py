@@ -120,13 +120,15 @@ class MetricsRegistry:
     def absorb_meter(self, meter: Meter, *, node: str = "", phase: str = "") -> None:
         """Fold one phase meter into labelled metrics.
 
-        Declared counters land under ``meter.<name>``; the peak working
-        set becomes a gauge; ad-hoc ``extra`` names are absorbed under
-        ``meter.extra.<name>`` with a one-time warning each (they are
-        usually typos — see :meth:`Meter.counter_names`).
+        Known counters — declared fields and names declared via
+        ``Meter.register_counter`` — land under ``meter.<name>``; the peak
+        working set becomes a gauge; any remaining ad-hoc ``extra`` names
+        are absorbed under ``meter.extra.<name>`` with a one-time warning
+        each (they are usually typos — see :meth:`Meter.counter_names`).
         """
-        for name in Meter.counter_names():
-            value = getattr(meter, name)
+        known = Meter.counter_names()
+        for name in known:
+            value = meter.get(name)
             if not value:
                 continue
             if name == "peak_memory_bytes":
@@ -134,7 +136,10 @@ class MetricsRegistry:
                 gauge.set(max(gauge.value, value))
             else:
                 self.counter(f"meter.{name}", node=node, phase=phase).inc(value)
+        known_set = set(known)
         for name, value in meter.extra.items():
+            if name in known_set:
+                continue  # registered counter, absorbed above
             self.warn_unknown_counter(name)
             self.counter(f"meter.extra.{name}", node=node, phase=phase).inc(value)
 

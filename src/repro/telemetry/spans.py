@@ -33,6 +33,8 @@ SPAN_STORAGE_PHASE = "storage_phase"  # whole near-data phase on the server
 SPAN_NDP_FILTER = "ndp_filter"        # one offloaded filtering scan
 SPAN_MERKLE_VERIFY = "merkle_verify"  # per-page freshness walk (marker)
 SPAN_PAGE_WRITE = "page_write"        # secure page write (marker)
+SPAN_PAGE_CACHE = "page_cache"        # in-enclave page-cache hit/batch (marker)
+SPAN_SCHEDULER = "scheduler"          # root: one concurrent multi-session run
 SPAN_CHANNEL_SHIP = "channel_ship"    # records pushed through the channel
 SPAN_CHANNEL_SEND = "channel_send"    # one channel record on the wire (marker)
 SPAN_CHANNEL_TRANSFER = "channel_transfer"  # non-overlapped network time
@@ -53,6 +55,8 @@ KNOWN_SPAN_NAMES = frozenset(
         SPAN_NDP_FILTER,
         SPAN_MERKLE_VERIFY,
         SPAN_PAGE_WRITE,
+        SPAN_PAGE_CACHE,
+        SPAN_SCHEDULER,
         SPAN_CHANNEL_SHIP,
         SPAN_CHANNEL_SEND,
         SPAN_CHANNEL_TRANSFER,

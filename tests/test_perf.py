@@ -1,0 +1,583 @@
+"""Performance layer: page cache, batched Merkle verify, concurrent scheduler."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import Deployment, register_client
+from repro.crypto import Rng
+from repro.errors import IntegrityError, IronSafeError
+from repro.perf import (
+    PERF_COUNTERS,
+    PageCache,
+    PageCacheError,
+    ScheduledSlot,
+    SessionTask,
+    arbitrate,
+    makespan_ns,
+    serial_ns,
+)
+from repro.sim import Meter
+from repro.storage import BlockDevice, InMemoryAnchor, MerkleTree, SecurePager
+from repro.telemetry import SPAN_SCHEDULER, MetricsRegistry
+
+
+class TestPageCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(PageCacheError):
+            PageCache(0)
+        with pytest.raises(PageCacheError):
+            PageCache(-1)
+
+    def test_miss_then_hit(self):
+        cache = PageCache(4)
+        assert cache.get(0) is None
+        cache.put(0, b"payload", dirty=False)
+        assert cache.get(0) == b"payload"
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_ratio == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = PageCache(2)
+        assert cache.put(0, b"a", dirty=False) is None
+        assert cache.put(1, b"b", dirty=False) is None
+        evicted = cache.put(2, b"c", dirty=False)
+        assert evicted == (0, b"a", False)
+        assert cache.evictions == 1
+        assert 0 not in cache and 1 in cache and 2 in cache
+
+    def test_get_promotes_to_mru(self):
+        cache = PageCache(2)
+        cache.put(0, b"a", dirty=False)
+        cache.put(1, b"b", dirty=False)
+        cache.get(0)  # page 1 is now LRU
+        evicted = cache.put(2, b"c", dirty=False)
+        assert evicted[0] == 1
+
+    def test_update_keeps_dirty_bit_sticky(self):
+        cache = PageCache(2)
+        cache.put(0, b"v1", dirty=True)
+        cache.put(0, b"v2", dirty=False)  # clean re-read must not lose write-back
+        assert cache.dirty_count == 1
+        assert cache.get(0) == b"v2"
+
+    def test_evicted_entry_reports_dirty(self):
+        cache = PageCache(1)
+        cache.put(0, b"pending", dirty=True)
+        evicted = cache.put(1, b"x", dirty=False)
+        assert evicted == (0, b"pending", True)
+
+    def test_take_dirty_flushes_but_keeps_entries(self):
+        cache = PageCache(4)
+        cache.put(0, b"a", dirty=True)
+        cache.put(1, b"b", dirty=False)
+        cache.put(2, b"c", dirty=True)
+        assert cache.take_dirty() == [(0, b"a"), (2, b"c")]
+        assert cache.dirty_count == 0
+        assert len(cache) == 3  # flush, not invalidation
+        assert cache.take_dirty() == []
+
+    def test_discard_and_clear(self):
+        cache = PageCache(4)
+        cache.put(0, b"a", dirty=True)
+        cache.put(1, b"b", dirty=True)
+        cache.discard(0)
+        assert 0 not in cache
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestScheduler:
+    def test_worker_count_validated(self):
+        with pytest.raises(IronSafeError):
+            arbitrate([SessionTask(0, 10.0)], 0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(IronSafeError):
+            arbitrate([SessionTask(0, -1.0)], 2)
+
+    def test_single_worker_serializes(self):
+        slots = arbitrate([SessionTask(0, 10.0), SessionTask(1, 5.0)], 1)
+        assert makespan_ns(slots) == serial_ns(slots) == 15.0
+        assert [s.worker for s in slots] == [0, 0]
+
+    def test_two_workers_overlap(self):
+        slots = arbitrate([SessionTask(0, 10.0), SessionTask(1, 5.0)], 2)
+        assert makespan_ns(slots) == 10.0
+        assert serial_ns(slots) == 15.0
+
+    def test_fifo_with_lowest_worker_tie_break(self):
+        tasks = [SessionTask(i, 1.0) for i in range(4)]
+        slots = arbitrate(tasks, 2)
+        # Round one: tasks 0/1 on workers 0/1; round two: tasks 2/3 again
+        # on workers 0/1 (equally free workers go to the lowest index).
+        assert [s.worker for s in slots] == [0, 1, 0, 1]
+        assert [s.start_ns for s in slots] == [0.0, 0.0, 1.0, 1.0]
+
+    def test_arrival_time_delays_start(self):
+        slots = arbitrate([SessionTask(0, 5.0, arrival_ns=3.0)], 2)
+        assert slots[0].start_ns == 3.0
+        assert slots[0].end_ns == 8.0
+        assert slots[0].duration_ns == 5.0
+
+    def test_deterministic(self):
+        tasks = [SessionTask(i, float(7 + (i * 13) % 5)) for i in range(9)]
+        assert arbitrate(tasks, 3) == arbitrate(tasks, 3)
+
+    def test_empty_schedule(self):
+        assert arbitrate([], 2) == []
+        assert makespan_ns([]) == 0.0
+
+    def test_slots_returned_in_task_order(self):
+        tasks = [SessionTask(2, 1.0), SessionTask(0, 9.0), SessionTask(1, 2.0)]
+        slots = arbitrate(tasks, 2)
+        assert [s.task_id for s in slots] == [0, 1, 2]
+        assert all(isinstance(s, ScheduledSlot) for s in slots)
+
+
+class TestMeterRegistration:
+    def test_perf_counters_are_known(self):
+        names = Meter.counter_names()
+        for name in PERF_COUNTERS:
+            assert name in names
+
+    def test_declared_fields_still_first(self):
+        assert "pages_read" in Meter.counter_names()
+
+    def test_registering_declared_field_is_noop(self):
+        before = Meter.counter_names()
+        Meter.register_counter("pages_read")
+        assert Meter.counter_names() == before
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Meter.register_counter("not a name")
+
+    def test_bump_and_get_registered_counter(self):
+        meter = Meter()
+        meter.bump("page_cache_hits", 3)
+        assert meter.get("page_cache_hits") == 3
+        assert meter.extra["page_cache_hits"] == 3
+        assert meter.get("pages_read") == 0
+
+    def test_absorb_registered_counter_without_warning(self):
+        registry = MetricsRegistry()
+        meter = Meter()
+        meter.bump("page_cache_hits", 5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            registry.absorb_meter(meter, node="storage", phase="scan")
+        counter = registry.counter("meter.page_cache_hits", node="storage", phase="scan")
+        assert counter.value == 5
+
+    def test_absorb_unknown_counter_still_warns(self):
+        registry = MetricsRegistry()
+        meter = Meter()
+        meter.bump("page_cache_hist", 1)  # typo'd name
+        with pytest.warns(RuntimeWarning, match="page_cache_hist"):
+            registry.absorb_meter(meter)
+
+
+class TestMerkleBatchVerify:
+    def _tree(self, leaves: int = 16) -> tuple[MerkleTree, bytes]:
+        tree = MerkleTree(b"batch-key", leaves)
+        root = b""
+        for i in range(leaves):
+            root = tree.update_leaf(i, bytes([i]) * 32)
+        return tree, root
+
+    def test_batch_ok(self):
+        tree, root = self._tree()
+        indices = [2, 3, 4, 5]
+        tree.verify_leaves(indices, [bytes([i]) * 32 for i in indices], root)
+
+    def test_empty_batch_ok(self):
+        tree, root = self._tree()
+        tree.verify_leaves([], [], root)
+
+    def test_count_mismatch_rejected(self):
+        tree, root = self._tree()
+        with pytest.raises(IntegrityError):
+            tree.verify_leaves([0, 1], [b"x" * 32], root)
+
+    def test_out_of_range_leaf_rejected(self):
+        tree, root = self._tree()
+        with pytest.raises(IntegrityError):
+            tree.verify_leaves([999], [b"x" * 32], root)
+
+    def test_wrong_digest_rejected(self):
+        tree, root = self._tree()
+        with pytest.raises(IntegrityError):
+            tree.verify_leaves([2, 3], [bytes([2]) * 32, b"y" * 32], root)
+
+    def test_stale_root_rejected(self):
+        tree, root = self._tree()
+        tree.update_leaf(7, b"new" + bytes(29))
+        with pytest.raises(IntegrityError):
+            tree.verify_leaves([2], [bytes([2]) * 32], root)
+
+    def test_matches_per_leaf_verification(self):
+        tree, root = self._tree()
+        indices = list(range(16))
+        digests = [bytes([i]) * 32 for i in indices]
+        tree.verify_leaves(indices, digests, root)
+        for i, digest in zip(indices, digests):
+            tree.verify_leaf(i, digest, root)
+
+    def test_amortizes_shared_path_prefixes(self):
+        meter = Meter()
+        tree = MerkleTree(b"batch-key", 64, meter=meter)
+        root = b""
+        for i in range(64):
+            root = tree.update_leaf(i, bytes([i]) * 32)
+        indices = list(range(32))
+        digests = [bytes([i]) * 32 for i in indices]
+
+        before = meter.merkle_nodes_hashed
+        for i, digest in zip(indices, digests):
+            tree.verify_leaf(i, digest, root)
+        per_leaf_cost = meter.merkle_nodes_hashed - before
+
+        before = meter.merkle_nodes_hashed
+        tree.verify_leaves(indices, digests, root)
+        batch_cost = meter.merkle_nodes_hashed - before
+
+        # 32 contiguous leaves share almost every interior node: the batch
+        # walk must cost well under half of 32 independent root paths.
+        assert batch_cost < per_leaf_cost / 2
+
+
+class TestSecurePagerCache:
+    def _setup(self, cache_pages: int = 0):
+        rng = Rng("perf-pager")
+        device = BlockDevice()
+        pager = SecurePager(
+            device, rng.bytes(32), InMemoryAnchor(), rng.fork("iv"),
+            cache_pages=cache_pages,
+        )
+        return device, pager
+
+    def test_hit_and_miss_counters(self):
+        _, pager = self._setup(cache_pages=8)
+        pgno = pager.allocate_page()
+        pager.write_page(pgno, b"hot")
+        pager.commit()
+        pager.cache.clear()
+        pager.read_page(pgno)  # miss: full verification chain
+        pager.read_page(pgno)  # hit: enclave memory
+        assert pager.meter.get("page_cache_misses") == 1
+        assert pager.meter.get("page_cache_hits") == 1
+
+    def test_hit_skips_crypto_work(self):
+        _, pager = self._setup(cache_pages=8)
+        pgno = pager.allocate_page()
+        pager.write_page(pgno, b"hot")
+        pager.commit()
+        pager.cache.clear()
+        pager.read_page(pgno)
+        decrypted = pager.meter.pages_decrypted
+        macs = pager.meter.page_macs_verified
+        assert pager.read_page(pgno) == b"hot"
+        assert pager.meter.pages_decrypted == decrypted
+        assert pager.meter.page_macs_verified == macs
+
+    def test_write_back_on_commit_persists(self):
+        rng = Rng("wb")
+        device = BlockDevice()
+        anchor = InMemoryAnchor()
+        key = rng.bytes(32)
+        pager = SecurePager(device, key, anchor, rng.fork("iv"), cache_pages=8)
+        pgno = pager.allocate_page()
+        pager.write_page(pgno, b"buffered")
+        assert pager.meter.pages_written == 0  # still only in enclave memory
+        pager.commit()
+        assert pager.meter.pages_written == 1
+        assert pager.meter.get("page_cache_flushes") == 1
+        reopened = SecurePager(device, key, anchor, rng.fork("iv2"))
+        assert reopened.read_page(pgno) == b"buffered"
+
+    def test_dirty_eviction_writes_back(self):
+        _, pager = self._setup(cache_pages=1)
+        a, b = pager.allocate_page(), pager.allocate_page()
+        pager.write_page(a, b"first")
+        pager.write_page(b, b"second")  # evicts dirty page a -> device
+        assert pager.meter.get("page_cache_evictions") == 1
+        assert pager.meter.pages_written == 1
+        pager.commit()
+        assert pager.read_page(a) == b"first"
+        assert pager.read_page(b) == b"second"
+
+    def test_evicted_page_reread_repeats_verification(self):
+        _, pager = self._setup(cache_pages=1)
+        a, b = pager.allocate_page(), pager.allocate_page()
+        pager.write_page(a, b"A")
+        pager.write_page(b, b"B")
+        pager.commit()
+        pager.read_page(a)  # evicts b from the 1-page cache
+        macs = pager.meter.page_macs_verified
+        nodes = pager.meter.merkle_nodes_hashed
+        assert pager.read_page(b) == b"B"
+        assert pager.meter.page_macs_verified == macs + 1
+        assert pager.meter.merkle_nodes_hashed > nodes
+
+    def test_eviction_then_tamper_detected_and_reported(self):
+        """The eviction + tamper satellite: an evicted page's payload left
+        the enclave; corrupting its ciphertext must fail the re-read AND
+        reach the wired-in violation observer."""
+        device, pager = self._setup(cache_pages=1)
+        violations: list[tuple[int, str]] = []
+        pager.on_violation = lambda pgno, reason: violations.append((pgno, reason))
+        a, b = pager.allocate_page(), pager.allocate_page()
+        pager.write_page(a, b"victim")
+        pager.write_page(b, b"filler")  # evicts a (dirty -> written back)
+        pager.commit()
+        assert a not in pager.cache
+        device.corrupt(a, offset=40)
+        with pytest.raises(IntegrityError):
+            pager.read_page(a)
+        assert violations and violations[0][0] == a
+        assert "tampered" in violations[0][1]
+
+    def test_enable_disable_cache_roundtrip(self):
+        _, pager = self._setup()
+        assert not pager.batch_enabled
+        pgno = pager.allocate_page()
+        pager.write_page(pgno, b"x")
+        pager.enable_cache(4)
+        assert pager.batch_enabled
+        assert pager.read_page(pgno) == b"x"
+        pager.write_page(pgno, b"y")
+        pager.disable_cache()  # flushes the buffered write
+        assert not pager.batch_enabled
+        assert pager.read_page(pgno) == b"y"
+
+    def test_read_pages_matches_read_page(self):
+        _, pager = self._setup(cache_pages=16)
+        pages = [pager.allocate_page() for _ in range(8)]
+        for p in pages:
+            pager.write_page(p, f"page-{p}".encode())
+        pager.commit()
+        pager.cache.clear()
+        batched = pager.read_pages(pages)
+        assert batched == [f"page-{p}".encode() for p in pages]
+        assert pager.meter.get("merkle_batch_pages") == len(pages)
+        # Second pass is all hits.
+        pager.read_pages(pages)
+        assert pager.meter.get("page_cache_hits") == len(pages)
+
+    def test_read_pages_batch_cheaper_than_per_page(self):
+        rng = Rng("batch-vs")
+        device = BlockDevice()
+        anchor = InMemoryAnchor()
+        key = rng.bytes(32)
+        pager = SecurePager(device, key, anchor, rng.fork("iv"))
+        pages = [pager.allocate_page() for _ in range(32)]
+        for p in pages:
+            pager.write_page(p, b"z")
+        pager.commit()
+
+        before = pager.meter.merkle_nodes_hashed
+        for p in pages:
+            pager.read_page(p)
+        per_page_cost = pager.meter.merkle_nodes_hashed - before
+
+        pager.enable_cache(64)
+        before = pager.meter.merkle_nodes_hashed
+        pager.read_pages(pages)
+        batch_cost = pager.meter.merkle_nodes_hashed - before
+        assert batch_cost < per_page_cost / 2
+
+    def test_read_pages_without_cache_is_per_page(self):
+        _, pager = self._setup()
+        pages = [pager.allocate_page() for _ in range(3)]
+        for p in pages:
+            pager.write_page(p, bytes([p]))
+        assert pager.read_pages(pages) == [bytes([p]) for p in pages]
+        assert pager.meter.get("merkle_batch_pages") == 0
+
+    def test_read_pages_tamper_names_the_page(self):
+        device, pager = self._setup(cache_pages=16)
+        violations: list[int] = []
+        pager.on_violation = lambda pgno, reason: violations.append(pgno)
+        pages = [pager.allocate_page() for _ in range(4)]
+        for p in pages:
+            pager.write_page(p, b"ok")
+        pager.commit()
+        pager.cache.clear()
+        device.corrupt(pages[2], offset=50)
+        with pytest.raises(IntegrityError):
+            pager.read_pages(pages)
+        assert pages[2] in violations
+
+
+def _appdb_deployment():
+    """A tiny non-TPC-H deployment with one client authorized to read."""
+    deployment = Deployment(workload="none", database_name="appdb", seed=47)
+    deployment.attest_all()
+    client = register_client(deployment, "tenant")
+    deployment.monitor.provision_database(
+        "appdb",
+        policy_text=f"read :- sessionKeyIs('{client.fingerprint}')\n",
+    )
+    db = deployment.storage_engine.db
+    db.execute("CREATE TABLE items (id INTEGER, label TEXT)")
+    db.store.insert_rows("items", [(i, f"item-{i}") for i in range(64)])
+    db.commit()
+    return deployment, client
+
+
+BATCH = [
+    "SELECT count(*) FROM items",
+    "SELECT max(id) FROM items",
+    "SELECT count(*) FROM items WHERE id < 32",
+    "SELECT min(id) FROM items",
+]
+
+
+@pytest.fixture(scope="module")
+def concurrent_outcome():
+    deployment, client = _appdb_deployment()
+    outcome = deployment.run_concurrent(
+        BATCH, workers=2, client_key=client.fingerprint
+    )
+    return deployment, client, outcome
+
+
+class TestRunConcurrent:
+    def test_validation(self):
+        deployment, client = _appdb_deployment()
+        with pytest.raises(IronSafeError):
+            deployment.run_concurrent([])
+        with pytest.raises(IronSafeError):
+            deployment.run_concurrent(["SELECT 1"], workers=0)
+
+    def test_rows_match_serial_execution(self, concurrent_outcome):
+        deployment, client, outcome = concurrent_outcome
+        assert len(outcome.sessions) == len(BATCH)
+        for session in outcome.sessions:
+            # sos skips the monitor (whose policy admits only the tenant)
+            # but runs the same secure split execution.
+            serial = deployment.run_query(session.sql, "sos")
+            assert session.rows == serial.rows
+
+    def test_sessions_isolated(self, concurrent_outcome):
+        _, _, outcome = concurrent_outcome
+        ids = [s.session_id for s in outcome.sessions]
+        digests = [s.key_digest for s in outcome.sessions]
+        assert len(set(ids)) == len(ids)
+        assert len(set(digests)) == len(digests)
+        assert all(s.proof is not None for s in outcome.sessions)
+
+    def test_sessions_closed_in_audit_chain(self, concurrent_outcome):
+        deployment, _, outcome = concurrent_outcome
+        operations = deployment.monitor.audit_log("operations")
+        operations.verify_chain()
+        closed = [e for e in operations.entries if e.action == "finish_session"]
+        assert len(closed) >= len(outcome.sessions)
+
+    def test_schedule_shape(self, concurrent_outcome):
+        _, _, outcome = concurrent_outcome
+        assert outcome.workers == 2
+        assert outcome.makespan_ms <= outcome.serial_ms
+        assert outcome.speedup >= 1.0
+        assert outcome.throughput_qps > 0
+        per_session = sorted(outcome.sessions, key=lambda s: s.index)
+        assert outcome.session(0) is per_session[0]
+        for session in outcome.sessions:
+            assert session.duration_ms == pytest.approx(
+                session.result.breakdown.total_ms
+            )
+
+    def test_single_worker_is_serial(self):
+        deployment, client = _appdb_deployment()
+        outcome = deployment.run_concurrent(
+            BATCH[:2], workers=1, client_key=client.fingerprint
+        )
+        assert outcome.makespan_ms == pytest.approx(outcome.serial_ms)
+
+    def test_mixed_configs_accepted(self):
+        deployment, client = _appdb_deployment()
+        outcome = deployment.run_concurrent(
+            [("SELECT count(*) FROM items", "sos"), ("SELECT max(id) FROM items", "sos")],
+            workers=2,
+        )
+        assert [s.config for s in outcome.sessions] == ["sos", "sos"]
+        # Non-admitted configurations get local session ids, no proof.
+        assert all(s.session_id.startswith("local-") for s in outcome.sessions)
+        assert all(s.proof is None for s in outcome.sessions)
+
+    def test_deterministic_across_rebuilds(self):
+        first_deployment, first_client = _appdb_deployment()
+        second_deployment, second_client = _appdb_deployment()
+        first = first_deployment.run_concurrent(
+            BATCH, workers=2, client_key=first_client.fingerprint
+        )
+        second = second_deployment.run_concurrent(
+            BATCH, workers=2, client_key=second_client.fingerprint
+        )
+        assert first.makespan_ms == second.makespan_ms
+        assert first.serial_ms == second.serial_ms
+        assert [s.worker for s in first.sessions] == [s.worker for s in second.sessions]
+
+    def test_tracing_records_scheduler_span(self):
+        deployment, client = _appdb_deployment()
+        tracer = deployment.enable_tracing()
+        deployment.run_concurrent(
+            BATCH[:2], workers=2, client_key=client.fingerprint
+        )
+        scheduler_spans = [
+            span for trace in tracer.traces for span in trace.find(SPAN_SCHEDULER)
+        ]
+        assert scheduler_spans, "no scheduler span recorded"
+        root = scheduler_spans[0]
+        assert root.attributes["sessions"] == 2
+        assert root.attributes["workers"] == 2
+        assert tracer.metrics.counter("scheduler.sessions", workers="2").value == 2
+
+
+class TestClientSubmitConcurrent:
+    def test_batch_with_verified_proofs(self):
+        deployment, client = _appdb_deployment()
+        outcome = client.submit_concurrent(deployment, BATCH[:2], workers=2)
+        assert outcome.sessions[0].rows == [(64,)]
+        assert all(s.proof is not None for s in outcome.sessions)
+
+
+class TestDeploymentPageCache:
+    def test_enable_then_disable_leaves_results_identical(self):
+        deployment, client = _appdb_deployment()
+        sql = "SELECT count(*) FROM items WHERE id >= 10"
+        baseline = deployment.run_query(sql, "sos")
+        deployment.enable_page_cache(128)
+        cached = deployment.run_query(sql, "sos")
+        assert cached.rows == baseline.rows
+        deployment.disable_page_cache()
+        restored = deployment.run_query(sql, "sos")
+        assert restored.rows == baseline.rows
+        assert restored.breakdown.total_ns == baseline.breakdown.total_ns
+
+    def test_storage_tamper_lands_in_audit_chain(self):
+        """End-to-end eviction + tamper satellite: corrupting an evicted
+        page's ciphertext fails the read and the trusted monitor records
+        the violation in the hash-chained operations log."""
+        deployment, client = _appdb_deployment()
+        deployment.enable_page_cache(1)
+        pager = deployment.storage_engine.pager
+        a, b = pager.allocate_page(), pager.allocate_page()
+        pager.write_page(a, b"audited")
+        pager.write_page(b, b"filler")  # evicts page a out of the enclave
+        pager.commit()
+        deployment.secure_device.corrupt(a, offset=40)
+        with pytest.raises(IntegrityError):
+            pager.read_page(a)
+        operations = deployment.monitor.audit_log("operations")
+        operations.verify_chain()
+        violations = [
+            e for e in operations.entries if e.action == "integrity_violation"
+        ]
+        assert violations, "tampering was not audited"
+        assert f"page {a}" in violations[-1].detail
+        assert violations[-1].client_key == "storage-1"
