@@ -1,4 +1,4 @@
-"""Architecture-conformance rules (ARCH001–ARCH004).
+"""Architecture-conformance rules (ARCH001–ARCH005).
 
 The reproduction's trust argument depends on its layering: ``crypto`` is
 the bottom of the TCB, enclave internals are reachable only through the
@@ -31,6 +31,11 @@ LAYERING: dict[str, frozenset[str]] = {
     # security: it handles opaque bytes and simulated durations, so it may
     # never import the crypto it sits next to.
     "perf": frozenset({"errors", "sim"}),
+    # The streaming ship pipeline is transport policy: encoded rows and
+    # simulated durations only.  It may see the record wire format
+    # (ARCH005 pins its repro.sql surface to repro.sql.records) but never
+    # the query engine or crypto it ships between.
+    "stream": frozenset({"errors", "sim", "sql"}),
     "sql": frozenset({"errors", "sim"}),
     "storage": frozenset({"errors", "sim", "crypto", "telemetry", "perf"}),
     "tee": frozenset({"errors", "sim", "crypto"}),
@@ -41,7 +46,7 @@ LAYERING: dict[str, frozenset[str]] = {
     "tpch": frozenset({"errors", "crypto", "sql"}),
     "core": frozenset(
         {"errors", "sim", "crypto", "sql", "storage", "tee", "policy", "monitor",
-         "tpch", "telemetry", "perf"}
+         "tpch", "telemetry", "perf", "stream"}
     ),
     "gdpr": frozenset(
         {"errors", "sim", "crypto", "sql", "storage", "policy", "monitor", "core"}
@@ -280,3 +285,45 @@ class TelemetryIsolationViolation(Rule):
                     f"telemetry references key material {name!r}; spans may "
                     "carry counts and digests only",
                 )
+
+
+# The one repro.sql module the stream package may import: the record wire
+# format.  Everything else in repro.sql (parser, planner, operators,
+# stores) is query-engine machinery the transport layer must stay blind to.
+STREAM_ALLOWED_SQL_MODULES = frozenset({"repro.sql.records"})
+
+
+@register
+class StreamSurfaceViolation(Rule):
+    """The stream package imports repro.sql beyond the record wire format.
+
+    ARCH001 already allows ``stream`` → ``sql``, but the intended surface
+    is exactly ``repro.sql.records`` (encode/decode of rows and batches).
+    If the ship pipeline could reach the planner or the stores it could
+    execute queries on its own, outside the engines' metering and the
+    enclave boundary — so the wider import is banned by name.
+    """
+
+    rule_id = "ARCH005"
+    title = "stream package exceeds its repro.sql surface"
+    rationale = "the transport layer must not grow into a query engine"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if ctx.subpackage != "stream" or ctx.module is None:
+            return
+        for record in ctx.graph.imports_of(ctx.module):
+            if top_subpackage(record.module) != "sql":
+                continue
+            if record.module in STREAM_ALLOWED_SQL_MODULES:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.relpath,
+                line=record.lineno,
+                col=record.col,
+                message=(
+                    f"stream may import repro.sql only via "
+                    f"{', '.join(sorted(STREAM_ALLOWED_SQL_MODULES))}; "
+                    f"found import of {record.module!r}"
+                ),
+            )

@@ -2,7 +2,18 @@
 
 from .channel import SecureChannel, channel_pair
 from .client import Client, QueryResponse, register_client
-from .configs import CONFIG_NAMES, CONFIGS, HONS, HOS, SCS, SOS, SystemConfig, VCS
+from .configs import (
+    CONFIG_NAMES,
+    CONFIGS,
+    HONS,
+    HOS,
+    SCS,
+    SERIAL_RUN_CONFIG,
+    SOS,
+    RunConfig,
+    SystemConfig,
+    VCS,
+)
 from .deployment import (
     ConcurrentRunResult,
     ConcurrentSession,
@@ -27,8 +38,10 @@ __all__ = [
     "HostEngine",
     "PartitionPlan",
     "QueryPartitioner",
+    "RunConfig",
     "RunResult",
     "SCS",
+    "SERIAL_RUN_CONFIG",
     "SOS",
     "SecureChannel",
     "StorageEngine",

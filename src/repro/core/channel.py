@@ -52,7 +52,11 @@ class SecureChannel:
         ciphertext = hash_ctr_crypt(self._enc_key, self._nonce(seq), payload)
         mac = hmac_sha256(self._mac_key, _SEQ.pack(seq) + ciphertext)
         record = _SEQ.pack(seq) + mac + ciphertext
-        self.meter.channel_bytes_encrypted += len(payload)
+        # Meter the *ciphertext* length, mirroring receive(): with the
+        # stream cipher the lengths coincide, but once compression shrinks
+        # the plaintext the two sides must still charge the same quantity
+        # or ship accounting goes asymmetric.
+        self.meter.channel_bytes_encrypted += len(ciphertext)
         if self.tracer.enabled:
             self.tracer.event(
                 SPAN_CHANNEL_SEND, node=self.local, seq=seq, bytes=len(payload)

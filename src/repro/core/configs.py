@@ -1,8 +1,11 @@
-"""The five system configurations of the evaluation (paper Table 2)."""
+"""The five system configurations of the evaluation (paper Table 2),
+plus the :class:`RunConfig` execution knobs for the ship path."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from ..errors import IronSafeError
 
 
 @dataclass(frozen=True)
@@ -23,3 +26,44 @@ SOS = SystemConfig("sos", "Storage-only, secure (whole query on ARM)", False, Tr
 
 CONFIGS: dict[str, SystemConfig] = {c.abbrev: c for c in (HONS, HOS, VCS, SCS, SOS)}
 CONFIG_NAMES = tuple(CONFIGS)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Ship-path execution knobs for the split configurations (vcs/scs).
+
+    ``RunConfig()`` selects the streaming pipeline: bounded RecordBatches
+    off the operator iterator, overlapped (storage scan | channel crypto |
+    host ingest) time accounting, and optionally transparent per-batch
+    zlib compression before channel encryption.  ``pipeline=False`` is
+    the escape hatch back to the calibrated materialize-then-ship path —
+    byte- and simulated-nanosecond-identical to the paper baseline, and
+    the default for a :class:`~repro.core.deployment.Deployment` built
+    without an explicit run config (so every figure reproduction keeps
+    its calibration).
+    """
+
+    pipeline: bool = True
+    #: Target encoded-batch size (pre-compression, pre-encryption).
+    batch_bytes: int = 64 * 1024
+    #: Compress each batch before channel encryption (zlib).
+    compress: bool = False
+    #: zlib level used when ``compress`` is on.
+    compress_level: int = 6
+
+    def __post_init__(self) -> None:
+        if self.batch_bytes <= 0:
+            raise IronSafeError(f"batch_bytes must be positive, got {self.batch_bytes}")
+        if not 1 <= self.compress_level <= 9:
+            raise IronSafeError(
+                f"compress_level must be in 1-9, got {self.compress_level}"
+            )
+        if self.compress and not self.pipeline:
+            raise IronSafeError(
+                "batch compression requires the streaming pipeline "
+                "(pipeline=False ships the serial per-row path)"
+            )
+
+
+#: The calibrated paper baseline: materialize, ship serially, no batches.
+SERIAL_RUN_CONFIG = RunConfig(pipeline=False)

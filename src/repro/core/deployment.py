@@ -31,6 +31,7 @@ from ..sql import Database, PagedStore
 from ..sql import ast_nodes as A
 from ..sql.parser import parse
 from ..storage import BlockDevice, InMemoryAnchor, Pager, SecurePager
+from ..stream import BatchTiming, apportion_ns, pack_frame, pipelined_ns, unpack_frame
 from ..telemetry import (
     NODE_CLIENT,
     NODE_HOST,
@@ -49,6 +50,7 @@ from ..telemetry import (
     SPAN_QUERY,
     SPAN_SCHEDULER,
     SPAN_SESSION_SETUP,
+    SPAN_SHIP_BATCH,
     SPAN_STORAGE_PHASE,
     Tracer,
 )
@@ -56,7 +58,7 @@ from ..tee.sgx import IntelAttestationService, SgxPlatform
 from ..tee.trustzone import DeviceVendor
 from ..tpch import load_tpch
 from .channel import channel_pair
-from .configs import CONFIGS
+from .configs import CONFIGS, SERIAL_RUN_CONFIG, RunConfig
 from .host_engine import RECORD_ROWS, HostEngine
 from .partitioner import QueryPartitioner
 from .storage_engine import StorageEngine
@@ -109,6 +111,16 @@ class RunResult:
         if self.bytes_shipped:
             return max(1, math.ceil(self.bytes_shipped / PAGE_SIZE))
         return self.host_meter.pages_read
+
+    @property
+    def batches_shipped(self) -> int:
+        """RecordBatches shipped over the channel (streaming runs only)."""
+        return self.storage_meter.get("batches_shipped")
+
+    @property
+    def channel_bytes_saved(self) -> int:
+        """Wire bytes removed by per-batch compression (streaming runs)."""
+        return self.storage_meter.get("channel_bytes_saved")
 
 
 @dataclass
@@ -183,9 +195,16 @@ class Deployment:
         armv9_realms: bool = False,
         tracer: Tracer | None = None,
         page_cache_pages: int = 0,
+        run_config: RunConfig | None = None,
     ):
         self.scale_factor = scale_factor
         self.page_cache_pages = page_cache_pages
+        # Ship-path execution knobs.  A deployment built without an
+        # explicit run config keeps the calibrated serial ship path, so
+        # every figure reproduction stays byte-identical; pass
+        # ``RunConfig()`` (or per-run via :meth:`run_query`) to opt into
+        # the streaming pipeline.
+        self.run_config = run_config if run_config is not None else SERIAL_RUN_CONFIG
         self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.storage_cpus = storage_cpus
@@ -366,6 +385,7 @@ class Deployment:
         storage_memory_bytes: int | None = None,
         manual_partition=None,
         authorization=None,
+        run_config: RunConfig | None = None,
     ) -> RunResult:
         if config not in CONFIGS:
             raise IronSafeError(f"unknown configuration {config!r} (know {sorted(CONFIGS)})")
@@ -390,12 +410,13 @@ class Deployment:
             elif config == "vcs":
                 result = self._run_split(
                     statement, secure=False, cpus=cpus, memory=memory,
-                    manual=manual_partition,
+                    manual=manual_partition, run_config=run_config,
                 )
             elif config == "scs":
                 result = self._run_split(
                     statement, secure=True, cpus=cpus, memory=memory,
                     manual=manual_partition, authorization=authorization,
+                    run_config=run_config,
                 )
             else:
                 result = self._run_storage_only(statement, cpus=cpus, memory=memory)
@@ -648,8 +669,14 @@ class Deployment:
 
     def _run_split(
         self, statement: A.Select, secure: bool, cpus: int, memory: int,
-        manual=None, authorization=None,
+        manual=None, authorization=None, run_config: RunConfig | None = None,
     ) -> RunResult:
+        run_config = run_config if run_config is not None else self.run_config
+        if run_config.pipeline:
+            return self._run_split_pipelined(
+                statement, secure=secure, cpus=cpus, memory=memory,
+                run_config=run_config, manual=manual, authorization=authorization,
+            )
         engine = self.storage_engine if secure else self.storage_engine_plain
         if manual is not None:
             plan = None
@@ -714,12 +741,13 @@ class Deployment:
                 if manual is not None:
                     result = engine.db.execute(ship.sql)
                     columns, rows = result.columns, result.rows
-                    nbytes = sum(len(encode_row(r)) for r in rows)
+                    encoded = [encode_row(r) for r in rows]
+                    nbytes = sum(map(len, encoded))
                     portion_meter.note_memory(nbytes)
                     table_name = ship.table
                     column_types = self._infer_column_types(columns, rows)
                 else:
-                    columns, rows, nbytes = engine.execute_scan(ship)
+                    columns, rows, nbytes, encoded = engine.execute_scan(ship)
                     table_name = ship.table
                     schema = engine.db.store.catalog.table(ship.table)
                     column_types = [
@@ -739,10 +767,10 @@ class Deployment:
                     ) as ship_span:
                         # Really push the bytes through the authenticated
                         # channel (record framing mirrors the host's ingest
-                        # batching).
+                        # batching).  Rows were serialized once by the scan;
+                        # the ship loop only concatenates the slices.
                         for start in range(0, max(1, len(rows)), RECORD_ROWS):
-                            batch = rows[start : start + RECORD_ROWS]
-                            payload = b"".join(encode_row(r) for r in batch)
+                            payload = b"".join(encoded[start : start + RECORD_ROWS])
                             chan_storage.send(payload, charge_time=False)
                             chan_host.receive()
                     shipped = ship_meter.channel_bytes_encrypted - shipped_before
@@ -822,6 +850,263 @@ class Deployment:
         total.merge(host_breakdown)
         if secure:
             # Control-path cost: per-request TLS session establishment.
+            total.add(CAT_POLICY, self.cost_model.tls_handshake_ns)
+            span = self.tracer.event(SPAN_SESSION_SETUP, node=NODE_HOST)
+            if span is not None:
+                span.set_sim_ns(self.cost_model.tls_handshake_ns)
+
+        return RunResult(
+            config="scs" if secure else "vcs",
+            columns=result.columns,
+            rows=result.rows,
+            breakdown=total,
+            storage_breakdown=storage_breakdown,
+            host_breakdown=host_breakdown,
+            storage_meter=storage_meter,
+            host_meter=host_meter,
+            bytes_shipped=total_bytes,
+            plan_notes=(plan.notes if plan is not None else [manual.note]),
+            portion_meters=portion_meters,
+            monitor_breakdown=monitor_breakdown,
+        )
+
+    def _run_split_pipelined(
+        self, statement: A.Select, secure: bool, cpus: int, memory: int,
+        run_config: RunConfig, manual=None, authorization=None,
+    ) -> RunResult:
+        """Streamed twin of :meth:`_run_split` (``RunConfig.pipeline``).
+
+        Every offloaded portion is executed as a stream of bounded
+        RecordBatches: the scan produces a batch, the channel encrypts it
+        (optionally zlib-compressed first), and the host ingests it —
+        and the three stages *overlap* across consecutive batches, so
+        the phase wall time is the pipeline makespan, not the serial
+        sum.  Stage durations come from the same cost model as the
+        serial path: each portion's scan / ship-crypto / host-ingest
+        meters are priced as a whole, then apportioned across its
+        batches by row and byte weights (totals are conserved).
+        """
+        engine = self.storage_engine if secure else self.storage_engine_plain
+        if manual is not None:
+            plan = None
+        else:
+            with self.tracer.span(SPAN_PARTITION, node=NODE_HOST) as part_span:
+                plan = self.partitioner.partition(statement)
+                part_span.set_attrs(scans=len(plan.scans))
+
+        clock_before = self.clock.breakdown.copy()
+        session_key = self.rng.fork("adhoc-session").bytes(32)
+        if secure:
+            if not self._attested:
+                self.attest_all()
+            auth = authorization
+            if auth is None:
+                auth = self.monitor.authorize(
+                    self.database_name,
+                    client_key=self._client_fingerprint(),
+                    statement=statement,
+                    host_id="host-1",
+                    now=0,
+                    query_text=statement.to_sql(),
+                )
+            if manual is None:
+                statement = auth.statement
+            session_key = auth.session.key
+        monitor_breakdown = self.clock.breakdown.minus(clock_before)
+
+        host_meter = self.host_engine.fresh_meter()
+        ship_meter = Meter()
+
+        self.host_engine.begin_session()
+        if secure:
+            chan_host, chan_storage = channel_pair(
+                self.link, "host", "storage", session_key, host_meter, ship_meter,
+                tracer=self.tracer,
+            )
+
+        compress_level = run_config.compress_level if run_config.compress else 0
+        total_bytes = 0
+        total_batches = 0
+        ship_makespans: list[float] = []
+        per_ship_serial_ns = 0.0
+        portion_meters: list[Meter] = []
+        storage_meter = Meter()
+        ingest_breakdown = TimeBreakdown()
+        ships = manual.ships if manual is not None else plan.scans
+        in_realm = secure and self.armv9_realms
+        phase_ctx = self.tracer.span(
+            SPAN_STORAGE_PHASE, node=NODE_STORAGE, enclave=in_realm, portions=len(ships)
+        )
+        phase_span = phase_ctx.__enter__()
+        for ship in ships:
+            portion_meter = engine.fresh_meter()
+            portion_meters.append(portion_meter)
+            ship_before = ship_meter.copy()
+            host_before = host_meter.copy()
+            with self.tracer.span(
+                SPAN_NDP_FILTER, node=NODE_STORAGE, enclave=in_realm, table=ship.table
+            ) as portion_span:
+                table_name = ship.table
+                if manual is not None:
+                    columns, batches = engine.stream_sql(
+                        ship.sql, batch_bytes=run_config.batch_bytes
+                    )
+                    column_types = None  # inferred from the first batch
+                else:
+                    columns, batches = engine.stream_scan(
+                        ship, batch_bytes=run_config.batch_bytes
+                    )
+                    schema = engine.db.store.catalog.table(ship.table)
+                    column_types = [
+                        (name, schema.column_type(name)) for name in ship.columns
+                    ]
+                    self.host_engine.begin_table(table_name, column_types)
+
+                row_weights: list[int] = []
+                byte_weights: list[int] = []
+                ship_rows = 0
+                ship_bytes = 0
+                for batch in batches:
+                    if column_types is None:
+                        column_types = self._infer_column_types(
+                            columns, list(batch.rows)
+                        )
+                        self.host_engine.begin_table(table_name, column_types)
+                    frame, saved = pack_frame(batch.payload, compress_level)
+                    ship_meter.bump("batches_shipped")
+                    if saved:
+                        ship_meter.bump("channel_bytes_saved", saved)
+                        ship_meter.bump("batch_bytes_compressed", batch.nbytes)
+                        host_meter.bump("batch_bytes_decompressed", batch.nbytes)
+                    if secure:
+                        chan_storage.send(frame, charge_time=False)
+                        received = chan_host.receive()
+                    else:
+                        received = frame
+                    payload, _ = unpack_frame(received)
+                    self.host_engine.ingest_batch(table_name, payload)
+                    row_weights.append(batch.row_count)
+                    byte_weights.append(len(frame))
+                    ship_rows += batch.row_count
+                    ship_bytes += len(frame)
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            SPAN_SHIP_BATCH,
+                            node=NODE_STORAGE,
+                            table=table_name,
+                            seq=len(row_weights) - 1,
+                            rows=batch.row_count,
+                            bytes=len(frame),
+                            saved=saved,
+                        )
+                if column_types is None:
+                    # Empty manual portion: the host table must still exist.
+                    column_types = self._infer_column_types(columns, [])
+                    self.host_engine.begin_table(table_name, column_types)
+                self.host_engine.finish_table(table_name)
+
+                total_bytes += ship_bytes
+                total_batches += len(row_weights)
+                # Price each stage's work for this portion as a whole
+                # (same cost model as the serial path), then split it
+                # across the portion's batches to feed the pipeline model.
+                portion_breakdown = self.cost_model.phase_breakdown(
+                    portion_meter, platform="arm", cores=1,
+                    memory_limit_bytes=memory, in_realm=in_realm,
+                )
+                ship_cost = self.cost_model.phase_breakdown(
+                    ship_meter.delta(ship_before), platform="arm", cores=1,
+                    memory_limit_bytes=memory, in_realm=in_realm,
+                )
+                ingest_cost = self.cost_model.phase_breakdown(
+                    host_meter.delta(host_before), platform="x86", in_enclave=secure
+                )
+                ingest_breakdown.merge(ingest_cost)
+                timings = [
+                    BatchTiming(scan_ns=s, ship_ns=c, ingest_ns=h)
+                    for s, c, h in zip(
+                        apportion_ns(portion_breakdown.total_ns, row_weights),
+                        apportion_ns(ship_cost.total_ns, byte_weights),
+                        apportion_ns(ingest_cost.total_ns, row_weights),
+                    )
+                ]
+                serial_ns = (
+                    portion_breakdown.total_ns
+                    + ship_cost.total_ns
+                    + ingest_cost.total_ns
+                )
+                makespan = pipelined_ns(timings) if timings else serial_ns
+                ship_makespans.append(makespan)
+                per_ship_serial_ns += serial_ns
+                storage_meter.merge(portion_meter)
+            portion_span.set_sim_ns(makespan)
+            portion_span.set_attrs(
+                rows=ship_rows,
+                bytes=ship_bytes,
+                batches=len(row_weights),
+                serial_ns=serial_ns,
+            )
+
+        phase_ctx.__exit__(None, None, None)
+
+        # Host phase: the full query over the (already ingested) tables.
+        host_statement = (
+            parse(manual.host_sql) if manual is not None else statement
+        )
+        with self.tracer.span(
+            SPAN_HOST_JOIN_AGG, node=NODE_HOST, enclave=secure
+        ) as host_span:
+            result = self.host_engine.run(host_statement)
+            self.monitorless_cleanup()
+
+        # Phase wall time: LPT schedule of the per-portion pipelined
+        # makespans, plus whatever the merged meters cost beyond the
+        # per-portion slices (nonlinear charges such as memory-pressure
+        # spill are priced on the merged meter, exactly as serially).
+        storage_meter.merge(ship_meter)
+        work_breakdown = self.cost_model.phase_breakdown(
+            storage_meter, platform="arm", cores=1, memory_limit_bytes=memory,
+            in_realm=(secure and self.armv9_realms),
+        )
+        host_breakdown = self.cost_model.phase_breakdown(
+            host_meter, platform="x86", in_enclave=secure,
+        )
+        combined = work_breakdown.copy().merge(ingest_breakdown)
+        wall_ns = self._lpt_makespan(ship_makespans, cpus)
+        extra_ns = max(0.0, combined.total_ns - per_ship_serial_ns)
+        phase_wall_ns = wall_ns + extra_ns
+        if combined.total_ns > 0:
+            storage_breakdown = combined.scaled(phase_wall_ns / combined.total_ns)
+        else:
+            storage_breakdown = combined
+        phase_span.set_sim_ns(storage_breakdown.total_ns)
+        phase_span.set_attrs(
+            bytes_shipped=total_bytes, cpus=cpus, batches=total_batches,
+            pipelined=True,
+        )
+
+        # The join/agg phase is what the host did beyond the ingest work
+        # already overlapped into the storage phase above.
+        join_breakdown = host_breakdown.minus(ingest_breakdown)
+        host_span.set_sim_ns(join_breakdown.total_ns)
+        host_span.set_attrs(rows=len(result.rows))
+
+        transfer_ns = self.cost_model.net_transfer_ns(
+            total_bytes, messages=max(1, total_batches)
+        )
+        total = TimeBreakdown()
+        total.merge(monitor_breakdown)
+        total.merge(storage_breakdown)
+        overflow = transfer_ns - storage_breakdown.total_ns
+        if overflow > 0:
+            total.add(CAT_NETWORK, overflow)
+            span = self.tracer.event(
+                SPAN_CHANNEL_TRANSFER, node=NODE_NETWORK, bytes=total_bytes
+            )
+            if span is not None:
+                span.set_sim_ns(overflow)
+        total.merge(join_breakdown)
+        if secure:
             total.add(CAT_POLICY, self.cost_model.tls_handshake_ns)
             span = self.tracer.event(SPAN_SESSION_SETUP, node=NODE_HOST)
             if span is not None:

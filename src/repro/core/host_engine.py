@@ -17,6 +17,7 @@ from ..telemetry import NODE_HOST, NOOP_TRACER, SPAN_HOST_INGEST
 from ..sql import Database, MemoryStore
 from ..sql import ast_nodes as A
 from ..sql.catalog import TableSchema
+from ..sql.records import decode_batch
 from ..tee.sgx import Enclave
 
 # Enclave exits happen per received channel record, not per row.
@@ -31,6 +32,8 @@ class HostEngine:
         self.meter = Meter()
         self.tracer = NOOP_TRACER
         self._db: Database | None = None
+        #: Streaming-ingest state per table: columns + running totals.
+        self._ingests: dict[str, dict] = {}
         enclave.register_ecall("reset_session", self._reset_session)
         enclave.register_ecall("load_table", self._load_table)
         enclave.register_ecall("run_statement", self._run_statement)
@@ -58,6 +61,7 @@ class HostEngine:
 
     def _wipe(self) -> None:
         self._db = None
+        self._ingests = {}
         self.enclave.wipe()
 
     # ------------------------------------------------------------------
@@ -88,6 +92,60 @@ class HostEngine:
                 self.enclave.ecall(
                     "load_table", name, columns, rows[start : start + RECORD_ROWS]
                 )
+
+    # -- pipelined ingest (streaming ship path) -----------------------------
+
+    def begin_table(self, name: str, columns: list[tuple[str, str]]) -> None:
+        """Open a table for incremental batch ingest (creates it empty)."""
+        if self._db is None:
+            raise EnclaveError("no active session: call begin_session first")
+        if name in self._ingests:
+            raise EnclaveError(f"table {name!r} is already being ingested")
+        self.enclave.ecall("load_table", name, list(columns), [])
+        self._ingests[name] = {
+            "columns": list(columns),
+            "rows": 0,
+            "batches": 0,
+            "bytes": 0,
+        }
+
+    def ingest_batch(self, name: str, payload: bytes) -> int:
+        """Decode one RecordBatch payload and append it inside the enclave.
+
+        One enclave entry per batch — the streamed twin of the serial
+        path's one entry per ``RECORD_ROWS`` channel record.  Returns the
+        number of rows appended.
+        """
+        state = self._ingests.get(name)
+        if state is None:
+            raise EnclaveError(f"no open ingest for table {name!r}: call begin_table")
+        rows = decode_batch(payload)
+        if rows:
+            self.enclave.ecall("load_table", name, state["columns"], rows)
+        state["rows"] += len(rows)
+        state["batches"] += 1
+        state["bytes"] += len(payload)
+        return len(rows)
+
+    def finish_table(self, name: str) -> dict:
+        """Close an incremental ingest; emits the ``host_ingest`` marker."""
+        state = self._ingests.pop(name, None)
+        if state is None:
+            raise EnclaveError(f"no open ingest for table {name!r}: call begin_table")
+        span = self.tracer.event(
+            SPAN_HOST_INGEST,
+            node=NODE_HOST,
+            enclave=True,
+            table=name,
+            rows=state["rows"],
+            batches=state["batches"],
+            bytes=state["bytes"],
+        )
+        if span is not None and self._db is not None:
+            resident = getattr(self._db.store, "table_bytes", None)
+            if resident is not None:
+                span.set_attrs(resident_bytes=resident(name))
+        return state
 
     def run(self, statement: A.Statement):
         return self.enclave.ecall("run_statement", statement)

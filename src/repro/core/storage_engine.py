@@ -11,12 +11,16 @@ host.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 from ..crypto import Rng
 from ..errors import SecureBootError
 from ..sim import Meter
+from ..stream import DEFAULT_BATCH_BYTES, BatchAssembler, EncodedBatch
 from ..telemetry import NOOP_TRACER, Tracer
 from ..sql import Database, PagedStore
 from ..sql import ast_nodes as A
+from ..sql.parser import parse
 from ..sql.records import encode_row
 from ..storage import BlockDevice, Pager, SecurePager, TAAnchor
 from ..tee.trustzone import (
@@ -136,18 +140,57 @@ class StorageEngine:
     # Query execution
     # ------------------------------------------------------------------
 
-    def execute_scan(self, spec: TableScanSpec) -> tuple[list[str], list[tuple], int]:
-        """Run one offloaded filtering scan.
+    def execute_scan(
+        self, spec: TableScanSpec
+    ) -> tuple[list[str], list[tuple], int, list[bytes]]:
+        """Run one offloaded filtering scan, materializing the result.
 
-        Returns (column names, rows, serialized byte count).  The byte
-        count is what crosses the network to the host.
+        Returns (column names, rows, serialized byte count, encoded rows).
+        The byte count is what crosses the network to the host; the
+        encoded rows are returned so the ship loop reuses them instead of
+        serializing every row a second time.
         """
         result = self.db.execute_statement(spec.to_select())
-        nbytes = sum(len(encode_row(row)) for row in result.rows)
+        encoded = [encode_row(row) for row in result.rows]
+        nbytes = sum(map(len, encoded))
         # The shipped rows are buffered for serialization; that buffer is
         # the scan's working set (drives the Figure 11 memory sweep).
         self.meter.note_memory(nbytes)
-        return result.columns, result.rows, nbytes
+        return result.columns, result.rows, nbytes, encoded
+
+    # -- streaming scans (the ship pipeline's batch-at-a-time path) --------
+
+    def stream_scan(
+        self, spec: TableScanSpec, *, batch_bytes: int = DEFAULT_BATCH_BYTES
+    ) -> tuple[list[str], Iterator[EncodedBatch]]:
+        """Run one offloaded scan as a stream of bounded record batches.
+
+        Batches come straight off the operator iterator, so the storage
+        side's serialization working set is one ~``batch_bytes`` batch
+        instead of the whole materialized result — ``Meter.note_memory``
+        then reflects the real bounded buffer in the Figure 11 sweep.
+        """
+        return self._stream_statement(spec.to_select(), batch_bytes)
+
+    def stream_sql(
+        self, sql: str, *, batch_bytes: int = DEFAULT_BATCH_BYTES
+    ) -> tuple[list[str], Iterator[EncodedBatch]]:
+        """:meth:`stream_scan` for a manually partitioned portion's SQL."""
+        return self._stream_statement(parse(sql), batch_bytes)
+
+    def _stream_statement(
+        self, statement: A.Statement, batch_bytes: int
+    ) -> tuple[list[str], Iterator[EncodedBatch]]:
+        columns, rows = self.db.stream_select(statement)
+        assembler = BatchAssembler(target_bytes=batch_bytes)
+
+        def batches() -> Iterator[EncodedBatch]:
+            for batch in assembler.batches(rows):
+                # One bounded batch is the whole ship buffer now.
+                self.meter.note_memory(batch.nbytes)
+                yield batch
+
+        return columns, batches()
 
     def execute_full(self, statement: A.Statement):
         """Run a complete statement locally (the `sos` configuration)."""

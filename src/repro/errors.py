@@ -133,5 +133,9 @@ class ChannelError(IronSafeError):
     """Secure-channel failure (bad MAC, unknown session, replay)."""
 
 
+class StreamError(IronSafeError):
+    """Streaming ship-pipeline failure (bad frame, corrupt batch stream)."""
+
+
 class PartitionError(IronSafeError):
     """The query partitioner could not split the query as requested."""

@@ -14,6 +14,9 @@ production-scale goal without touching any security invariant:
 The package sits outside the TCB's crypto layer (it may import only
 ``errors`` and ``sim``; see the LAYERING table in ``repro.analysis``) —
 the pager hands it opaque bytes and interprets hits/evictions itself.
+The third performance mechanism, the streaming ship pipeline, lives in
+its own package (:mod:`repro.stream`) because it additionally needs the
+record wire format from ``repro.sql.records``.
 """
 
 from ..sim import Meter

@@ -122,6 +122,30 @@ class Meter:
         clone.merge(self)
         return clone
 
+    def delta(self, earlier: "Meter") -> "Meter":
+        """Counter growth since the *earlier* snapshot of the same meter.
+
+        Additive counters subtract; ``peak_memory_bytes`` (a high-water
+        mark, not a sum) reports only its growth, clamped at zero.  The
+        streaming ship pipeline uses this to price one portion's slice of
+        a shared phase meter.
+        """
+        out = Meter()
+        for f in fields(self):
+            if f.name == "extra":
+                continue
+            if f.name == "peak_memory_bytes":
+                out.peak_memory_bytes = max(
+                    0, self.peak_memory_bytes - earlier.peak_memory_bytes
+                )
+                continue
+            setattr(out, f.name, getattr(self, f.name) - getattr(earlier, f.name))
+        for key, value in self.extra.items():
+            grown = value - earlier.extra.get(key, 0)
+            if grown:
+                out.extra[key] = grown
+        return out
+
     @property
     def cpu_ops(self) -> float:
         """Weighted abstract CPU operations for the executor work.

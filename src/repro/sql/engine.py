@@ -110,6 +110,30 @@ class Database:
         self.store.meter.rows_output += len(rows)
         return Result(columns=planner.output_names(select), rows=rows)
 
+    def stream_select(self, select: A.Select, params: tuple = ()):
+        """Plan a SELECT and return ``(columns, row_iterator)``.
+
+        Unlike :meth:`_run_select` the result is never materialized here:
+        rows come straight off the operator iterator, so a caller that
+        consumes them batch-at-a-time (the streaming ship pipeline) keeps
+        the peak working set at one batch.  Metering is identical to the
+        materialized path — ``rows_output`` just accrues per row instead
+        of once at the end.
+        """
+        select = _bind_select(select, params)
+        ctx = ExecContext(self.store.meter)
+        planner = Planner(self.store, ctx)
+        op = planner.plan_select(select)
+        columns = planner.output_names(select)
+        meter = self.store.meter
+
+        def rows():
+            for row in op.rows():
+                meter.rows_output += 1
+                yield row
+
+        return columns, rows()
+
     def _run_create(self, statement: A.CreateTable) -> Result:
         schema = TableSchema(
             name=statement.name,

@@ -1,10 +1,18 @@
-"""On-page record format.
+"""On-page and on-wire record formats.
 
 Rows are serialized into a compact tagged binary format and packed into
 page payloads.  A page payload is ``[2-byte row count][record]*`` where a
 record is ``[2-byte length][field]*`` and a field is a 1-byte type tag
 followed by its encoding.  Fixed-width numerics keep parsing cheap; TEXT
 carries a 2-byte length prefix.
+
+For the streaming ship pipeline there is additionally a **RecordBatch**
+wire format (:func:`encode_batch` / :func:`decode_batch`): one header and
+one type tag *per column* amortized across the whole batch, a per-row
+null bitmap, and untagged fixed-width values.  Columns whose non-null
+values do not share a single type fall back to inline-tagged fields
+(``TAG_MIXED``), so any row the per-row format accepts round-trips
+through the batch format too.
 """
 
 from __future__ import annotations
@@ -19,34 +27,67 @@ TAG_INT = 1
 TAG_REAL = 2
 TAG_TEXT = 3
 TAG_DATE = 4
+#: Column-level tag only (never appears on individual fields): the
+#: column's values are heterogeneous, so each value carries its own
+#: inline tag exactly as in the per-row format.
+TAG_MIXED = 5
 
 _INT = struct.Struct(">q")
 _REAL = struct.Struct(">d")
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
+#: RecordBatch header: row count, column count.
+_BATCH_HEADER = struct.Struct(">HB")
+
+#: Rows a single RecordBatch can carry (header row count is a u16).
+MAX_BATCH_ROWS = 0xFFFF
+
+
+def _encode_field(value) -> bytes:
+    """One tagged field (shared by the row format and MIXED batch columns)."""
+    if value is None:
+        return bytes([TAG_NULL])
+    if isinstance(value, bool):
+        return bytes([TAG_INT]) + _INT.pack(int(value))
+    if isinstance(value, int):
+        return bytes([TAG_INT]) + _INT.pack(value)
+    if isinstance(value, float):
+        return bytes([TAG_REAL]) + _REAL.pack(value)
+    if isinstance(value, datetime.date):
+        return bytes([TAG_DATE]) + _U32.pack(value.toordinal())
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise StorageError("TEXT value exceeds 64 KiB")
+        return bytes([TAG_TEXT]) + _U16.pack(len(raw)) + raw
+    raise StorageError(f"unsupported value type {type(value).__name__}")
+
+
+def _decode_field(data: bytes, offset: int) -> tuple[object, int]:
+    """Decode one tagged field; returns (value, next_offset)."""
+    tag = data[offset]
+    offset += 1
+    if tag == TAG_NULL:
+        return None, offset
+    if tag == TAG_INT:
+        return _INT.unpack_from(data, offset)[0], offset + 8
+    if tag == TAG_REAL:
+        return _REAL.unpack_from(data, offset)[0], offset + 8
+    if tag == TAG_DATE:
+        ordinal = _U32.unpack_from(data, offset)[0]
+        return datetime.date.fromordinal(ordinal), offset + 4
+    if tag == TAG_TEXT:
+        length = _U16.unpack_from(data, offset)[0]
+        offset += 2
+        return data[offset : offset + length].decode("utf-8"), offset + length
+    raise StorageError(f"corrupt record: unknown tag {tag}")
 
 
 def encode_row(row: tuple) -> bytes:
     """Serialize one row (without the record length prefix)."""
     parts = [bytes([len(row)])]
     for value in row:
-        if value is None:
-            parts.append(bytes([TAG_NULL]))
-        elif isinstance(value, bool):
-            parts.append(bytes([TAG_INT]) + _INT.pack(int(value)))
-        elif isinstance(value, int):
-            parts.append(bytes([TAG_INT]) + _INT.pack(value))
-        elif isinstance(value, float):
-            parts.append(bytes([TAG_REAL]) + _REAL.pack(value))
-        elif isinstance(value, datetime.date):
-            parts.append(bytes([TAG_DATE]) + _U32.pack(value.toordinal()))
-        elif isinstance(value, str):
-            raw = value.encode("utf-8")
-            if len(raw) > 0xFFFF:
-                raise StorageError("TEXT value exceeds 64 KiB")
-            parts.append(bytes([TAG_TEXT]) + _U16.pack(len(raw)) + raw)
-        else:
-            raise StorageError(f"unsupported value type {type(value).__name__}")
+        parts.append(_encode_field(value))
     return b"".join(parts)
 
 
@@ -56,26 +97,8 @@ def decode_row(data: bytes, offset: int = 0) -> tuple[tuple, int]:
     offset += 1
     values = []
     for _ in range(ncols):
-        tag = data[offset]
-        offset += 1
-        if tag == TAG_NULL:
-            values.append(None)
-        elif tag == TAG_INT:
-            values.append(_INT.unpack_from(data, offset)[0])
-            offset += 8
-        elif tag == TAG_REAL:
-            values.append(_REAL.unpack_from(data, offset)[0])
-            offset += 8
-        elif tag == TAG_DATE:
-            values.append(datetime.date.fromordinal(_U32.unpack_from(data, offset)[0]))
-            offset += 4
-        elif tag == TAG_TEXT:
-            length = _U16.unpack_from(data, offset)[0]
-            offset += 2
-            values.append(data[offset : offset + length].decode("utf-8"))
-            offset += length
-        else:
-            raise StorageError(f"corrupt record: unknown tag {tag}")
+        value, offset = _decode_field(data, offset)
+        values.append(value)
     return tuple(values), offset
 
 
@@ -94,4 +117,161 @@ def unpack_page(payload: bytes) -> list[tuple]:
     for _ in range(count):
         row, offset = decode_row(payload, offset)
         rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# RecordBatch wire format (streaming ship pipeline)
+# ---------------------------------------------------------------------------
+
+
+def _value_tag(value) -> int:
+    """The wire tag a non-null value would carry in the per-row format."""
+    if isinstance(value, bool) or isinstance(value, int):
+        return TAG_INT
+    if isinstance(value, float):
+        return TAG_REAL
+    if isinstance(value, datetime.date):
+        return TAG_DATE
+    if isinstance(value, str):
+        return TAG_TEXT
+    raise StorageError(f"unsupported value type {type(value).__name__}")
+
+
+def _column_tags(rows: list[tuple], ncols: int) -> bytes:
+    """One amortized type tag per column (NULL = all-null, MIXED = varies)."""
+    tags = bytearray(ncols)
+    for col in range(ncols):
+        tag = None
+        for row in rows:
+            value = row[col]
+            if value is None:
+                continue
+            value_tag = _value_tag(value)
+            if tag is None:
+                tag = value_tag
+            elif tag != value_tag:
+                tag = TAG_MIXED
+                break
+        tags[col] = TAG_NULL if tag is None else tag
+    return bytes(tags)
+
+
+def encode_batch(rows: list[tuple]) -> bytes:
+    """Serialize a record batch: one header, per-column tags, null bitmaps.
+
+    Layout::
+
+        [u16 row count][u8 ncols][ncols x u8 column tag]
+        per row: [ceil(ncols/8) null-bitmap bytes][non-null values]
+
+    Values of a uniformly-typed column are written untagged (INT 8 B,
+    REAL 8 B, DATE 4 B, TEXT u16-length-prefixed); a ``TAG_MIXED`` column
+    falls back to inline-tagged fields.  Assembled with a single
+    ``b"".join`` so serialization stays one flat pass per batch.
+    """
+    count = len(rows)
+    if count > MAX_BATCH_ROWS:
+        raise StorageError(f"record batch exceeds {MAX_BATCH_ROWS} rows")
+    ncols = len(rows[0]) if rows else 0
+    for row in rows:
+        if len(row) != ncols:
+            raise StorageError(
+                f"ragged record batch: row of {len(row)} values in a "
+                f"{ncols}-column batch"
+            )
+    tags = _column_tags(rows, ncols)
+    parts = [_BATCH_HEADER.pack(count, ncols), tags]
+    bitmap_len = (ncols + 7) // 8
+    for row in rows:
+        bitmap = bytearray(bitmap_len)
+        values: list[bytes] = []
+        for col, value in enumerate(row):
+            if value is None:
+                bitmap[col >> 3] |= 1 << (col & 7)
+                continue
+            tag = tags[col]
+            if tag == TAG_MIXED:
+                values.append(_encode_field(value))
+            elif tag == TAG_INT:
+                values.append(_INT.pack(int(value)))
+            elif tag == TAG_REAL:
+                values.append(_REAL.pack(value))
+            elif tag == TAG_DATE:
+                values.append(_U32.pack(value.toordinal()))
+            else:  # TAG_TEXT
+                raw = value.encode("utf-8")
+                if len(raw) > 0xFFFF:
+                    raise StorageError("TEXT value exceeds 64 KiB")
+                values.append(_U16.pack(len(raw)) + raw)
+        parts.append(bytes(bitmap))
+        parts.extend(values)
+    return b"".join(parts)
+
+
+def decode_batch(data: bytes) -> list[tuple]:
+    """Decode one RecordBatch payload back into row tuples.
+
+    Raises :class:`StorageError` on any corruption: unknown column tag,
+    truncated values, a non-null cell in an all-NULL column, or trailing
+    bytes after the declared row count.
+    """
+    try:
+        return _decode_batch(data)
+    except (struct.error, IndexError, UnicodeDecodeError, ValueError) as exc:
+        raise StorageError(f"corrupt record batch: {exc}") from exc
+
+
+def _decode_batch(data: bytes) -> list[tuple]:
+    count, ncols = _BATCH_HEADER.unpack_from(data, 0)
+    offset = _BATCH_HEADER.size
+    tags = data[offset : offset + ncols]
+    if len(tags) != ncols:
+        raise StorageError("corrupt record batch: truncated column tags")
+    for tag in tags:
+        if tag > TAG_MIXED:
+            raise StorageError(f"corrupt record batch: unknown column tag {tag}")
+    offset += ncols
+    bitmap_len = (ncols + 7) // 8
+    rows: list[tuple] = []
+    for _ in range(count):
+        bitmap = data[offset : offset + bitmap_len]
+        if len(bitmap) != bitmap_len:
+            raise StorageError("corrupt record batch: truncated null bitmap")
+        offset += bitmap_len
+        values: list = []
+        for col in range(ncols):
+            if bitmap[col >> 3] & (1 << (col & 7)):
+                values.append(None)
+                continue
+            tag = tags[col]
+            if tag == TAG_NULL:
+                raise StorageError(
+                    "corrupt record batch: non-null cell in all-NULL column"
+                )
+            if tag == TAG_MIXED:
+                value, offset = _decode_field(data, offset)
+            elif tag == TAG_INT:
+                value = _INT.unpack_from(data, offset)[0]
+                offset += 8
+            elif tag == TAG_REAL:
+                value = _REAL.unpack_from(data, offset)[0]
+                offset += 8
+            elif tag == TAG_DATE:
+                value = datetime.date.fromordinal(_U32.unpack_from(data, offset)[0])
+                offset += 4
+            else:  # TAG_TEXT
+                length = _U16.unpack_from(data, offset)[0]
+                offset += 2
+                raw = data[offset : offset + length]
+                if len(raw) != length:
+                    raise StorageError("corrupt record batch: truncated TEXT value")
+                value = raw.decode("utf-8")
+                offset += length
+            values.append(value)
+        rows.append(tuple(values))
+    if offset != len(data):
+        raise StorageError(
+            f"corrupt record batch: {len(data) - offset} trailing bytes"
+        )
     return rows

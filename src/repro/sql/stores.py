@@ -79,6 +79,10 @@ class MemoryStore(TableStore):
         self._rows[schema.name] = []
         self._bytes[schema.name] = 0
 
+    def table_bytes(self, name: str) -> int:
+        """Resident (estimated serialized) bytes of one table."""
+        return self._bytes.get(name, 0)
+
     def drop_table(self, name: str) -> None:
         self.catalog.drop_table(name)
         self._rows.pop(name, None)

@@ -1,0 +1,65 @@
+"""Streaming ship pipeline: bounded record batches, overlap accounting.
+
+The paper's central performance claim (§6, Figures 7/9/11) is that a CSA
+wins by shrinking data movement and overlapping near-data filtering with
+host-side processing.  This package provides the mechanisms that turn
+our materialize-then-ship path into that streamed flow:
+
+* :class:`BatchAssembler` — drains an operator iterator into ~64 KiB
+  size-bounded :class:`EncodedBatch` es (RecordBatch wire format from
+  :mod:`repro.sql.records`) with adaptive row-count targeting, so the
+  storage-side working set is one batch instead of the whole result.
+* :func:`pack_frame` / :func:`unpack_frame` — optional transparent zlib
+  compression applied to each batch before channel encryption.
+* :class:`BatchTiming` / :func:`pipelined_ns` — the deterministic
+  three-stage (storage scan → channel crypto → host ingest) pipeline
+  model: per batch the deployment charges the *overlap* of the stages
+  instead of their sum.
+
+Layering: like ``repro.perf``, this package is policy rather than
+security — it handles encoded rows and simulated durations only.  It may
+import ``errors``, ``sim`` and the record wire format (ARCH005 pins the
+``repro.sql`` surface to ``repro.sql.records``), so the transport layer
+is structurally incapable of reaching into the query engine or crypto.
+"""
+
+from ..sim import Meter
+from .batching import DEFAULT_BATCH_BYTES, BatchAssembler, EncodedBatch
+from .compress import FLAG_RAW, FLAG_ZLIB, pack_frame, unpack_frame
+from .pipeline import (
+    BatchTiming,
+    apportion_ns,
+    overlap_saved_ns,
+    pipelined_ns,
+    serial_stage_ns,
+)
+
+#: Counters this layer bumps on the owning phase's Meter.  Registered so
+#: the telemetry registry absorbs them as first-class ``meter.<name>``
+#: metrics instead of warn-once ``meter.extra.*`` entries.
+STREAM_COUNTERS = (
+    "batches_shipped",
+    "channel_bytes_saved",
+    "batch_bytes_compressed",
+    "batch_bytes_decompressed",
+)
+
+for _name in STREAM_COUNTERS:
+    Meter.register_counter(_name)
+del _name
+
+__all__ = [
+    "BatchAssembler",
+    "BatchTiming",
+    "DEFAULT_BATCH_BYTES",
+    "EncodedBatch",
+    "FLAG_RAW",
+    "FLAG_ZLIB",
+    "STREAM_COUNTERS",
+    "apportion_ns",
+    "overlap_saved_ns",
+    "pack_frame",
+    "pipelined_ns",
+    "serial_stage_ns",
+    "unpack_frame",
+]

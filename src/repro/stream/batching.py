@@ -1,0 +1,83 @@
+"""Size-bounded record-batch assembly with adaptive row-count targeting.
+
+The assembler drains a row iterator into RecordBatch payloads of roughly
+``target_bytes`` each.  Row width is not known up front (TEXT columns
+vary), so instead of encoding row-by-row and measuring, it carries a
+*row-count target* across batches: after each emitted batch it re-derives
+the per-row byte estimate from what the batch actually encoded to and
+retargets the next batch.  One encode pass and one ``b"".join`` per
+batch; peak working set is one batch, never the whole result.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from ..errors import StreamError
+from ..sql.records import MAX_BATCH_ROWS, encode_batch
+
+#: Default on-wire batch size target (pre-compression, pre-encryption).
+DEFAULT_BATCH_BYTES = 64 * 1024
+
+#: Row-count target for the very first batch, before any byte feedback.
+INITIAL_ROW_TARGET = 64
+
+
+@dataclass(frozen=True)
+class EncodedBatch:
+    """One assembled batch: the decoded rows and their wire payload."""
+
+    rows: tuple[tuple, ...]
+    payload: bytes
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+
+class BatchAssembler:
+    """Accumulate rows into ~``target_bytes`` RecordBatches."""
+
+    def __init__(
+        self,
+        target_bytes: int = DEFAULT_BATCH_BYTES,
+        *,
+        initial_rows: int = INITIAL_ROW_TARGET,
+        max_rows: int = 4096,
+    ):
+        if target_bytes <= 0:
+            raise StreamError(f"batch target must be positive, got {target_bytes}")
+        if not 1 <= initial_rows <= MAX_BATCH_ROWS:
+            raise StreamError(f"initial row target {initial_rows} out of range")
+        self.target_bytes = target_bytes
+        self.max_rows = min(max_rows, MAX_BATCH_ROWS)
+        self._row_target = min(initial_rows, self.max_rows)
+
+    @property
+    def row_target(self) -> int:
+        """Current adaptive rows-per-batch target (observable for tests)."""
+        return self._row_target
+
+    def _retarget(self, rows: int, nbytes: int) -> None:
+        if rows <= 0 or nbytes <= 0:
+            return
+        per_row = max(1, nbytes // rows)
+        self._row_target = max(1, min(self.max_rows, self.target_bytes // per_row))
+
+    def batches(self, rows: Iterable[tuple]) -> Iterator[EncodedBatch]:
+        """Yield encoded batches straight off *rows* (a lazy iterator)."""
+        chunk: list[tuple] = []
+        for row in rows:
+            chunk.append(row)
+            if len(chunk) >= self._row_target:
+                payload = encode_batch(chunk)
+                yield EncodedBatch(tuple(chunk), payload)
+                self._retarget(len(chunk), len(payload))
+                chunk = []
+        if chunk:
+            yield EncodedBatch(tuple(chunk), encode_batch(chunk))

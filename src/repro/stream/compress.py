@@ -1,0 +1,49 @@
+"""Transparent per-batch compression for the ship path.
+
+Each shipped batch is framed with a one-byte flag before it enters the
+secure channel: ``FLAG_RAW`` carries the payload verbatim, ``FLAG_ZLIB``
+a zlib-deflated body.  Compression is *advisory* — a batch that does not
+shrink ships raw, so the frame never grows by more than the flag byte.
+Compression happens before channel encryption (ciphertext does not
+compress), so the bytes saved come straight off the encrypt + MAC +
+transfer path — the Figure 7 data-movement metric.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..errors import StreamError
+
+FLAG_RAW = 0
+FLAG_ZLIB = 1
+
+
+def pack_frame(payload: bytes, level: int = 0) -> tuple[bytes, int]:
+    """Frame *payload* for the wire; returns ``(frame, bytes_saved)``.
+
+    *level* 0 disables compression; 1-9 are zlib levels.  ``bytes_saved``
+    is how many payload bytes compression removed (0 when shipped raw).
+    """
+    if level:
+        if not 1 <= level <= 9:
+            raise StreamError(f"zlib level {level} out of range 1-9")
+        body = zlib.compress(payload, level)
+        if len(body) < len(payload):
+            return bytes([FLAG_ZLIB]) + body, len(payload) - len(body)
+    return bytes([FLAG_RAW]) + payload, 0
+
+
+def unpack_frame(frame: bytes) -> tuple[bytes, bool]:
+    """Undo :func:`pack_frame`; returns ``(payload, was_compressed)``."""
+    if not frame:
+        raise StreamError("empty ship frame")
+    flag = frame[0]
+    if flag == FLAG_RAW:
+        return frame[1:], False
+    if flag == FLAG_ZLIB:
+        try:
+            return zlib.decompress(frame[1:]), True
+        except zlib.error as exc:
+            raise StreamError(f"corrupt compressed ship frame: {exc}") from exc
+    raise StreamError(f"unknown ship frame flag {flag}")

@@ -52,6 +52,7 @@ from .spans import (
     SPAN_REWRITE,
     SPAN_SCHEDULER,
     SPAN_SESSION_SETUP,
+    SPAN_SHIP_BATCH,
     SPAN_STORAGE_PHASE,
     Span,
     Trace,
@@ -89,6 +90,7 @@ __all__ = [
     "SPAN_REWRITE",
     "SPAN_SCHEDULER",
     "SPAN_SESSION_SETUP",
+    "SPAN_SHIP_BATCH",
     "SPAN_STORAGE_PHASE",
     "Span",
     "Trace",

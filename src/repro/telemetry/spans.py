@@ -36,6 +36,7 @@ SPAN_PAGE_WRITE = "page_write"        # secure page write (marker)
 SPAN_PAGE_CACHE = "page_cache"        # in-enclave page-cache hit/batch (marker)
 SPAN_SCHEDULER = "scheduler"          # root: one concurrent multi-session run
 SPAN_CHANNEL_SHIP = "channel_ship"    # records pushed through the channel
+SPAN_SHIP_BATCH = "ship_batch"        # one streamed record batch (marker)
 SPAN_CHANNEL_SEND = "channel_send"    # one channel record on the wire (marker)
 SPAN_CHANNEL_TRANSFER = "channel_transfer"  # non-overlapped network time
 SPAN_HOST_INGEST = "host_ingest"      # enclave ingests shipped tables
@@ -58,6 +59,7 @@ KNOWN_SPAN_NAMES = frozenset(
         SPAN_PAGE_CACHE,
         SPAN_SCHEDULER,
         SPAN_CHANNEL_SHIP,
+        SPAN_SHIP_BATCH,
         SPAN_CHANNEL_SEND,
         SPAN_CHANNEL_TRANSFER,
         SPAN_HOST_INGEST,

@@ -459,6 +459,48 @@ class TestARCH004TelemetryIsolation:
         assert result.clean
 
 
+class TestARCH005StreamSurface:
+    def test_stream_importing_planner_triggers(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/stream/bad.py": "from ..sql.planner import Planner\n"},
+            select=["ARCH005"],
+        )
+        assert rule_ids(result) == ["ARCH005"]
+        assert "repro.sql.records" in result.findings[0].message
+
+    def test_stream_importing_sql_package_root_triggers(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/stream/bad.py": "from ..sql import Database\n"},
+            select=["ARCH005"],
+        )
+        assert rule_ids(result) == ["ARCH005"]
+
+    def test_records_import_is_clean(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {
+                "repro/stream/ok.py": """
+                from ..sql.records import encode_batch
+
+                def size(rows):
+                    return len(encode_batch(rows))
+                """
+            },
+            select=["ARCH005"],
+        )
+        assert result.clean
+
+    def test_other_packages_are_exempt(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/core/ok.py": "from ..sql.planner import Planner\n"},
+            select=["ARCH005"],
+        )
+        assert result.clean
+
+
 class TestSuppressions:
     def test_disable_comment_suppresses(self, tmp_path):
         result = run_source(
@@ -551,6 +593,7 @@ class TestFramework:
             "ARCH002",
             "ARCH003",
             "ARCH004",
+            "ARCH005",
             "SEC001",
             "SEC002",
             "SEC003",

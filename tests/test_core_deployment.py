@@ -59,10 +59,13 @@ class TestStorageEngine:
             columns=["n_name", "n_regionkey"],
             where=parse_expression("n_regionkey = 3"),
         )
-        columns, rows, nbytes = tiny_deployment.storage_engine.execute_scan(spec)
+        columns, rows, nbytes, encoded = tiny_deployment.storage_engine.execute_scan(spec)
         assert columns == ["n_name", "n_regionkey"]
         assert rows and all(r[1] == 3 for r in rows)
         assert nbytes > 0
+        # Rows are serialized exactly once; the ship loop reuses these.
+        assert len(encoded) == len(rows)
+        assert sum(map(len, encoded)) == nbytes
 
     def test_fresh_meter_rebinds(self, tiny_deployment):
         engine = tiny_deployment.storage_engine

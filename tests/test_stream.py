@@ -1,0 +1,362 @@
+"""Streaming ship pipeline: RecordBatch format, batching, overlap model,
+and the pipelined deployment path (vs. the byte-identical serial escape
+hatch)."""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+import pytest
+
+from repro.core import Deployment, RunConfig, SERIAL_RUN_CONFIG
+from repro.errors import IronSafeError, StorageError, StreamError
+from repro.sql.records import (
+    MAX_BATCH_ROWS,
+    TAG_MIXED,
+    decode_batch,
+    encode_batch,
+    encode_row,
+)
+from repro.stream import (
+    BatchAssembler,
+    BatchTiming,
+    apportion_ns,
+    overlap_saved_ns,
+    pack_frame,
+    pipelined_ns,
+    serial_stage_ns,
+    unpack_frame,
+)
+
+SQL = (
+    "SELECT l_orderkey, l_partkey, l_quantity, l_extendedprice, l_shipdate "
+    "FROM lineitem WHERE l_quantity > 10"
+)
+
+
+# ---------------------------------------------------------------------------
+# RecordBatch wire format
+# ---------------------------------------------------------------------------
+
+
+class TestRecordBatchFormat:
+    def test_round_trip_every_tag(self):
+        rows = [
+            (None, 1, 1.5, "text", datetime.date(2022, 6, 13)),
+            (None, -(2**62), -0.0, "", datetime.date(1, 1, 1)),
+            (None, 0, float("inf"), "naïve — ünïcode", datetime.date(9999, 12, 31)),
+        ]
+        assert decode_batch(encode_batch(rows)) == rows
+
+    def test_bool_round_trips_as_int_like_encode_row(self):
+        # The per-row format stores bools as INT; the batch format must
+        # agree so the two ship paths deliver identical tables.
+        rows = [(True, False), (False, True)]
+        assert decode_batch(encode_batch(rows)) == [(1, 0), (0, 1)]
+
+    def test_empty_batch_and_single_row(self):
+        assert decode_batch(encode_batch([])) == []
+        assert decode_batch(encode_batch([(42,)])) == [(42,)]
+
+    def test_all_null_column(self):
+        rows = [(None, 1), (None, 2)]
+        assert decode_batch(encode_batch(rows)) == rows
+
+    def test_mixed_column_falls_back_to_inline_tags(self):
+        rows = [(1, "a"), (2.5, "b"), (None, "c"), ("x", "d")]
+        payload = encode_batch(rows)
+        ncols = payload[2]
+        tags = payload[3 : 3 + ncols]
+        assert tags[0] == TAG_MIXED
+        assert decode_batch(payload) == rows
+
+    def test_text_64k_boundary(self):
+        at_limit = "x" * 0xFFFF
+        assert decode_batch(encode_batch([(at_limit,)])) == [(at_limit,)]
+        with pytest.raises(StorageError):
+            encode_batch([("x" * (0xFFFF + 1),)])
+
+    def test_row_count_limit(self):
+        with pytest.raises(StorageError):
+            encode_batch([(1,)] * (MAX_BATCH_ROWS + 1))
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(StorageError):
+            encode_batch([(1, 2), (3,)])
+
+    def test_property_style_random_rows(self):
+        """Seeded random batches over all value kinds round-trip exactly."""
+        rng = random.Random(20220613)
+
+        def value(kind):
+            return {
+                "null": lambda: None,
+                "int": lambda: rng.randint(-(2**60), 2**60),
+                "real": lambda: rng.uniform(-1e12, 1e12),
+                "text": lambda: "".join(
+                    chr(rng.randint(32, 0x10FF)) for _ in range(rng.randint(0, 40))
+                ),
+                "date": lambda: datetime.date.fromordinal(rng.randint(1, 3_650_000)),
+            }[kind]()
+
+        kinds = ["null", "int", "real", "text", "date"]
+        for _ in range(25):
+            ncols = rng.randint(1, 8)
+            # Uniform columns sometimes, mixed columns sometimes.
+            column_kinds = [
+                kinds if rng.random() < 0.3 else [rng.choice(kinds[1:]), "null"]
+                for _ in range(ncols)
+            ]
+            rows = [
+                tuple(value(rng.choice(column_kinds[c])) for c in range(ncols))
+                for _ in range(rng.randint(0, 50))
+            ]
+            assert decode_batch(encode_batch(rows)) == rows
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p[:-1],  # truncated value area
+            lambda p: p + b"\x00",  # trailing bytes
+            lambda p: p[:3] + bytes([250]) + p[4:],  # unknown column tag
+            lambda p: p[:1],  # truncated header
+        ],
+    )
+    def test_corruption_detected(self, mutate):
+        payload = encode_batch([(1, "abc", 2.0), (2, "defg", 3.0)])
+        with pytest.raises(StorageError):
+            decode_batch(mutate(payload))
+
+    def test_null_in_declared_column_via_bitmap_only(self):
+        # A non-null cell in an all-NULL column cannot be expressed by a
+        # well-formed encoder; flipping the bitmap bit must be caught.
+        payload = bytearray(encode_batch([(None, 7)]))
+        bitmap_offset = 2 + 1 + 2  # header + ncols tags
+        payload[bitmap_offset] &= ~1  # claim column 0 is non-null
+        with pytest.raises(StorageError):
+            decode_batch(bytes(payload))
+
+
+# ---------------------------------------------------------------------------
+# Batch assembly
+# ---------------------------------------------------------------------------
+
+
+class TestBatchAssembler:
+    def test_bounded_batches_and_adaptive_target(self):
+        assembler = BatchAssembler(target_bytes=4096, initial_rows=8)
+        rows = [(i, "v" * 40) for i in range(2000)]
+        batches = list(assembler.batches(iter(rows)))
+        assert [r for b in batches for r in b.rows] == rows
+        # After feedback the target settles near target_bytes / row width.
+        assert assembler.row_target > 8
+        for batch in batches[1:-1]:
+            assert batch.nbytes <= 4096 * 2
+        assert all(b.payload == encode_batch(list(b.rows)) for b in batches)
+
+    def test_empty_iterator_yields_nothing(self):
+        assert list(BatchAssembler().batches(iter([]))) == []
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(StreamError):
+            BatchAssembler(target_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# Compression framing
+# ---------------------------------------------------------------------------
+
+
+class TestCompressFraming:
+    def test_raw_round_trip(self):
+        frame, saved = pack_frame(b"hello", 0)
+        assert saved == 0
+        assert unpack_frame(frame) == (b"hello", False)
+
+    def test_zlib_round_trip_and_savings(self):
+        payload = b"abc" * 5000
+        frame, saved = pack_frame(payload, 6)
+        assert saved == len(payload) + 1 - len(frame)
+        assert saved > 0
+        assert unpack_frame(frame) == (payload, True)
+
+    def test_incompressible_ships_raw(self):
+        payload = random.Random(7).randbytes(256)
+        frame, saved = pack_frame(payload, 9)
+        assert saved == 0
+        assert unpack_frame(frame) == (payload, False)
+
+    def test_bad_frames_rejected(self):
+        with pytest.raises(StreamError):
+            unpack_frame(b"")
+        with pytest.raises(StreamError):
+            unpack_frame(bytes([99]) + b"x")
+        with pytest.raises(StreamError):
+            unpack_frame(bytes([1]) + b"not-zlib")
+        with pytest.raises(StreamError):
+            pack_frame(b"x", 10)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline time model
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineModel:
+    def test_single_batch_is_serial(self):
+        t = [BatchTiming(10.0, 5.0, 3.0)]
+        assert pipelined_ns(t) == serial_stage_ns(t) == 18.0
+
+    def test_bottleneck_stage_dominates(self):
+        timings = [BatchTiming(10.0, 1.0, 2.0) for _ in range(100)]
+        makespan = pipelined_ns(timings)
+        assert makespan < serial_stage_ns(timings)
+        # Steady state: scan is the bottleneck; tail adds one ship+ingest.
+        assert makespan == pytest.approx(100 * 10.0 + 1.0 + 2.0)
+        assert overlap_saved_ns(timings) == pytest.approx(99 * 3.0)
+
+    def test_never_faster_than_any_stage_sum(self):
+        rng = random.Random(99)
+        timings = [
+            BatchTiming(rng.uniform(0, 9), rng.uniform(0, 9), rng.uniform(0, 9))
+            for _ in range(50)
+        ]
+        makespan = pipelined_ns(timings)
+        for stage in ("scan_ns", "ship_ns", "ingest_ns"):
+            assert makespan >= sum(getattr(t, stage) for t in timings)
+        assert makespan <= serial_stage_ns(timings)
+
+    def test_apportion_conserves_total(self):
+        shares = apportion_ns(100.0, [1, 2, 7])
+        assert sum(shares) == pytest.approx(100.0)
+        assert shares == [10.0, 20.0, 70.0]
+        assert apportion_ns(90.0, [0, 0, 0]) == [30.0, 30.0, 30.0]
+        assert apportion_ns(5.0, []) == []
+
+
+# ---------------------------------------------------------------------------
+# Streaming scans keep the storage working set bounded
+# ---------------------------------------------------------------------------
+
+
+class TestStreamScan:
+    def test_stream_matches_materialized_and_bounds_memory(self, tiny_deployment):
+        engine = tiny_deployment.storage_engine
+        meter = engine.fresh_meter()
+        columns, batches = engine.stream_sql(
+            "SELECT l_orderkey, l_comment FROM lineitem", batch_bytes=2048
+        )
+        streamed = [row for batch in batches for row in batch.rows]
+        streamed_peak = meter.peak_memory_bytes
+
+        meter = engine.fresh_meter()
+        result = engine.db.execute("SELECT l_orderkey, l_comment FROM lineitem")
+        assert streamed == result.rows
+        materialized_bytes = sum(len(encode_row(r)) for r in result.rows)
+        assert 0 < streamed_peak < materialized_bytes
+
+
+# ---------------------------------------------------------------------------
+# The pipelined deployment path
+# ---------------------------------------------------------------------------
+
+
+class TestPipelinedDeployment:
+    def test_run_config_validation(self):
+        with pytest.raises(IronSafeError):
+            RunConfig(batch_bytes=0)
+        with pytest.raises(IronSafeError):
+            RunConfig(compress=True, compress_level=0)
+        with pytest.raises(IronSafeError):
+            RunConfig(pipeline=False, compress=True)
+        assert SERIAL_RUN_CONFIG.pipeline is False
+
+    @pytest.mark.parametrize("config", ["scs", "vcs"])
+    def test_pipeline_returns_same_rows(self, tiny_deployment, config):
+        serial = tiny_deployment.run_query(SQL, config)
+        pipe = tiny_deployment.run_query(SQL, config, run_config=RunConfig())
+        assert serial.columns == pipe.columns
+        assert sorted(serial.rows) == sorted(pipe.rows)
+        assert pipe.batches_shipped > 0
+        assert serial.batches_shipped == 0
+
+    def test_pipeline_never_slower_and_bounds_storage_memory(self, tiny_deployment):
+        serial = tiny_deployment.run_query(SQL, "scs")
+        pipe = tiny_deployment.run_query(
+            SQL, "scs", run_config=RunConfig(batch_bytes=8 * 1024)
+        )
+        assert pipe.breakdown.total_ns <= serial.breakdown.total_ns
+        assert (
+            pipe.storage_meter.peak_memory_bytes
+            < serial.storage_meter.peak_memory_bytes
+        )
+
+    def test_compression_saves_wire_bytes_and_meters_work(self, tiny_deployment):
+        plain = tiny_deployment.run_query(SQL, "scs", run_config=RunConfig())
+        comp = tiny_deployment.run_query(
+            SQL, "scs", run_config=RunConfig(compress=True)
+        )
+        assert sorted(comp.rows) == sorted(plain.rows)
+        assert comp.channel_bytes_saved > 0
+        assert comp.bytes_shipped < plain.bytes_shipped
+        assert comp.storage_meter.get("batch_bytes_compressed") > 0
+        assert comp.host_meter.get("batch_bytes_decompressed") > 0
+        # Compression trades simulated CPU for bytes moved: the crypto +
+        # compression category grows even as wire bytes shrink.
+        assert plain.channel_bytes_saved == 0
+
+    def test_serial_escape_hatch_is_byte_identical(self):
+        """pipeline=False must match a default deployment exactly:
+        rows, every meter counter, and simulated nanoseconds."""
+        import dataclasses
+
+        a = Deployment(scale_factor=0.001, seed=11)
+        b = Deployment(scale_factor=0.001, seed=11, run_config=SERIAL_RUN_CONFIG)
+        ra = a.run_query(SQL, "scs")
+        rb = b.run_query(SQL, "scs", run_config=RunConfig(pipeline=False))
+        assert ra.rows == rb.rows
+        assert ra.breakdown.total_ns == rb.breakdown.total_ns
+        assert ra.breakdown.by_category == rb.breakdown.by_category
+        for attr in ("storage_meter", "host_meter"):
+            ma, mb = getattr(ra, attr), getattr(rb, attr)
+            for f in dataclasses.fields(ma):
+                assert getattr(ma, f.name) == getattr(mb, f.name), f.name
+
+    def test_tamper_on_channel_detected_mid_stream(self, tiny_deployment):
+        """Flipping a bit in a shipped batch record trips the channel MAC."""
+        from repro.errors import ChannelError
+
+        link = tiny_deployment.link
+        original_send = link.send
+        state = {"count": 0}
+
+        def corrupting_send(src, dst, record, **kw):
+            state["count"] += 1
+            if state["count"] == 2 and src == "storage":
+                record = record[:-1] + bytes([record[-1] ^ 0x01])
+            return original_send(src, dst, record, **kw)
+
+        link.send = corrupting_send
+        try:
+            with pytest.raises(ChannelError):
+                tiny_deployment.run_query(SQL, "scs", run_config=RunConfig())
+        finally:
+            link.send = original_send
+            tiny_deployment.host_engine.end_session()
+
+    @pytest.mark.parametrize("number", [13, 21])
+    def test_manual_partition_streams(self, tiny_deployment, number):
+        from repro.core.manual_partitions import MANUAL_PARTITIONS
+        from repro.tpch import ALL_QUERIES
+
+        manual = MANUAL_PARTITIONS[number]
+        serial = tiny_deployment.run_query(
+            ALL_QUERIES[number].sql, "scs", manual_partition=manual
+        )
+        pipe = tiny_deployment.run_query(
+            ALL_QUERIES[number].sql, "scs", manual_partition=manual,
+            run_config=RunConfig(),
+        )
+        assert sorted(serial.rows) == sorted(pipe.rows)
+        assert pipe.batches_shipped > 0
