@@ -4,6 +4,12 @@ Paper: selectivity of Q1's single filter predicate varied from 10% to 20%
 at scale factor 3; IronSafe (scs) is best at every point — the less the
 filter passes, the less the host receives, while the host-only baselines
 process every page regardless.
+
+Zone-map arm: Q1's ship-date filter is uniform per page and cannot be
+pruned, so each selectivity point also runs a page-clustered filter of
+the *same* selectivity (``l_orderkey <= K`` — lineitem is generated in
+orderkey order) with skip-scans on, reporting how many pages the zone
+maps scanned vs skipped at that point.
 """
 
 from __future__ import annotations
@@ -11,7 +17,8 @@ from __future__ import annotations
 from conftest import BENCH_SF, run_once
 
 from repro.bench import format_table
-from repro.tpch import q1_with_selectivity
+from repro.core import RunConfig
+from repro.tpch import Cardinalities, q1_with_selectivity
 
 #: scs carries a fixed control-path cost (monitor admission + session setup,
 #: invisible at the paper's second-scale runtimes) that can tie it with sos
@@ -21,6 +28,12 @@ from repro.tpch import q1_with_selectivity
 SOS_TIE_BAND = 1.0 + 0.02 * (0.002 / BENCH_SF)
 
 
+def _clustered_filter(selectivity: float) -> str:
+    orders = Cardinalities.for_scale(BENCH_SF).orders
+    cutoff = max(1, round(orders * selectivity))
+    return f"SELECT count(*) FROM lineitem WHERE l_orderkey <= {cutoff}"
+
+
 def test_fig9b_selectivity(benchmark, deployment):
     def experiment():
         rows = []
@@ -28,6 +41,11 @@ def test_fig9b_selectivity(benchmark, deployment):
             query = q1_with_selectivity(selectivity)
             res = {c: deployment.run_query(query.sql, c) for c in ("hos", "scs", "sos")}
             passed = res["scs"].host_meter.rows_scanned
+            zm = deployment.run_query(
+                _clustered_filter(selectivity),
+                "sos",
+                run_config=RunConfig(zone_maps=True),
+            )
             rows.append(
                 [
                     f"{selectivity:.1%}",
@@ -36,6 +54,8 @@ def test_fig9b_selectivity(benchmark, deployment):
                     res["scs"].total_ms,
                     res["sos"].total_ms,
                     res["hos"].total_ms / res["scs"].total_ms,
+                    zm.storage_meter.extra.get("pages_scanned", 0),
+                    zm.storage_meter.extra.get("pages_skipped", 0),
                 ]
             )
         return rows
@@ -44,7 +64,16 @@ def test_fig9b_selectivity(benchmark, deployment):
     print()
     print(
         format_table(
-            ["selectivity", "rows to host", "hos ms", "scs ms", "sos ms", "hos/scs x"],
+            [
+                "selectivity",
+                "rows to host",
+                "hos ms",
+                "scs ms",
+                "sos ms",
+                "hos/scs x",
+                "zm scanned",
+                "zm skipped",
+            ],
             rows,
             title="Figure 9b — Q1 runtime vs filter selectivity (lower is better)",
         )
@@ -53,6 +82,10 @@ def test_fig9b_selectivity(benchmark, deployment):
     for row in rows:
         assert row[3] <= row[2], f"{row[0]}: scs must beat hos"
         assert row[3] <= row[4] * SOS_TIE_BAND, f"{row[0]}: scs must not lose to sos"
+        assert row[6] + row[7] > 0, f"{row[0]}: zone maps were not consulted"
     # More selective filters ship fewer rows to the host.
     shipped = [row[1] for row in rows]
     assert shipped == sorted(shipped), "rows shipped must grow with selectivity"
+    # The clustered arm reads more pages as the filter admits more keys.
+    scanned = [row[6] for row in rows]
+    assert scanned == sorted(scanned), "zone-map pages read must grow with selectivity"

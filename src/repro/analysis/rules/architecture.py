@@ -1,4 +1,4 @@
-"""Architecture-conformance rules (ARCH001–ARCH005).
+"""Architecture-conformance rules (ARCH001–ARCH006).
 
 The reproduction's trust argument depends on its layering: ``crypto`` is
 the bottom of the TCB, enclave internals are reachable only through the
@@ -36,7 +36,13 @@ LAYERING: dict[str, frozenset[str]] = {
     # (ARCH005 pins its repro.sql surface to repro.sql.records) but never
     # the query engine or crypto it ships between.
     "stream": frozenset({"errors", "sim", "sql"}),
-    "sql": frozenset({"errors", "sim"}),
+    # Table statistics (zone maps / pruning predicates) summarise plaintext
+    # rows: they may use the SQL value semantics (ARCH006 pins the surface
+    # to repro.sql.values) but never the crypto/TEE machinery that
+    # authenticates the persisted synopses — that protection lives in the
+    # storage layer.
+    "stats": frozenset({"errors", "sim", "sql"}),
+    "sql": frozenset({"errors", "sim", "stats"}),
     "storage": frozenset({"errors", "sim", "crypto", "telemetry", "perf"}),
     "tee": frozenset({"errors", "sim", "crypto"}),
     "policy": frozenset({"errors", "sql"}),
@@ -324,6 +330,50 @@ class StreamSurfaceViolation(Rule):
                 message=(
                     f"stream may import repro.sql only via "
                     f"{', '.join(sorted(STREAM_ALLOWED_SQL_MODULES))}; "
+                    f"found import of {record.module!r}"
+                ),
+            )
+
+
+# The one repro.sql module the stats package may import: the SQL value
+# semantics (coercion and three-valued comparisons).  Pruning decisions
+# must agree with the row-level filter, so they share those primitives —
+# but the stats layer must never reach the planner, stores or operators,
+# and (via LAYERING) never the crypto that authenticates its synopses.
+STATS_ALLOWED_SQL_MODULES = frozenset({"repro.sql.values"})
+
+
+@register
+class StatsSurfaceViolation(Rule):
+    """The stats package imports repro.sql beyond the value semantics.
+
+    ARCH001 already allows ``stats`` → ``sql``, but the intended surface
+    is exactly ``repro.sql.values``.  If zone maps could reach the stores
+    or the pager they could read pages outside the metered, authenticated
+    scan path — the synopses must stay a passive summary the engine
+    consults, not a second data path.
+    """
+
+    rule_id = "ARCH006"
+    title = "stats package exceeds its repro.sql surface"
+    rationale = "zone maps summarise data; they must not become a data path"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if ctx.subpackage != "stats" or ctx.module is None:
+            return
+        for record in ctx.graph.imports_of(ctx.module):
+            if top_subpackage(record.module) != "sql":
+                continue
+            if record.module in STATS_ALLOWED_SQL_MODULES:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.relpath,
+                line=record.lineno,
+                col=record.col,
+                message=(
+                    f"stats may import repro.sql only via "
+                    f"{', '.join(sorted(STATS_ALLOWED_SQL_MODULES))}; "
                     f"found import of {record.module!r}"
                 ),
             )

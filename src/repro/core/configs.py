@@ -50,6 +50,15 @@ class RunConfig:
     compress: bool = False
     #: zlib level used when ``compress`` is on.
     compress_level: int = 6
+    #: Consult authenticated zone maps to skip pages a sargable filter
+    #: provably cannot match (skip-scans).  Off by default: the seed scan
+    #: path reads every page, and zone_maps=False is asserted byte- and
+    #: simulated-ns-identical to it.  Synopses are *maintained* either
+    #: way; this knob only gates scan-time consultation.  Note the
+    #: trade-off documented in docs/performance.md: data-dependent
+    #: skipping makes the page-access pattern a function of the query
+    #: predicate, which an adversary observing the device can exploit.
+    zone_maps: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_bytes <= 0:

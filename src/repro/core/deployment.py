@@ -398,15 +398,20 @@ class Deployment:
             if storage_memory_bytes is not None
             else self.storage_memory_bytes
         )
+        run_config = run_config if run_config is not None else self.run_config
         # Root span when called standalone; when the client library already
         # opened the query root, the phases below attach to it instead.
         with self.tracer.maybe_root(
             SPAN_QUERY, node=NODE_CLIENT, config=config, sql=sql
         ) as root:
             if config == "hons":
-                result = self._run_host_only(statement, secure=False)
+                result = self._run_host_only(
+                    statement, secure=False, run_config=run_config
+                )
             elif config == "hos":
-                result = self._run_host_only(statement, secure=True)
+                result = self._run_host_only(
+                    statement, secure=True, run_config=run_config
+                )
             elif config == "vcs":
                 result = self._run_split(
                     statement, secure=False, cpus=cpus, memory=memory,
@@ -419,7 +424,9 @@ class Deployment:
                     run_config=run_config,
                 )
             else:
-                result = self._run_storage_only(statement, cpus=cpus, memory=memory)
+                result = self._run_storage_only(
+                    statement, cpus=cpus, memory=memory, run_config=run_config
+                )
             root.set_sim_ns(result.breakdown.total_ns)
             root.set_attrs(rows=len(result.rows), bytes_shipped=result.bytes_shipped)
         self._absorb_run_metrics(result, config)
@@ -591,8 +598,15 @@ class Deployment:
             pager = Pager(self.plain_device, meter=Meter())
         return Database(PagedStore(pager, Meter())), pager
 
-    def _run_host_only(self, statement: A.Select, secure: bool) -> RunResult:
+    def _run_host_only(
+        self,
+        statement: A.Select,
+        secure: bool,
+        run_config: RunConfig | None = None,
+    ) -> RunResult:
+        run_config = run_config if run_config is not None else self.run_config
         db, pager = self._host_only_db(secure)
+        db.set_zone_maps(run_config.zone_maps)
         meter = Meter()
         db.store.meter = meter
         pager.meter = meter
@@ -678,6 +692,9 @@ class Deployment:
                 run_config=run_config, manual=manual, authorization=authorization,
             )
         engine = self.storage_engine if secure else self.storage_engine_plain
+        # Every query path sets this explicitly from its run config, so the
+        # knob never leaks from one query into the next.
+        engine.set_zone_maps(run_config.zone_maps)
         if manual is not None:
             plan = None
         else:
@@ -887,6 +904,9 @@ class Deployment:
         batches by row and byte weights (totals are conserved).
         """
         engine = self.storage_engine if secure else self.storage_engine_plain
+        # Every query path sets this explicitly from its run config, so the
+        # knob never leaks from one query into the next.
+        engine.set_zone_maps(run_config.zone_maps)
         if manual is not None:
             plan = None
         else:
@@ -1133,7 +1153,15 @@ class Deployment:
 
     # -- storage only (sos) ----------------------------------------------
 
-    def _run_storage_only(self, statement: A.Select, cpus: int, memory: int) -> RunResult:
+    def _run_storage_only(
+        self,
+        statement: A.Select,
+        cpus: int,
+        memory: int,
+        run_config: RunConfig | None = None,
+    ) -> RunResult:
+        run_config = run_config if run_config is not None else self.run_config
+        self.storage_engine.set_zone_maps(run_config.zone_maps)
         meter = self.storage_engine.fresh_meter()
         with self.tracer.span(
             SPAN_STORAGE_PHASE,

@@ -96,6 +96,16 @@ class StorageEngine:
 
     # ------------------------------------------------------------------
 
+    def set_zone_maps(self, enabled: bool) -> None:
+        """Toggle zone-map skip-scans for subsequent scans on this engine.
+
+        The deployment sets this from ``RunConfig.zone_maps`` at the start
+        of every query path, so the knob never leaks across queries.
+        """
+        self.db.set_zone_maps(enabled)
+
+    # ------------------------------------------------------------------
+
     @property
     def tracer(self) -> Tracer:
         return self._tracer

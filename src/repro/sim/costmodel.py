@@ -115,6 +115,12 @@ class CostModel:
     # Serving a page from the in-enclave decrypted-page cache: a hash-map
     # probe plus an in-EPC copy — no device I/O, crypto or tree walk.
     page_cache_hit_ns: float = 450.0
+    # Zone-map skip-scans: probing one page's synopsis against the pruning
+    # predicate (a handful of typed comparisons) plus a per-byte charge for
+    # the synopsis data consulted.  Charged per page *probed* — skipped and
+    # kept alike — so pruning is never modelled as free.
+    zone_map_check_ns: float = 200.0
+    zone_map_byte_ns: float = 0.5
 
     # --- Attestation (Table 4 anchors, charged directly) -----------------
     host_cas_response_ns: float = 140.0 * NS_PER_MS
@@ -275,6 +281,19 @@ class CostModel:
         cache_hits = meter.extra.get("page_cache_hits", 0)
         if cache_hits:
             out.add(CAT_CPU, cache_hits * self.page_cache_hit_ns)
+
+        # Zone-map pruning: every page probed (kept or skipped) pays the
+        # synopsis check; a skipped page pays nothing else — no I/O, MAC,
+        # Merkle walk or decryption ever happened for it.
+        zm_pages = meter.extra.get("pages_scanned", 0) + meter.extra.get(
+            "pages_skipped", 0
+        )
+        if zm_pages:
+            out.add(
+                CAT_CPU,
+                zm_pages * self.zone_map_check_ns
+                + meter.extra.get("zone_map_bytes", 0) * self.zone_map_byte_ns,
+            )
 
         if meter.channel_bytes_encrypted:
             out.add(CAT_CHANNEL_CRYPTO, meter.channel_bytes_encrypted * self.channel_crypto_ns_per_byte)

@@ -216,6 +216,16 @@ class Database:
 
     # ------------------------------------------------------------------
 
+    def set_zone_maps(self, enabled: bool) -> None:
+        """Toggle zone-map skip-scans on the backing store.
+
+        A no-op for stores without synopses (the host engine's
+        :class:`MemoryStore`), so callers can set it unconditionally from
+        the run config.
+        """
+        if hasattr(self.store, "zone_maps"):
+            self.store.prune_scans = bool(enabled)
+
     def commit(self) -> None:
         self.store.commit()
 

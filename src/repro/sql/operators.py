@@ -58,10 +58,17 @@ class SeqScan(Operator):
         super().__init__(ctx, scope)
         self.store = store
         self.table_name = table_name
+        # Optional zone-map pruning predicate the planner attaches when the
+        # store has skip-scans enabled; None keeps the seed scan path.
+        self.pruning = None
 
     def rows(self) -> Iterator[tuple]:
         meter = self.ctx.meter
-        for row in self.store.scan(self.table_name):
+        if self.pruning is not None:
+            source = self.store.scan(self.table_name, pruning=self.pruning)
+        else:
+            source = self.store.scan(self.table_name)
+        for row in source:
             meter.rows_scanned += 1
             yield row
 

@@ -29,9 +29,11 @@ other query.
 
 from __future__ import annotations
 
+import datetime
 from dataclasses import replace
 
 from ..errors import PlanError
+from ..stats import CMP_OPS, PruningPredicate
 from . import ast_nodes as A
 from .expressions import ExprCompiler, Scope
 from .operators import (
@@ -147,6 +149,103 @@ def _compilable(expr: A.Expr, scope: Scope) -> bool:
         if scope.try_resolve(col.table, col.name) is None:
             return False
     return True
+
+
+# -- sargable-predicate extraction (zone-map skip-scans) --------------------
+
+#: Comparison operators whose mirror image is also sargable.
+_FLIPPED_CMP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+
+
+def _sargable_literal(value, type_name: str) -> bool:
+    """Can *value* be compared against a column of *type_name* without a
+    type error?  Extraction refuses anything else, so a pruned scan can
+    never suppress the ExecutionError the row-level filter would raise.
+    """
+    if value is None:
+        return False
+    if type_name in ("INTEGER", "REAL"):
+        return isinstance(value, (int, float))
+    if type_name == "TEXT":
+        return isinstance(value, str)
+    if type_name == "DATE":
+        return isinstance(value, datetime.date)
+    return False
+
+
+def _column_index(expr: A.Expr, scope: Scope) -> int | None:
+    """Scope index of a bare column reference (None for anything else).
+
+    A :class:`SeqScan` scope lists the base table's columns in schema
+    order, so this index doubles as the zone-map column index.
+    """
+    if isinstance(expr, A.Column):
+        return scope.try_resolve(expr.table, expr.name)
+    return None
+
+
+def extract_pruning(
+    conjuncts: list[A.Expr], scope: Scope, column_types: list[str]
+) -> PruningPredicate | None:
+    """Lower the sargable conjuncts of a pushed-down filter.
+
+    Handles ``col <op> literal`` (either orientation), ``BETWEEN``,
+    ``IN`` lists/sets and ``IS [NOT] NULL``.  Non-sargable conjuncts are
+    simply ignored — they stay in the row-level filter, and the pruning
+    predicate remains a sound over-approximation of the full filter.
+    """
+    lowered: list[tuple] = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, A.Binary) and conjunct.op in CMP_OPS:
+            index = _column_index(conjunct.left, scope)
+            op = conjunct.op
+            literal = conjunct.right
+            if index is None:
+                index = _column_index(conjunct.right, scope)
+                op = _FLIPPED_CMP[op]
+                literal = conjunct.left
+            if (
+                index is not None
+                and isinstance(literal, A.Literal)
+                and _sargable_literal(literal.value, column_types[index])
+            ):
+                lowered.append(("cmp", index, (op, literal.value)))
+        elif isinstance(conjunct, A.Between) and not conjunct.negated:
+            index = _column_index(conjunct.operand, scope)
+            if (
+                index is not None
+                and isinstance(conjunct.low, A.Literal)
+                and isinstance(conjunct.high, A.Literal)
+                and _sargable_literal(conjunct.low.value, column_types[index])
+                and _sargable_literal(conjunct.high.value, column_types[index])
+            ):
+                lowered.append(
+                    ("between", index, (conjunct.low.value, conjunct.high.value))
+                )
+        elif isinstance(conjunct, (A.InList, A.InSet)) and not conjunct.negated:
+            index = _column_index(conjunct.operand, scope)
+            if index is None:
+                continue
+            if isinstance(conjunct, A.InList):
+                if not all(isinstance(item, A.Literal) for item in conjunct.items):
+                    continue
+                values = [item.value for item in conjunct.items]
+            else:
+                values = list(conjunct.values)
+            # NULL list items never match; any incompatible item could
+            # raise at row level, so refuse the whole conjunct.
+            usable = [v for v in values if v is not None]
+            if usable and all(
+                _sargable_literal(v, column_types[index]) for v in usable
+            ):
+                lowered.append(("in", index, tuple(usable)))
+        elif isinstance(conjunct, A.IsNull):
+            index = _column_index(conjunct.operand, scope)
+            if index is not None:
+                lowered.append(("isnull", index, (conjunct.negated,)))
+    if not lowered:
+        return None
+    return PruningPredicate(lowered)
 
 
 def rewrite_expr(expr: A.Expr, mapping) -> A.Expr:
@@ -350,10 +449,17 @@ class Planner:
             else:
                 residuals.append(conjunct)
 
-        # Push single-item filters below the joins.
+        # Push single-item filters below the joins.  When the store has
+        # skip-scans enabled, additionally lower the sargable conjuncts
+        # into a zone-map pruning predicate on the scan itself.
         for i, conjs in push_filters.items():
             op = joined_ops[i].op
             predicate = ExprCompiler(op.scope).compile(and_together(conjs))
+            if isinstance(op, SeqScan) and getattr(self.store, "prune_scans", False):
+                schema = self.store.catalog.table(op.table_name)
+                op.pruning = extract_pruning(
+                    conjs, op.scope, [t for _, t in schema.columns]
+                )
             joined_ops[i] = _FromItem(joined_ops[i].binding, Filter(self.ctx, op, predicate))
 
         # Greedy join ordering over the equality edge graph.

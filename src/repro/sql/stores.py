@@ -16,13 +16,24 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
-from ..errors import StorageError
+from ..errors import ExecutionError, StorageError
 from ..sim import Meter
+from ..stats import (
+    PageSynopsis,
+    TableZoneMaps,
+    deserialize_zone_maps,
+    serialize_zone_maps,
+)
 from .catalog import Catalog, TableSchema
 from .records import encode_row, pack_page, unpack_page
 from .values import coerce, estimate_row_bytes
 
 CATALOG_META_KEY = "sql_catalog"
+#: Pager-metadata key the zone maps persist under.  On the secure pager
+#: this rides the authenticated-metadata path (per-blob HMAC + trusted
+#: digest folded into the RPMB-anchored root), so a malicious host cannot
+#: forge "nothing here, skip me" synopses.
+ZONEMAP_META_KEY = "zone_maps"
 
 
 class TableStore:
@@ -125,6 +136,11 @@ class PagedStore(TableStore):
         self._free_pages: list[int] = []
         blob = pager.device.read_meta(CATALOG_META_KEY)
         self.catalog = Catalog.deserialize(blob) if blob else Catalog()
+        #: Whether scans may consult zone maps to skip pages.  Off by
+        #: default (the seed scan path); toggled per query from
+        #: ``RunConfig.zone_maps`` via :meth:`Database.set_zone_maps`.
+        self.prune_scans = False
+        self.zone_maps: dict[str, TableZoneMaps] = self._load_zone_maps()
 
     def _next_page(self) -> int:
         if self._free_pages:
@@ -136,13 +152,53 @@ class PagedStore(TableStore):
     def _save_catalog(self) -> None:
         self.pager.device.write_meta(CATALOG_META_KEY, self.catalog.serialize())
 
+    # -- zone-map persistence ------------------------------------------------
+
+    def _load_zone_maps(self) -> dict[str, TableZoneMaps]:
+        """Load persisted synopses through the pager's metadata path.
+
+        On the secure pager this verifies the blob's MAC and trusted
+        digest — a forged or rolled-back synopsis raises
+        :class:`~repro.errors.IntegrityError` here, before any scan could
+        trust it.  A pager without a metadata path, or an undecodable
+        blob, yields no synopses: scans fail closed to full reads.
+        """
+        reader = getattr(self.pager, "read_meta", None)
+        if reader is None:
+            return {}
+        blob = reader(ZONEMAP_META_KEY)
+        if not blob:
+            return {}
+        try:
+            return deserialize_zone_maps(blob)
+        except (ValueError, KeyError, TypeError, ExecutionError):
+            return {}
+
+    def _save_zone_maps(self) -> None:
+        writer = getattr(self.pager, "write_meta", None)
+        if writer is None:
+            return
+        writer(ZONEMAP_META_KEY, serialize_zone_maps(self.zone_maps))
+
+    def _note_page(self, name: str, schema: TableSchema, page_no: int,
+                   rows: list[tuple]) -> None:
+        """Refresh the synopsis of one page after (re)writing its rows."""
+        maps = self.zone_maps.get(name)
+        if maps is None:
+            maps = self.zone_maps[name] = TableZoneMaps(
+                [t for _, t in schema.columns]
+            )
+        maps.set_page(page_no, PageSynopsis.from_rows(rows, maps.column_types))
+
     def create_table(self, schema: TableSchema) -> None:
         self.catalog.create_table(schema)
         self._save_catalog()
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop_table(name)
+        self.zone_maps.pop(name, None)
         self._save_catalog()
+        self._save_zone_maps()
 
     # -- rows ---------------------------------------------------------------
 
@@ -155,6 +211,7 @@ class PagedStore(TableStore):
         capacity = self.pager.payload_size
         # Re-open the last partially filled page, if any.
         pending: list[bytes] = []
+        pending_rows: list[tuple] = []
         pending_size = 2
         target_page = None
         if schema.pages:
@@ -162,16 +219,19 @@ class PagedStore(TableStore):
             for row in unpack_page(self.pager.read_page(target_page)):
                 encoded = encode_row(row)
                 pending.append(encoded)
+                pending_rows.append(row)
                 pending_size += len(encoded)
 
         def flush(page_no: int | None) -> None:
-            nonlocal pending, pending_size
+            nonlocal pending, pending_rows, pending_size
             payload = pack_page(pending)
             if page_no is None:
                 page_no = self._next_page()
                 schema.pages.append(page_no)
             self.pager.write_page(page_no, payload)
+            self._note_page(name, schema, page_no, pending_rows)
             pending = []
+            pending_rows = []
             pending_size = 2
 
         for row in coerced:
@@ -182,12 +242,14 @@ class PagedStore(TableStore):
                 flush(target_page)
                 target_page = None
             pending.append(encoded)
+            pending_rows.append(row)
             pending_size += len(encoded)
         if pending:
             flush(target_page)
 
         schema.row_count += len(coerced)
         self._save_catalog()
+        self._save_zone_maps()
         return len(coerced)
 
     #: Pages per batched pager request when the pager advertises the
@@ -195,33 +257,78 @@ class PagedStore(TableStore):
     #: small enough to keep scans streaming.
     SCAN_BATCH_PAGES = 32
 
-    def scan(self, name: str) -> Iterator[tuple]:
+    def scan(self, name: str, pruning=None) -> Iterator[tuple]:
         schema = self.catalog.table(name)
+        pages = schema.pages
+        if pruning is not None and pruning:
+            # Zone-map skip-scan: prove pages empty of matches *before*
+            # fetching them, so a pruned page skips the whole read → MAC →
+            # Merkle → decrypt → decode pipeline — and, on a caching
+            # pager, is neither fetched nor admitted.
+            pages = self._pruned_pages(name, schema, pruning)
         # A pager in performance mode (the secure pager with its in-enclave
         # cache enabled) exposes read_pages/batch_enabled, letting a
         # contiguous scan amortize integrity verification across a batch.
         # Duck-typed so this module stays agnostic of the pager's security.
         if getattr(self.pager, "batch_enabled", False):
             batch = self.SCAN_BATCH_PAGES
-            for start in range(0, len(schema.pages), batch):
-                for payload in self.pager.read_pages(schema.pages[start : start + batch]):
+            for start in range(0, len(pages), batch):
+                for payload in self.pager.read_pages(pages[start : start + batch]):
                     yield from unpack_page(payload)
             return
-        for page_no in schema.pages:
+        for page_no in pages:
             payload = self.pager.read_page(page_no)
             yield from unpack_page(payload)
+
+    def _pruned_pages(self, name: str, schema: TableSchema, pruning) -> list[int]:
+        """The pages a pruned scan must still read.
+
+        Synopses that do not cover exactly the table's current page list
+        are stale — fail closed to a full scan (and bump no counters, so
+        an un-consulted zone map leaves the meters untouched).
+        """
+        maps = self.zone_maps.get(name)
+        if maps is None or not maps.covers(schema.pages):
+            return schema.pages
+        kept: list[int] = []
+        consulted_bytes = 0
+        for page_no in schema.pages:
+            synopsis = maps.pages[page_no]
+            consulted_bytes += synopsis.size_bytes()
+            if pruning.page_may_match(synopsis):
+                kept.append(page_no)
+        self.meter.bump("pages_scanned", len(kept))
+        self.meter.bump("pages_skipped", len(schema.pages) - len(kept))
+        self.meter.bump("zone_map_bytes", consulted_bytes)
+        tracer = getattr(self.pager, "tracer", None)
+        if tracer is not None and getattr(tracer, "enabled", False):
+            total = len(schema.pages)
+            skipped = total - len(kept)
+            tracer.event(
+                "zone_prune",
+                node=getattr(self.pager, "trace_node", "storage"),
+                table=name,
+                pages_total=total,
+                pages_skipped=skipped,
+                prune_ratio=round(skipped / total, 4) if total else 0.0,
+            )
+        return kept
 
     def replace_rows(self, name: str, rows: list[tuple]) -> None:
         """Rewrite a table in place (UPDATE/DELETE are read-modify-write).
 
-        Old pages go on a freelist and are reused by future inserts.
+        Old pages go on a freelist and are reused by future inserts; the
+        table's synopses are rebuilt from scratch so a scan never prunes
+        against pre-rewrite bounds.
         """
         schema = self.catalog.table(name)
         self._free_pages.extend(schema.pages)
         schema.pages = []
         schema.row_count = 0
+        self.zone_maps.pop(name, None)
         self.insert_rows(name, rows)
         self._save_catalog()
+        self._save_zone_maps()
 
     def commit(self) -> None:
         self._save_catalog()

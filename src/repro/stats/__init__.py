@@ -1,0 +1,48 @@
+"""Table statistics: authenticated zone maps for skip-scans.
+
+Per-page min/max + null-count synopses (:mod:`repro.stats.zonemap`) that
+:class:`~repro.sql.stores.PagedStore` maintains on every insert and
+persists in the pager's *authenticated* metadata — the same per-page
+HMAC + Merkle root + RPMB-anchored freshness chain that protects the
+catalog — so a malicious storage host cannot forge "nothing here, skip
+me".  The planner lowers sargable filter conjuncts into a
+:class:`PruningPredicate` (:mod:`repro.stats.pruning`) that scans consult
+page by page: a pruned page skips the entire read → MAC → Merkle →
+decrypt → decode pipeline and its cost-model charges.
+
+Layering: this package may import only ``repro.errors``, ``repro.sim``
+and ``repro.sql.values`` (lint rule ARCH006) — it summarises plaintext
+table data and must stay out of the crypto/TEE layers.
+"""
+
+from ..sim import Meter
+from .pruning import CMP_OPS, PruningPredicate
+from .zonemap import (
+    PageSynopsis,
+    TableZoneMaps,
+    deserialize_zone_maps,
+    serialize_zone_maps,
+)
+
+#: Counters the skip-scan path bumps on the scanning phase's Meter.
+#: Registered so ``absorb_meter`` / MetricsRegistry pick them up as
+#: first-class metrics instead of warn-once ``meter.extra.*`` entries.
+STATS_COUNTERS = (
+    "pages_scanned",
+    "pages_skipped",
+    "zone_map_bytes",
+)
+
+for _name in STATS_COUNTERS:
+    Meter.register_counter(_name)
+del _name
+
+__all__ = [
+    "CMP_OPS",
+    "STATS_COUNTERS",
+    "PageSynopsis",
+    "PruningPredicate",
+    "TableZoneMaps",
+    "deserialize_zone_maps",
+    "serialize_zone_maps",
+]

@@ -1,0 +1,103 @@
+"""Pruning predicates: prove a page cannot match before reading it.
+
+The planner lowers the *sargable* conjuncts of a pushed-down filter —
+``col <op> literal``, ``BETWEEN``, ``IN`` and ``IS [NOT] NULL`` — into a
+:class:`PruningPredicate` of plain-data conjuncts.  The scan probes each
+page's :class:`~repro.stats.zonemap.PageSynopsis` with
+:meth:`PruningPredicate.page_may_match` and skips the page only when the
+synopsis *proves* no row on it can satisfy the filter.
+
+Semantics are strictly conservative:
+
+* A comparison conjunct is only ever satisfied by non-NULL values (SQL
+  three-valued logic), so a page whose column is entirely NULL is safely
+  skippable for that conjunct — and ``min``/``max`` over the non-NULL
+  values bound everything the comparison could accept.
+* Any doubt — an unprunable column synopsis, a comparison that raises,
+  a three-valued ``None`` verdict — counts as "may match": the page is
+  read and the ordinary row-level filter decides.
+
+Conjunct encodings (``kind``, ``column``, ``operands``):
+
+* ``("cmp", i, (op, literal))`` with ``op`` in ``< <= > >= = <>``
+* ``("between", i, (low, high))``
+* ``("in", i, (v0, v1, ...))``
+* ``("isnull", i, (negated,))``
+"""
+
+from __future__ import annotations
+
+from ..errors import IronSafeError
+from ..sql.values import sql_eq, sql_ge, sql_gt, sql_le, sql_lt
+
+#: Comparison operators a "cmp" conjunct may carry (SQL spells != as <>).
+CMP_OPS = frozenset({"<", "<=", ">", ">=", "=", "<>"})
+
+
+class PruningPredicate:
+    """A conjunction of sargable conditions evaluated against synopses."""
+
+    __slots__ = ("conjuncts",)
+
+    def __init__(self, conjuncts: list[tuple]):
+        self.conjuncts = list(conjuncts)
+
+    def __bool__(self) -> bool:
+        return bool(self.conjuncts)
+
+    def page_may_match(self, synopsis) -> bool:
+        """True unless the synopsis *proves* the page holds no match."""
+        for kind, column, operands in self.conjuncts:
+            if column >= len(synopsis.entries):
+                continue  # malformed synopsis — cannot prove anything
+            entry = synopsis.entries[column]
+            try:
+                if not _conjunct_may_match(kind, operands, entry, synopsis.row_count):
+                    return False
+            except IronSafeError:
+                continue  # comparison refused (type mix) — cannot prove
+        return True
+
+
+def _conjunct_may_match(kind, operands, entry, row_count: int) -> bool:
+    if entry is None:
+        return True  # column unprunable
+    low, high, nulls = entry
+    non_null = row_count - nulls
+    if kind == "isnull":
+        (negated,) = operands
+        return non_null > 0 if negated else nulls > 0
+    # Every remaining conjunct is a comparison: NULL never satisfies it.
+    if non_null <= 0 or low is None or high is None:
+        return False
+    if kind == "cmp":
+        op, literal = operands
+        if op == "<":
+            return _maybe(sql_lt(low, literal))
+        if op == "<=":
+            return _maybe(sql_le(low, literal))
+        if op == ">":
+            return _maybe(sql_gt(high, literal))
+        if op == ">=":
+            return _maybe(sql_ge(high, literal))
+        if op == "=":
+            return _maybe(sql_le(low, literal)) and _maybe(sql_le(literal, high))
+        if op == "<>":
+            # Only provably empty when every non-NULL value equals the literal.
+            return not (
+                sql_eq(low, literal) is True and sql_eq(high, literal) is True
+            )
+        return True
+    if kind == "between":
+        lo_lit, hi_lit = operands
+        return _maybe(sql_le(low, hi_lit)) and _maybe(sql_ge(high, lo_lit))
+    if kind == "in":
+        return any(
+            _maybe(sql_le(low, v)) and _maybe(sql_le(v, high)) for v in operands
+        )
+    return True
+
+
+def _maybe(verdict) -> bool:
+    """Three-valued result → may-match boolean (None means "unknown")."""
+    return verdict is not False

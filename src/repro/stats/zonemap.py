@@ -1,0 +1,164 @@
+"""Per-page zone maps: column min/max + null-count synopses.
+
+A :class:`PageSynopsis` summarises one on-device page — for every column
+the minimum and maximum of its non-NULL values plus how many NULLs it
+holds.  A :class:`TableZoneMaps` collects the synopses of every page a
+table occupies.  Together with a :class:`~repro.stats.pruning.PruningPredicate`
+they let a scan prove "no row on this page can satisfy the filter" and
+skip the page's entire read → MAC → Merkle → decrypt → decode pipeline.
+
+Synopses are *conservative*: a column whose values could not be
+summarised (e.g. a type mix that refuses ``min``/``max``) is recorded as
+unprunable rather than guessed at, and a zone map that does not cover
+exactly the pages a table currently occupies is rejected by
+:meth:`TableZoneMaps.covers`, failing closed to a full scan.
+
+The serialized form is JSON; DATE bounds travel as ISO strings and are
+restored through the same :func:`repro.sql.values.coerce` rules the
+column data itself obeys, so a round-tripped bound compares identically
+to the stored rows.
+
+Layering: this module may import only ``repro.errors``, ``repro.sim``
+and ``repro.sql.values`` (enforced by lint rule ARCH006) — it handles
+plaintext summaries of table data and must stay out of the crypto/TEE
+layers that protect them.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+
+from ..sql.values import TYPE_NAMES, coerce
+
+
+def _jsonable(value):
+    """Encode a column bound for JSON (dates become ISO strings)."""
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return value
+
+
+class PageSynopsis:
+    """Min/max/null-count summary of the rows stored on one page.
+
+    ``entries[i]`` is ``(min, max, null_count)`` for column *i*, or
+    ``None`` when the column could not be summarised (unprunable).
+    ``row_count`` is the number of rows the page holds.
+    """
+
+    __slots__ = ("row_count", "entries", "_size")
+
+    def __init__(self, row_count: int, entries: list):
+        self.row_count = row_count
+        self.entries = entries
+        self._size: int | None = None
+
+    @classmethod
+    def from_rows(cls, rows: list, column_types: list[str]) -> "PageSynopsis":
+        """Summarise decoded rows; never raises on odd data."""
+        entries: list = []
+        for col in range(len(column_types)):
+            values = [row[col] for row in rows if row[col] is not None]
+            nulls = len(rows) - len(values)
+            if not values:
+                entries.append((None, None, nulls))
+                continue
+            try:
+                entries.append((min(values), max(values), nulls))
+            except TypeError:
+                # Unorderable mix — mark the column unprunable.
+                entries.append(None)
+        return cls(len(rows), entries)
+
+    def size_bytes(self) -> int:
+        """Deterministic synopsis footprint: its compact JSON encoding."""
+        if self._size is None:
+            self._size = len(json.dumps(self.to_jsonable(), separators=(",", ":")))
+        return self._size
+
+    def to_jsonable(self) -> dict:
+        return {
+            "n": self.row_count,
+            "cols": [
+                None if e is None else [_jsonable(e[0]), _jsonable(e[1]), e[2]]
+                for e in self.entries
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict, column_types: list[str]) -> "PageSynopsis":
+        entries: list = []
+        cols = data["cols"]
+        for col, type_name in enumerate(column_types):
+            raw = cols[col] if col < len(cols) else None
+            if raw is None:
+                entries.append(None)
+                continue
+            lo, hi, nulls = raw
+            entries.append(
+                (
+                    None if lo is None else coerce(lo, type_name),
+                    None if hi is None else coerce(hi, type_name),
+                    int(nulls),
+                )
+            )
+        return cls(int(data["n"]), entries)
+
+
+class TableZoneMaps:
+    """Zone maps for every page of one table, keyed by page number."""
+
+    def __init__(self, column_types: list[str]):
+        for type_name in column_types:
+            if type_name not in TYPE_NAMES:
+                raise ValueError(f"unknown column type {type_name!r}")
+        self.column_types = list(column_types)
+        self.pages: dict[int, PageSynopsis] = {}
+
+    def set_page(self, page_no: int, synopsis: PageSynopsis) -> None:
+        self.pages[page_no] = synopsis
+
+    def drop_page(self, page_no: int) -> None:
+        self.pages.pop(page_no, None)
+
+    def covers(self, page_list: list[int]) -> bool:
+        """True iff a synopsis exists for exactly the pages in *page_list*.
+
+        A stale zone map (missing or extra pages) must never be consulted:
+        the caller falls back to a full scan (fail closed).
+        """
+        return set(self.pages) == set(page_list)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "types": self.column_types,
+            "pages": {
+                str(page_no): synopsis.to_jsonable()
+                for page_no, synopsis in sorted(self.pages.items())
+            },
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "TableZoneMaps":
+        maps = cls(list(data["types"]))
+        for page_no, raw in data["pages"].items():
+            maps.pages[int(page_no)] = PageSynopsis.from_jsonable(
+                raw, maps.column_types
+            )
+        return maps
+
+
+def serialize_zone_maps(zone_maps: dict[str, TableZoneMaps]) -> bytes:
+    """Serialize the per-table zone maps to a canonical JSON blob."""
+    payload = {
+        name: maps.to_jsonable() for name, maps in sorted(zone_maps.items())
+    }
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+
+
+def deserialize_zone_maps(blob: bytes) -> dict[str, TableZoneMaps]:
+    payload = json.loads(blob.decode())
+    return {
+        name: TableZoneMaps.from_jsonable(data) for name, data in payload.items()
+    }

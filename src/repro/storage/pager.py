@@ -71,6 +71,19 @@ class Pager:
         self.meter.pages_read += 1
         return self._unframe(raw)
 
+    def write_meta(self, key: str, blob: bytes) -> None:
+        """Store an application metadata blob (catalog, zone maps) verbatim.
+
+        The plain pager offers no protection — this is the baseline the
+        secure pager's authenticated metadata is measured against.  Keys
+        are namespaced so application metadata cannot collide with the
+        pager's own ``page_count`` bookkeeping.
+        """
+        self.device.write_meta("app:" + key, blob)
+
+    def read_meta(self, key: str) -> bytes | None:
+        return self.device.read_meta("app:" + key)
+
     def commit(self) -> None:
         """No-op for the plain pager (kept for interface symmetry)."""
 

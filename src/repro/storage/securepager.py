@@ -57,6 +57,12 @@ _MAX_CT = PAGE_SIZE - IV_LEN - 2 - MAC_LEN
 
 META_LEAVES = "merkle_leaves"
 META_PAGE_COUNT = "secure_page_count"
+#: Trusted-digest table for authenticated application metadata.  Stored
+#: raw on the device; its integrity comes from the combined root anchored
+#: in RPMB, not from a MAC of its own.
+META_AUTH_DIGESTS = "secure_meta_digests"
+#: Device-key namespace for authenticated application metadata blobs.
+_META_PREFIX = "ameta:"
 
 
 class SecureStorageAnchor:
@@ -165,10 +171,20 @@ class SecurePager:
             )
         else:
             self.tree = MerkleTree(self._merkle_key, 1, meter=self.meter)
+        # Authenticated application metadata (catalog-adjacent blobs such
+        # as zone maps): each blob is encrypted + MAC'd individually and a
+        # trusted digest of every MAC is folded into the anchored root, so
+        # forging *or rolling back* a blob is detected.
+        self._meta_digests: dict[str, bytes] = {}
+        digests_blob = device.read_meta(META_AUTH_DIGESTS)
+        if digests_blob:
+            for line in digests_blob.decode().splitlines():
+                name, _, hexdigest = line.partition("=")
+                self._meta_digests[name] = bytes.fromhex(hexdigest)
         # Opening verifies freshness once against the hardware anchor; the
         # root is then cached in trusted memory and checked per read.
-        self.anchor.verify_root(self.tree.root)
         self._trusted_root = self.tree.root
+        self.anchor.verify_root(self._anchored_root())
         self._dirty = False
         # Optional in-enclave decrypted-page cache (None = verify every
         # read, the paper's baseline).  ``on_violation`` is an observer the
@@ -216,6 +232,106 @@ class SecurePager:
 
     def _page_mac(self, pgno: int, iv: bytes, ciphertext: bytes) -> bytes:
         return hmac_sha512(self._mac_key, pgno.to_bytes(8, "big") + iv + ciphertext)
+
+    # -- authenticated application metadata ---------------------------------
+
+    def _meta_enc_key(self, key: str) -> bytes:
+        return hkdf(self._enc_key, b"meta:" + key.encode(), 32)
+
+    def _meta_mac(self, key: str, iv: bytes, ciphertext: bytes) -> bytes:
+        # Domain-separated from page MACs: keyed by the metadata name, so a
+        # blob cannot be displaced to another key or passed off as a page.
+        return hmac_sha512(
+            self._mac_key, b"meta:" + key.encode() + b"\x00" + iv + ciphertext
+        )
+
+    def _meta_root(self) -> bytes | None:
+        if not self._meta_digests:
+            return None
+        acc = b"".join(
+            name.encode() + b"\x00" + digest
+            for name, digest in sorted(self._meta_digests.items())
+        )
+        return sha256(acc)
+
+    def _anchored_root(self) -> bytes:
+        """The value anchored in RPMB: page-tree root ⊕ metadata digests.
+
+        With no authenticated metadata this is exactly the Merkle root —
+        stores that never call :meth:`write_meta` anchor the same bytes
+        they always did.
+        """
+        meta_root = self._meta_root()
+        if meta_root is None:
+            return self._trusted_root
+        return sha256(self._trusted_root + meta_root)
+
+    def write_meta(self, key: str, blob: bytes) -> None:
+        """Store an application metadata blob encrypted + MAC'd.
+
+        The MAC's digest joins the anchored root at the next
+        :meth:`commit`, extending the rollback protection that covers
+        pages to this blob.  Deliberately meter-free: metadata
+        maintenance is bookkeeping, not scan work.
+        """
+        iv = self._rng.bytes(IV_LEN)
+        enc_key = self._meta_enc_key(key)
+        if self.cipher == "aes-cbc":
+            ciphertext = cbc_encrypt(enc_key, iv, blob)
+        else:
+            ciphertext = hash_ctr_crypt(enc_key, iv, blob)
+        mac = self._meta_mac(key, iv, ciphertext)
+        self.device.write_meta(
+            _META_PREFIX + key,
+            iv + len(ciphertext).to_bytes(4, "big") + ciphertext + mac,
+        )
+        self._meta_digests[key] = sha256(mac)
+        self._dirty = True
+
+    def read_meta(self, key: str) -> bytes | None:
+        """Fetch + verify + decrypt an authenticated metadata blob.
+
+        Raises :class:`IntegrityError` (reported to ``on_violation`` with
+        the sentinel page number -1) when the blob was tampered with,
+        suppressed, forged from nothing, or rolled back to an older
+        validly-MAC'd version.
+        """
+        expected_digest = self._meta_digests.get(key)
+        raw = self.device.read_meta(_META_PREFIX + key)
+        if raw is None and expected_digest is None:
+            return None
+        try:
+            if expected_digest is None:
+                raise IntegrityError(
+                    f"metadata {key!r}: unexpected blob with no trusted digest "
+                    "— forged metadata"
+                )
+            if raw is None:
+                raise IntegrityError(
+                    f"metadata {key!r}: blob missing — metadata suppressed"
+                )
+            iv = raw[:IV_LEN]
+            ct_len = int.from_bytes(raw[IV_LEN : IV_LEN + 4], "big")
+            ciphertext = raw[IV_LEN + 4 : IV_LEN + 4 + ct_len]
+            mac = raw[IV_LEN + 4 + ct_len :]
+            if len(raw) != IV_LEN + 4 + ct_len + MAC_LEN or not constant_time_eq(
+                self._meta_mac(key, iv, ciphertext), mac
+            ):
+                raise IntegrityError(
+                    f"metadata {key!r}: HMAC mismatch — data was tampered with"
+                )
+            if not constant_time_eq(sha256(mac), expected_digest):
+                raise IntegrityError(
+                    f"metadata {key!r}: does not match the trusted digest "
+                    "— stale or replayed metadata"
+                )
+        except IntegrityError as exc:
+            self._report_violation(-1, exc)
+            raise
+        enc_key = self._meta_enc_key(key)
+        if self.cipher == "aes-cbc":
+            return cbc_decrypt(enc_key, iv, ciphertext)
+        return hash_ctr_crypt(enc_key, iv, ciphertext)
 
     # -- public API ---------------------------------------------------------
 
@@ -455,12 +571,18 @@ class SecurePager:
 
     def commit(self) -> None:
         """Write back dirty cached pages, persist the integrity tree and
-        re-anchor the root in RPMB."""
+        re-anchor the (page + metadata) root in RPMB."""
         self.flush_cache()
         if not self._dirty:
             return
         self.device.write_meta(META_LEAVES, self.tree.serialize_leaves())
-        self.anchor.anchor_root(self._trusted_root)
+        if self._meta_digests:
+            table = "\n".join(
+                f"{name}={digest.hex()}"
+                for name, digest in sorted(self._meta_digests.items())
+            )
+            self.device.write_meta(META_AUTH_DIGESTS, table.encode())
+        self.anchor.anchor_root(self._anchored_root())
         self._dirty = False
 
     def close(self) -> None:
@@ -468,7 +590,7 @@ class SecurePager:
 
     def verify_freshness(self) -> None:
         """Re-check the current root against the hardware anchor."""
-        self.anchor.verify_root(self._trusted_root)
+        self.anchor.verify_root(self._anchored_root())
 
     def tree_size_bytes(self) -> int:
         """Integrity-tree memory footprint (EPC pressure in host-only mode)."""

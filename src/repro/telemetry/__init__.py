@@ -54,6 +54,7 @@ from .spans import (
     SPAN_SESSION_SETUP,
     SPAN_SHIP_BATCH,
     SPAN_STORAGE_PHASE,
+    SPAN_ZONE_PRUNE,
     Span,
     Trace,
 )
@@ -92,6 +93,7 @@ __all__ = [
     "SPAN_SESSION_SETUP",
     "SPAN_SHIP_BATCH",
     "SPAN_STORAGE_PHASE",
+    "SPAN_ZONE_PRUNE",
     "Span",
     "Trace",
     "Tracer",

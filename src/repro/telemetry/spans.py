@@ -43,6 +43,7 @@ SPAN_HOST_INGEST = "host_ingest"      # enclave ingests shipped tables
 SPAN_HOST_JOIN_AGG = "host_join_agg"  # host-side joins/aggregation
 SPAN_HOST_EXECUTE = "host_execute"    # host-only full-query execution
 SPAN_SESSION_SETUP = "session_setup"  # per-request TLS establishment
+SPAN_ZONE_PRUNE = "zone_prune"        # zone-map skip-scan prune ratio (marker)
 
 KNOWN_SPAN_NAMES = frozenset(
     {
@@ -66,6 +67,7 @@ KNOWN_SPAN_NAMES = frozenset(
         SPAN_HOST_JOIN_AGG,
         SPAN_HOST_EXECUTE,
         SPAN_SESSION_SETUP,
+        SPAN_ZONE_PRUNE,
     }
 )
 

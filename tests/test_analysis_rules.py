@@ -501,6 +501,48 @@ class TestARCH005StreamSurface:
         assert result.clean
 
 
+class TestARCH006StatsSurface:
+    def test_stats_importing_stores_triggers(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/stats/bad.py": "from ..sql.stores import PagedStore\n"},
+            select=["ARCH006"],
+        )
+        assert rule_ids(result) == ["ARCH006"]
+        assert "repro.sql.values" in result.findings[0].message
+
+    def test_stats_importing_sql_package_root_triggers(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/stats/bad.py": "from ..sql import Database\n"},
+            select=["ARCH006"],
+        )
+        assert rule_ids(result) == ["ARCH006"]
+
+    def test_values_import_is_clean(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {
+                "repro/stats/ok.py": """
+                from ..sql.values import sql_le
+
+                def ordered(lo, hi):
+                    return sql_le(lo, hi)
+                """
+            },
+            select=["ARCH006"],
+        )
+        assert result.clean
+
+    def test_other_packages_are_exempt(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/core/ok.py": "from ..sql.stores import PagedStore\n"},
+            select=["ARCH006"],
+        )
+        assert result.clean
+
+
 class TestSuppressions:
     def test_disable_comment_suppresses(self, tmp_path):
         result = run_source(
@@ -594,6 +636,7 @@ class TestFramework:
             "ARCH003",
             "ARCH004",
             "ARCH005",
+            "ARCH006",
             "SEC001",
             "SEC002",
             "SEC003",

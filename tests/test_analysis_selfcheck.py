@@ -80,6 +80,24 @@ class TestSelfCheck:
         assert proc.returncode == 1
         assert "ARCH004" in proc.stdout
 
+    def test_stats_tree_is_gated(self):
+        """The stats package is linted (ARCH006 guards its sql surface)."""
+        proc = run_lint("src/repro/stats", "--fail-on-findings")
+        assert proc.returncode == 0, (
+            "the stats package violates its surface rules:\n" + proc.stdout
+        )
+
+    def test_seeded_stats_violation_fails_the_gate(self, tmp_path):
+        """Stats importing the stores must fail the gate (ARCH006)."""
+        pkg = tmp_path / "repro" / "stats"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "seeded.py").write_text("from ..sql.stores import PagedStore\n")
+        proc = run_lint(str(tmp_path / "repro"), "--fail-on-findings")
+        assert proc.returncode == 1
+        assert "ARCH006" in proc.stdout
+
     def test_trace_entry_point_registered(self):
         """The ``repro-trace`` console script ships in pyproject.toml."""
         pyproject = (REPO_ROOT / "pyproject.toml").read_text()
