@@ -5,11 +5,19 @@ being paid down: findings whose (rule, path, message) triple appears in
 the baseline file are reported as grandfathered instead of failing the
 run.  Line numbers are deliberately not part of the identity so that
 unrelated edits do not resurrect entries.
+
+Identities are a *multiset*: when the same (rule, path, message) triple
+occurs K times in the baseline, only the first K occurrences in the run
+— ordered by (line, col), a stable occurrence index — are grandfathered,
+and any further duplicates are new findings.  A plain set would silently
+grandfather every future copy of a baselined message (e.g. the same
+``print()`` pasted into a second function of the file).
 """
 
 from __future__ import annotations
 
 import json
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -20,9 +28,9 @@ BASELINE_VERSION = 1
 
 @dataclass
 class Baseline:
-    """Set of grandfathered finding identities."""
+    """Multiset of grandfathered finding identities."""
 
-    entries: set[tuple[str, str, str]] = field(default_factory=set)
+    entries: Counter = field(default_factory=Counter)
 
     @classmethod
     def load(cls, path: str | Path) -> "Baseline":
@@ -31,31 +39,47 @@ class Baseline:
             raise ValueError(
                 f"baseline {path}: unsupported version {data.get('version')!r}"
             )
-        entries = {
-            (item["rule"], item["path"].replace("\\", "/"), item["message"])
-            for item in data.get("findings", [])
-        }
+        entries: Counter = Counter()
+        for item in data.get("findings", []):
+            entries[
+                (item["rule"], item["path"].replace("\\", "/"), item["message"])
+            ] += 1
         return cls(entries)
 
     @classmethod
     def from_findings(cls, findings: list[Finding]) -> "Baseline":
-        return cls({f.baseline_key() for f in findings})
+        return cls(Counter(f.baseline_key() for f in findings))
 
     def contains(self, finding: Finding) -> bool:
-        return finding.baseline_key() in self.entries
+        return self.entries[finding.baseline_key()] > 0
 
     def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
-        """Partition into (new, grandfathered)."""
+        """Partition into (new, grandfathered).
+
+        Duplicate identities are consumed in stable occurrence order
+        (path, line, col, rule), so which copy stays grandfathered does
+        not depend on input ordering.
+        """
         new: list[Finding] = []
         old: list[Finding] = []
-        for finding in findings:
-            (old if self.contains(finding) else new).append(finding)
+        remaining = Counter(self.entries)
+        ordered = sorted(
+            findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
+        )
+        for finding in ordered:
+            key = finding.baseline_key()
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
         return new, old
 
     def dump(self, path: str | Path) -> None:
         items = [
             {"rule": rule, "path": rel, "message": message}
-            for rule, rel, message in sorted(self.entries)
+            for (rule, rel, message), count in sorted(self.entries.items())
+            for _ in range(count)
         ]
         payload = {"version": BASELINE_VERSION, "findings": items}
         Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

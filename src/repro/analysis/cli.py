@@ -33,9 +33,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="describe one rule (for TAINT/FLOW rules: its source/sink/"
+        "sanitizer catalog) and exit",
     )
     parser.add_argument(
         "--baseline",
@@ -75,10 +81,40 @@ def _list_rules() -> int:
     return 0
 
 
+def _explain(rule_id: str) -> int:
+    from .registry import get_rule
+
+    try:
+        rule = get_rule(rule_id.upper())
+    except KeyError as exc:
+        print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(f"{rule.rule_id}: {rule.title}")
+    print()
+    print(rule.rationale)
+    if rule.rule_id.startswith(("TAINT", "FLOW")):
+        from .flow import rule_doc
+
+        doc = rule_doc(rule.rule_id)
+        for heading, lines in (
+            ("sources", doc.sources),
+            ("sinks", doc.sinks),
+            ("sanitizers", doc.sanitizers),
+        ):
+            if lines:
+                print()
+                print(f"{heading}:")
+                for line in lines:
+                    print(f"  {line}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
         return _list_rules()
+    if args.explain:
+        return _explain(args.explain)
 
     paths = args.paths or [p for p in DEFAULT_PATHS if Path(p).exists()]
     if not paths:
@@ -117,7 +153,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    if args.format == "json":
+    if args.format == "sarif":
+        from .sarif import to_sarif
+
+        rules = selected if selected is not None else all_rules()
+        print(json.dumps(to_sarif(result, rules), indent=2))
+    elif args.format == "json":
         payload = {
             "modules_analyzed": result.modules_analyzed,
             "findings": [f.to_json() for f in result.findings],

@@ -33,6 +33,24 @@ class ModuleContext:
     tree: ast.Module
     lines: list[str]
     graph: ImportGraph
+    #: Shared interprocedural dataflow program; built lazily by the first
+    #: TAINT/FLOW rule that asks (see :meth:`flow`), one per analyzer run.
+    flow_factory: object | None = None
+    _flow_cache: object | None = None
+
+    @property
+    def flow(self):
+        """The run-wide :class:`repro.analysis.flow.FlowProgram`."""
+        if self._flow_cache is None:
+            if self.flow_factory is not None:
+                self._flow_cache = self.flow_factory()
+            else:
+                from .flow import FlowProgram
+
+                self._flow_cache = FlowProgram(
+                    [(self.relpath, self.module, self.tree)]
+                )
+        return self._flow_cache
 
     @property
     def subpackage(self) -> str | None:
@@ -68,6 +86,11 @@ def collect_files(paths: list[str | Path]) -> list[Path]:
             files.add(path)
         else:
             raise FileNotFoundError(f"not a Python file or directory: {path}")
+    if not files:
+        raise FileNotFoundError(
+            "no Python files found under: "
+            + ", ".join(str(p) for p in paths)
+        )
     return sorted(files)
 
 
@@ -121,6 +144,24 @@ class Analyzer:
                     graph=graph,
                 )
             )
+
+        # Pass 1.5: every context shares one lazy dataflow program so the
+        # interprocedural fixpoint runs at most once per analyzer run.
+        shared: list = []
+
+        def flow_factory():
+            if not shared:
+                from .flow import FlowProgram
+
+                shared.append(
+                    FlowProgram(
+                        [(c.relpath, c.module, c.tree) for c in contexts]
+                    )
+                )
+            return shared[0]
+
+        for ctx in contexts:
+            ctx.flow_factory = flow_factory
 
         # Pass 2: rules, then suppressions.
         for ctx in contexts:

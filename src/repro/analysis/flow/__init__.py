@@ -1,0 +1,21 @@
+"""Interprocedural taint/dataflow engine for the repro linter.
+
+See :mod:`repro.analysis.flow.catalog` for the source/sink/sanitizer
+model and ``docs/static-analysis.md`` ("Dataflow rules") for the rule
+semantics.
+"""
+
+from .catalog import rule_doc
+from .interpret import FlowHit
+from .program import FlowProgram
+from .taint import TAG_CHANNEL, TAG_KEY, TAG_PLAINTEXT, TAG_STORAGE
+
+__all__ = [
+    "FlowHit",
+    "FlowProgram",
+    "rule_doc",
+    "TAG_CHANNEL",
+    "TAG_KEY",
+    "TAG_PLAINTEXT",
+    "TAG_STORAGE",
+]

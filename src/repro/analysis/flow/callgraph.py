@@ -1,0 +1,188 @@
+"""Project-wide function index and best-effort call resolution.
+
+The interprocedural engine needs to know, for ``self.pager.read_pages(..)``
+or ``hkdf(..)``, which function definitions the call might reach.  Python
+gives no static guarantees, so resolution is heuristic but conservative:
+
+* ``self.method(...)`` resolves to the enclosing class's method when it
+  has one (single target — the common case in this tree);
+* ``expr.method(...)`` resolves to every known method of that name,
+  capped — when too many classes share a name the call is treated as
+  unknown and taint propagates through it instead;
+* ``name(...)`` resolves to module-level functions of that name,
+  preferring the caller's own module;
+* calls to known *class* names are constructor calls and resolve to
+  nothing (object construction does not launder or leak by itself; field
+  sensitivity is by attribute name, see the catalog).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Above this many same-named candidates, attribute resolution gives up
+#: and the engine falls back to plain taint propagation.
+MAX_CANDIDATES = 8
+
+
+def _imported_modules(
+    module: str, tree: ast.Module, *, is_package: bool
+) -> set[str]:
+    """Absolute dotted names this module imports (modules and symbols).
+
+    Relative imports are resolved against the module's package; both the
+    ``from``-target and each imported name are recorded, because ``from
+    repro.sql import expressions`` may bind a module while ``from
+    repro.sql.expressions import Scope`` binds a symbol of one.
+    """
+    pkg_parts = module.split(".") if is_package else module.split(".")[:-1]
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                base = ".".join(base_parts)
+            else:
+                base = ""
+            full = ".".join(p for p in (base, node.module or "") if p)
+            if full:
+                out.add(full)
+            for alias in node.names:
+                out.add(f"{full}.{alias.name}" if full else alias.name)
+    return out
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzable function or method definition."""
+
+    qualname: str  # "module:Class.method", "module:func", ":func" for loose files
+    name: str
+    cls: str | None
+    module: str | None
+    relpath: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    params: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        args = self.node.args
+        self.params = [a.arg for a in (*args.posonlyargs, *args.args)]
+
+    @property
+    def suffixes(self) -> tuple[str, ...]:
+        """Names PARAM_SINKS entries may use: ``Class.method`` and ``method``."""
+        if self.cls:
+            return (f"{self.cls}.{self.name}", self.name)
+        return (self.name,)
+
+
+class ProjectIndex:
+    """All function definitions across the analyzed tree, resolvable."""
+
+    def __init__(self) -> None:
+        self.functions: list[FunctionInfo] = []
+        self._methods: dict[str, list[FunctionInfo]] = {}
+        self._module_functions: dict[tuple[str | None, str], list[FunctionInfo]] = {}
+        self._by_name_toplevel: dict[str, list[FunctionInfo]] = {}
+        self._class_methods: dict[tuple[str, str], list[FunctionInfo]] = {}
+        self.class_names: set[str] = set()
+        self._imports: dict[str, set[str]] = {}
+
+    def add_module(self, relpath: str, module: str | None, tree: ast.Module) -> None:
+        if module is not None:
+            self._imports[module] = _imported_modules(
+                module, tree, is_package=relpath.endswith("__init__.py")
+            )
+        self._collect(relpath, module, tree, cls=None)
+
+    def _collect(self, relpath, module, node, cls) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{module or ''}:{cls + '.' if cls else ''}{child.name}",
+                    name=child.name,
+                    cls=cls,
+                    module=module,
+                    relpath=relpath,
+                    node=child,
+                )
+                self.functions.append(info)
+                if cls is not None:
+                    self._methods.setdefault(child.name, []).append(info)
+                    self._class_methods.setdefault((cls, child.name), []).append(info)
+                else:
+                    self._by_name_toplevel.setdefault(child.name, []).append(info)
+                self._module_functions.setdefault(
+                    (module, child.name), []
+                ).append(info)
+                # Nested defs are analyzed as their own functions too.
+                self._collect(relpath, module, child, cls)
+            elif isinstance(child, ast.ClassDef):
+                self.class_names.add(child.name)
+                self._collect(relpath, module, child, cls=child.name)
+
+    # ------------------------------------------------------------------
+
+    def resolve(
+        self, call: ast.Call, *, module: str | None, cls: str | None
+    ) -> list[FunctionInfo]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id, module)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(func, module, cls)
+        return []
+
+    def _visible(
+        self, module: str | None, candidates: list[FunctionInfo]
+    ) -> list[FunctionInfo]:
+        """Drop candidates the caller's module cannot even name.
+
+        Same-named methods exist across unrelated classes (``resolve``,
+        ``eval``, ``send``); a candidate is only plausible when it lives
+        in the caller's own module or in a module the caller imports.
+        Loose scripts (no module name) keep every candidate.
+        """
+        if module is None:
+            return candidates
+        imports = self._imports.get(module, set())
+        return [
+            c
+            for c in candidates
+            if c.module is None or c.module == module or c.module in imports
+        ]
+
+    def _resolve_name(self, name: str, module: str | None) -> list[FunctionInfo]:
+        if name in self.class_names:
+            return []  # constructor call
+        local = self._module_functions.get((module, name))
+        if local:
+            return [f for f in local if f.cls is None] or list(local)
+        return self._visible(module, list(self._by_name_toplevel.get(name, ())))
+
+    def _resolve_attribute(
+        self, func: ast.Attribute, module: str | None, cls: str | None
+    ) -> list[FunctionInfo]:
+        attr = func.attr
+        if isinstance(func.value, ast.Name) and func.value.id in ("self", "cls"):
+            if cls is not None:
+                own = self._class_methods.get((cls, attr))
+                if own:
+                    return list(own)
+        # ``ClassName.method(...)`` — explicit class receiver.
+        if isinstance(func.value, ast.Name) and func.value.id in self.class_names:
+            exact = self._class_methods.get((func.value.id, attr))
+            if exact:
+                return list(exact)
+        candidates = self._visible(module, self._methods.get(attr, []))
+        if 0 < len(candidates) <= MAX_CANDIDATES:
+            return candidates
+        # Fall back to module-level functions accessed via a module alias.
+        toplevel = self._visible(module, self._by_name_toplevel.get(attr, []))
+        if 0 < len(toplevel) <= MAX_CANDIDATES:
+            return toplevel
+        return []

@@ -1,0 +1,498 @@
+"""Per-function abstract interpreter: statement-ordered taint propagation.
+
+One :class:`FunctionInterpreter` run walks a function body in source
+order, tracking a taint environment over local names and ``self.attr``
+pseudo-names.  Assignments (including tuple unpacking, augmented
+assignment, comprehension targets and ``with``/``for`` bindings)
+propagate taint; calls consult the catalog (sources, sinks, sanitizers)
+and the summaries of resolved callees; verification guards clear the
+"unverified" tags flow-sensitively, so a decode *before* its MAC/Merkle
+check still fires.
+
+The body is executed twice per run so loop-carried taint reaches a
+fixpoint (the lattice is finite and the transfer monotone, two passes
+suffice for one level of loop carry — matching every loop shape in this
+tree); the engine-level fixpoint in :mod:`.program` handles recursion
+across functions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from . import catalog
+from .callgraph import FunctionInfo, ProjectIndex
+from .taint import (
+    Taint,
+    dotted_name,
+    is_param_tag,
+    match_pattern,
+    merge,
+    param_tag,
+    union,
+    without,
+)
+
+_EXCEPTION_NAME = re.compile(r"^[A-Z]\w*(Error|Exception|Violation)$")
+
+#: Receiver-mutating methods: ``rows.append(tainted)`` taints ``rows``.
+_MUTATORS = frozenset(
+    {"append", "add", "extend", "insert", "update", "setdefault", "put", "push"}
+)
+
+#: Message templates per rule; ``{origin}`` is the taint's provenance,
+#: ``{label}`` the sink description.
+MESSAGES = {
+    "TAINT001": "key material ({origin}) reaches {label} unencrypted",
+    "TAINT002": "bytes from {origin} are decoded/used by {label} "
+    "before MAC+Merkle verification",
+    "FLOW001": "plaintext row data ({origin}) crosses the enclave boundary "
+    "via {label} without channel encryption",
+}
+
+
+@dataclass(frozen=True)
+class ParamSinkRecord:
+    """Summary fact: "my parameter *index* flows into a *rule* sink"."""
+
+    index: int
+    rule: str
+    tags: frozenset
+    label: str
+
+
+@dataclass
+class Summary:
+    """Caller-visible behavior of one function."""
+
+    returns: Taint
+    param_sinks: frozenset  # of ParamSinkRecord
+
+    def key(self):
+        return (frozenset(self.returns.keys()), self.param_sinks)
+
+
+EMPTY_SUMMARY = Summary(returns={}, param_sinks=frozenset())
+
+
+@dataclass(frozen=True)
+class FlowHit:
+    """One dataflow finding, pre-``Finding`` (no path context yet)."""
+
+    rule_id: str
+    relpath: str
+    module: str | None
+    line: int
+    col: int
+    message: str
+
+
+class FunctionInterpreter:
+    def __init__(
+        self,
+        info: FunctionInfo,
+        index: ProjectIndex,
+        summaries: dict[str, Summary],
+        report=None,
+    ):
+        self.info = info
+        self.index = index
+        self.summaries = summaries
+        self.report = report  # callable(FlowHit) | None during fixpoint passes
+        self.env: dict[str, Taint] = {}
+        self.ret: Taint = {}
+        self.param_sinks: set[ParamSinkRecord] = set()
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Summary:
+        for i, name in enumerate(self.info.params):
+            self.env[name] = {param_tag(i): f"parameter {name!r}"}
+        body = self.info.node.body
+        self.exec_stmts(body)
+        self.exec_stmts(body)  # second pass: loop-carried taint
+        self._apply_catalog_param_sinks()
+        return Summary(returns=dict(self.ret), param_sinks=frozenset(self.param_sinks))
+
+    def _apply_catalog_param_sinks(self) -> None:
+        """Fold declared PARAM_SINKS for this function into its summary."""
+        for suffix in self.info.suffixes:
+            for sink in catalog.PARAM_SINKS.get(suffix, ()):
+                if sink.param in self.info.params:
+                    self.param_sinks.add(
+                        ParamSinkRecord(
+                            index=self.info.params.index(sink.param),
+                            rule=sink.rule,
+                            tags=sink.tags,
+                            label=sink.label,
+                        )
+                    )
+
+    # -- statements -----------------------------------------------------
+
+    def exec_stmts(self, stmts) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt) -> None:
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            taint = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.assign(target, taint, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.assign(stmt.target, self.eval(stmt.value), stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = union(self.eval(stmt.target), self.eval(stmt.value))
+            self.assign(stmt.target, taint)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                merge(self.ret, self.eval(stmt.value))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint = self.eval(stmt.iter)
+            self.assign(stmt.target, taint)
+            self.exec_stmts(stmt.body)
+            self.exec_stmts(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.exec_stmts(stmt.body)
+            self.exec_stmts(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.exec_stmts(stmt.body)
+            self.exec_stmts(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            # Join semantics: each handler runs from the body's exit
+            # state, and the after-try environment is the *union* of all
+            # paths — a verification guard inside a handler must not
+            # sanitize the fall-through path.
+            self.exec_stmts(stmt.body)
+            env_body = {name: dict(t) for name, t in self.env.items()}
+            exits = [env_body]
+            for handler in stmt.handlers:
+                self.env = {name: dict(t) for name, t in env_body.items()}
+                if handler.name:
+                    self.env[handler.name] = {}
+                self.exec_stmts(handler.body)
+                exits.append(self.env)
+            joined: dict = {}
+            for exit_env in exits:
+                for name, taint in exit_env.items():
+                    merge(joined.setdefault(name, {}), taint)
+            self.env = joined
+            self.exec_stmts(stmt.orelse)
+            self.exec_stmts(stmt.finalbody)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, taint)
+            self.exec_stmts(stmt.body)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                name = dotted_name(target)
+                if name:
+                    self.env.pop(name, None)
+        elif hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            subject = self.eval(stmt.subject)
+            for case in stmt.cases:
+                for capture in ast.walk(case.pattern):
+                    if isinstance(capture, ast.MatchAs) and capture.name:
+                        self.env[capture.name] = dict(subject)
+                self.exec_stmts(case.body)
+        # Nested defs/classes are indexed and analyzed separately;
+        # imports, global/nonlocal, pass, break, continue carry no taint.
+
+    # -- assignment targets ---------------------------------------------
+
+    def assign(self, target, taint: Taint, value=None) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = dict(taint)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, taint, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements = None
+            if isinstance(value, (ast.Tuple, ast.List)) and len(value.elts) == len(
+                target.elts
+            ):
+                elements = value.elts
+            for pos, sub in enumerate(target.elts):
+                if elements is not None:
+                    self.assign(sub, self.eval(elements[pos]), elements[pos])
+                else:
+                    self.assign(sub, taint)
+        elif isinstance(target, ast.Attribute):
+            name = dotted_name(target)
+            if name:
+                self.env[name] = dict(taint)
+        elif isinstance(target, ast.Subscript):
+            # Container write: the container accumulates the value's taint.
+            name = dotted_name(target.value)
+            if name:
+                merge(self.env.setdefault(name, {}), taint)
+
+    # -- expressions -----------------------------------------------------
+
+    def eval(self, node) -> Taint:
+        if node is None or isinstance(node, ast.Constant):
+            return {}
+        if isinstance(node, ast.Name):
+            return dict(self.env.get(node.id, {}))
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node)
+        if isinstance(node, ast.BinOp):
+            return union(self.eval(node.left), self.eval(node.right))
+        if isinstance(node, ast.BoolOp):
+            return union(*(self.eval(v) for v in node.values))
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.Compare):
+            self.eval(node.left)
+            for comparator in node.comparators:
+                self.eval(comparator)
+            return {}  # comparisons yield booleans, not the compared bytes
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return union(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.JoinedStr):
+            return union(*(self.eval(v) for v in node.values))
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return union(*(self.eval(e) for e in node.elts))
+        if isinstance(node, ast.Dict):
+            parts = [self.eval(k) for k in node.keys if k is not None]
+            parts += [self.eval(v) for v in node.values]
+            return union(*parts)
+        if isinstance(node, ast.Subscript):
+            self.eval(node.slice)
+            return self.eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            iter_taint = self._bind_comprehension(node.generators)
+            return union(iter_taint, self.eval(node.elt))
+        if isinstance(node, ast.DictComp):
+            iter_taint = self._bind_comprehension(node.generators)
+            return union(iter_taint, self.eval(node.key), self.eval(node.value))
+        if isinstance(node, ast.NamedExpr):
+            taint = self.eval(node.value)
+            self.assign(node.target, taint)
+            return taint
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.eval(node.value)
+        if isinstance(node, ast.Yield):
+            return self.eval(node.value) if node.value else {}
+        if isinstance(node, ast.Lambda):
+            return {}
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval(part)
+            return {}
+        return {}
+
+    def _eval_attribute(self, node: ast.Attribute) -> Taint:
+        name = dotted_name(node)
+        if name and name in self.env:
+            return dict(self.env[name])
+        for pattern, (tags, origin) in catalog.ATTRIBUTE_SOURCES.items():
+            if match_pattern(name, pattern):
+                return {
+                    tag: f"{origin} at line {node.lineno}" for tag in tags
+                }
+        return self.eval(node.value)
+
+    def _bind_comprehension(self, generators) -> Taint:
+        out: Taint = {}
+        for gen in generators:
+            taint = self.eval(gen.iter)
+            self.assign(gen.target, taint)
+            for cond in gen.ifs:
+                self.eval(cond)
+            merge(out, taint)
+        return out
+
+    # -- calls -----------------------------------------------------------
+
+    def eval_call(self, call: ast.Call) -> Taint:
+        func = call.func
+        dotted = dotted_name(func)
+        arg_nodes = list(call.args) + [kw.value for kw in call.keywords]
+        arg_taints = [self.eval(a) for a in arg_nodes]
+        recv_taint = (
+            self.eval(func.value) if isinstance(func, ast.Attribute) else {}
+        )
+
+        # Verification guards: the path is now authenticated.
+        for guard in catalog.GUARD_SANITIZERS:
+            if match_pattern(dotted, guard.pattern):
+                self._clear_env(guard.clears)
+                return {}
+
+        result: Taint = {}
+        handled = False
+
+        for source in catalog.SOURCES:
+            if not match_pattern(dotted, source.pattern):
+                continue
+            if source.when_arg is not None and not self._has_literal(
+                arg_nodes, source.when_arg
+            ):
+                continue
+            for tag in source.tags:
+                result.setdefault(tag, f"{source.origin} at line {call.lineno}")
+            handled = True
+
+        for sanitizer in catalog.VALUE_SANITIZERS:
+            if match_pattern(dotted, sanitizer.pattern):
+                merge(result, without(union(*arg_taints), sanitizer.clears))
+                handled = True
+
+        all_args = union(*arg_taints)
+        for sink in catalog.CALL_SINKS:
+            if match_pattern(dotted, sink.pattern):
+                self._sink_hit(call, sink.rule, sink.tags, sink.label, all_args)
+                handled = True
+
+        # Exception construction: interpolated secrets leak through
+        # ``str(exc)``, tracebacks and signed audit exports.
+        if isinstance(func, ast.Name) and _EXCEPTION_NAME.match(func.id):
+            self._sink_hit(
+                call,
+                "TAINT001",
+                catalog._KEY,
+                f"exception {func.id}",
+                all_args,
+            )
+            handled = True
+
+        # Constructor calls: building an object neither leaks nor
+        # launders by itself — reads of secret-bearing fields are caught
+        # by ATTRIBUTE_SOURCES (field-name sensitivity).
+        if isinstance(func, ast.Name) and func.id in self.index.class_names:
+            handled = True
+
+        resolved = self.index.resolve(
+            call, module=self.info.module, cls=self.info.cls
+        )
+        for callee in resolved:
+            summary = self.summaries.get(callee.qualname)
+            if summary is None:
+                continue
+            handled = True
+            offset = 1 if self._is_bound_method_call(call, callee) else 0
+            for tag, origin in summary.returns.items():
+                if is_param_tag(tag):
+                    merge(result, self._taint_of_param(call, callee, tag[1], offset))
+                else:
+                    result.setdefault(tag, origin)
+            for record in summary.param_sinks:
+                taint = self._taint_of_param(call, callee, record.index, offset)
+                self._sink_hit(
+                    call,
+                    record.rule,
+                    record.tags,
+                    record.label,
+                    taint,
+                    via=callee.name,
+                )
+
+        if not handled:
+            result = union(recv_taint, *arg_taints)
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and result
+            ):
+                base = dotted_name(func.value)
+                if base:
+                    merge(self.env.setdefault(base, {}), result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _has_literal(arg_nodes, literal: str) -> bool:
+        return any(
+            isinstance(a, ast.Constant) and a.value == literal for a in arg_nodes
+        )
+
+    @staticmethod
+    def _is_bound_method_call(call: ast.Call, callee: FunctionInfo) -> bool:
+        """True when the receiver supplies ``self`` (``obj.m(...)``)."""
+        if callee.cls is None or not callee.params or callee.params[0] not in (
+            "self",
+            "cls",
+        ):
+            return False
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        # ``ClassName.method(obj, ...)`` passes self explicitly.
+        if isinstance(func.value, ast.Name) and func.value.id == callee.cls:
+            return False
+        return True
+
+    def _taint_of_param(
+        self, call: ast.Call, callee: FunctionInfo, index: int, offset: int
+    ) -> Taint:
+        """Taint of the value the caller passes for parameter *index*."""
+        positional = index - offset
+        if 0 <= positional < len(call.args):
+            node = call.args[positional]
+            if isinstance(node, ast.Starred):
+                return self.eval(node.value)
+            return self.eval(node)
+        if index < len(callee.params):
+            wanted = callee.params[index]
+            for kw in call.keywords:
+                if kw.arg == wanted:
+                    return self.eval(kw.value)
+        return {}
+
+    def _clear_env(self, cleared: frozenset) -> None:
+        for name, taint in list(self.env.items()):
+            self.env[name] = without(taint, cleared)
+        self.ret = without(self.ret, cleared)
+
+    def _sink_hit(
+        self,
+        node: ast.AST,
+        rule: str,
+        tags: frozenset,
+        label: str,
+        taint: Taint,
+        via: str | None = None,
+    ) -> None:
+        for tag, origin in taint.items():
+            if is_param_tag(tag):
+                # The caller decides: record "my parameter tag[1] flows
+                # into this sink" so resolved call sites re-check with
+                # the real taint of the argument they pass.
+                self.param_sinks.add(
+                    ParamSinkRecord(index=tag[1], rule=rule, tags=tags, label=label)
+                )
+            elif tag in tags and self.report is not None:
+                message = MESSAGES[rule].format(origin=origin, label=label)
+                if via:
+                    message += f" (via {via}())"
+                self.report(
+                    FlowHit(
+                        rule_id=rule,
+                        relpath=self.info.relpath,
+                        module=self.info.module,
+                        line=getattr(node, "lineno", 1),
+                        col=getattr(node, "col_offset", 0) + 1,
+                        message=message,
+                    )
+                )

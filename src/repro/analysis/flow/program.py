@@ -1,0 +1,91 @@
+"""Whole-program fixpoint over function summaries, plus findings access.
+
+A :class:`FlowProgram` is built once per ``Analyzer.run`` (lazily, on the
+first dataflow rule that asks for it) from every parsed module.  It:
+
+1. indexes all function definitions into a :class:`ProjectIndex`;
+2. iterates bottom-up-ish to a fixpoint: each pass re-interprets every
+   function against the current summary table until no summary changes
+   (recursion-safe — a cycle simply converges because the taint lattice
+   is finite and transfer is monotone);
+3. runs one final *reporting* pass that emits :class:`FlowHit` findings,
+   deduplicated by (rule, path, line, col, message) and filtered through
+   the catalog's per-rule module exemptions.
+
+Rules then pull their slice with :meth:`FlowProgram.findings_for`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .callgraph import ProjectIndex
+from .catalog import EXEMPT_MODULES, EXEMPT_SUMMARY_TAGS
+from .interpret import EMPTY_SUMMARY, FlowHit, FunctionInterpreter, Summary
+from .taint import without
+
+#: Safety valve: summary fixpoints in this tree converge in 2–3 passes;
+#: anything deeper indicates an oscillation bug, so cut off rather than
+#: hang the lint.
+MAX_PASSES = 8
+
+
+class FlowProgram:
+    """Interprocedural taint analysis over a set of parsed modules."""
+
+    def __init__(self, modules: list[tuple[str, str | None, ast.Module]]):
+        """*modules* is a list of ``(relpath, module_name, tree)``."""
+        self.index = ProjectIndex()
+        for relpath, module, tree in modules:
+            self.index.add_module(relpath, module, tree)
+        self.summaries: dict[str, Summary] = {}
+        self.hits: list[FlowHit] = []
+        self.passes_used = 0
+        self._analyze()
+
+    # ------------------------------------------------------------------
+
+    def _analyze(self) -> None:
+        for info in self.index.functions:
+            self.summaries[info.qualname] = EMPTY_SUMMARY
+        for round_number in range(1, MAX_PASSES + 1):
+            self.passes_used = round_number
+            changed = False
+            for info in self.index.functions:
+                summary = FunctionInterpreter(
+                    info, self.index, self.summaries, report=None
+                ).run()
+                exempt = EXEMPT_SUMMARY_TAGS.get(info.module or "")
+                if exempt:
+                    summary = Summary(
+                        returns=without(summary.returns, exempt),
+                        param_sinks=summary.param_sinks,
+                    )
+                if summary.key() != self.summaries[info.qualname].key():
+                    self.summaries[info.qualname] = summary
+                    changed = True
+            if not changed:
+                break
+        seen: set[tuple] = set()
+        for info in self.index.functions:
+            def report(hit: FlowHit) -> None:
+                if hit.module in EXEMPT_MODULES.get(hit.rule_id, ()):
+                    return
+                key = (hit.rule_id, hit.relpath, hit.line, hit.col, hit.message)
+                if key not in seen:
+                    seen.add(key)
+                    self.hits.append(hit)
+
+            FunctionInterpreter(
+                info, self.index, self.summaries, report=report
+            ).run()
+        self.hits.sort(key=lambda h: (h.relpath, h.line, h.col, h.rule_id))
+
+    # ------------------------------------------------------------------
+
+    def findings_for(self, relpath: str, rule_id: str) -> list[FlowHit]:
+        return [
+            hit
+            for hit in self.hits
+            if hit.relpath == relpath and hit.rule_id == rule_id
+        ]

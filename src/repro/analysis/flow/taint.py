@@ -1,0 +1,131 @@
+"""Taint lattice and AST naming helpers for the dataflow engine.
+
+A *taint* is a set of tags attached to an abstract value.  Real tags name
+the security domains the paper's trust argument cares about; symbolic
+``("param", i)`` tags stand for "whatever the caller passes as argument
+*i*" and make function summaries composable (the fixpoint in
+:mod:`repro.analysis.flow.program` resolves them at every call site).
+
+Taints are represented as plain ``dict[tag, str]`` mapping each tag to a
+short human-readable origin ("hkdf() at line 38"), so a finding can say
+*where* the offending value came from, not just that it is tainted.
+Merging unions tags and keeps the first origin seen (deterministic under
+the engine's statement-ordered walk).
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: Key/secret material: HKDF outputs, sealing keys, signing keys, the
+#: session keys the monitor distributes.  Must never reach a log,
+#: telemetry label, exception message or the wire.
+TAG_KEY = "key-material"
+
+#: Bytes read from the untrusted storage device before the MAC **and**
+#: Merkle/anchored-digest freshness walk have passed.  A page MAC alone
+#: is not enough — a replayed stale page carries a valid MAC — so only a
+#: ``verify_*`` call (Merkle walk, anchored-digest check) clears this.
+TAG_STORAGE = "unverified-storage"
+
+#: Bytes popped from the network link before the record MAC
+#: (``constant_time_eq``) has been checked.
+TAG_CHANNEL = "unverified-channel"
+
+#: Decrypted row data inside the trust boundary.  May cross to the other
+#: engine only through channel encryption (``SecureChannel.send`` / an
+#: ``encrypt``-family call), never over the raw link.
+TAG_PLAINTEXT = "plaintext-rows"
+
+REAL_TAGS = frozenset({TAG_KEY, TAG_STORAGE, TAG_CHANNEL, TAG_PLAINTEXT})
+
+#: Tags cleared by one-way functions (hashing, signing): a digest of a
+#: key or of unverified bytes is safe to log, compare and export.
+ALL_CLEARABLE = REAL_TAGS
+
+
+def param_tag(index: int) -> tuple[str, int]:
+    """Symbolic tag for "taint of the caller's argument *index*"."""
+    return ("param", index)
+
+
+def is_param_tag(tag) -> bool:
+    return isinstance(tag, tuple) and len(tag) == 2 and tag[0] == "param"
+
+
+Taint = dict  # tag -> origin string
+
+
+def merge(into: Taint, other: Taint) -> Taint:
+    """Union *other* into *into* (first origin wins), returning *into*."""
+    for tag, origin in other.items():
+        into.setdefault(tag, origin)
+    return into
+
+
+def union(*taints: Taint) -> Taint:
+    out: Taint = {}
+    for taint in taints:
+        merge(out, taint)
+    return out
+
+
+def without(taint: Taint, cleared: frozenset) -> Taint:
+    if not cleared:
+        return dict(taint)
+    return {tag: origin for tag, origin in taint.items() if tag not in cleared}
+
+
+def real_tags(taint: Taint) -> set:
+    return {tag for tag in taint if not is_param_tag(tag)}
+
+
+# ----------------------------------------------------------------------
+# AST naming
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Best-effort dotted rendering of an expression: ``self.device.read_page``.
+
+    Calls and subscripts are looked through (``x().y`` → ``x.y``) so the
+    catalog's suffix patterns match chained expressions too.  Returns
+    ``None`` for expressions with no stable name (literals, operators).
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func)
+    if isinstance(node, ast.Subscript):
+        return dotted_name(node.value)
+    if isinstance(node, ast.Starred):
+        return dotted_name(node.value)
+    return None
+
+
+def match_pattern(dotted: str | None, pattern: str) -> bool:
+    """Suffix-match a call's dotted name against a catalog pattern.
+
+    ``"hkdf"`` matches ``hkdf`` and ``crypto.hkdf``; ``"device.read_page"``
+    matches ``self.device.read_page`` but not ``pager.read_page``.  A
+    trailing ``*`` in the last segment is a prefix wildcard on the final
+    attribute (``"verify_*"`` matches ``tree.verify_leaf``); leading
+    underscores on the final attribute are ignored so private helpers
+    (``_verify_meta_digest``) match the same family.
+    """
+    if dotted is None:
+        return False
+    segments = dotted.split(".")
+    want = pattern.split(".")
+    if len(want) > len(segments):
+        return False
+    tail = segments[-len(want):]
+    for actual, expected in zip(tail, want):
+        if expected.endswith("*"):
+            if not actual.lstrip("_").startswith(expected[:-1]):
+                return False
+        elif actual != expected and actual.lstrip("_") != expected:
+            return False
+    return True

@@ -4,6 +4,6 @@ Importing this package registers every rule with the registry; the
 engine then discovers them via :func:`repro.analysis.registry.all_rules`.
 """
 
-from . import architecture, security  # noqa: F401  (import for side effect)
+from . import architecture, dataflow, security  # noqa: F401  (import for side effect)
 
-__all__ = ["architecture", "security"]
+__all__ = ["architecture", "dataflow", "security"]

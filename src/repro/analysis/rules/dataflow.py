@@ -1,0 +1,133 @@
+"""Dataflow rules: key confinement, verify-before-use, fail-closed.
+
+TAINT001/TAINT002/FLOW001 are thin adapters over the interprocedural
+engine in :mod:`repro.analysis.flow` — they pull the pre-computed hits
+for their module out of the shared :class:`FlowProgram`.  TAINT003 is a
+direct AST check (exception-handler discipline needs no dataflow).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: Exceptions that signal a broken integrity/freshness proof.  Catching
+#: one and carrying on converts a detected attack into silent data loss.
+_FAIL_CLOSED_EXCEPTIONS = {"IntegrityError", "FreshnessError"}
+
+#: Calls that count as routing the violation into the audit trail.
+_AUDIT_CALL_NAMES = {
+    "record_integrity_violation",
+    "_report_violation",
+    "on_violation",
+}
+
+
+class _FlowRule(Rule):
+    """Shared ``check``: surface this module's slice of the flow program."""
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for hit in ctx.flow.findings_for(ctx.relpath, self.rule_id):
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.relpath,
+                line=hit.line,
+                col=hit.col,
+                message=hit.message,
+            )
+
+
+@register
+class KeyConfinement(_FlowRule):
+    rule_id = "TAINT001"
+    title = "key material must not reach logs, telemetry, exceptions or the wire"
+    rationale = (
+        "Derived keys (hkdf, sealing keys, session keys) leak through "
+        "__str__ of log records, telemetry labels, exception messages and "
+        "raw link frames; only ciphertext and digests may leave the "
+        "enclave trust boundary."
+    )
+
+
+@register
+class VerifyBeforeUse(_FlowRule):
+    rule_id = "TAINT002"
+    title = "storage/channel bytes must be MAC+Merkle verified before decoding"
+    rationale = (
+        "Decoding untrusted device or link bytes before the MAC check and "
+        "the Merkle/anchored-digest freshness walk lets a malicious host "
+        "feed forged or replayed pages into query results."
+    )
+
+
+@register
+class PlaintextBoundary(_FlowRule):
+    rule_id = "FLOW001"
+    title = "plaintext rows must not cross the enclave boundary unencrypted"
+    rationale = (
+        "Decrypted row data may leave an engine only through channel "
+        "encryption (SecureChannel / an encrypt-family call); writing it "
+        "to the raw link reveals query contents to the host."
+    )
+
+
+@register
+class FailClosedHandlers(Rule):
+    rule_id = "TAINT003"
+    title = "IntegrityError/FreshnessError must fail closed"
+    rationale = (
+        "An except block that swallows an integrity or freshness failure "
+        "without re-raising or recording it in the monitor's audit log "
+        "turns a detected attack into a silent wrong answer."
+    )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                relevant = self._caught_names(handler) & _FAIL_CLOSED_EXCEPTIONS
+                if not relevant or self._fails_closed(handler):
+                    continue
+                yield self.finding(
+                    ctx,
+                    handler,
+                    f"{'/'.join(sorted(relevant))} caught without re-raise "
+                    "or record_integrity_violation — integrity failures "
+                    "must fail closed into the audit log",
+                )
+
+    @staticmethod
+    def _caught_names(handler: ast.ExceptHandler) -> set[str]:
+        names: set[str] = set()
+        spec = handler.type
+        if spec is None:
+            return {"BaseException"}
+        parts = spec.elts if isinstance(spec, ast.Tuple) else [spec]
+        for part in parts:
+            if isinstance(part, ast.Name):
+                names.add(part.id)
+            elif isinstance(part, ast.Attribute):
+                names.add(part.attr)
+        return names
+
+    @staticmethod
+    def _fails_closed(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if name in _AUDIT_CALL_NAMES:
+                    return True
+        return False

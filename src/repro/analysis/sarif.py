@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 export for ``repro-lint --format sarif``.
+
+The output targets GitHub code scanning: one run, tool metadata with a
+``rules`` array (so findings link to rule help), one result per finding.
+Grandfathered findings are emitted with a ``suppressions`` entry instead
+of being dropped, so code-scanning dashboards show them as suppressed
+rather than fixed.
+"""
+
+from __future__ import annotations
+
+from .findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_URI = "https://github.com/anonymous/ironsafe-repro"
+
+
+def _rule_descriptor(rule) -> dict:
+    return {
+        "id": rule.rule_id,
+        "name": rule.title,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding: Finding, rule_index: dict[str, int], suppressed: bool) -> dict:
+    result = {
+        "ruleId": finding.rule_id,
+        "level": finding.severity.value,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "baselined finding"}
+        ]
+    return result
+
+
+def to_sarif(result, rules, tool_version: str = "0") -> dict:
+    """Render an ``AnalysisResult`` as a SARIF 2.1.0 log dict."""
+    descriptors = [_rule_descriptor(rule) for rule in rules]
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results = [_result(f, rule_index, suppressed=False) for f in result.findings]
+    results += [
+        _result(f, rule_index, suppressed=True) for f in result.grandfathered
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": TOOL_URI,
+                        "version": tool_version,
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }

@@ -288,6 +288,36 @@ class SecurePager:
         self._meta_digests[key] = sha256(mac)
         self._dirty = True
 
+    def _verify_meta_blob(
+        self,
+        key: str,
+        raw: bytes,
+        iv: bytes,
+        ciphertext: bytes,
+        ct_len: int,
+        mac: bytes,
+        expected_digest: bytes,
+    ) -> None:
+        """MAC + trusted-digest verification for one metadata blob.
+
+        The metadata analogue of the Merkle leaf walk: the HMAC proves
+        the blob is one we wrote, the anchored digest proves it is the
+        *latest* one (a rolled-back blob carries a valid MAC but a stale
+        digest).  Split out so the whole authentication decision is one
+        auditable unit; nothing may decrypt before it passes.
+        """
+        if len(raw) != IV_LEN + 4 + ct_len + MAC_LEN or not constant_time_eq(
+            self._meta_mac(key, iv, ciphertext), mac
+        ):
+            raise IntegrityError(
+                f"metadata {key!r}: HMAC mismatch — data was tampered with"
+            )
+        if not constant_time_eq(sha256(mac), expected_digest):
+            raise IntegrityError(
+                f"metadata {key!r}: does not match the trusted digest "
+                "— stale or replayed metadata"
+            )
+
     def read_meta(self, key: str) -> bytes | None:
         """Fetch + verify + decrypt an authenticated metadata blob.
 
@@ -314,17 +344,9 @@ class SecurePager:
             ct_len = int.from_bytes(raw[IV_LEN : IV_LEN + 4], "big")
             ciphertext = raw[IV_LEN + 4 : IV_LEN + 4 + ct_len]
             mac = raw[IV_LEN + 4 + ct_len :]
-            if len(raw) != IV_LEN + 4 + ct_len + MAC_LEN or not constant_time_eq(
-                self._meta_mac(key, iv, ciphertext), mac
-            ):
-                raise IntegrityError(
-                    f"metadata {key!r}: HMAC mismatch — data was tampered with"
-                )
-            if not constant_time_eq(sha256(mac), expected_digest):
-                raise IntegrityError(
-                    f"metadata {key!r}: does not match the trusted digest "
-                    "— stale or replayed metadata"
-                )
+            self._verify_meta_blob(
+                key, raw, iv, ciphertext, ct_len, mac, expected_digest
+            )
         except IntegrityError as exc:
             self._report_violation(-1, exc)
             raise

@@ -1,0 +1,14 @@
+# expect: TAINT002
+"""Known-bad: a channel frame is JSON-decoded before its MAC check."""
+import json
+
+from repro.crypto import constant_time_eq, hmac_sha256
+
+
+def receive(link, mac_key: bytes):
+    frame = link.receive()
+    body, mac = frame[:-32], frame[-32:]
+    request = json.loads(body)  # decode first ...
+    if not constant_time_eq(hmac_sha256(mac_key, body), mac):  # ... MAC too late
+        raise ValueError("bad frame")
+    return request

@@ -1,0 +1,10 @@
+# expect: TAINT002
+"""Known-bad: device bytes are decoded before the Merkle walk runs."""
+from repro.sql.records import unpack_page
+
+
+def scan(device, tree, pgno: int, digest: bytes, root: bytes):
+    raw = device.read_page(pgno)
+    rows = unpack_page(raw)  # decode first ...
+    tree.verify_leaf(pgno, digest, root)  # ... verify too late
+    return rows

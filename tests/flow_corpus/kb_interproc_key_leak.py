@@ -1,0 +1,14 @@
+# expect: TAINT001
+"""Known-bad: the leak crosses a function boundary (summary transfer)."""
+import logging
+
+from repro.crypto import hkdf
+
+
+def derive(root: bytes, purpose: bytes) -> bytes:
+    return hkdf(root, purpose, 32)
+
+
+def audit(root: bytes) -> None:
+    material = derive(root, b"audit")
+    logging.debug("audit material=%r", material)

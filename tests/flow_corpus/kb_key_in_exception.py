@@ -1,0 +1,9 @@
+# expect: TAINT001
+"""Known-bad: key material interpolated into an exception message."""
+from repro.crypto import hkdf
+
+
+def check(root: bytes, expected: bytes) -> None:
+    key = hkdf(root, b"attest", 32)
+    if key != expected:
+        raise ValueError(f"attestation failed for key {key.hex()}")

@@ -1,0 +1,13 @@
+# expect: TAINT001
+"""Known-bad: keys never ride the data channel, even encrypted."""
+from repro.crypto import hkdf
+
+
+class SecureChannel:
+    def send(self, payload: bytes) -> None:
+        self.last = payload
+
+
+def rekey(channel: SecureChannel, root: bytes) -> None:
+    fresh = hkdf(root, b"rekey", 32)
+    channel.send(fresh)

@@ -1,0 +1,11 @@
+# expect: TAINT001
+"""Known-bad: a derived key is interpolated into a log message."""
+import logging
+
+from repro.crypto import hkdf
+
+
+def open_session(root: bytes, session_id: str) -> bytes:
+    key = hkdf(root, session_id.encode(), 32)
+    logging.info("session %s key %s", session_id, key)
+    return key

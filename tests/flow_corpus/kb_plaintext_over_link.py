@@ -1,0 +1,7 @@
+# expect: FLOW001
+"""Known-bad: decrypted rows leave the enclave over the raw link."""
+
+
+def ship(pager, link, pgnos: list) -> None:
+    for payload in pager.read_pages(pgnos):
+        link.send(payload)

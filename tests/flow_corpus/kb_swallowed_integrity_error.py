@@ -1,0 +1,13 @@
+# expect: TAINT003
+"""Known-bad: a detected integrity failure is silently swallowed."""
+from repro.errors import IntegrityError
+
+
+def read_all(pager, count: int) -> list:
+    pages = []
+    for pgno in range(count):
+        try:
+            pages.append(pager.read_page(pgno))
+        except IntegrityError:
+            continue  # pretend the page never existed
+    return pages

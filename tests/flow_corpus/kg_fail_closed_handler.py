@@ -1,0 +1,14 @@
+# expect: none
+"""Known-good: integrity failures are audited and re-raised."""
+from repro.errors import IntegrityError
+
+
+def read_all(pager, monitor, count: int) -> list:
+    pages = []
+    for pgno in range(count):
+        try:
+            pages.append(pager.read_page(pgno))
+        except IntegrityError as exc:
+            monitor.record_integrity_violation(pgno, exc)
+            raise
+    return pages

@@ -1,0 +1,8 @@
+# expect: none
+"""Known-good: the key is only used to encrypt; ciphertext may ship."""
+from repro.crypto import hash_ctr_crypt, hkdf
+
+
+def ship(link, root: bytes, nonce: bytes, payload: bytes) -> None:
+    key = hkdf(root, b"channel-enc", 32)
+    link.send(hash_ctr_crypt(key, nonce, payload))

@@ -1,0 +1,13 @@
+# expect: none
+"""Known-good: MAC first, decode after."""
+import json
+
+from repro.crypto import constant_time_eq, hmac_sha256
+
+
+def receive(link, mac_key: bytes):
+    frame = link.receive()
+    body, mac = frame[:-32], frame[-32:]
+    if not constant_time_eq(hmac_sha256(mac_key, body), mac):
+        raise ValueError("bad frame")
+    return json.loads(body)

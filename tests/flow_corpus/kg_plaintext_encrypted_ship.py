@@ -1,0 +1,8 @@
+# expect: none
+"""Known-good: rows are channel-encrypted before they touch the link."""
+from repro.crypto import hash_ctr_crypt
+
+
+def ship(pager, link, enc_key: bytes, nonce: bytes, pgnos: list) -> None:
+    for payload in pager.read_pages(pgnos):
+        link.send(hash_ctr_crypt(enc_key, nonce, payload))

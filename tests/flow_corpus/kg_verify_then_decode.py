@@ -1,0 +1,9 @@
+# expect: none
+"""Known-good: the Merkle walk authenticates the page before decode."""
+from repro.sql.records import unpack_page
+
+
+def scan(device, tree, pgno: int, digest: bytes, root: bytes):
+    raw = device.read_page(pgno)
+    tree.verify_leaf(pgno, digest, root)
+    return unpack_page(raw)

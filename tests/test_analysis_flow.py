@@ -1,0 +1,462 @@
+"""Tests for the interprocedural taint/dataflow engine (repro.analysis.flow).
+
+Four layers:
+
+* propagation properties — taint must survive tuple unpacking, augmented
+  assignment, comprehensions, ``dict.get`` chains and decorator-wrapped
+  helpers (the shapes that defeat naive def-use matching);
+* the regression corpus under ``tests/flow_corpus/`` — every known-bad
+  snippet fires exactly its expected rules, every known-good snippet is
+  clean;
+* seeded mutations of the real tree — deleting the batch Merkle walk in
+  ``SecurePager.read_pages`` must fire TAINT002, logging a derived key in
+  ``KeyManager.open_session`` must fire TAINT001;
+* CLI plumbing — SARIF 2.1.0 structure, ``--explain``, exit 2 on empty
+  path sets, and the baseline multiset tiebreaker.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import main as cli_main
+from repro.analysis.engine import Analyzer, collect_files
+from repro.analysis.findings import Finding
+from repro.analysis.flow import FlowProgram
+from repro.analysis.registry import select_rules
+
+REPO = Path(__file__).resolve().parent.parent
+CORPUS = Path(__file__).resolve().parent / "flow_corpus"
+FLOW_RULES = ["TAINT001", "TAINT002", "TAINT003", "FLOW001"]
+
+
+def flow_hits(source: str) -> set[tuple[str, int]]:
+    """Run the dataflow program over one snippet; return (rule, line) pairs."""
+    tree = ast.parse(textwrap.dedent(source))
+    program = FlowProgram([("snippet.py", None, tree)])
+    return {(h.rule_id, h.line) for h in program.hits}
+
+
+def flow_rule_ids(source: str) -> set[str]:
+    return {rule for rule, _ in flow_hits(source)}
+
+
+class TestPropagation:
+    def test_tuple_unpacking_is_element_wise(self):
+        hits = flow_hits(
+            """
+            def f(root, link):
+                key, label = hkdf(root, b"x", 32), "session-1"
+                print(label)
+                print(key)
+            """
+        )
+        assert hits == {("TAINT001", 5)}  # only the key, not the label
+
+    def test_nested_tuple_unpacking(self):
+        assert flow_rule_ids(
+            """
+            def f(root):
+                (key, salt), n = (hkdf(root, b"x", 32), b"s"), 3
+                print(key)
+            """
+        ) == {"TAINT001"}
+
+    def test_augmented_assignment_accumulates(self):
+        assert flow_rule_ids(
+            """
+            def f(root):
+                blob = b"prefix:"
+                blob += hkdf(root, b"x", 32)
+                print(blob)
+            """
+        ) == {"TAINT001"}
+
+    def test_comprehension_binds_iteration_taint(self):
+        assert flow_rule_ids(
+            """
+            def f(root, infos):
+                keys = [hkdf(root, info, 32) for info in infos]
+                hexed = [k.hex() for k in keys]
+                print(hexed)
+            """
+        ) == {"TAINT001"}
+
+    def test_dict_get_chain(self):
+        assert flow_rule_ids(
+            """
+            def f(root):
+                vault = {"page": hkdf(root, b"page", 32)}
+                print(vault.get("page"))
+            """
+        ) == {"TAINT001"}
+
+    def test_decorator_wrapped_function_summary(self):
+        assert flow_rule_ids(
+            """
+            def traced(fn):
+                return fn
+
+            @traced
+            def derive(root):
+                return hkdf(root, b"x", 32)
+
+            def audit(root):
+                print(derive(root))
+            """
+        ) == {"TAINT001"}
+
+    def test_for_loop_target(self):
+        assert flow_rule_ids(
+            """
+            def f(pager, link, pgnos):
+                for payload in pager.read_pages(pgnos):
+                    link.send(payload)
+            """
+        ) == {"FLOW001"}
+
+    def test_digest_declassifies(self):
+        assert (
+            flow_rule_ids(
+                """
+                def f(root):
+                    key = hkdf(root, b"x", 32)
+                    print(sha256(key).hex())
+                """
+            )
+            == set()
+        )
+
+    def test_guard_is_flow_sensitive(self):
+        # Decode *before* the MAC check fires; after it, clean.
+        bad = flow_rule_ids(
+            """
+            def f(link, mac_key):
+                frame = link.receive()
+                obj = json.loads(frame)
+                if not constant_time_eq(hmac_sha256(mac_key, frame), frame):
+                    raise ValueError("bad")
+                return obj
+            """
+        )
+        good = flow_rule_ids(
+            """
+            def f(link, mac_key):
+                frame = link.receive()
+                if not constant_time_eq(hmac_sha256(mac_key, frame), frame):
+                    raise ValueError("bad")
+                return json.loads(frame)
+            """
+        )
+        assert "TAINT002" in bad and good == set()
+
+    def test_mac_alone_does_not_clear_storage_taint(self):
+        # constant_time_eq proves integrity, not freshness: storage bytes
+        # stay tainted until a verify_* (Merkle) walk.
+        assert flow_rule_ids(
+            """
+            def f(device, mac_key, pgno):
+                raw = device.read_page(pgno)
+                if not constant_time_eq(hmac_sha256(mac_key, raw), raw):
+                    raise ValueError("bad")
+                return unpack_page(raw)
+            """
+        ) == {"TAINT002"}
+
+    def test_handler_guard_does_not_sanitize_fallthrough(self):
+        # A verify call inside an except handler must not clear taint on
+        # the non-exceptional path.
+        assert flow_rule_ids(
+            """
+            def f(device, tree, pgno, digest, root):
+                raw = device.read_page(pgno)
+                try:
+                    pass
+                except Exception:
+                    tree.verify_leaf(pgno, digest, root)
+                return unpack_page(raw)
+            """
+        ) == {"TAINT002"}
+
+    def test_exception_interpolation(self):
+        assert flow_rule_ids(
+            """
+            def f(root):
+                key = hkdf(root, b"x", 32)
+                raise ValueError(f"bad key {key.hex()}")
+            """
+        ) == {"TAINT001"}
+
+    def test_interprocedural_two_hop_summary(self):
+        assert flow_rule_ids(
+            """
+            def inner(root):
+                return hkdf(root, b"x", 32)
+
+            def outer(root):
+                return inner(root)
+
+            def audit(root):
+                print(outer(root))
+            """
+        ) == {"TAINT001"}
+
+    def test_recursion_terminates(self):
+        program_hits = flow_hits(
+            """
+            def walk(root, depth):
+                if depth == 0:
+                    return hkdf(root, b"x", 32)
+                return walk(root, depth - 1)
+
+            def audit(root):
+                print(walk(root, 3))
+            """
+        )
+        assert ("TAINT001", 8) in program_hits
+
+
+class TestCorpus:
+    @pytest.mark.parametrize(
+        "snippet", sorted(CORPUS.glob("*.py")), ids=lambda p: p.stem
+    )
+    def test_snippet(self, snippet):
+        header = [
+            line
+            for line in snippet.read_text().splitlines()
+            if line.startswith("# expect:")
+        ]
+        assert header, f"{snippet.name} has no '# expect:' header"
+        expected = set()
+        for line in header:
+            value = line.split(":", 1)[1].strip()
+            if value != "none":
+                expected.update(v.strip() for v in value.split(","))
+
+        analyzer = Analyzer(rules=select_rules(FLOW_RULES), root=CORPUS)
+        result = analyzer.run([snippet])
+        got = {f.rule_id for f in result.findings}
+        assert got == expected, (
+            f"{snippet.name}: expected {sorted(expected)}, got "
+            f"{[f.render() for f in result.findings]}"
+        )
+
+    def test_corpus_has_positive_and_negative_for_every_rule(self):
+        names = [p.stem for p in CORPUS.glob("*.py")]
+        assert any(n.startswith("kb_") for n in names)
+        assert any(n.startswith("kg_") for n in names)
+        # Each rule must be demonstrated by at least one known-bad file.
+        fired = set()
+        for snippet in CORPUS.glob("kb_*.py"):
+            for line in snippet.read_text().splitlines():
+                if line.startswith("# expect:"):
+                    fired.update(
+                        v.strip() for v in line.split(":", 1)[1].split(",")
+                    )
+        assert fired >= set(FLOW_RULES)
+
+
+def _copy_tree_and_lint(tmp_path: Path, mutate, select: list[str]):
+    tree = tmp_path / "repro"
+    shutil.copytree(REPO / "src" / "repro", tree)
+    mutate(tree)
+    analyzer = Analyzer(rules=select_rules(select), root=tmp_path)
+    return analyzer.run([tree])
+
+
+class TestSeededMutations:
+    def test_clean_tree_has_no_flow_findings(self, tmp_path):
+        result = _copy_tree_and_lint(tmp_path, lambda tree: None, FLOW_RULES)
+        assert result.findings == []
+
+    def test_deleting_batch_merkle_walk_fires_taint002(self, tmp_path):
+        def mutate(tree: Path) -> None:
+            pager = tree / "storage" / "securepager.py"
+            source = pager.read_text()
+            call = "self.tree.verify_leaves(misses, digests, self._trusted_root)"
+            assert call in source
+            pager.write_text(source.replace(call, "pass"))
+
+        result = _copy_tree_and_lint(tmp_path, mutate, ["TAINT002"])
+        assert any(
+            f.rule_id == "TAINT002" and "securepager" in f.path
+            for f in result.findings
+        ), [f.render() for f in result.findings]
+
+    def test_logging_derived_key_fires_taint001(self, tmp_path):
+        def mutate(tree: Path) -> None:
+            km = tree / "monitor" / "keymanager.py"
+            source = km.read_text()
+            anchor = "key = hkdf(self._root, session_id.encode(), 32)"
+            assert anchor in source
+            km.write_text(
+                source.replace(
+                    anchor, anchor + '\n        print("derived", key)'
+                )
+            )
+
+        result = _copy_tree_and_lint(tmp_path, mutate, ["TAINT001"])
+        assert any(
+            f.rule_id == "TAINT001" and "keymanager" in f.path
+            for f in result.findings
+        ), [f.render() for f in result.findings]
+
+    def test_swallowing_integrity_error_fires_taint003(self, tmp_path):
+        def mutate(tree: Path) -> None:
+            stores = tree / "sql" / "stores.py"
+            source = stores.read_text()
+            stores.write_text(
+                source
+                + "\n\ndef quiet_scan(pager, pgno):\n"
+                "    from ..errors import IntegrityError\n"
+                "    try:\n"
+                "        return pager.read_page(pgno)\n"
+                "    except IntegrityError:\n"
+                "        return None\n"
+            )
+
+        result = _copy_tree_and_lint(tmp_path, mutate, ["TAINT003"])
+        assert any(f.rule_id == "TAINT003" for f in result.findings)
+
+
+def _validate_sarif(log: dict) -> None:
+    """Hand-rolled structural check against the SARIF 2.1.0 shape."""
+    assert log["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in log["$schema"]
+    assert isinstance(log["runs"], list) and len(log["runs"]) == 1
+    run = log["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert isinstance(driver["rules"], list) and driver["rules"]
+    for rule in driver["rules"]:
+        assert rule["id"]
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in (
+            "none", "note", "warning", "error",
+        )
+    rule_ids = {r["id"] for r in driver["rules"]}
+    for result in run["results"]:
+        assert result["ruleId"] in rule_ids
+        assert result["level"] in ("none", "note", "warning", "error")
+        assert result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+        if "ruleIndex" in result:
+            assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+        for suppression in result.get("suppressions", []):
+            assert suppression["kind"] in ("inSource", "external")
+
+
+class TestSarifExport:
+    def test_sarif_output_is_valid(self, tmp_path):
+        snippet = tmp_path / "leak.py"
+        snippet.write_text(
+            "import logging\n"
+            "def f(root):\n"
+            "    key = hkdf(root, b'x', 32)\n"
+            "    logging.info('k=%r', key)\n"
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.analysis",
+                str(snippet), "--format", "sarif",
+            ],
+            capture_output=True, text=True,
+            cwd=REPO, env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        log = json.loads(proc.stdout)
+        _validate_sarif(log)
+        assert any(
+            r["ruleId"] == "TAINT001" for r in log["runs"][0]["results"]
+        )
+
+    def test_grandfathered_findings_become_suppressions(self, tmp_path):
+        snippet = tmp_path / "leak.py"
+        snippet.write_text("def f(root):\n    print(hkdf(root, b'x', 32))\n")
+        analyzer = Analyzer(rules=select_rules(["TAINT001"]), root=tmp_path)
+        first = analyzer.run([snippet])
+        baseline = Baseline.from_findings(first.findings)
+        second = analyzer.run([snippet], baseline=baseline)
+
+        from repro.analysis.sarif import to_sarif
+
+        log = to_sarif(second, select_rules(["TAINT001"]))
+        _validate_sarif(log)
+        results = log["runs"][0]["results"]
+        assert len(results) == 1 and results[0]["suppressions"]
+
+
+class TestCliPlumbing:
+    def test_empty_path_set_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert cli_main([str(empty)]) == 2
+        assert "no Python files" in capsys.readouterr().err
+
+    def test_collect_files_raises_on_empty(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_files([tmp_path])
+
+    def test_explain_lists_catalog(self, capsys):
+        assert cli_main(["--explain", "TAINT001"]) == 0
+        out = capsys.readouterr().out
+        assert "hkdf" in out and "sources:" in out and "sanitizers:" in out
+
+    def test_explain_unknown_rule_exits_2(self, capsys):
+        assert cli_main(["--explain", "TAINT999"]) == 2
+
+    def test_analyzer_does_not_swallow_keyboard_interrupt(
+        self, tmp_path, monkeypatch
+    ):
+        victim = tmp_path / "mod.py"
+        victim.write_text("x = 1\n")
+        original = Path.read_text
+
+        def boom(self, *args, **kwargs):
+            if self.name == "mod.py":
+                raise KeyboardInterrupt
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", boom)
+        with pytest.raises(KeyboardInterrupt):
+            Analyzer(rules=select_rules(["SEC001"]), root=tmp_path).run([victim])
+
+
+class TestBaselineMultiset:
+    def _finding(self, line: int, message: str = "dup") -> Finding:
+        return Finding(
+            rule_id="SEC001", path="a.py", line=line, col=1, message=message
+        )
+
+    def test_duplicate_identities_consume_counts(self):
+        baseline = Baseline.from_findings([self._finding(1)])
+        new, old = baseline.split([self._finding(1), self._finding(9)])
+        assert [f.line for f in old] == [1]
+        assert [f.line for f in new] == [9]
+
+    def test_tiebreak_is_occurrence_ordered_not_input_ordered(self):
+        baseline = Baseline.from_findings([self._finding(1)])
+        # Same findings, reversed input order: the earliest occurrence
+        # (line 1) must still be the grandfathered one.
+        new, old = baseline.split([self._finding(9), self._finding(1)])
+        assert [f.line for f in old] == [1]
+        assert [f.line for f in new] == [9]
+
+    def test_duplicates_round_trip_through_dump_and_load(self, tmp_path):
+        findings = [self._finding(1), self._finding(9)]
+        Baseline.from_findings(findings).dump(tmp_path / "b.json")
+        loaded = Baseline.load(tmp_path / "b.json")
+        new, old = loaded.split(findings + [self._finding(20)])
+        assert len(old) == 2 and [f.line for f in new] == [20]

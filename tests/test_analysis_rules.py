@@ -637,11 +637,15 @@ class TestFramework:
             "ARCH004",
             "ARCH005",
             "ARCH006",
+            "FLOW001",
             "SEC001",
             "SEC002",
             "SEC003",
             "SEC004",
             "SEC005",
+            "TAINT001",
+            "TAINT002",
+            "TAINT003",
         ]
 
     def test_unknown_rule_rejected(self):
