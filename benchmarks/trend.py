@@ -1,0 +1,114 @@
+"""Compare two directories of ``BENCH_*.json`` payloads for sim-time drift.
+
+CI downloads the previous successful main run's benchmark artifacts into a
+baseline directory, runs the current benchmarks, then invokes::
+
+    python benchmarks/trend.py <baseline-dir> <current-dir>
+
+Every numeric leaf whose key ends in ``_ms`` or ``_ns`` is treated as a
+simulated-time measurement and compared path-by-path.  A regression above
+the threshold (default 20%) prints a GitHub Actions ``::warning::``
+annotation — the step never fails the build, because simulated time moves
+for legitimate reasons (cost-model retuning, new phases); the annotation
+just makes the drift impossible to miss in review.
+
+Deterministic by construction: the payloads carry simulated nanoseconds,
+so any drift is a real modelling change, never runner noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+THRESHOLD = 0.20
+
+_TIME_SUFFIXES = ("_ms", "_ns")
+
+
+def _time_leaves(node, path="", key=""):
+    """Yield ``(dotted.path, value)`` for numeric leaves under time keys."""
+    if isinstance(node, dict):
+        for name, child in sorted(node.items()):
+            child_path = f"{path}.{name}" if path else str(name)
+            yield from _time_leaves(child, child_path, str(name))
+    elif isinstance(node, list):
+        for i, child in enumerate(node):
+            yield from _time_leaves(child, f"{path}[{i}]", key)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        if any(key.endswith(suffix) for suffix in _TIME_SUFFIXES):
+            yield path, float(node)
+
+
+def _load_dir(directory: Path) -> dict[str, dict[str, float]]:
+    """Map bench name -> {leaf path: value} for every BENCH_*.json found."""
+    out: dict[str, dict[str, float]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"trend: skipping unreadable {path}: {exc}", file=sys.stderr)
+            continue
+        out[path.stem] = dict(_time_leaves(document.get("result", document)))
+    return out
+
+
+def compare(baseline: Path, current: Path, threshold: float = THRESHOLD) -> int:
+    """Print drift report; return the number of regressions over threshold."""
+    old = _load_dir(baseline)
+    new = _load_dir(current)
+    if not old:
+        print(f"trend: no baseline payloads under {baseline}; nothing to compare")
+        return 0
+
+    regressions = 0
+    for bench in sorted(new):
+        if bench not in old:
+            print(f"trend: {bench}: new benchmark, no baseline")
+            continue
+        compared = 0
+        for leaf, value in sorted(new[bench].items()):
+            before = old[bench].get(leaf)
+            if before is None or before <= 0:
+                continue
+            compared += 1
+            delta = (value - before) / before
+            if delta > threshold:
+                regressions += 1
+                print(
+                    f"::warning title=sim-time regression::{bench} {leaf}: "
+                    f"{before:g} -> {value:g} (+{delta:.0%}, threshold "
+                    f"{threshold:.0%})"
+                )
+        print(f"trend: {bench}: {compared} sim-time leaves compared")
+    if regressions:
+        print(f"trend: {regressions} leaf/leaves regressed more than {threshold:.0%}")
+    else:
+        print("trend: no sim-time regressions above threshold")
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="trend.py", description="warn on BENCH_*.json sim-time regressions"
+    )
+    parser.add_argument("baseline", type=Path, help="directory with previous payloads")
+    parser.add_argument("current", type=Path, help="directory with this run's payloads")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=THRESHOLD,
+        help="relative regression that triggers a warning (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    if not args.baseline.is_dir():
+        print(f"trend: baseline directory {args.baseline} missing; skipping")
+        return 0
+    compare(args.baseline, args.current, args.threshold)
+    return 0  # advisory only: annotations warn, the build never fails here
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -175,6 +175,24 @@ CALL_SINKS: tuple[CallSink, ...] = (
     CallSink("tracer.event", "TAINT001", _KEY, "telemetry event"),
     CallSink("tracer.span", "TAINT001", _KEY, "telemetry span"),
     CallSink("metrics.counter", "TAINT001", _KEY, "metric label"),
+    # -- observable-event taps (repro.telemetry.obsv) ------------------
+    # Observable traces model the *adversary's* record: feeding them key
+    # material or decrypted row bytes would turn the leakage meter into a
+    # leak.  Taps pass indices and byte counts only (``len`` sanitizes).
+    CallSink("obsv.observe", "TAINT001", _KEY, "observable-event tap"),
+    CallSink(
+        "obsv.observe",
+        "FLOW001",
+        frozenset({TAG_PLAINTEXT}),
+        "observable-event tap",
+    ),
+    CallSink("obsv.annotate", "TAINT001", _KEY, "observable-trace attr"),
+    CallSink(
+        "obsv.annotate",
+        "FLOW001",
+        frozenset({TAG_PLAINTEXT}),
+        "observable-trace attr",
+    ),
     # -- the raw (unencrypted) link ------------------------------------
     CallSink("link.send", "TAINT001", _KEY, "raw network link"),
     CallSink(
@@ -206,6 +224,28 @@ PARAM_SINKS: dict[str, tuple[ParamSink, ...]] = {
     "write_jsonl": (ParamSink("traces", "TAINT001", _KEY, "JSONL exporter"),),
     "to_chrome_trace": (
         ParamSink("traces", "TAINT001", _KEY, "Chrome-trace exporter"),
+    ),
+    # Observable traces are the adversary's own record (exported to
+    # untrusted files for leakage metering): plaintext rows or key
+    # material must never reach the recorder or its exporter.
+    "ObservableRecorder.observe": (
+        ParamSink("detail", "TAINT001", _KEY, "observable-event tap"),
+        ParamSink(
+            "detail", "FLOW001", frozenset({TAG_PLAINTEXT}), "observable-event tap"
+        ),
+        ParamSink("actor", "TAINT001", _KEY, "observable-event tap"),
+        ParamSink(
+            "actor", "FLOW001", frozenset({TAG_PLAINTEXT}), "observable-event tap"
+        ),
+    ),
+    "write_obsv_jsonl": (
+        ParamSink("traces", "TAINT001", _KEY, "observable-trace exporter"),
+        ParamSink(
+            "traces",
+            "FLOW001",
+            frozenset({TAG_PLAINTEXT}),
+            "observable-trace exporter",
+        ),
     ),
 }
 

@@ -1,4 +1,4 @@
-"""Architecture-conformance rules (ARCH001–ARCH006).
+"""Architecture-conformance rules (ARCH001–ARCH007).
 
 The reproduction's trust argument depends on its layering: ``crypto`` is
 the bottom of the TCB, enclave internals are reachable only through the
@@ -374,6 +374,44 @@ class StatsSurfaceViolation(Rule):
                 message=(
                     f"stats may import repro.sql only via "
                     f"{', '.join(sorted(STATS_ALLOWED_SQL_MODULES))}; "
+                    f"found import of {record.module!r}"
+                ),
+            )
+
+
+# The adversary-view observability package (repro.telemetry.obsv) models
+# what the untrusted host/storage can see.  It must stay a pure consumer
+# of recorded traces: telemetry internals, shared errors and simulated
+# time only — pulling in storage, core or crypto would let the "adversary"
+# peek inside the trust boundary it is supposed to sit outside of.
+OBSV_PREFIX = "repro.telemetry.obsv"
+OBSV_ALLOWED_SUBPACKAGES = frozenset({"telemetry", "errors", "sim"})
+
+
+@register
+class ObsvConfinementViolation(Rule):
+    rule_id = "ARCH007"
+    title = "adversary-view package exceeds its import surface"
+    rationale = "the leakage meter models the adversary; it must not join the system"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        module = ctx.module
+        if module is None:
+            return
+        if module != OBSV_PREFIX and not module.startswith(OBSV_PREFIX + "."):
+            return
+        for record in ctx.graph.imports_of(module):
+            target = top_subpackage(record.module)
+            if target in OBSV_ALLOWED_SUBPACKAGES:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.relpath,
+                line=record.lineno,
+                col=record.col,
+                message=(
+                    f"repro.telemetry.obsv may import only "
+                    f"{', '.join(sorted(OBSV_ALLOWED_SUBPACKAGES))}; "
                     f"found import of {record.module!r}"
                 ),
             )

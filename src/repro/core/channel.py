@@ -61,6 +61,13 @@ class SecureChannel:
             self.tracer.event(
                 SPAN_CHANNEL_SEND, node=self.local, seq=seq, bytes=len(payload)
             )
+        if self.tracer.obsv is not None:
+            # The adversary sees the whole wire record (seq + MAC +
+            # ciphertext) and the direction — never the payload length.
+            self.tracer.obsv.observe(
+                "channel", "send", seq, len(record),
+                actor=f"{self.local}->{self.peer}",
+            )
         self.link.send(self.local, self.peer, record, meter=self.meter, charge_time=charge_time)
 
     def receive(self) -> bytes:
@@ -82,6 +89,11 @@ class SecureChannel:
             raise ChannelError("channel record MAC invalid: tampering detected")
         self._recv_seq += 1
         self.meter.channel_bytes_encrypted += len(ciphertext)
+        if self.tracer.obsv is not None:
+            self.tracer.obsv.observe(
+                "channel", "recv", seq, len(record),
+                actor=f"{self.peer}->{self.local}",
+            )
         return hash_ctr_crypt(self._enc_key, self._nonce(seq), ciphertext)
 
 

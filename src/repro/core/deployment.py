@@ -39,6 +39,8 @@ from ..telemetry import (
     NODE_NETWORK,
     NODE_STORAGE,
     NOOP_TRACER,
+    FlightRecorder,
+    ObservableRecorder,
     RecordingTracer,
     SPAN_ATTESTATION,
     SPAN_CHANNEL_SHIP,
@@ -294,6 +296,8 @@ class Deployment:
         self._cipher = cipher
         self.partitioner = QueryPartitioner(self.storage_engine.db.store.catalog)
         self._attested = False
+        # Adversary-view recorder (installed by enable_observability).
+        self._obsv: ObservableRecorder | None = None
         # Storage-side integrity failures are reported to the monitor so
         # tampering attempts land in the hash-chained operations log.
         self.storage_engine.pager.on_violation = self._storage_violation
@@ -309,6 +313,12 @@ class Deployment:
         self.host_engine.tracer = self.tracer
         self.storage_engine.tracer = self.tracer
         self.storage_engine_plain.tracer = self.tracer
+        # Re-attach the observable-event recorder when the tracer changes
+        # out from under it.  Only ever on an *enabled* tracer: NOOP_TRACER
+        # is a shared singleton, and hanging a recorder off it would leak
+        # observability into every other deployment.
+        if self._obsv is not None and self.tracer.enabled:
+            self.tracer.obsv = self._obsv
 
     def enable_tracing(self, tracer: Tracer | None = None) -> Tracer:
         """Install (and return) a recording tracer across all layers.
@@ -320,6 +330,31 @@ class Deployment:
         self.tracer = tracer if tracer is not None else RecordingTracer(clock=self.clock)
         self._bind_tracer()
         return self.tracer
+
+    def enable_observability(
+        self, *, flight_dir: str | None = None, ring_capacity: int = 256
+    ) -> ObservableRecorder:
+        """Install the adversary-view taps (``repro.telemetry.obsv``).
+
+        Every trust-boundary crossing — device page/metadata traffic on
+        both devices, secure-channel records, RPMB anchor accesses — is
+        recorded into one :class:`~repro.telemetry.ObservableTrace` per
+        query, ready for leakage metering.  A flight recorder rings the
+        most recent events and dumps a correlated incident report (to
+        *flight_dir* if given) whenever an integrity/freshness violation
+        fires.  Like tracing, observation never charges the simulated
+        clock: rows, meters and sim-ns stay byte-identical.
+        """
+        if not self.tracer.enabled:
+            self.enable_tracing()
+        recorder = ObservableRecorder(
+            flight=FlightRecorder(capacity=ring_capacity, directory=flight_dir)
+        )
+        self._obsv = recorder
+        self.tracer.obsv = recorder
+        self.secure_device.obsv = recorder
+        self.plain_device.obsv = recorder
+        return recorder
 
     # ------------------------------------------------------------------
     # Performance layer
@@ -345,6 +380,44 @@ class Deployment:
     def _storage_violation(self, pgno: int, reason: str) -> None:
         """Secure-pager hook: audit integrity failures before they raise."""
         self.monitor.record_integrity_violation("storage-1", pgno, reason)
+        self._flight_dump("storage-1", pgno, reason)
+
+    def _host_violation(self, pgno: int, reason: str) -> None:
+        """Host-side pager hook (host-only secure configuration)."""
+        self.monitor.record_integrity_violation("host-1", pgno, reason)
+        self._flight_dump("host-1", pgno, reason)
+
+    def _flight_dump(self, node: str, pgno: int, reason: str) -> None:
+        """Dump one flight-recorder incident for a just-audited violation.
+
+        Runs *after* ``record_integrity_violation``, so the operations
+        log's head entry — included as the incident's ``audit_head`` — is
+        the violation entry itself: the forensic artifact is pinned to
+        the tamper-evident chain.
+        """
+        obsv = self._obsv
+        if obsv is None:
+            return
+        audit_head = None
+        try:
+            ops = self.monitor.audit_log("operations")
+        except MonitorError:
+            ops = None
+        if ops is not None and ops.entries:
+            last = ops.entries[-1]
+            audit_head = {
+                "log": "operations",
+                "sequence": last.sequence,
+                "digest": last.digest().hex(),
+            }
+        spans: list[dict] = []
+        active = getattr(self.tracer, "_active", None)
+        if active is not None:
+            spans = [span.to_dict() for span in active.spans[-16:]]
+        obsv.dump_incident(
+            page=pgno, reason=reason, node=node,
+            audit_head=audit_head, spans=spans,
+        )
 
     # ------------------------------------------------------------------
     # Attestation (Table 4 path)
@@ -399,6 +472,44 @@ class Deployment:
             else self.storage_memory_bytes
         )
         run_config = run_config if run_config is not None else self.run_config
+        # One observable trace per query window.  The attributes carry the
+        # configuration only — never the SQL text: the predicate constant
+        # is exactly the secret the leakage meter measures, so the
+        # adversary's record must not contain it.
+        obsv = self._obsv
+        if obsv is not None:
+            obsv.begin_query(config=config)
+        try:
+            result = self._run_query_traced(
+                sql, statement, config, cpus=cpus, memory=memory,
+                manual_partition=manual_partition, authorization=authorization,
+                run_config=run_config,
+            )
+        except BaseException:
+            if obsv is not None:
+                obsv.end_query(status="error")
+            raise
+        if obsv is not None:
+            obsv.end_query(
+                sim_ns=result.breakdown.total_ns,
+                rows=len(result.rows),
+                bytes_shipped=result.bytes_shipped,
+            )
+        self._absorb_run_metrics(result, config)
+        return result
+
+    def _run_query_traced(
+        self,
+        sql: str,
+        statement: A.Select,
+        config: str,
+        *,
+        cpus: int,
+        memory: int,
+        manual_partition,
+        authorization,
+        run_config: RunConfig,
+    ) -> RunResult:
         # Root span when called standalone; when the client library already
         # opened the query root, the phases below attach to it instead.
         with self.tracer.maybe_root(
@@ -429,7 +540,6 @@ class Deployment:
                 )
             root.set_sim_ns(result.breakdown.total_ns)
             root.set_attrs(rows=len(result.rows), bytes_shipped=result.bytes_shipped)
-        self._absorb_run_metrics(result, config)
         return result
 
     def _absorb_run_metrics(self, result: RunResult, config: str) -> None:
@@ -443,6 +553,13 @@ class Deployment:
         metrics.histogram("query_sim_ms", config=config).observe(
             result.breakdown.total_ms
         )
+        if self._obsv is not None:
+            # Observation counters live on the recorder's own meter (they
+            # never touch run meters or the cost model); the registry still
+            # absorbs them so `repro-trace summary` sees them first-class.
+            metrics.absorb_meter(
+                self._obsv.take_meter_delta(), node="obsv", phase=config
+            )
 
     # -- concurrent multi-session execution ---------------------------------
 
@@ -483,10 +600,16 @@ class Deployment:
             SPAN_SCHEDULER, node=NODE_HOST, sessions=len(specs), workers=workers
         ) as root:
             sessions: list[ConcurrentSession] = []
+            obsv = self._obsv
             for index, (sql, cfg) in enumerate(specs):
                 session_id = f"local-{index:04d}"
                 key_digest = ""
                 proof = None
+                if obsv is not None:
+                    # Label the observable stream before admission so the
+                    # monitor's audit entries attach to this session's
+                    # trace, not the previous one's.
+                    obsv.session = session_id
                 if cfg == "scs":
                     if not self._attested:
                         self.attest_all()
@@ -511,6 +634,8 @@ class Deployment:
                     session_id = auth.session.session_id
                     key_digest = sha256(auth.session.key).hex()[:16]
                     proof = auth.proof
+                    if obsv is not None:
+                        obsv.session = session_id
                     result = self.run_query(
                         auth.statement.to_sql(), cfg, authorization=auth
                     )
@@ -520,8 +645,14 @@ class Deployment:
                     # session-close entry to the operations audit chain —
                     # the next session starts from a clean key space.
                     self.monitor.finish_session(session_id)
+                    if obsv is not None:
+                        # The close entry lands after the query window:
+                        # fold it into the session's completed trace.
+                        obsv.adopt_pending(obsv.last_trace())
                 else:
                     result = self.run_query(sql, cfg)
+                if obsv is not None:
+                    obsv.session = ""
                 sessions.append(
                     ConcurrentSession(
                         index=index,
@@ -589,11 +720,7 @@ class Deployment:
                 cipher=self._cipher,
                 cache_pages=self.page_cache_pages,
             )
-            pager.on_violation = (
-                lambda pgno, reason: self.monitor.record_integrity_violation(
-                    "host-1", pgno, reason
-                )
-            )
+            pager.on_violation = self._host_violation
         else:
             pager = Pager(self.plain_device, meter=Meter())
         return Database(PagedStore(pager, Meter())), pager

@@ -20,6 +20,11 @@ crypto layer (see the LAYERING table in ``repro.analysis``).
 Determinism: iteration and eviction order follow insertion/recency order
 of a plain ``OrderedDict`` — no clocks, no randomness — so simulated
 results are bit-reproducible run to run.
+
+Adversary view: a cache hit never reaches the device, so it is invisible
+to the observable-event taps (``repro.telemetry.obsv``) — warming the
+cache *shrinks* the device-channel access pattern an adversary can see,
+another face of the same resident-state observation.
 """
 
 from __future__ import annotations

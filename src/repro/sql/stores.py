@@ -312,6 +312,12 @@ class PagedStore(TableStore):
                 pages_skipped=skipped,
                 prune_ratio=round(skipped / total, 4) if total else 0.0,
             )
+            obsv = getattr(tracer, "obsv", None)
+            if obsv is not None:
+                # Defender-side context on the adversary's record: the
+                # prune ratio explains *why* this trace's page set shrank
+                # (metadata only — it never enters the fingerprint).
+                obsv.annotate(**{f"zone_prune.{name}": f"{skipped}/{total}"})
         return kept
 
     def replace_rows(self, name: str, rows: list[tuple]) -> None:

@@ -24,6 +24,11 @@ class BlockDevice:
         self._pages: dict[int, bytes] = {}
         self._meta: dict[str, bytes] = {}
         self.meter = Meter()
+        #: Adversary-view tap (``repro.telemetry.obsv``): the device *is*
+        #: the adversary's vantage point, so every page/metadata access is
+        #: observable by definition.  ``None`` (the default) keeps the
+        #: normal path byte-identical to the untapped build.
+        self.obsv = None
 
     # ------------------------------------------------------------------
     # Normal operation
@@ -40,6 +45,8 @@ class BlockDevice:
         if data is None:
             raise StorageError(f"page {pgno} was never written")
         self.meter.pages_read += 1
+        if self.obsv is not None:
+            self.obsv.observe("device", "read", pgno, len(data), actor=self.name)
         return data
 
     def write_page(self, pgno: int, data: bytes) -> None:
@@ -51,15 +58,30 @@ class BlockDevice:
             )
         self._pages[pgno] = bytes(data)
         self.meter.pages_written += 1
+        if self.obsv is not None:
+            self.obsv.observe("device", "write", pgno, len(data), actor=self.name)
 
     def has_page(self, pgno: int) -> bool:
         return pgno in self._pages
 
     def read_meta(self, key: str) -> bytes | None:
-        return self._meta.get(key)
+        value = self._meta.get(key)
+        if self.obsv is not None:
+            # Metadata is addressed by name, so the key itself is part of
+            # the adversary's view (index -1 marks the metadata region).
+            self.obsv.observe(
+                "device", "meta_read", -1,
+                len(value) if value is not None else 0,
+                actor=self.name, detail=key,
+            )
+        return value
 
     def write_meta(self, key: str, value: bytes) -> None:
         self._meta[key] = bytes(value)
+        if self.obsv is not None:
+            self.obsv.observe(
+                "device", "meta_write", -1, len(value), actor=self.name, detail=key
+            )
 
     # ------------------------------------------------------------------
     # Adversary interface (used by tests / security benchmarks)

@@ -36,7 +36,7 @@ from ..crypto import (
     hmac_sha512,
     sha256,
 )
-from ..errors import IntegrityError, StorageError
+from ..errors import FreshnessError, IntegrityError, StorageError
 from ..perf import PageCache
 from ..sim import PAGE_SIZE, Meter
 from ..telemetry import (
@@ -604,15 +604,34 @@ class SecurePager:
                 for name, digest in sorted(self._meta_digests.items())
             )
             self.device.write_meta(META_AUTH_DIGESTS, table.encode())
-        self.anchor.anchor_root(self._anchored_root())
+        root = self._anchored_root()
+        self.anchor.anchor_root(root)
+        obsv = self.tracer.obsv
+        if obsv is not None:
+            # RPMB traffic is observable: the adversary sits on the bus
+            # between the TA and the replay-protected block.
+            obsv.observe("rpmb", "write", 0, len(root), actor=self.device.name)
         self._dirty = False
 
     def close(self) -> None:
         self.commit()
 
     def verify_freshness(self) -> None:
-        """Re-check the current root against the hardware anchor."""
-        self.anchor.verify_root(self._anchored_root())
+        """Re-check the current root against the hardware anchor.
+
+        A rollback detection (``FreshnessError``) is surfaced through
+        ``on_violation`` like any other integrity failure — page -1 marks
+        a whole-database violation — before the exception propagates.
+        """
+        root = self._anchored_root()
+        obsv = self.tracer.obsv
+        if obsv is not None:
+            obsv.observe("rpmb", "read", 0, len(root), actor=self.device.name)
+        try:
+            self.anchor.verify_root(root)
+        except FreshnessError as exc:
+            self._report_violation(-1, exc)
+            raise
 
     def tree_size_bytes(self) -> int:
         """Integrity-tree memory footprint (EPC pressure in host-only mode)."""

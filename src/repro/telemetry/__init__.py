@@ -26,7 +26,30 @@ from .exporters import (
     write_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .render import render_diff, render_summary, render_top, render_tree, top_spans
+from .obsv import (
+    CHANNEL_DEVICE,
+    CHANNEL_LINK,
+    CHANNEL_RPMB,
+    OBSERVABLE_CHANNELS,
+    OBSV_COUNTERS,
+    FlightRecorder,
+    LeakageReport,
+    ObservableEvent,
+    ObservableRecorder,
+    ObservableTrace,
+    leakage_report,
+    read_obsv_jsonl,
+    sweep_reports,
+    write_obsv_jsonl,
+)
+from .render import (
+    render_diff,
+    render_summary,
+    render_top,
+    render_tree,
+    span_histograms,
+    top_spans,
+)
 from .spans import (
     KNOWN_SPAN_NAMES,
     NODE_CLIENT,
@@ -61,11 +84,21 @@ from .spans import (
 from .tracer import NOOP_TRACER, RecordingTracer, Tracer
 
 __all__ = [
+    "CHANNEL_DEVICE",
+    "CHANNEL_LINK",
+    "CHANNEL_RPMB",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "KNOWN_SPAN_NAMES",
+    "LeakageReport",
     "MetricsRegistry",
+    "OBSERVABLE_CHANNELS",
+    "OBSV_COUNTERS",
+    "ObservableEvent",
+    "ObservableRecorder",
+    "ObservableTrace",
     "NODE_CLIENT",
     "NODE_HOST",
     "NODE_MONITOR",
@@ -98,17 +131,22 @@ __all__ = [
     "Trace",
     "Tracer",
     "audit_references",
+    "leakage_report",
     "query_digest_of",
     "read_jsonl",
+    "read_obsv_jsonl",
     "render_diff",
     "render_summary",
     "render_top",
     "render_tree",
     "sequential_layout",
+    "span_histograms",
+    "sweep_reports",
     "to_chrome_trace",
     "top_spans",
     "trace_events",
     "verify_trace_audit",
     "write_chrome_trace",
     "write_jsonl",
+    "write_obsv_jsonl",
 ]

@@ -24,6 +24,10 @@ def _load(path: str):
         return read_jsonl(path)
     except OSError as exc:
         raise SystemExit(f"repro-trace: cannot read {path!r}: {exc}") from exc
+    except (ValueError, KeyError, TypeError) as exc:
+        # Truncated/garbage JSONL or records missing required span fields.
+        print(f"repro-trace: malformed trace file {path!r}: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
 
 
 def build_parser() -> argparse.ArgumentParser:

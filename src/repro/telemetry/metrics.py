@@ -12,6 +12,7 @@ name** so typo'd counters surface instead of vanishing into ``extra``.
 
 from __future__ import annotations
 
+import math
 import warnings
 from dataclasses import dataclass, field
 
@@ -62,7 +63,12 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Streaming distribution summary (count/sum/min/max)."""
+    """Distribution summary (count/sum/min/max + exact percentiles).
+
+    Samples are retained so percentiles are exact — the populations here
+    (per-span-name sim-times, per-query latencies) are small and the
+    simulator values them deterministic over compact.
+    """
 
     name: str
     labels: _LabelKey = ()
@@ -70,11 +76,13 @@ class Histogram:
     sum: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
+    values: list[float] = field(default_factory=list, repr=False)
 
     def observe(self, value: float) -> None:
         value = float(value)
         self.count += 1
         self.sum += value
+        self.values.append(value)
         if value < self.min:
             self.min = value
         if value > self.max:
@@ -83,6 +91,26 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (p in [0, 100]) over observed values."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = math.ceil(p / 100.0 * len(ordered))
+        return ordered[max(0, min(len(ordered), rank) - 1)]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
 
 
 class MetricsRegistry:
@@ -174,6 +202,9 @@ class MetricsRegistry:
                 if metric.count:
                     out[key + ".min"] = metric.min
                     out[key + ".max"] = metric.max
+                    out[key + ".p50"] = metric.p50
+                    out[key + ".p95"] = metric.p95
+                    out[key + ".p99"] = metric.p99
         return dict(sorted(out.items()))
 
     @staticmethod

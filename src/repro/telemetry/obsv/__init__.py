@@ -1,0 +1,65 @@
+"""Adversary-view observability: taps, leakage meter, flight recorder.
+
+Everything the untrusted host/storage adversary can see — device page
+traffic, secure-channel records, RPMB anchor accesses — captured as
+canonical :class:`ObservableTrace` objects per query, metered for
+predicate leakage (:mod:`.leakage`), and ringed for post-mortem incident
+dumps (:mod:`.flight`).
+
+This package models the adversary: it may import only ``repro.telemetry``,
+``repro.errors`` and ``repro.sim`` (ARCH007) and never references key
+material or plaintext rows (ARCH004 / FLOW001).
+"""
+
+from .events import (
+    CHANNEL_DEVICE,
+    CHANNEL_LINK,
+    CHANNEL_RPMB,
+    OBSERVABLE_CHANNELS,
+    ObservableEvent,
+    ObservableTrace,
+    read_obsv_jsonl,
+    write_obsv_jsonl,
+)
+from .flight import FlightRecorder
+from .leakage import (
+    ChannelLeakage,
+    LeakageReport,
+    access_pattern_divergence,
+    byte_count_variance,
+    channel_leakage,
+    compare_traces,
+    group_traces,
+    leakage_report,
+    mutual_information_bits,
+    pairwise_distinguishability,
+    sweep_reports,
+    trace_fingerprints,
+)
+from .recorder import OBSV_COUNTERS, ObservableRecorder
+
+__all__ = [
+    "CHANNEL_DEVICE",
+    "CHANNEL_LINK",
+    "CHANNEL_RPMB",
+    "ChannelLeakage",
+    "FlightRecorder",
+    "LeakageReport",
+    "OBSERVABLE_CHANNELS",
+    "OBSV_COUNTERS",
+    "ObservableEvent",
+    "ObservableRecorder",
+    "ObservableTrace",
+    "access_pattern_divergence",
+    "byte_count_variance",
+    "channel_leakage",
+    "compare_traces",
+    "group_traces",
+    "leakage_report",
+    "mutual_information_bits",
+    "pairwise_distinguishability",
+    "read_obsv_jsonl",
+    "sweep_reports",
+    "trace_fingerprints",
+    "write_obsv_jsonl",
+]

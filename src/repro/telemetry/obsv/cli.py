@@ -1,0 +1,152 @@
+"""``repro-leak``: meter leakage over observable-trace files.
+
+Subcommands over the JSONL observable traces written by
+``repro.telemetry.write_obsv_jsonl`` (one trace per line):
+
+* ``report FILE``        — leakage report per group (``--group-by`` attr)
+* ``compare FILE FILE``  — adversary's diff of two traces (first of each
+  file by default, ``--a-id``/``--b-id`` to pick by obsv id)
+* ``sweep FILE``         — (sim-time, leakage) table across groups, the
+  shape ``bench_leakage_selectivity`` emits
+
+Exit status: 0 on success, 1 on unreadable input/ids, 2 on malformed
+trace files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .events import ObservableTrace, read_obsv_jsonl
+from .leakage import compare_traces, leakage_report, sweep_reports
+
+
+def _load(path: str) -> list[ObservableTrace]:
+    try:
+        return read_obsv_jsonl(path)
+    except OSError as exc:
+        raise SystemExit(f"repro-leak: cannot read {path!r}: {exc}") from exc
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"repro-leak: malformed observable-trace file {path!r}: {exc}",
+              file=sys.stderr)
+        raise SystemExit(2) from exc
+
+
+def _render_report(report) -> str:
+    lines = [
+        f"group {report.group or '(all)'}: {report.traces} trace(s), "
+        f"{report.distinct_fingerprints} distinct fingerprint(s), "
+        f"distinguishability {report.distinguishability:.3f}, "
+        f"MI {report.mi_bits:.3f} bits"
+        + ("  [leak-free]" if report.leak_free else ""),
+    ]
+    if report.channels:
+        lines.append(
+            f"  {'channel':8s} {'events':>8s} {'bytes':>12s} "
+            f"{'patterns':>9s} {'divergence':>11s} {'byte var':>12s}"
+        )
+        for c in report.channels:
+            lines.append(
+                f"  {c.channel:8s} {c.events:8d} {c.bytes_total:12d} "
+                f"{c.distinct_patterns:9d} {c.divergence:11.3f} {c.byte_variance:12.1f}"
+            )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-leak",
+        description="meter predicate leakage over observable-trace files",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="leakage report per trace group")
+    p.add_argument("traces", help="observable-trace JSONL file")
+    p.add_argument("--group-by", default="group",
+                   help="trace attribute to group by (default: group)")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p = sub.add_parser("compare", help="adversary's diff of two traces")
+    p.add_argument("a", help="observable-trace JSONL file")
+    p.add_argument("b", help="observable-trace JSONL file")
+    p.add_argument("--a-id", help="obsv id in A (default: first trace)")
+    p.add_argument("--b-id", help="obsv id in B (default: first trace)")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p = sub.add_parser("sweep", help="(sim-time, leakage) pairs across groups")
+    p.add_argument("traces", help="observable-trace JSONL file")
+    p.add_argument("--group-by", default="group",
+                   help="trace attribute to group by (default: group)")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    return parser
+
+
+def _pick(traces: list[ObservableTrace], obsv_id: str | None, path: str):
+    if not traces:
+        raise SystemExit(f"repro-leak: no traces in {path!r}")
+    if obsv_id is None:
+        return traces[0]
+    for trace in traces:
+        if trace.obsv_id == obsv_id:
+            return trace
+    raise SystemExit(f"repro-leak: no trace {obsv_id!r} in {path!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "report":
+        reports = sweep_reports(_load(args.traces), key=args.group_by)
+        if args.json:
+            print(json.dumps([r.to_dict() for r in reports], indent=2, sort_keys=True))
+        else:
+            print("\n\n".join(_render_report(r) for r in reports))
+        return 0
+
+    if args.command == "compare":
+        trace_a = _pick(_load(args.a), args.a_id, args.a)
+        trace_b = _pick(_load(args.b), args.b_id, args.b)
+        result = compare_traces(trace_a, trace_b)
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+        verdict = "IDENTICAL" if result["identical"] else "DISTINGUISHABLE"
+        print(f"{result['a']} vs {result['b']}: {verdict}")
+        print(f"  events {result['events_a']} vs {result['events_b']}")
+        if result["first_divergence"] is not None:
+            div = result["first_divergence"]
+            print(f"  first divergence at event {div['index']}: "
+                  f"{div['a']} vs {div['b']}")
+        for name, row in result["channels"].items():
+            print(f"  {name}: shared {row['shared']}, only-a {row['only_a']}, "
+                  f"only-b {row['only_b']}, bytes {row['bytes_a']} vs {row['bytes_b']}")
+        return 0
+
+    if args.command == "sweep":
+        traces = _load(args.traces)
+        reports = sweep_reports(traces, key=args.group_by)
+        if args.json:
+            print(json.dumps([r.to_dict() for r in reports], indent=2, sort_keys=True))
+            return 0
+        from .leakage import group_traces
+
+        groups = group_traces(traces, key=args.group_by)
+        print(f"{'group':24s} {'traces':>7s} {'sim ms':>12s} {'MI bits':>9s} "
+              f"{'disting.':>9s} {'device div':>11s}")
+        for report in reports:
+            members = groups[report.group]
+            mean_ms = sum(t.sim_ns for t in members) / len(members) / 1e6
+            device = report.channel("device")
+            divergence = device.divergence if device is not None else 0.0
+            print(f"{report.group:24s} {report.traces:7d} {mean_ms:12.3f} "
+                  f"{report.mi_bits:9.3f} {report.distinguishability:9.3f} "
+                  f"{divergence:11.3f}")
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the subcommands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,212 @@
+"""Observable events and traces: the adversary's view of one query.
+
+The paper's security argument is phrased against an adversary who owns
+the host OS and the storage medium but not the enclaves: it sees *which*
+pages move, *how many* ciphertext bytes cross each channel, and *when*
+the RPMB anchor is touched — never plaintext.  An
+:class:`ObservableEvent` is one such sighting; an
+:class:`ObservableTrace` is the ordered sequence of sightings one query
+produces, recorded alongside the defender-side span trace and stamped
+with the same audit-chain digests.
+
+The trace's :meth:`~ObservableTrace.fingerprint` hashes only the fields
+the adversary can read (channel, operation, index, byte count, actor):
+two queries are indistinguishable on these channels iff their
+fingerprints match.  Simulated time is carried as metadata but kept out
+of the fingerprint — the timing side channel is a separate axis and
+would otherwise mask access-pattern equality (a full scan takes longer
+for a wider aggregate, yet reads the very same pages).
+
+Fingerprints use stdlib :mod:`hashlib` — this package models the
+adversary and must never import ``repro.crypto`` (ARCH004/ARCH007).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+#: Event taxonomy: one name per trust boundary the paper's adversary sits on.
+CHANNEL_DEVICE = "device"  # raw page/metadata traffic on the storage medium
+CHANNEL_LINK = "channel"   # secure-channel records on the host<->storage wire
+CHANNEL_RPMB = "rpmb"      # replay-protected anchor reads/writes
+
+OBSERVABLE_CHANNELS = (CHANNEL_DEVICE, CHANNEL_LINK, CHANNEL_RPMB)
+
+
+@dataclass(frozen=True)
+class ObservableEvent:
+    """One boundary crossing as the adversary records it."""
+
+    channel: str
+    op: str
+    index: int
+    nbytes: int
+    actor: str = ""
+    detail: str = ""
+
+    def canonical(self) -> str:
+        """Deterministic one-line form (the unit the fingerprint hashes)."""
+        return (
+            f"{self.channel}:{self.op}:{self.index}:"
+            f"{self.nbytes}:{self.actor}:{self.detail}"
+        )
+
+    def to_dict(self) -> dict:
+        out = {
+            "channel": self.channel,
+            "op": self.op,
+            "index": self.index,
+            "nbytes": self.nbytes,
+        }
+        if self.actor:
+            out["actor"] = self.actor
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObservableEvent":
+        return cls(
+            channel=data["channel"],
+            op=data["op"],
+            index=int(data["index"]),
+            nbytes=int(data["nbytes"]),
+            actor=data.get("actor", ""),
+            detail=data.get("detail", ""),
+        )
+
+
+class _AuditCarrier:
+    """Adapter so :func:`~repro.telemetry.correlate.verify_trace_audit`
+    (which walks ``trace.spans``) can check an observable trace's audit
+    references without a span tree."""
+
+    __slots__ = ("span_id", "name", "audit")
+
+    def __init__(self, trace: "ObservableTrace"):
+        self.span_id = 0
+        self.name = f"obsv:{trace.obsv_id}"
+        self.audit = trace.audit
+
+
+class ObservableTrace:
+    """Everything the adversary observed during one query."""
+
+    def __init__(self, obsv_id: str, session: str = ""):
+        self.obsv_id = obsv_id
+        self.session = session
+        self.events: list[ObservableEvent] = []
+        #: Audit-log references: {"log": name, "sequence": int, "digest": hex}
+        #: — the same shape spans carry, so one verifier checks both.
+        self.audit: list[dict] = []
+        self.attributes: dict[str, object] = {}
+        #: Simulated duration of the query (metadata, not fingerprinted).
+        self.sim_ns: float = 0.0
+        self.status: str = "ok"
+
+    # ``verify_trace_audit`` duck-types its argument as something with
+    # ``trace_id`` and ``spans``; present the whole trace as one carrier.
+    @property
+    def trace_id(self) -> str:
+        return self.obsv_id
+
+    @property
+    def spans(self):
+        return [_AuditCarrier(self)]
+
+    # -- recording ------------------------------------------------------
+
+    def add(self, event: ObservableEvent) -> None:
+        self.events.append(event)
+
+    def annotate_audit(self, log_name: str, sequence: int, digest_hex: str) -> None:
+        self.audit.append(
+            {"log": log_name, "sequence": int(sequence), "digest": digest_hex}
+        )
+
+    # -- the adversary's summary ----------------------------------------
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical event sequence (order included)."""
+        h = hashlib.sha256()
+        for event in self.events:
+            h.update(event.canonical().encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+    def indices(self, channel: str, op: str | None = None) -> tuple[int, ...]:
+        """Access-pattern projection: the indices touched on *channel*."""
+        return tuple(
+            e.index
+            for e in self.events
+            if e.channel == channel and (op is None or e.op == op)
+        )
+
+    def bytes_on(self, channel: str) -> int:
+        return sum(e.nbytes for e in self.events if e.channel == channel)
+
+    @property
+    def bytes_observed(self) -> int:
+        return sum(e.nbytes for e in self.events)
+
+    def channels(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for e in self.events:
+            if e.channel not in seen:
+                seen.append(e.channel)
+        return tuple(seen)
+
+    # -- (de)serialization ----------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "obsv_trace",
+            "obsv_id": self.obsv_id,
+            "session": self.session,
+            "sim_ns": self.sim_ns,
+            "status": self.status,
+            "fingerprint": self.fingerprint(),
+            "attributes": dict(self.attributes),
+            "audit": [dict(ref) for ref in self.audit],
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObservableTrace":
+        trace = cls(data["obsv_id"], session=data.get("session", ""))
+        trace.sim_ns = float(data.get("sim_ns", 0.0))
+        trace.status = data.get("status", "ok")
+        trace.attributes = dict(data.get("attributes", {}))
+        trace.audit = [dict(ref) for ref in data.get("audit", ())]
+        trace.events = [ObservableEvent.from_dict(e) for e in data.get("events", ())]
+        return trace
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ObservableTrace({self.obsv_id!r}, {len(self.events)} events)"
+
+
+def write_obsv_jsonl(path: str, traces: list[ObservableTrace]) -> None:
+    """One observable trace per line (events inlined: traces are small)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for trace in traces:
+            fh.write(json.dumps(trace.to_dict(), sort_keys=True))
+            fh.write("\n")
+
+
+def read_obsv_jsonl(path: str) -> list[ObservableTrace]:
+    traces: list[ObservableTrace] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("type") != "obsv_trace":
+                raise ValueError(f"not an observable-trace record: {line[:60]!r}")
+            traces.append(ObservableTrace.from_dict(data))
+    return traces

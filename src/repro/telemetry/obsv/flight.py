@@ -1,0 +1,103 @@
+"""Violation flight recorder: forensic context for integrity failures.
+
+A bounded ring of the most recent observable events is kept at all times
+(like an aircraft flight recorder, it records continuously and cheaply).
+When a violation surfaces — ``IntegrityError``/``FreshnessError`` raised
+by the secure pager, reported through its ``on_violation`` hook — the
+deployment dumps one **incident**: the event ring tail, the tail of the
+active span trace, the audit chain's head entry (so the incident is
+pinned to the tamper-evident log), and the observation-meter snapshot.
+Tampering benches then produce a correlated JSONL artifact instead of a
+bare exception.
+
+Incidents carry no wall-clock timestamps: like everything else in the
+simulator they are deterministic, so two runs of the same attack produce
+byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+
+from .events import ObservableEvent
+
+
+class FlightRecorder:
+    """Bounded ring of recent observable events + incident dumper."""
+
+    def __init__(self, capacity: int = 256, directory: str | None = None):
+        if capacity <= 0:
+            raise ValueError(f"flight-recorder capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        #: Optional directory for ``incident-NNNN.jsonl`` dumps; incidents
+        #: are always kept in memory regardless.
+        self.directory = directory
+        self._ring: deque[tuple[str, ObservableEvent]] = deque(maxlen=capacity)
+        self.incidents: list[dict] = []
+
+    def note(self, session: str, event: ObservableEvent) -> None:
+        self._ring.append((session, event))
+
+    def ring_tail(self, n: int | None = None) -> list[dict]:
+        """The last *n* ring entries (all of them by default), as dicts."""
+        entries = list(self._ring)
+        if n is not None:
+            entries = entries[-n:]
+        return [dict(event.to_dict(), session=session) for session, event in entries]
+
+    def dump(
+        self,
+        *,
+        session: str,
+        page: int,
+        reason: str,
+        node: str = "",
+        audit_head: dict | None = None,
+        spans: list[dict] | None = None,
+        meter_snapshot: dict | None = None,
+        obsv_id: str | None = None,
+    ) -> dict:
+        """Assemble, retain and (optionally) write one incident report."""
+        incident = {
+            "type": "incident",
+            "incident_id": len(self.incidents),
+            "session": session,
+            "obsv_id": obsv_id,
+            "node": node,
+            "page": page,
+            "reason": reason,
+            "audit_head": dict(audit_head) if audit_head else None,
+            "meter": dict(meter_snapshot) if meter_snapshot else {},
+            "events": self.ring_tail(),
+            "spans": [dict(span) for span in (spans or [])],
+        }
+        self.incidents.append(incident)
+        if self.directory is not None:
+            self._write(incident)
+        return incident
+
+    def _write(self, incident: dict) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(
+            self.directory, f"incident-{incident['incident_id']:04d}.jsonl"
+        )
+        # Correlated JSONL: a header line, then one line per event/span so
+        # the report greps and streams like the trace exports do.
+        header = {
+            key: incident[key]
+            for key in (
+                "type", "incident_id", "session", "obsv_id",
+                "node", "page", "reason", "audit_head", "meter",
+            )
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for event in incident["events"]:
+                fh.write(json.dumps(dict(event, type="obsv_event"), sort_keys=True) + "\n")
+            for span in incident["spans"]:
+                fh.write(json.dumps(dict(span, type="span"), sort_keys=True) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._ring)

@@ -1,0 +1,260 @@
+"""Leakage metering over observable traces.
+
+Given traces from queries that differ **only in predicate constants**,
+quantify how much those constants leak through the observable channels:
+
+* **fingerprints / distinguishability** — the fraction of trace pairs an
+  adversary can tell apart by exact observable sequence.  Zero means the
+  executions are indistinguishable on these channels (the oblivious
+  ideal); one means every constant produces a unique trace.
+* **access-pattern divergence** — mean pairwise Jaccard distance between
+  the sets of indices touched per channel.  Full scans score 0 (every
+  query touches every page); aggressive skip-scans approach 1 (disjoint
+  page sets reveal the predicate range directly).
+* **byte-count variance** — population variance of per-trace byte totals
+  per channel (volume leakage even when patterns coincide).
+* **mutual information** — I(P; F) in bits between the predicate label
+  and the trace fingerprint over a sweep: how many bits of the secret
+  constant the adversary extracts per observed query.
+
+All scores are computed from recorded traces only; this module models
+the adversary and never touches the system under test (ARCH007).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .events import OBSERVABLE_CHANNELS, ObservableTrace
+
+
+# -- primitives ----------------------------------------------------------
+
+
+def trace_fingerprints(traces: list[ObservableTrace]) -> list[str]:
+    return [trace.fingerprint() for trace in traces]
+
+
+def pairwise_distinguishability(traces: list[ObservableTrace]) -> float:
+    """Fraction of unordered trace pairs with differing fingerprints."""
+    prints = trace_fingerprints(traces)
+    n = len(prints)
+    if n < 2:
+        return 0.0
+    differing = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if prints[i] != prints[j]:
+                differing += 1
+    return differing / (n * (n - 1) / 2)
+
+
+def access_pattern_divergence(
+    traces: list[ObservableTrace], channel: str, op: str | None = None
+) -> float:
+    """Mean pairwise Jaccard distance of per-trace index sets on *channel*."""
+    patterns = [set(trace.indices(channel, op)) for trace in traces]
+    n = len(patterns)
+    if n < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = patterns[i], patterns[j]
+            union = a | b
+            if union:
+                total += 1.0 - len(a & b) / len(union)
+            pairs += 1
+    return total / pairs
+
+
+def byte_count_variance(traces: list[ObservableTrace], channel: str) -> float:
+    """Population variance of per-trace byte totals on *channel*."""
+    totals = [trace.bytes_on(channel) for trace in traces]
+    if not totals:
+        return 0.0
+    mean = sum(totals) / len(totals)
+    return sum((t - mean) ** 2 for t in totals) / len(totals)
+
+
+def mutual_information_bits(pairs: list[tuple[object, str]]) -> float:
+    """I(label; fingerprint) in bits over (label, fingerprint) samples.
+
+    With one sample per label this degenerates to H(fingerprint): each
+    distinct trace shape hands the adversary its full surprisal.
+    """
+    n = len(pairs)
+    if n == 0:
+        return 0.0
+    joint: dict[tuple[object, str], int] = {}
+    labels: dict[object, int] = {}
+    prints: dict[str, int] = {}
+    for label, fp in pairs:
+        joint[(label, fp)] = joint.get((label, fp), 0) + 1
+        labels[label] = labels.get(label, 0) + 1
+        prints[fp] = prints.get(fp, 0) + 1
+    mi = 0.0
+    for (label, fp), count in joint.items():
+        p_joint = count / n
+        p_label = labels[label] / n
+        p_print = prints[fp] / n
+        mi += p_joint * math.log2(p_joint / (p_label * p_print))
+    return max(0.0, mi)
+
+
+# -- reports -------------------------------------------------------------
+
+
+@dataclass
+class ChannelLeakage:
+    """Per-channel leakage summary across a set of traces."""
+
+    channel: str
+    events: int
+    bytes_total: int
+    distinct_patterns: int
+    divergence: float
+    byte_variance: float
+
+    def to_dict(self) -> dict:
+        return {
+            "channel": self.channel,
+            "events": self.events,
+            "bytes_total": self.bytes_total,
+            "distinct_patterns": self.distinct_patterns,
+            "divergence": round(self.divergence, 6),
+            "byte_variance": round(self.byte_variance, 3),
+        }
+
+
+@dataclass
+class LeakageReport:
+    """Leakage summary for one group of constant-varied traces."""
+
+    group: str
+    traces: int
+    distinct_fingerprints: int
+    distinguishability: float
+    mi_bits: float
+    channels: list[ChannelLeakage] = field(default_factory=list)
+
+    @property
+    def leak_free(self) -> bool:
+        """True when every trace in the group is observationally identical."""
+        return self.traces > 0 and self.distinct_fingerprints == 1
+
+    def channel(self, name: str) -> ChannelLeakage | None:
+        for summary in self.channels:
+            if summary.channel == name:
+                return summary
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "group": self.group,
+            "traces": self.traces,
+            "distinct_fingerprints": self.distinct_fingerprints,
+            "distinguishability": round(self.distinguishability, 6),
+            "mi_bits": round(self.mi_bits, 6),
+            "leak_free": self.leak_free,
+            "channels": [c.to_dict() for c in self.channels],
+        }
+
+
+def channel_leakage(traces: list[ObservableTrace], channel: str) -> ChannelLeakage:
+    patterns = {tuple(sorted(set(trace.indices(channel)))) for trace in traces}
+    return ChannelLeakage(
+        channel=channel,
+        events=sum(
+            1 for trace in traces for e in trace.events if e.channel == channel
+        ),
+        bytes_total=sum(trace.bytes_on(channel) for trace in traces),
+        distinct_patterns=len(patterns),
+        divergence=access_pattern_divergence(traces, channel),
+        byte_variance=byte_count_variance(traces, channel),
+    )
+
+
+def _label_of(trace: ObservableTrace, index: int) -> object:
+    return trace.attributes.get("probe", index)
+
+
+def leakage_report(traces: list[ObservableTrace], group: str = "") -> LeakageReport:
+    """Meter one group of traces (same query shape, varied constants)."""
+    prints = trace_fingerprints(traces)
+    pairs = [(_label_of(t, i), fp) for i, (t, fp) in enumerate(zip(traces, prints))]
+    channels = [
+        channel_leakage(traces, name)
+        for name in OBSERVABLE_CHANNELS
+        if any(e.channel == name for t in traces for e in t.events)
+    ]
+    return LeakageReport(
+        group=group,
+        traces=len(traces),
+        distinct_fingerprints=len(set(prints)),
+        distinguishability=pairwise_distinguishability(traces),
+        mi_bits=mutual_information_bits(pairs),
+        channels=channels,
+    )
+
+
+def group_traces(
+    traces: list[ObservableTrace], key: str = "group"
+) -> dict[str, list[ObservableTrace]]:
+    """Bucket traces by an attribute (benches stamp ``group``/``probe``)."""
+    groups: dict[str, list[ObservableTrace]] = {}
+    for trace in traces:
+        groups.setdefault(str(trace.attributes.get(key, "(all)")), []).append(trace)
+    return groups
+
+
+def sweep_reports(
+    traces: list[ObservableTrace], key: str = "group"
+) -> list[LeakageReport]:
+    """One report per group, in first-seen order (sweep = grouped sweep)."""
+    return [
+        leakage_report(members, group=name)
+        for name, members in group_traces(traces, key).items()
+    ]
+
+
+def compare_traces(a: ObservableTrace, b: ObservableTrace) -> dict:
+    """Adversary's diff of two traces: where do they first diverge?"""
+    fp_a, fp_b = a.fingerprint(), b.fingerprint()
+    first_divergence = None
+    for i, (ea, eb) in enumerate(zip(a.events, b.events)):
+        if ea.canonical() != eb.canonical():
+            first_divergence = {"index": i, "a": ea.to_dict(), "b": eb.to_dict()}
+            break
+    if first_divergence is None and len(a.events) != len(b.events):
+        i = min(len(a.events), len(b.events))
+        first_divergence = {
+            "index": i,
+            "a": a.events[i].to_dict() if len(a.events) > i else None,
+            "b": b.events[i].to_dict() if len(b.events) > i else None,
+        }
+    per_channel = {}
+    for name in OBSERVABLE_CHANNELS:
+        set_a, set_b = set(a.indices(name)), set(b.indices(name))
+        if not set_a and not set_b and a.bytes_on(name) == 0 and b.bytes_on(name) == 0:
+            continue
+        per_channel[name] = {
+            "only_a": len(set_a - set_b),
+            "only_b": len(set_b - set_a),
+            "shared": len(set_a & set_b),
+            "bytes_a": a.bytes_on(name),
+            "bytes_b": b.bytes_on(name),
+        }
+    return {
+        "a": a.obsv_id,
+        "b": b.obsv_id,
+        "identical": fp_a == fp_b,
+        "fingerprint_a": fp_a,
+        "fingerprint_b": fp_b,
+        "events_a": len(a.events),
+        "events_b": len(b.events),
+        "first_divergence": first_divergence,
+        "channels": per_channel,
+    }

@@ -1,0 +1,171 @@
+"""The observable-event recorder wired into every trust-boundary tap.
+
+Instrumented components (:class:`~repro.storage.blockdevice.BlockDevice`,
+the secure channel, the RPMB anchor path) hold an ``obsv`` reference that
+defaults to ``None`` — the taps are single attribute checks, and with
+observability off every code path is byte-identical to the untapped
+build.  When a deployment enables observability, each ``run_query``
+brackets one :class:`~.events.ObservableTrace` and every tap lands in it.
+
+The recorder keeps its **own** :class:`~repro.sim.Meter` for the
+``obsv_events`` / ``obsv_bytes_observed`` / ``flight_dump_count``
+counters: they are registered first-class names (so the metrics registry
+absorbs them without warnings) but are never merged into a run's storage
+or host meters and never reach the cost model — observation must not
+perturb simulated time.
+"""
+
+from __future__ import annotations
+
+from ...sim import Meter
+from .events import ObservableEvent, ObservableTrace
+from .flight import FlightRecorder
+
+#: Registered as first-class counters with (by construction) zero
+#: CostModel charge: ``phase_breakdown`` never reads them, and they live
+#: on the recorder's private meter, not on any run meter.
+OBSV_COUNTERS = ("obsv_events", "obsv_bytes_observed", "flight_dump_count")
+
+for _name in OBSV_COUNTERS:
+    Meter.register_counter(_name)
+
+
+class ObservableRecorder:
+    """Collects observable events into per-query traces."""
+
+    def __init__(self, flight: FlightRecorder | None = None):
+        self.meter = Meter()
+        self.flight = flight
+        #: Completed observable traces, in completion order.
+        self.traces: list[ObservableTrace] = []
+        #: Label stamped on traces/ring entries (set per concurrent session).
+        self.session = ""
+        self._active: ObservableTrace | None = None
+        self._depth = 0
+        self._seq = 0
+        self._pending_audit: list[dict] = []
+        self._meter_mark = self.meter.copy()
+
+    # -- query bracketing ------------------------------------------------
+
+    def begin_query(self, **attributes: object) -> ObservableTrace:
+        """Open the observable trace for one query (re-entrant: nested
+        calls attach to the outermost query, mirroring ``maybe_root``)."""
+        self._depth += 1
+        if self._depth > 1 and self._active is not None:
+            return self._active
+        self._seq += 1
+        trace = ObservableTrace(f"o{self._seq:04d}", session=self.session)
+        trace.attributes.update(attributes)
+        if self._pending_audit:
+            # Audit entries stamped before the query window opened (the
+            # monitor's admission path in ``run_concurrent``) belong to
+            # this query.
+            trace.audit.extend(self._pending_audit)
+            self._pending_audit.clear()
+        self._active = trace
+        return trace
+
+    def end_query(
+        self, *, sim_ns: float | None = None, status: str = "ok", **attributes: object
+    ) -> ObservableTrace | None:
+        if self._depth == 0:
+            return None
+        self._depth -= 1
+        if self._depth:
+            return self._active
+        trace, self._active = self._active, None
+        if trace is None:
+            return None
+        if sim_ns is not None:
+            trace.sim_ns = float(sim_ns)
+        trace.status = status
+        trace.attributes.update(attributes)
+        self.traces.append(trace)
+        return trace
+
+    def last_trace(self) -> ObservableTrace | None:
+        return self.traces[-1] if self.traces else None
+
+    # -- the taps --------------------------------------------------------
+
+    def observe(
+        self,
+        channel: str,
+        op: str,
+        index: int,
+        nbytes: int,
+        actor: str = "",
+        detail: str = "",
+    ) -> ObservableEvent:
+        """Record one boundary crossing (called from the tap sites)."""
+        event = ObservableEvent(channel, op, int(index), int(nbytes), actor, detail)
+        self.meter.bump("obsv_events")
+        self.meter.bump("obsv_bytes_observed", event.nbytes)
+        if self._active is not None:
+            self._active.add(event)
+        if self.flight is not None:
+            self.flight.note(self.session, event)
+        return event
+
+    def annotate(self, **attributes: object) -> None:
+        """Attach defender-side metadata to the active trace (kept out of
+        the fingerprint — e.g. zone-map prune ratios)."""
+        if self._active is not None:
+            self._active.attributes.update(attributes)
+
+    def note_audit(self, log_name: str, sequence: int, digest_hex: str) -> None:
+        """Stamp the active trace with an audit-chain digest (forwarded by
+        the recording tracer); buffered when no query window is open."""
+        if self._active is not None:
+            self._active.annotate_audit(log_name, sequence, digest_hex)
+        else:
+            self._pending_audit.append(
+                {"log": log_name, "sequence": int(sequence), "digest": digest_hex}
+            )
+
+    def adopt_pending(self, trace: ObservableTrace | None) -> None:
+        """Attach buffered audit references to *trace* (the deployment
+        calls this after closing a session whose final audit entries land
+        outside the query window)."""
+        if trace is None or not self._pending_audit:
+            return
+        trace.audit.extend(self._pending_audit)
+        self._pending_audit.clear()
+
+    # -- flight recorder -------------------------------------------------
+
+    def dump_incident(
+        self,
+        *,
+        page: int,
+        reason: str,
+        node: str = "",
+        audit_head: dict | None = None,
+        spans: list[dict] | None = None,
+    ) -> dict | None:
+        """Dump one violation incident through the flight recorder."""
+        if self.flight is None:
+            return None
+        self.meter.bump("flight_dump_count")
+        return self.flight.dump(
+            session=self.session,
+            page=page,
+            reason=reason,
+            node=node,
+            audit_head=audit_head,
+            spans=spans if spans is not None else [],
+            meter_snapshot=self.meter_snapshot(),
+            obsv_id=self._active.obsv_id if self._active is not None else None,
+        )
+
+    # -- metering --------------------------------------------------------
+
+    def meter_snapshot(self) -> dict[str, int]:
+        return {name: self.meter.get(name) for name in OBSV_COUNTERS}
+
+    def take_meter_delta(self) -> Meter:
+        """Counter growth since the previous call (for registry absorption)."""
+        delta = self.meter.delta(self._meter_mark)
+        self._meter_mark = self.meter.copy()
+        return delta

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..sim import NS_PER_MS
+from .metrics import Histogram
 from .spans import Span, Trace
 
 
@@ -82,20 +83,36 @@ def aggregate_by_name(traces: Iterable[Trace]) -> dict[str, dict[str, float]]:
     return out
 
 
+def span_histograms(traces: Iterable[Trace]) -> dict[str, Histogram]:
+    """One sim-ms histogram per span name (tail latency per phase)."""
+    out: dict[str, Histogram] = {}
+    for trace in traces:
+        for span in trace.spans:
+            hist = out.get(span.name)
+            if hist is None:
+                hist = out[span.name] = Histogram(name=span.name)
+            hist.observe(span.sim_ns / NS_PER_MS)
+    return out
+
+
 def render_summary(traces: list[Trace]) -> str:
     """Per-name totals across all traces, largest simulated time first."""
     rows = aggregate_by_name(traces)
+    hists = span_histograms(traces)
     total_sim = sum(t.total_sim_ns for t in traces)
     lines = [
         f"{len(traces)} trace(s), {sum(len(t) for t in traces)} spans, "
         f"root total {_fmt_ms(total_sim)}",
-        f"{'span':20s} {'count':>7s} {'sim ms':>12s} {'share':>7s} {'wall ms':>10s}",
+        f"{'span':20s} {'count':>7s} {'sim ms':>12s} {'share':>7s} "
+        f"{'p50 ms':>10s} {'p95 ms':>10s} {'p99 ms':>10s} {'wall ms':>10s}",
     ]
     for name, row in sorted(rows.items(), key=lambda kv: -kv[1]["sim_ns"]):
         share = 100.0 * row["sim_ns"] / total_sim if total_sim else 0.0
+        hist = hists[name]
         lines.append(
             f"{name:20s} {int(row['count']):7d} {row['sim_ns'] / NS_PER_MS:12.3f} "
-            f"{share:6.1f}% {row['wall_ns'] / NS_PER_MS:10.3f}"
+            f"{share:6.1f}% {hist.p50:10.3f} {hist.p95:10.3f} {hist.p99:10.3f} "
+            f"{row['wall_ns'] / NS_PER_MS:10.3f}"
         )
     return "\n".join(lines)
 
@@ -123,12 +140,27 @@ def render_top(traces: list[Trace], n: int = 10) -> str:
             if span.parent_id is not None:
                 key = (trace.trace_id, span.parent_id)
                 child_ns[key] = child_ns.get(key, 0.0) + span.sim_ns
-    for span in top_spans(traces, n):
+    top = top_spans(traces, n)
+    for span in top:
         self_ns = max(0.0, span.sim_ns - child_ns.get((span.trace_id, span.span_id), 0.0))
         lines.append(
             f"{self_ns / NS_PER_MS:10.3f}  {span.sim_ns / NS_PER_MS:10.3f}  "
             f"{span.node:8s} {span.name} ({span.trace_id}#{span.span_id})"
         )
+    # Tail latency per name for the phases that made the cut: the single
+    # largest span says where time went once, the percentiles say whether
+    # it is the common case or an outlier.
+    hists = span_histograms(traces)
+    names = sorted({span.name for span in top})
+    if names:
+        lines.append("")
+        lines.append(f"{'span':20s} {'count':>7s} {'p50 ms':>10s} {'p95 ms':>10s} {'p99 ms':>10s}")
+        for name in names:
+            hist = hists[name]
+            lines.append(
+                f"{name:20s} {hist.count:7d} {hist.p50:10.3f} "
+                f"{hist.p95:10.3f} {hist.p99:10.3f}"
+            )
     return "\n".join(lines)
 
 
@@ -143,7 +175,17 @@ def render_diff(before: list[Trace], after: list[Trace]) -> str:
         b = rows_b.get(name, {}).get("sim_ns", 0.0)
         deltas.append((abs(b - a), name, a, b))
     for _, name, a, b in sorted(deltas, reverse=True):
-        pct = f"{100.0 * (b - a) / a:+.1f}%" if a else "new" if b else "-"
+        # Presence is judged by span counts, not by simulated time: a
+        # zero-duration marker span present on only one side must still
+        # read as "new"/"gone", not vanish into a 0.000 → 0.000 row.
+        if name not in rows_a:
+            pct = "new"
+        elif name not in rows_b:
+            pct = "gone"
+        elif a:
+            pct = f"{100.0 * (b - a) / a:+.1f}%"
+        else:
+            pct = "-"
         lines.append(
             f"{name:20s} {a / NS_PER_MS:12.3f} {b / NS_PER_MS:12.3f} "
             f"{(b - a) / NS_PER_MS:+12.3f} {pct:>8s}"

@@ -59,6 +59,10 @@ class Tracer:
     """No-op base tracer; also the interface instrumented code sees."""
 
     enabled: bool = False
+    #: Adversary-view recorder (``repro.telemetry.obsv``).  ``None`` by
+    #: default — components that tap trust-boundary crossings check this
+    #: attribute, so the disabled path stays a single attribute read.
+    obsv = None
 
     def span(self, name: str, *, node: str = "", enclave: bool = False, **attributes):
         """Context manager for one phase.  No-op unless recording."""
@@ -141,6 +145,10 @@ class RecordingTracer(Tracer):
         self.clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._wall = wall_clock if wall_clock is not None else time.perf_counter_ns
+        #: Adversary-view recorder, installed by
+        #: ``Deployment.enable_observability`` (instance attribute so the
+        #: shared NOOP_TRACER can never carry one).
+        self.obsv = None
         #: Completed traces, in completion order.
         self.traces: list[Trace] = []
         self._stack: list[Span] = []
@@ -219,6 +227,10 @@ class RecordingTracer(Tracer):
             self._stack[-1].annotate_audit(
                 log_name, entry.sequence, entry.digest().hex()
             )
+        if self.obsv is not None:
+            # The observable trace carries the same chain digests as the
+            # span trace, so one verifier covers both views.
+            self.obsv.note_audit(log_name, entry.sequence, entry.digest().hex())
 
     @property
     def current(self) -> Span | None:

@@ -637,6 +637,7 @@ class TestFramework:
             "ARCH004",
             "ARCH005",
             "ARCH006",
+            "ARCH007",
             "FLOW001",
             "SEC001",
             "SEC002",

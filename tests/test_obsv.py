@@ -1,0 +1,382 @@
+"""Adversary-view observability: taps, leakage meter, flight recorder.
+
+The observable-event layer models what a bus/NVMe/network adversary sees.
+These tests pin its three contracts: observation never perturbs the
+system (byte-identical rows, meters and simulated time with taps on or
+off), the record is evidence (audit-chain digests on observable traces
+verify against the monitor's logs), and violations leave exactly one
+correlated incident behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Deployment, RunConfig
+from repro.core.client import register_client
+from repro.errors import IntegrityError
+from repro.sim import CostModel, Meter
+from repro.telemetry import (
+    FlightRecorder,
+    Histogram,
+    ObservableEvent,
+    ObservableTrace,
+    Span,
+    Trace,
+    leakage_report,
+    read_obsv_jsonl,
+    render_diff,
+    render_summary,
+    span_histograms,
+    verify_trace_audit,
+    write_obsv_jsonl,
+)
+from repro.telemetry.obsv import OBSV_COUNTERS
+from repro.telemetry.obsv.cli import main as leak_main
+from repro.telemetry.obsv.leakage import (
+    access_pattern_divergence,
+    byte_count_variance,
+    compare_traces,
+    mutual_information_bits,
+    pairwise_distinguishability,
+)
+
+ALL_CONFIGS = ("hons", "hos", "vcs", "scs", "sos")
+
+QUERY = (
+    "SELECT count(*), sum(l_extendedprice) FROM lineitem "
+    "WHERE l_orderkey >= 1 AND l_orderkey <= 40"
+)
+
+
+def _window_query(lo: int, hi: int) -> str:
+    return (
+        "SELECT count(*), sum(l_extendedprice) FROM lineitem "
+        f"WHERE l_orderkey >= {lo} AND l_orderkey <= {hi}"
+    )
+
+
+@pytest.fixture(scope="module")
+def observed():
+    """An attested deployment with taps enabled, plus its recorder."""
+    deployment = Deployment(scale_factor=0.001, seed=11)
+    deployment.attest_all()
+    recorder = deployment.enable_observability()
+    return deployment, recorder
+
+
+@pytest.fixture(scope="module")
+def plain():
+    """The identically-seeded control: no tracing, no taps."""
+    deployment = Deployment(scale_factor=0.001, seed=11)
+    deployment.attest_all()
+    return deployment
+
+
+# ---------------------------------------------------------------------------
+# Observation must not perturb the system
+# ---------------------------------------------------------------------------
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("config", ALL_CONFIGS)
+    def test_taps_do_not_change_rows_meters_or_sim_time(
+        self, observed, plain, config
+    ):
+        tapped, _ = observed
+        expected = plain.run_query(QUERY, config)
+        actual = tapped.run_query(QUERY, config)
+        assert actual.rows == expected.rows
+        assert actual.storage_meter == expected.storage_meter
+        assert actual.host_meter == expected.host_meter
+        assert actual.breakdown.total_ns == expected.breakdown.total_ns
+
+    def test_obsv_counters_are_free_in_the_cost_model(self):
+        cm = CostModel()
+        meter = Meter()
+        meter.pages_read = 25
+        meter.bytes_read = 25 * 4096
+        baseline = cm.phase_breakdown(meter, platform="x86").total_ns
+        for name in OBSV_COUNTERS:
+            meter.bump(name, 10_000)
+        assert cm.phase_breakdown(meter, platform="x86").total_ns == baseline
+
+
+# ---------------------------------------------------------------------------
+# The observable record is evidence
+# ---------------------------------------------------------------------------
+
+
+class TestObservableTraces:
+    def test_query_yields_device_events_and_stable_fingerprint(self, observed):
+        deployment, recorder = observed
+        deployment.run_query(QUERY, "sos")
+        first = recorder.last_trace()
+        deployment.run_query(QUERY, "sos")
+        second = recorder.last_trace()
+        assert first is not second
+        assert first.indices("device", "read")  # the scan is visible
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_scs_query_is_observed_on_the_link(self, observed):
+        deployment, recorder = observed
+        deployment.run_query(QUERY, "scs")
+        trace = recorder.last_trace()
+        assert "channel" in trace.channels()  # ciphertext sizes observed
+
+    def test_scs_trace_carries_verifiable_audit_digests(self):
+        """A policy with a ``logUpdate`` obligation stamps the observable
+        trace with the same chain digests as the span trace."""
+        deployment = Deployment(scale_factor=0.001, seed=11)
+        deployment.attest_all()
+        recorder = deployment.enable_observability()
+        client = register_client(deployment, "alice")
+        deployment.monitor.provision_database(
+            "tpch",
+            policy_text=(
+                f"read :- sessionKeyIs('{client.fingerprint}') & logUpdate(reads)"
+            ),
+        )
+        client.submit(
+            deployment, "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 25"
+        )
+        trace = recorder.last_trace()
+        logs = {ref["log"] for ref in trace.audit}
+        assert "reads" in logs  # the logUpdate obligation is in the record
+        assert verify_trace_audit(trace, deployment.monitor) == len(trace.audit)
+
+    def test_concurrent_sessions_yield_separable_verified_traces(self, observed):
+        deployment, recorder = observed
+        before = len(recorder.traces)
+        queries = [_window_query(1 + 10 * i, 30 + 10 * i) for i in range(3)]
+        deployment.run_concurrent(queries, workers=2, config="scs")
+        traces = recorder.traces[before:]
+        assert len(traces) == 3
+        sessions = [t.session for t in traces]
+        assert all(sessions) and len(set(sessions)) == 3
+        for trace in traces:
+            assert verify_trace_audit(trace, deployment.monitor) > 0
+
+    def test_round_trip_through_jsonl(self, observed, tmp_path):
+        _, recorder = observed
+        path = tmp_path / "obsv.jsonl"
+        write_obsv_jsonl(path, recorder.traces[:3])
+        loaded = read_obsv_jsonl(path)
+        assert [t.to_dict() for t in loaded] == [
+            t.to_dict() for t in recorder.traces[:3]
+        ]
+
+    def test_jsonl_rejects_foreign_records(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"type": "span", "name": "query"}\n')
+        with pytest.raises(ValueError):
+            read_obsv_jsonl(path)
+
+
+# ---------------------------------------------------------------------------
+# Leakage meter
+# ---------------------------------------------------------------------------
+
+
+def _synthetic_trace(obsv_id, indices, nbytes=4096, probe=None):
+    trace = ObservableTrace(obsv_id)
+    for pgno in indices:
+        trace.add(ObservableEvent("device", "read", pgno, nbytes, actor="dev"))
+    if probe is not None:
+        trace.attributes["probe"] = probe
+    return trace
+
+
+class TestLeakageMeter:
+    def test_identical_traces_are_leak_free(self):
+        traces = [_synthetic_trace(f"o{i}", [1, 2, 3]) for i in range(4)]
+        assert pairwise_distinguishability(traces) == 0.0
+        assert access_pattern_divergence(traces, "device") == 0.0
+        report = leakage_report(traces)
+        assert report.leak_free and report.mi_bits == 0.0
+        assert report.distinct_fingerprints == 1
+
+    def test_disjoint_patterns_fully_distinguishable(self):
+        traces = [
+            _synthetic_trace("o0", [1, 2], probe="c0"),
+            _synthetic_trace("o1", [3, 4], probe="c1"),
+        ]
+        assert pairwise_distinguishability(traces) == 1.0
+        assert access_pattern_divergence(traces, "device") == 1.0
+        # Two equiprobable constants, perfectly separated: 1 bit.
+        assert leakage_report(traces).mi_bits == pytest.approx(1.0)
+
+    def test_mutual_information_is_zero_when_fingerprints_collide(self):
+        pairs = [("c0", "fp"), ("c1", "fp"), ("c0", "fp"), ("c1", "fp")]
+        assert mutual_information_bits(pairs) == 0.0
+
+    def test_byte_count_variance_sees_size_channel(self):
+        same = [_synthetic_trace(f"o{i}", [1], nbytes=4096) for i in range(3)]
+        mixed = [
+            _synthetic_trace("o0", [1], nbytes=100),
+            _synthetic_trace("o1", [1], nbytes=300),
+        ]
+        assert byte_count_variance(same, "device") == 0.0
+        assert byte_count_variance(mixed, "device") > 0.0
+
+    def test_compare_traces_localizes_first_divergence(self):
+        a = _synthetic_trace("oa", [1, 2, 3])
+        b = _synthetic_trace("ob", [1, 2, 9])
+        result = compare_traces(a, b)
+        assert not result["identical"]
+        assert result["first_divergence"]["index"] == 2
+        assert result["channels"]["device"]["shared"] == 2
+
+    def test_zone_maps_make_constants_distinguishable(self, observed):
+        """End to end: skip-scans leak the predicate, full scans do not."""
+        deployment, recorder = observed
+        arms = {}
+        for zone_maps in (False, True):
+            traces = []
+            for i in range(3):
+                deployment.run_query(
+                    _window_query(1 + 15 * i, 20 + 15 * i),
+                    "sos",
+                    run_config=RunConfig(zone_maps=zone_maps),
+                )
+                trace = recorder.last_trace()
+                trace.attributes["probe"] = f"c{i}"
+                traces.append(trace)
+            arms[zone_maps] = leakage_report(traces)
+        assert arms[False].leak_free
+        assert not arms[True].leak_free
+        assert arms[True].mi_bits > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder
+# ---------------------------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self):
+        flight = FlightRecorder(capacity=4)
+        for i in range(10):
+            flight.note("s", ObservableEvent("device", "read", i, 1))
+        tail = flight.ring_tail()
+        assert len(tail) == 4
+        assert [e["index"] for e in tail] == [6, 7, 8, 9]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_tamper_during_scan_dumps_exactly_one_incident(self, tmp_path):
+        deployment = Deployment(scale_factor=0.001, seed=11)
+        deployment.attest_all()
+        recorder = deployment.enable_observability(flight_dir=str(tmp_path))
+        victim = deployment.storage_engine.db.store.pages_of("lineitem")[0]
+        deployment.secure_device.corrupt(victim, offset=100)
+        with pytest.raises(IntegrityError):
+            deployment.run_query(QUERY, "scs")
+
+        incidents = recorder.flight.incidents
+        assert len(incidents) == 1
+        incident = incidents[0]
+        assert incident["page"] == victim
+        assert incident["node"] == "storage-1"
+        assert recorder.meter_snapshot()["flight_dump_count"] == 1
+        assert recorder.last_trace().status == "error"
+
+        # The incident's audit head is real evidence: the digest matches
+        # the monitor's operations chain at that sequence number.
+        head = incident["audit_head"]
+        log = deployment.monitor.audit_log(head["log"])
+        entry = log.entries[head["sequence"]]
+        assert entry.sequence == head["sequence"]
+        assert entry.digest().hex() == head["digest"]
+
+        dump = tmp_path / "incident-0000.jsonl"
+        assert dump.exists()
+        header = dump.read_text().splitlines()[0]
+        assert '"incident"' in header
+
+
+# ---------------------------------------------------------------------------
+# CLI + render satellites
+# ---------------------------------------------------------------------------
+
+
+class TestLeakCli:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        traces = [
+            _synthetic_trace("o0", [1, 2], probe="c0"),
+            _synthetic_trace("o1", [3, 4], probe="c1"),
+        ]
+        for trace in traces:
+            trace.attributes["group"] = "demo"
+        path = tmp_path / "obsv.jsonl"
+        write_obsv_jsonl(path, traces)
+        return str(path)
+
+    def test_report(self, trace_file, capsys):
+        assert leak_main(["report", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "group demo" in out and "device" in out
+
+    def test_compare(self, trace_file, capsys):
+        assert leak_main(["compare", trace_file, trace_file, "--b-id", "o1"]) == 0
+        out = capsys.readouterr().out
+        assert "DISTINGUISHABLE" in out
+
+    def test_sweep(self, trace_file, capsys):
+        assert leak_main(["sweep", trace_file]) == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_malformed_file_exits_2(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(SystemExit) as excinfo:
+            leak_main(["report", str(path)])
+        assert excinfo.value.code == 2
+
+    def test_repro_trace_malformed_file_exits_2(self, tmp_path):
+        from repro.telemetry.cli import main as trace_main
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(SystemExit) as excinfo:
+            trace_main(["summary", str(path)])
+        assert excinfo.value.code == 2
+
+
+def _span_trace(trace_id, names_and_ns):
+    trace = Trace(trace_id)
+    for i, (name, sim_ns) in enumerate(names_and_ns, start=1):
+        span = Span(name=name, span_id=i, trace_id=trace_id)
+        span.set_sim_ns(sim_ns)
+        trace.add(span)
+    return trace
+
+
+class TestSpanHistograms:
+    def test_percentiles_are_nearest_rank(self):
+        histogram = Histogram("lat")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.p50 == 50.0
+        assert histogram.p95 == 95.0
+        assert histogram.p99 == 99.0
+
+    def test_span_histograms_and_summary_columns(self):
+        traces = [
+            _span_trace("t0", [("scan", 1e6), ("scan", 3e6)]),
+            _span_trace("t1", [("scan", 2e6)]),
+        ]
+        by_name = span_histograms(traces)
+        assert by_name["scan"].count == 3
+        assert by_name["scan"].p50 == 2.0  # milliseconds
+        summary = render_summary(traces)
+        assert "p95" in summary and "p99" in summary
+
+    def test_diff_marks_new_and_gone_spans(self):
+        before = [_span_trace("t0", [("scan", 1e6), ("join", 1e6)])]
+        after = [_span_trace("t1", [("scan", 1e6), ("ship", 1e6)])]
+        diff = render_diff(before, after)
+        assert "new" in diff and "gone" in diff
