@@ -23,12 +23,18 @@ rows/meters/sim-ns versus a deployment with no taps at all.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 from conftest import BENCH_SF, run_once
 
 from repro.bench import build_deployment, format_table
 from repro.core import RunConfig
-from repro.telemetry import leakage_report
+from repro.telemetry import leakage_report, write_obsv_jsonl
 from repro.tpch import Cardinalities
+
+#: Where the observed traces land for the CI leakage gate.
+OBSV_OUT = os.environ.get("REPRO_BENCH_OUT", "")
 
 #: Fraction of the orderkey domain each probe window admits.  Windows are
 #: spread across the domain, so small selectivities give disjoint page
@@ -82,6 +88,7 @@ def test_leakage_selectivity(benchmark):
         rec_rerun = rerun.enable_observability()
 
         rows, pairs = [], []
+        all_traces = []
         divergences = {}
         for selectivity in SELECTIVITIES:
             full_runs = _run_arm(full, rec_full, selectivity, zone_maps=False)
@@ -94,6 +101,8 @@ def test_leakage_selectivity(benchmark):
 
             full_traces = [t for _, t in full_runs]
             skip_traces = [t for _, t in skip_runs]
+            all_traces.extend(full_traces)
+            all_traces.extend(skip_traces)
             report_full = leakage_report(full_traces, group=f"s={selectivity:.0%}|full")
             report_skip = leakage_report(skip_traces, group=f"s={selectivity:.0%}|skip")
 
@@ -159,6 +168,13 @@ def test_leakage_selectivity(benchmark):
         assert rp.breakdown.total_ns == rf.breakdown.total_ns, (
             "observable-event taps perturbed simulated time"
         )
+
+        if OBSV_OUT:
+            out = Path(OBSV_OUT)
+            out.mkdir(parents=True, exist_ok=True)
+            write_obsv_jsonl(
+                str(out / "leakage-selectivity.obsv.jsonl"), all_traces
+            )
 
         return {"rows": rows, "pairs": pairs, "divergences": divergences}
 

@@ -1,19 +1,26 @@
-"""Compare two directories of ``BENCH_*.json`` payloads for sim-time drift.
+"""Compare two directories of ``BENCH_*.json`` payloads for drift.
 
 CI downloads the previous successful main run's benchmark artifacts into a
 baseline directory, runs the current benchmarks, then invokes::
 
     python benchmarks/trend.py <baseline-dir> <current-dir>
 
-Every numeric leaf whose key ends in ``_ms`` or ``_ns`` is treated as a
-simulated-time measurement and compared path-by-path.  A regression above
-the threshold (default 20%) prints a GitHub Actions ``::warning::``
-annotation — the step never fails the build, because simulated time moves
-for legitimate reasons (cost-model retuning, new phases); the annotation
-just makes the drift impossible to miss in review.
+Two families of numeric leaves are tracked path-by-path:
 
-Deterministic by construction: the payloads carry simulated nanoseconds,
-so any drift is a real modelling change, never runner noise.
+* **sim-time** — keys ending ``_ms``/``_ns``.  A regression above the
+  warn threshold (default 20%) prints a GitHub Actions ``::warning::``
+  annotation; above the hard threshold (default 50%) it prints an
+  ``::error::`` and the script exits nonzero, failing the job — drift
+  that large is never a cost-model retune slipping through quietly.
+* **leakage** — keys ending ``_bits`` (the mutual-information leaves the
+  leakage benchmarks emit).  Any increase prints a ``::warning::``; the
+  hard zero-leakage arms are enforced separately by ``repro-leak gate``,
+  so here the annotation just makes a widening side channel impossible
+  to miss in review.
+
+Deterministic by construction: the payloads carry simulated nanoseconds
+and fingerprint-derived bits, so any drift is a real modelling change,
+never runner noise.
 """
 
 from __future__ import annotations
@@ -24,75 +31,113 @@ import sys
 from pathlib import Path
 
 THRESHOLD = 0.20
+HARD_THRESHOLD = 0.50
 
 _TIME_SUFFIXES = ("_ms", "_ns")
+_LEAK_SUFFIXES = ("_bits",)
 
 
-def _time_leaves(node, path="", key=""):
-    """Yield ``(dotted.path, value)`` for numeric leaves under time keys."""
+def _leaves(node, path="", key=""):
+    """Yield ``(dotted.path, value, kind)`` for tracked numeric leaves."""
     if isinstance(node, dict):
         for name, child in sorted(node.items()):
             child_path = f"{path}.{name}" if path else str(name)
-            yield from _time_leaves(child, child_path, str(name))
+            yield from _leaves(child, child_path, str(name))
     elif isinstance(node, list):
         for i, child in enumerate(node):
-            yield from _time_leaves(child, f"{path}[{i}]", key)
+            yield from _leaves(child, f"{path}[{i}]", key)
     elif isinstance(node, (int, float)) and not isinstance(node, bool):
         if any(key.endswith(suffix) for suffix in _TIME_SUFFIXES):
-            yield path, float(node)
+            yield path, float(node), "time"
+        elif any(key.endswith(suffix) for suffix in _LEAK_SUFFIXES):
+            yield path, float(node), "bits"
 
 
-def _load_dir(directory: Path) -> dict[str, dict[str, float]]:
-    """Map bench name -> {leaf path: value} for every BENCH_*.json found."""
-    out: dict[str, dict[str, float]] = {}
+def _load_dir(directory: Path) -> dict[str, dict[str, tuple[float, str]]]:
+    """Map bench name -> {leaf path: (value, kind)} per BENCH_*.json."""
+    out: dict[str, dict[str, tuple[float, str]]] = {}
     for path in sorted(directory.glob("BENCH_*.json")):
         try:
             document = json.loads(path.read_text())
         except (OSError, ValueError) as exc:
             print(f"trend: skipping unreadable {path}: {exc}", file=sys.stderr)
             continue
-        out[path.stem] = dict(_time_leaves(document.get("result", document)))
+        out[path.stem] = {
+            leaf: (value, kind)
+            for leaf, value, kind in _leaves(document.get("result", document))
+        }
     return out
 
 
-def compare(baseline: Path, current: Path, threshold: float = THRESHOLD) -> int:
-    """Print drift report; return the number of regressions over threshold."""
+def compare(
+    baseline: Path,
+    current: Path,
+    threshold: float = THRESHOLD,
+    hard_threshold: float = HARD_THRESHOLD,
+) -> tuple[int, int]:
+    """Print the drift report; return (warnings, hard failures)."""
     old = _load_dir(baseline)
     new = _load_dir(current)
     if not old:
         print(f"trend: no baseline payloads under {baseline}; nothing to compare")
-        return 0
+        return 0, 0
 
-    regressions = 0
+    warnings = 0
+    hard_failures = 0
     for bench in sorted(new):
         if bench not in old:
             print(f"trend: {bench}: new benchmark, no baseline")
             continue
         compared = 0
-        for leaf, value in sorted(new[bench].items()):
-            before = old[bench].get(leaf)
-            if before is None or before <= 0:
+        for leaf, (value, kind) in sorted(new[bench].items()):
+            entry = old[bench].get(leaf)
+            if entry is None:
                 continue
-            compared += 1
-            delta = (value - before) / before
-            if delta > threshold:
-                regressions += 1
-                print(
-                    f"::warning title=sim-time regression::{bench} {leaf}: "
-                    f"{before:g} -> {value:g} (+{delta:.0%}, threshold "
-                    f"{threshold:.0%})"
-                )
-        print(f"trend: {bench}: {compared} sim-time leaves compared")
-    if regressions:
-        print(f"trend: {regressions} leaf/leaves regressed more than {threshold:.0%}")
+            before, _ = entry
+            if kind == "time":
+                if before <= 0:
+                    continue
+                compared += 1
+                delta = (value - before) / before
+                if delta > hard_threshold:
+                    hard_failures += 1
+                    print(
+                        f"::error title=sim-time regression::{bench} {leaf}: "
+                        f"{before:g} -> {value:g} (+{delta:.0%}, hard limit "
+                        f"{hard_threshold:.0%})"
+                    )
+                elif delta > threshold:
+                    warnings += 1
+                    print(
+                        f"::warning title=sim-time regression::{bench} {leaf}: "
+                        f"{before:g} -> {value:g} (+{delta:.0%}, threshold "
+                        f"{threshold:.0%})"
+                    )
+            else:  # leakage bits: any widening is worth a look
+                compared += 1
+                if value > before:
+                    warnings += 1
+                    print(
+                        f"::warning title=leakage increase::{bench} {leaf}: "
+                        f"{before:g} -> {value:g} bits"
+                    )
+        print(f"trend: {bench}: {compared} sim-time/leakage leaves compared")
+    if hard_failures:
+        print(
+            f"trend: {hard_failures} leaf/leaves regressed more than "
+            f"{hard_threshold:.0%} — failing the job"
+        )
+    elif warnings:
+        print(f"trend: {warnings} drift warning(s) above {threshold:.0%}")
     else:
-        print("trend: no sim-time regressions above threshold")
-    return regressions
+        print("trend: no regressions above threshold")
+    return warnings, hard_failures
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="trend.py", description="warn on BENCH_*.json sim-time regressions"
+        prog="trend.py",
+        description="warn on BENCH_*.json sim-time/leakage regressions",
     )
     parser.add_argument("baseline", type=Path, help="directory with previous payloads")
     parser.add_argument("current", type=Path, help="directory with this run's payloads")
@@ -102,12 +147,22 @@ def main(argv: list[str] | None = None) -> int:
         default=THRESHOLD,
         help="relative regression that triggers a warning (default 0.20)",
     )
+    parser.add_argument(
+        "--hard-threshold",
+        type=float,
+        default=HARD_THRESHOLD,
+        help="relative sim-time regression that fails the job (default 0.50)",
+    )
     args = parser.parse_args(argv)
     if not args.baseline.is_dir():
         print(f"trend: baseline directory {args.baseline} missing; skipping")
         return 0
-    compare(args.baseline, args.current, args.threshold)
-    return 0  # advisory only: annotations warn, the build never fails here
+    _, hard_failures = compare(
+        args.baseline, args.current, args.threshold, args.hard_threshold
+    )
+    # Warnings stay advisory (cost models get retuned); a >hard-threshold
+    # sim-time jump fails the build.
+    return 1 if hard_failures else 0
 
 
 if __name__ == "__main__":

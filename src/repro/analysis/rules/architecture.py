@@ -1,4 +1,4 @@
-"""Architecture-conformance rules (ARCH001–ARCH007).
+"""Architecture-conformance rules (ARCH001–ARCH008).
 
 The reproduction's trust argument depends on its layering: ``crypto`` is
 the bottom of the TCB, enclave internals are reachable only through the
@@ -42,7 +42,13 @@ LAYERING: dict[str, frozenset[str]] = {
     # authenticates the persisted synopses — that protection lives in the
     # storage layer.
     "stats": frozenset({"errors", "sim", "sql"}),
-    "sql": frozenset({"errors", "sim", "stats"}),
+    # Oblivious-execution primitives (padding, fixed ship schedules, the
+    # bitonic operator networks) are pure data-shape policy: they may see
+    # simulated meters, telemetry and the SQL value semantics (ARCH008
+    # pins the surface to repro.sql.values) but never the crypto, TEE or
+    # engine machinery whose traces they flatten.
+    "oblivious": frozenset({"errors", "sim", "telemetry", "sql"}),
+    "sql": frozenset({"errors", "sim", "stats", "oblivious"}),
     "storage": frozenset({"errors", "sim", "crypto", "telemetry", "perf"}),
     "tee": frozenset({"errors", "sim", "crypto"}),
     "policy": frozenset({"errors", "sql"}),
@@ -52,7 +58,7 @@ LAYERING: dict[str, frozenset[str]] = {
     "tpch": frozenset({"errors", "crypto", "sql"}),
     "core": frozenset(
         {"errors", "sim", "crypto", "sql", "storage", "tee", "policy", "monitor",
-         "tpch", "telemetry", "perf", "stream"}
+         "tpch", "telemetry", "perf", "stream", "oblivious"}
     ),
     "gdpr": frozenset(
         {"errors", "sim", "crypto", "sql", "storage", "policy", "monitor", "core"}
@@ -412,6 +418,51 @@ class ObsvConfinementViolation(Rule):
                 message=(
                     f"repro.telemetry.obsv may import only "
                     f"{', '.join(sorted(OBSV_ALLOWED_SUBPACKAGES))}; "
+                    f"found import of {record.module!r}"
+                ),
+            )
+
+
+# The oblivious-execution package pads and reorders *shapes* (page
+# schedules, frame sizes, compare-exchange networks).  Like stats it may
+# share the SQL value semantics — the bitonic sort must agree with the
+# engine's ORDER BY comparisons — but it must never reach the stores,
+# pager or operators: obliviousness is a transform the engine applies,
+# not a second execution path.
+OBLIVIOUS_ALLOWED_SQL_MODULES = frozenset({"repro.sql.values"})
+
+
+@register
+class ObliviousSurfaceViolation(Rule):
+    """The oblivious package imports repro.sql beyond the value semantics.
+
+    ARCH001 already allows ``oblivious`` → ``sql``, but the intended
+    surface is exactly ``repro.sql.values``.  If the padding or shuffle
+    primitives could reach the stores or the pager they could issue reads
+    outside the metered, authenticated scan path — dummy work must flow
+    through the same pipeline as real work or the cost model lies.
+    """
+
+    rule_id = "ARCH008"
+    title = "oblivious package exceeds its repro.sql surface"
+    rationale = "dummy work must ride the real pipeline, not a side door"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if ctx.subpackage != "oblivious" or ctx.module is None:
+            return
+        for record in ctx.graph.imports_of(ctx.module):
+            if top_subpackage(record.module) != "sql":
+                continue
+            if record.module in OBLIVIOUS_ALLOWED_SQL_MODULES:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.relpath,
+                line=record.lineno,
+                col=record.col,
+                message=(
+                    f"oblivious may import repro.sql only via "
+                    f"{', '.join(sorted(OBLIVIOUS_ALLOWED_SQL_MODULES))}; "
                     f"found import of {record.module!r}"
                 ),
             )

@@ -6,6 +6,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import IronSafeError
+from ..oblivious import TIERS
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,16 @@ class RunConfig:
     #: skipping makes the page-access pattern a function of the query
     #: predicate, which an adversary observing the device can exploit.
     zone_maps: bool = False
+    #: Oblivious-execution tier: ``off`` (the seed behaviour, asserted
+    #: byte-identical), ``padded`` (page-read schedules padded to fixed
+    #: predicate-independent shapes, channel frames padded to fixed
+    #: ciphertext sizes) or ``full`` (additionally fixes the shipped
+    #: frame *count* from catalog statistics and swaps hash join /
+    #: group-by for oblivious bitonic-shuffle variants, making the whole
+    #: observable trace byte-identical across predicate constants).  See
+    #: ``repro.oblivious`` and docs/performance.md for the measured
+    #: (sim-time, leakage) ladder.
+    oblivious: str = "off"
 
     def __post_init__(self) -> None:
         if self.batch_bytes <= 0:
@@ -71,6 +82,11 @@ class RunConfig:
             raise IronSafeError(
                 "batch compression requires the streaming pipeline "
                 "(pipeline=False ships the serial per-row path)"
+            )
+        if self.oblivious not in TIERS:
+            raise IronSafeError(
+                f"oblivious tier must be one of {', '.join(TIERS)}; "
+                f"got {self.oblivious!r}"
             )
 
 

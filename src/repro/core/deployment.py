@@ -16,6 +16,16 @@ from dataclasses import dataclass, field
 from ..crypto import Rng, sha256
 from ..errors import IronSafeError, MonitorError
 from ..monitor import AttestationService, AttestedNode, ComplianceProof, TrustedMonitor
+from ..oblivious import (
+    ShipSchedule,
+    batch_schedule,
+    dummy_frame,
+    fixed_ship_schedule,
+    pad_frame,
+    pads_channel,
+    record_schedule,
+    unpad_frame,
+)
 from ..perf import SessionTask, arbitrate, makespan_ns
 from ..sim import (
     CAT_NETWORK,
@@ -734,6 +744,7 @@ class Deployment:
         run_config = run_config if run_config is not None else self.run_config
         db, pager = self._host_only_db(secure)
         db.set_zone_maps(run_config.zone_maps)
+        db.set_oblivious(run_config.oblivious)
         meter = Meter()
         db.store.meter = meter
         pager.meter = meter
@@ -808,6 +819,28 @@ class Deployment:
             types.append((name, type_name))
         return types
 
+    @staticmethod
+    def _ship_schedule(
+        engine,
+        table_name: str,
+        *,
+        batch_bytes: int | None = None,
+        record_rows: int | None = None,
+    ) -> ShipSchedule:
+        """Fixed ship schedule for *table_name* from catalog stats only.
+
+        The bound depends on the table's page count and row count — never
+        on the predicate — so the resulting channel trace shape is
+        identical for any two queries over the same table that differ
+        only in their constants (the oblivious ``full`` tier contract).
+        """
+        schema = engine.db.store.catalog.table(table_name)
+        payload_bytes = len(schema.pages) * engine.pager.payload_size
+        if record_rows is not None:
+            return record_schedule(schema.row_count, payload_bytes, record_rows)
+        assert batch_bytes is not None
+        return batch_schedule(schema.row_count, payload_bytes, batch_bytes)
+
     def _run_split(
         self, statement: A.Select, secure: bool, cpus: int, memory: int,
         manual=None, authorization=None, run_config: RunConfig | None = None,
@@ -822,6 +855,8 @@ class Deployment:
         # Every query path sets this explicitly from its run config, so the
         # knob never leaks from one query into the next.
         engine.set_zone_maps(run_config.zone_maps)
+        engine.set_oblivious(run_config.oblivious)
+        self.host_engine.set_oblivious(run_config.oblivious)
         if manual is not None:
             plan = None
         else:
@@ -912,11 +947,41 @@ class Deployment:
                         # Really push the bytes through the authenticated
                         # channel (record framing mirrors the host's ingest
                         # batching).  Rows were serialized once by the scan;
-                        # the ship loop only concatenates the slices.
+                        # the ship loop only concatenates the slices.  The
+                        # receiver ingests rows out of band, so padded
+                        # records need no unwrap on the host side.
+                        schedule = None
+                        if fixed_ship_schedule(run_config.oblivious):
+                            schedule = self._ship_schedule(
+                                engine, table_name, record_rows=RECORD_ROWS
+                            )
+                        records = 0
                         for start in range(0, max(1, len(rows)), RECORD_ROWS):
                             payload = b"".join(encoded[start : start + RECORD_ROWS])
+                            if pads_channel(run_config.oblivious):
+                                raw = len(payload)
+                                payload = pad_frame(
+                                    payload,
+                                    target=(
+                                        schedule.frame_bytes if schedule else None
+                                    ),
+                                )
+                                ship_meter.bump(
+                                    "oblivious_pad_bytes", len(payload) - raw
+                                )
                             chan_storage.send(payload, charge_time=False)
                             chan_host.receive()
+                            records += 1
+                        if schedule is not None:
+                            # Top the record count up to the table's
+                            # predicate-independent bound with dummies, so
+                            # the channel trace length is fixed too.
+                            for _ in range(max(0, schedule.units - records)):
+                                filler = dummy_frame(schedule.frame_bytes)
+                                ship_meter.bump("oblivious_dummy_batches")
+                                ship_meter.bump("oblivious_pad_bytes", len(filler))
+                                chan_storage.send(filler, charge_time=False)
+                                chan_host.receive()
                     shipped = ship_meter.channel_bytes_encrypted - shipped_before
                     ship_span.set_sim_ns(
                         shipped * self.cost_model.channel_crypto_ns_per_byte
@@ -1034,6 +1099,8 @@ class Deployment:
         # Every query path sets this explicitly from its run config, so the
         # knob never leaks from one query into the next.
         engine.set_zone_maps(run_config.zone_maps)
+        engine.set_oblivious(run_config.oblivious)
+        self.host_engine.set_oblivious(run_config.oblivious)
         if manual is not None:
             plan = None
         else:
@@ -1094,14 +1161,25 @@ class Deployment:
                 SPAN_NDP_FILTER, node=NODE_STORAGE, enclave=in_realm, table=ship.table
             ) as portion_span:
                 table_name = ship.table
+                schedule = None
+                fixed_rows = None
+                if fixed_ship_schedule(run_config.oblivious):
+                    schedule = self._ship_schedule(
+                        engine, table_name, batch_bytes=run_config.batch_bytes
+                    )
+                    fixed_rows = schedule.rows_per_unit
                 if manual is not None:
                     columns, batches = engine.stream_sql(
-                        ship.sql, batch_bytes=run_config.batch_bytes
+                        ship.sql,
+                        batch_bytes=run_config.batch_bytes,
+                        fixed_rows=fixed_rows,
                     )
                     column_types = None  # inferred from the first batch
                 else:
                     columns, batches = engine.stream_scan(
-                        ship, batch_bytes=run_config.batch_bytes
+                        ship,
+                        batch_bytes=run_config.batch_bytes,
+                        fixed_rows=fixed_rows,
                     )
                     schema = engine.db.store.catalog.table(ship.table)
                     column_types = [
@@ -1109,6 +1187,14 @@ class Deployment:
                     ]
                     self.host_engine.begin_table(table_name, column_types)
 
+                if schedule is not None:
+                    # Full tier: drain the scan before shipping.  Batch
+                    # boundaries fall at data-dependent points in the
+                    # page stream, so letting sends interleave with
+                    # reads would leak match positions through the
+                    # merged trace order even with every frame padded —
+                    # obliviousness trades the pipeline overlap away.
+                    batches = list(batches)
                 row_weights: list[int] = []
                 byte_weights: list[int] = []
                 ship_rows = 0
@@ -1120,6 +1206,15 @@ class Deployment:
                         )
                         self.host_engine.begin_table(table_name, column_types)
                     frame, saved = pack_frame(batch.payload, compress_level)
+                    if pads_channel(run_config.oblivious):
+                        raw = len(frame)
+                        frame = pad_frame(
+                            frame,
+                            target=(
+                                schedule.frame_bytes if schedule else None
+                            ),
+                        )
+                        ship_meter.bump("oblivious_pad_bytes", len(frame) - raw)
                     ship_meter.bump("batches_shipped")
                     if saved:
                         ship_meter.bump("channel_bytes_saved", saved)
@@ -1130,6 +1225,8 @@ class Deployment:
                         received = chan_host.receive()
                     else:
                         received = frame
+                    if pads_channel(run_config.oblivious):
+                        received = unpad_frame(received)
                     payload, _ = unpack_frame(received)
                     self.host_engine.ingest_batch(table_name, payload)
                     row_weights.append(batch.row_count)
@@ -1150,6 +1247,25 @@ class Deployment:
                     # Empty manual portion: the host table must still exist.
                     column_types = self._infer_column_types(columns, [])
                     self.host_engine.begin_table(table_name, column_types)
+                if schedule is not None:
+                    # Top the batch count up to the table's predicate-
+                    # independent bound with dummy frames so the channel
+                    # trace (count and sizes) is fixed; the host drops
+                    # them on unpad without an enclave entry.
+                    for _ in range(max(0, schedule.units - len(row_weights))):
+                        filler = dummy_frame(schedule.frame_bytes)
+                        ship_meter.bump("batches_shipped")
+                        ship_meter.bump("oblivious_dummy_batches")
+                        ship_meter.bump("oblivious_pad_bytes", len(filler))
+                        if secure:
+                            chan_storage.send(filler, charge_time=False)
+                            dropped = chan_host.receive()
+                        else:
+                            dropped = filler
+                        assert unpad_frame(dropped) is None
+                        row_weights.append(0)
+                        byte_weights.append(len(filler))
+                        ship_bytes += len(filler)
                 self.host_engine.finish_table(table_name)
 
                 total_bytes += ship_bytes
@@ -1289,6 +1405,7 @@ class Deployment:
     ) -> RunResult:
         run_config = run_config if run_config is not None else self.run_config
         self.storage_engine.set_zone_maps(run_config.zone_maps)
+        self.storage_engine.set_oblivious(run_config.oblivious)
         meter = self.storage_engine.fresh_meter()
         with self.tracer.span(
             SPAN_STORAGE_PHASE,

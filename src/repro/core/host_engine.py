@@ -34,6 +34,9 @@ class HostEngine:
         self._db: Database | None = None
         #: Streaming-ingest state per table: columns + running totals.
         self._ingests: dict[str, dict] = {}
+        #: Oblivious tier applied to each session database (the host-side
+        #: join/group-by swap for the ``full`` tier).
+        self._oblivious = "off"
         enclave.register_ecall("reset_session", self._reset_session)
         enclave.register_ecall("load_table", self._load_table)
         enclave.register_ecall("run_statement", self._run_statement)
@@ -45,6 +48,7 @@ class HostEngine:
 
     def _reset_session(self) -> None:
         self._db = Database(MemoryStore(self.meter))
+        self._db.set_oblivious(self._oblivious)
         self.enclave.put("session_db", self._db)
 
     def _load_table(
@@ -75,6 +79,17 @@ class HostEngine:
         if self._db is not None:
             self._db.store.meter = meter
         return meter
+
+    def set_oblivious(self, tier: str) -> None:
+        """Select the oblivious tier for the next (and current) session.
+
+        The deployment sets this from ``RunConfig.oblivious`` before
+        ``begin_session`` on every split-path query, so the knob never
+        leaks across queries.
+        """
+        self._oblivious = tier
+        if self._db is not None:
+            self._db.set_oblivious(tier)
 
     def begin_session(self) -> None:
         self.enclave.ecall("reset_session")

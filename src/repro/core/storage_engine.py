@@ -104,6 +104,14 @@ class StorageEngine:
         """
         self.db.set_zone_maps(enabled)
 
+    def set_oblivious(self, tier: str) -> None:
+        """Select the oblivious-execution tier for subsequent queries.
+
+        Set from ``RunConfig.oblivious`` alongside :meth:`set_zone_maps`
+        at the start of every query path — same hygiene, same reason.
+        """
+        self.db.set_oblivious(tier)
+
     # ------------------------------------------------------------------
 
     @property
@@ -171,7 +179,11 @@ class StorageEngine:
     # -- streaming scans (the ship pipeline's batch-at-a-time path) --------
 
     def stream_scan(
-        self, spec: TableScanSpec, *, batch_bytes: int = DEFAULT_BATCH_BYTES
+        self,
+        spec: TableScanSpec,
+        *,
+        batch_bytes: int = DEFAULT_BATCH_BYTES,
+        fixed_rows: int | None = None,
     ) -> tuple[list[str], Iterator[EncodedBatch]]:
         """Run one offloaded scan as a stream of bounded record batches.
 
@@ -179,20 +191,26 @@ class StorageEngine:
         side's serialization working set is one ~``batch_bytes`` batch
         instead of the whole materialized result — ``Meter.note_memory``
         then reflects the real bounded buffer in the Figure 11 sweep.
+        ``fixed_rows`` pins the rows-per-batch target (the oblivious full
+        tier's predicate-independent batch boundaries).
         """
-        return self._stream_statement(spec.to_select(), batch_bytes)
+        return self._stream_statement(spec.to_select(), batch_bytes, fixed_rows)
 
     def stream_sql(
-        self, sql: str, *, batch_bytes: int = DEFAULT_BATCH_BYTES
+        self,
+        sql: str,
+        *,
+        batch_bytes: int = DEFAULT_BATCH_BYTES,
+        fixed_rows: int | None = None,
     ) -> tuple[list[str], Iterator[EncodedBatch]]:
         """:meth:`stream_scan` for a manually partitioned portion's SQL."""
-        return self._stream_statement(parse(sql), batch_bytes)
+        return self._stream_statement(parse(sql), batch_bytes, fixed_rows)
 
     def _stream_statement(
-        self, statement: A.Statement, batch_bytes: int
+        self, statement: A.Statement, batch_bytes: int, fixed_rows: int | None = None
     ) -> tuple[list[str], Iterator[EncodedBatch]]:
         columns, rows = self.db.stream_select(statement)
-        assembler = BatchAssembler(target_bytes=batch_bytes)
+        assembler = BatchAssembler(target_bytes=batch_bytes, fixed_rows=fixed_rows)
 
         def batches() -> Iterator[EncodedBatch]:
             for batch in assembler.batches(rows):

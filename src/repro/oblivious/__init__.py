@@ -1,0 +1,94 @@
+"""Oblivious execution tiers: spend simulated time to buy down leakage.
+
+PR 7's adversary-view observability made access-pattern leakage
+measurable (``repro.telemetry.obsv``: observable-event taps, per-query
+fingerprints, the mutual-information meter).  This package provides the
+mechanisms that *reduce* what those taps can see, as a three-rung
+``RunConfig(oblivious=...)`` ladder:
+
+* :mod:`tiers` — the ``off | padded | full`` knob and its predicates.
+* :mod:`padding` — fixed-shape channel framing (quantized or fully fixed
+  frame sizes, dummy frames, per-table ship schedules derived from
+  predicate-independent catalog statistics).
+* :mod:`shuffle` — bitonic sort-network kernels: oblivious sort,
+  sort-merge join and group-by runs with data-independent comparator
+  counts.
+
+Layering: like ``repro.stream``, this package is policy rather than
+security — it handles opaque byte frames, row tuples and counters only.
+ARCH001 confines it to ``errors``/``sim``/``telemetry``/``sql`` and
+ARCH008 pins the ``repro.sql`` surface to ``repro.sql.values``, so the
+padding layer is structurally incapable of growing into a query engine
+or touching the crypto whose traffic it shapes.
+"""
+
+from ..sim import Meter
+from .padding import (
+    FRAME_HEADER_BYTES,
+    PAD_QUANTUM,
+    ShipSchedule,
+    batch_schedule,
+    dummy_frame,
+    pad_frame,
+    quantize,
+    record_schedule,
+    unpad_frame,
+)
+from .shuffle import (
+    bitonic_ops,
+    oblivious_group_runs,
+    oblivious_join,
+    oblivious_sort,
+)
+from .tiers import (
+    TIER_FULL,
+    TIER_OFF,
+    TIER_PADDED,
+    TIERS,
+    fixed_ship_schedule,
+    oblivious_operators,
+    pads_channel,
+    pads_pages,
+    validate_tier,
+)
+
+#: Counters this layer bumps on the owning phase's Meter.  Registered so
+#: the telemetry registry absorbs them as first-class ``meter.<name>``
+#: metrics instead of warn-once ``meter.extra.*`` entries.  All three are
+#: informational overlays: the underlying work is already charged through
+#: ``pages_read``/``pages_decrypted``/``channel_bytes_encrypted``.
+OBLIVIOUS_COUNTERS = (
+    "oblivious_dummy_reads",
+    "oblivious_pad_bytes",
+    "oblivious_dummy_batches",
+)
+
+for _name in OBLIVIOUS_COUNTERS:
+    Meter.register_counter(_name)
+del _name
+
+__all__ = [
+    "FRAME_HEADER_BYTES",
+    "OBLIVIOUS_COUNTERS",
+    "PAD_QUANTUM",
+    "ShipSchedule",
+    "TIERS",
+    "TIER_FULL",
+    "TIER_OFF",
+    "TIER_PADDED",
+    "batch_schedule",
+    "bitonic_ops",
+    "dummy_frame",
+    "fixed_ship_schedule",
+    "oblivious_group_runs",
+    "oblivious_join",
+    "oblivious_operators",
+    "oblivious_sort",
+    "pad_frame",
+    "pads_channel",
+    "pads_pages",
+    "quantize",
+    "record_schedule",
+    "unpad_frame",
+    "validate_tier",
+]

@@ -1,0 +1,160 @@
+"""Fixed-shape framing for the padded and full oblivious tiers.
+
+The secure channel reveals exactly one thing per record: its ciphertext
+length (the observable event is ``channel:send:seq:nbytes``).  This
+module quantizes those lengths — and, for the ``full`` tier, fixes the
+whole per-table ship schedule (frame size *and* frame count) from
+predicate-independent table statistics, so two queries that differ only
+in their predicate constants produce byte-identical channel traces.
+
+Framing format (symmetric: the receiver unpads before the stream layer's
+``unpack_frame``)::
+
+    marker (1 byte: REAL | DUMMY) + u32 inner length + inner + zero fill
+
+Dummy frames carry an all-zero body; the receiver drops them before
+ingest.  Padding never truncates: a frame that cannot fit its fixed
+target raises — obliviousness fails closed rather than shipping a
+distinguishable oversized frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import IronSafeError
+
+#: Frame sizes are rounded up to a multiple of this (one device page).
+PAD_QUANTUM = 4096
+
+MARKER_REAL = 0x0B
+MARKER_DUMMY = 0x0D
+
+#: marker byte + u32 big-endian inner length.
+FRAME_HEADER_BYTES = 5
+
+#: Headroom factor for fixed frame targets.  Per-row wire size is
+#: estimated from the table's page footprint (an upper bound on the *sum*
+#: of encoded rows, not on any subset), so the fixed target leaves 2x
+#: slack for batches of above-average rows.  A frame that still exceeds
+#: the target raises rather than leaks.
+FIXED_TARGET_HEADROOM = 2
+
+
+def quantize(nbytes: int, quantum: int = PAD_QUANTUM) -> int:
+    """Smallest positive multiple of *quantum* that is >= *nbytes*."""
+    if quantum <= 0:
+        raise IronSafeError(f"pad quantum must be positive, got {quantum}")
+    return max(1, -(-nbytes // quantum)) * quantum
+
+
+def pad_frame(inner: bytes, *, target: int | None = None,
+              quantum: int = PAD_QUANTUM) -> bytes:
+    """Wrap *inner* and zero-fill to a fixed-shape length.
+
+    Without *target* the frame is padded to the next multiple of
+    *quantum* (the ``padded`` tier: sizes are quantized but still vary in
+    whole quanta).  With *target* the frame is padded to exactly that
+    many bytes (the ``full`` tier: every frame of a table's ship schedule
+    has one predicate-independent size), raising if the payload cannot
+    fit — obliviousness must fail closed, never ship a longer frame.
+    """
+    need = len(inner) + FRAME_HEADER_BYTES
+    if target is None:
+        target = quantize(need, quantum)
+    elif need > target:
+        raise IronSafeError(
+            f"frame of {len(inner)} bytes exceeds its fixed oblivious "
+            f"target of {target} bytes; raise batch headroom"
+        )
+    header = bytes([MARKER_REAL]) + len(inner).to_bytes(4, "big")
+    return header + inner + b"\x00" * (target - need)
+
+
+def dummy_frame(target: int) -> bytes:
+    """An all-padding frame of exactly *target* bytes."""
+    if target < FRAME_HEADER_BYTES:
+        raise IronSafeError(f"dummy frame target {target} below header size")
+    return bytes([MARKER_DUMMY]) + (0).to_bytes(4, "big") + b"\x00" * (
+        target - FRAME_HEADER_BYTES
+    )
+
+
+def unpad_frame(frame: bytes) -> bytes | None:
+    """Recover the inner payload, or ``None`` for a dummy frame."""
+    if len(frame) < FRAME_HEADER_BYTES:
+        raise IronSafeError(f"padded frame of {len(frame)} bytes is truncated")
+    marker = frame[0]
+    length = int.from_bytes(frame[1:5], "big")
+    if marker == MARKER_DUMMY:
+        return None
+    if marker != MARKER_REAL:
+        raise IronSafeError(f"unknown oblivious frame marker {marker:#x}")
+    if FRAME_HEADER_BYTES + length > len(frame):
+        raise IronSafeError(
+            f"padded frame declares {length} inner bytes but holds only "
+            f"{len(frame) - FRAME_HEADER_BYTES}"
+        )
+    return frame[FRAME_HEADER_BYTES : FRAME_HEADER_BYTES + length]
+
+
+@dataclass(frozen=True)
+class ShipSchedule:
+    """A table's fixed, predicate-independent ship schedule (full tier).
+
+    Derived purely from catalog-level statistics — the table's row count
+    and page footprint — never from the query's filtered result, so the
+    schedule is identical for every predicate over the same table.
+    """
+
+    #: Rows per shipped unit (batch or channel record).
+    rows_per_unit: int
+    #: Total frames shipped, real + dummy (>= 1).
+    units: int
+    #: Fixed padded size of every frame, in bytes.
+    frame_bytes: int
+
+
+def _per_row_bound(row_count: int, payload_bytes: int) -> int:
+    """Estimated wire bytes per row from the table's page footprint."""
+    return max(1, -(-payload_bytes // max(1, row_count)))
+
+
+def batch_schedule(
+    row_count: int,
+    payload_bytes: int,
+    batch_bytes: int,
+    *,
+    max_rows: int = 4096,
+    quantum: int = PAD_QUANTUM,
+) -> ShipSchedule:
+    """Fixed schedule for the pipelined ship path (RecordBatch frames)."""
+    if batch_bytes <= 0:
+        raise IronSafeError(f"batch_bytes must be positive, got {batch_bytes}")
+    per_row = _per_row_bound(row_count, payload_bytes)
+    rows_per_unit = max(1, min(max_rows, batch_bytes // per_row))
+    units = max(1, -(-max(0, row_count) // rows_per_unit))
+    frame_bytes = quantize(
+        FIXED_TARGET_HEADROOM * rows_per_unit * per_row + FRAME_HEADER_BYTES + 64,
+        quantum,
+    )
+    return ShipSchedule(rows_per_unit, units, frame_bytes)
+
+
+def record_schedule(
+    row_count: int,
+    payload_bytes: int,
+    record_rows: int,
+    *,
+    quantum: int = PAD_QUANTUM,
+) -> ShipSchedule:
+    """Fixed schedule for the serial ship path (per-record framing)."""
+    if record_rows <= 0:
+        raise IronSafeError(f"record_rows must be positive, got {record_rows}")
+    per_row = _per_row_bound(row_count, payload_bytes)
+    units = max(1, -(-max(0, row_count) // record_rows))
+    frame_bytes = quantize(
+        FIXED_TARGET_HEADROOM * record_rows * per_row + FRAME_HEADER_BYTES + 64,
+        quantum,
+    )
+    return ShipSchedule(record_rows, units, frame_bytes)

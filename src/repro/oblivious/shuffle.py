@@ -1,0 +1,209 @@
+"""Oblivious shuffle-based operator kernels (bitonic sort networks).
+
+The ``full`` tier replaces hash join and hash group-by with sort-based
+variants built on a bitonic sorting network, per "Oblivious Query
+Processing" (Arasu & Kaushik): the network's compare-exchange sequence
+depends only on the (padded) input *size*, never on the data, so the
+memory-access schedule — and the ``sort_ops`` charged to the cost model —
+are identical for every predicate constant over the same input
+cardinality.
+
+The kernels are deliberately engine-agnostic: rows are opaque tuples,
+keys are extracted by caller-supplied functions, and residual predicates
+arrive pre-compiled (the SQL value semantics stay in ``repro.sql``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+
+from ..sim import Meter
+
+#: Sentinel padding entries sort after every real key (bitonic networks
+#: need a power-of-two input).
+_SENTINEL = object()
+
+
+class _ObKey:
+    """One sort-key element: totally ordered, ``None`` sorts last."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other) -> bool:
+        return self.value == other.value
+
+    def __lt__(self, other: "_ObKey") -> bool:
+        if self.value is None:
+            return False
+        if other.value is None:
+            return True
+        return self.value < other.value
+
+    def __hash__(self):  # pragma: no cover - keys are compared, not hashed
+        return hash(self.value)
+
+
+def _wrap_key(values: Sequence) -> tuple:
+    return tuple(_ObKey(v) for v in values)
+
+
+def bitonic_ops(n: int) -> int:
+    """Compare-exchange count of the network over *n* padded items.
+
+    ``n/2 * k(k+1)/2`` for ``n = 2**k`` — a pure function of the input
+    size, which is exactly what makes the network oblivious.
+    """
+    if n <= 1:
+        return 0
+    k = (n - 1).bit_length()
+    padded = 1 << k
+    return (padded // 2) * (k * (k + 1) // 2)
+
+
+def oblivious_sort(
+    items: list,
+    key: Callable[[object], tuple],
+    meter: Meter | None = None,
+) -> list:
+    """Sort *items* with a bitonic network; charge data-independent ops.
+
+    *key* returns a tuple of raw sort-key values; ``None`` values sort
+    last (the engine's NULLS LAST order).  The input is padded to the
+    next power of two with sentinels that sort last, every
+    compare-exchange in the fixed schedule runs (and is charged to
+    ``meter.sort_ops``) whether or not it swaps, and the sentinels are
+    stripped afterwards.
+    """
+    n = len(items)
+    if n <= 1:
+        return list(items)
+    size = 1 << (n - 1).bit_length()
+    keys: list = [_wrap_key(key(item)) for item in items] + [_SENTINEL] * (size - n)
+    order: list = list(items) + [_SENTINEL] * (size - n)
+
+    ops = 0
+    k = 2
+    while k <= size:
+        j = k // 2
+        while j >= 1:
+            for i in range(size):
+                partner = i ^ j
+                if partner <= i:
+                    continue
+                ops += 1
+                ascending = (i & k) == 0
+                a, b = keys[i], keys[partner]
+                # Sentinels are +infinity: they move toward the
+                # descending end of whichever direction applies.
+                if a is _SENTINEL:
+                    swap = ascending
+                elif b is _SENTINEL:
+                    swap = not ascending
+                else:
+                    swap = (b < a) if ascending else (a < b)
+                if swap:
+                    keys[i], keys[partner] = keys[partner], keys[i]
+                    order[i], order[partner] = order[partner], order[i]
+            j //= 2
+        k *= 2
+    if meter is not None:
+        meter.sort_ops += ops
+    return [item for item in order if item is not _SENTINEL]
+
+
+def oblivious_join(
+    left_rows: list[tuple],
+    right_rows: list[tuple],
+    left_key: Callable[[tuple], tuple],
+    right_key: Callable[[tuple], tuple],
+    *,
+    kind: str = "inner",
+    accept: Callable[[tuple], bool] | None = None,
+    pad_width: int = 0,
+    meter: Meter | None = None,
+) -> Iterator[tuple]:
+    """Bitonic sort-merge equi join (the full tier's HashJoin stand-in).
+
+    Semantics match the hash join exactly — NULL keys never match,
+    ``kind='left'`` pads unmatched left rows with *pad_width* NULLs, and
+    *accept* (the pre-compiled residual, truthiness included) filters
+    combined rows — but both inputs are run through the oblivious sort
+    network first and merged in key order, so the comparison schedule is
+    a function of the input cardinalities alone.  Output order is the
+    left input's key order (not its arrival order).
+    """
+    pad = (None,) * pad_width
+
+    def null_key(key: tuple) -> bool:
+        return any(k.value is None for k in key)
+
+    left_sorted = oblivious_sort(list(left_rows), left_key, meter)
+    right_sorted = oblivious_sort(
+        [r for r in right_rows if not any(v is None for v in right_key(r))],
+        right_key,
+        meter,
+    )
+    if meter is not None:
+        meter.join_probes += len(left_sorted)
+
+    right_keys = [_wrap_key(right_key(row)) for row in right_sorted]
+    cursor = 0
+    run_key: tuple | None = None
+    run: list[tuple] = []
+    for row in left_sorted:
+        key = _wrap_key(left_key(row))
+        if null_key(key):
+            # NULL keys sort last and never match; a left join still
+            # emits them padded.
+            if kind == "left":
+                yield row + pad
+            continue
+        if key != run_key:
+            while cursor < len(right_keys) and right_keys[cursor] < key:
+                cursor += 1
+            run = []
+            scan = cursor
+            while scan < len(right_keys) and right_keys[scan] == key:
+                run.append(right_sorted[scan])
+                scan += 1
+            run_key = key
+        matched = False
+        for right_row in run:
+            combined = row + right_row
+            if accept is not None and not accept(combined):
+                continue
+            matched = True
+            yield combined
+        if not matched and kind == "left":
+            yield row + pad
+
+
+def oblivious_group_runs(
+    rows: list[tuple],
+    group_key: Callable[[tuple], tuple],
+    meter: Meter | None = None,
+) -> Iterator[tuple[tuple, list[tuple]]]:
+    """Group *rows* by key via the oblivious sort network.
+
+    Yields ``(key_values, rows_of_group)`` in ascending key order (NULLs
+    last, and a NULL key *is* a group, matching the hash aggregation
+    semantics).  The sort schedule depends only on ``len(rows)``.
+    """
+    ordered = oblivious_sort(rows, group_key, meter)
+    run_key: tuple | None = None
+    run_values: tuple = ()
+    run: list[tuple] = []
+    for row in ordered:
+        key = _wrap_key(group_key(row))
+        if run_key is None or key != run_key:
+            if run_key is not None:
+                yield run_values, run
+            run_key = key
+            run_values = group_key(row)
+            run = []
+        run.append(row)
+    if run_key is not None:
+        yield run_values, run

@@ -1,0 +1,66 @@
+"""The oblivious-execution tier ladder: ``off`` < ``padded`` < ``full``.
+
+Each rung buys down access-pattern leakage (as measured by the
+``repro.telemetry.obsv`` mutual-information meter) at a simulated-time
+price:
+
+* ``off`` — the seed behaviour.  With zone-map skip-scans enabled the
+  page-access pattern is a function of the query predicate, leaking up to
+  log2(K) bits across K predicate constants.
+* ``padded`` — page-read schedules are padded to fixed,
+  predicate-independent shapes (pruned pages are still fetched through
+  the full read → MAC → Merkle → decrypt pipeline and then discarded),
+  and channel frames are padded to fixed ciphertext sizes.  The *number*
+  of shipped frames may still depend on the result size.
+* ``full`` — additionally fixes the frame count to a bound derived from
+  predicate-independent table statistics (dummy frames top the schedule
+  up) and replaces hash join / hash group-by with oblivious
+  shuffle-based variants (bitonic sort networks with data-independent
+  comparator counts), making the entire observable trace byte-identical
+  across queries that differ only in their predicate constants.
+"""
+
+from __future__ import annotations
+
+from ..errors import IronSafeError
+
+TIER_OFF = "off"
+TIER_PADDED = "padded"
+TIER_FULL = "full"
+
+#: The ladder, weakest to strongest.
+TIERS: tuple[str, ...] = (TIER_OFF, TIER_PADDED, TIER_FULL)
+
+
+def validate_tier(tier: str) -> str:
+    """Return *tier* if it names a rung; raise otherwise."""
+    if tier not in TIERS:
+        raise IronSafeError(
+            f"oblivious tier must be one of {', '.join(TIERS)}; got {tier!r}"
+        )
+    return tier
+
+
+def pads_pages(tier: str) -> bool:
+    """Does this tier pad page-read schedules to fixed shapes?"""
+    return validate_tier(tier) in (TIER_PADDED, TIER_FULL)
+
+
+def pads_channel(tier: str) -> bool:
+    """Does this tier pad channel frames to fixed ciphertext sizes?"""
+    return validate_tier(tier) in (TIER_PADDED, TIER_FULL)
+
+
+def fixed_ship_schedule(tier: str) -> bool:
+    """Does this tier also fix the *number* of shipped frames?
+
+    Only ``full``: the frame count is derived from table-level statistics
+    (row count and page footprint) that do not depend on the predicate,
+    and the real stream is topped up with dummy frames to that bound.
+    """
+    return validate_tier(tier) == TIER_FULL
+
+
+def oblivious_operators(tier: str) -> bool:
+    """Does this tier swap hash join / group-by for oblivious variants?"""
+    return validate_tier(tier) == TIER_FULL

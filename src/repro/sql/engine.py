@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..errors import ExecutionError
+from ..oblivious import oblivious_operators, pads_pages, validate_tier
 from ..sim import Meter
 from . import ast_nodes as A
 from .catalog import TableSchema
@@ -71,6 +72,9 @@ class Database:
 
     def __init__(self, store: TableStore | None = None):
         self.store = store if store is not None else MemoryStore()
+        #: Oblivious-execution tier for subsequent statements (see
+        #: :meth:`set_oblivious`).  ``off`` is the seed behaviour.
+        self._oblivious = "off"
 
     @property
     def meter(self) -> Meter:
@@ -103,7 +107,9 @@ class Database:
 
     def _run_select(self, select: A.Select, params: tuple) -> Result:
         select = _bind_select(select, params)
-        ctx = ExecContext(self.store.meter)
+        ctx = ExecContext(
+            self.store.meter, oblivious=oblivious_operators(self._oblivious)
+        )
         planner = Planner(self.store, ctx)
         op = planner.plan_select(select)
         rows = list(op.rows())
@@ -121,7 +127,9 @@ class Database:
         of once at the end.
         """
         select = _bind_select(select, params)
-        ctx = ExecContext(self.store.meter)
+        ctx = ExecContext(
+            self.store.meter, oblivious=oblivious_operators(self._oblivious)
+        )
         planner = Planner(self.store, ctx)
         op = planner.plan_select(select)
         columns = planner.output_names(select)
@@ -225,6 +233,20 @@ class Database:
         """
         if hasattr(self.store, "zone_maps"):
             self.store.prune_scans = bool(enabled)
+
+    def set_oblivious(self, tier: str) -> None:
+        """Select the oblivious-execution tier for subsequent statements.
+
+        ``padded``/``full`` make pruned scans fetch every page (dummy
+        reads keep the device schedule predicate-independent); ``full``
+        additionally swaps hash join / group-by for the bitonic-shuffle
+        variants.  Like :meth:`set_zone_maps` this is safe to call
+        unconditionally: stores without pages simply have no schedule to
+        pad, and ``off`` restores the seed behaviour bit for bit.
+        """
+        self._oblivious = validate_tier(tier)
+        if hasattr(self.store, "pad_scans"):
+            self.store.pad_scans = pads_pages(tier)
 
     def commit(self) -> None:
         self.store.commit()

@@ -13,6 +13,7 @@ import math
 from collections.abc import Iterator
 
 from ..errors import ExecutionError
+from ..oblivious import oblivious_group_runs, oblivious_join
 from ..sim import Meter
 from .expressions import RowFn, Scope
 from .values import estimate_row_bytes, is_true
@@ -21,10 +22,15 @@ from .values import estimate_row_bytes, is_true
 class ExecContext:
     """Per-query execution state shared by all operators."""
 
-    def __init__(self, meter: Meter | None = None):
+    def __init__(self, meter: Meter | None = None, *, oblivious: bool = False):
         self.meter = meter if meter is not None else Meter()
         self._alloc_bytes = 0
         self.lookup_maps: list[dict] = []
+        #: Full oblivious tier: joins and group-bys run the bitonic
+        #: shuffle-based variants (``repro.oblivious.shuffle``) instead
+        #: of their hash forms, so comparison schedules depend only on
+        #: input cardinalities, never on the data.
+        self.oblivious = oblivious
 
     def allocate(self, nbytes: int) -> None:
         self._alloc_bytes += nbytes
@@ -162,6 +168,9 @@ class HashJoin(Operator):
         return table, nbytes
 
     def rows(self) -> Iterator[tuple]:
+        if self.ctx.oblivious:
+            yield from self._oblivious_rows()
+            return
         table, nbytes = self._build()
         meter = self.ctx.meter
         right_width = len(self.right.scope)
@@ -180,6 +189,40 @@ class HashJoin(Operator):
                         yield combined
                 if not matched and self.kind == "left":
                     yield row + pad
+        finally:
+            self.ctx.release(nbytes)
+
+    def _oblivious_rows(self) -> Iterator[tuple]:
+        """Full-tier variant: bitonic sort-merge join (repro.oblivious).
+
+        Same semantics as the hash path — NULL keys never match, left
+        joins pad, the residual filters combined rows — but both inputs
+        run through the oblivious sort network, so the comparison
+        schedule is a function of the input cardinalities alone.  Output
+        arrives in left-key order instead of left arrival order.
+        """
+        left_rows = list(self.left.rows())
+        right_rows = list(self.right.rows())
+        nbytes = sum(estimate_row_bytes(r) for r in left_rows) + sum(
+            estimate_row_bytes(r) for r in right_rows
+        )
+        self.ctx.allocate(nbytes)
+        residual = self.residual
+
+        def accept(combined: tuple) -> bool:
+            return residual is None or is_true(residual(combined))
+
+        try:
+            yield from oblivious_join(
+                left_rows,
+                right_rows,
+                lambda row: tuple(fn(row) for fn in self.left_keys),
+                lambda row: tuple(fn(row) for fn in self.right_keys),
+                kind=self.kind,
+                accept=accept,
+                pad_width=len(self.right.scope),
+                meter=self.ctx.meter,
+            )
         finally:
             self.ctx.release(nbytes)
 
@@ -371,6 +414,12 @@ class Aggregate(Operator):
         self.specs = specs
 
     def rows(self) -> Iterator[tuple]:
+        if self.ctx.oblivious and self.group_fns:
+            # Full tier: sort-based grouping over the bitonic network
+            # (a global aggregate has no data-dependent group structure
+            # to hide, so it keeps the single-accumulator pass).
+            yield from self._oblivious_rows()
+            return
         meter = self.ctx.meter
         groups: dict[tuple, list[_Accumulator]] = {}
         nbytes = 0
@@ -393,6 +442,35 @@ class Aggregate(Operator):
                 yield tuple(acc.result() for acc in accs)
                 return
             for key, accs in groups.items():
+                yield key + tuple(acc.result() for acc in accs)
+        finally:
+            self.ctx.release(nbytes)
+
+    def _oblivious_rows(self) -> Iterator[tuple]:
+        """Full-tier variant: sort-based group-by (repro.oblivious).
+
+        Rows are ordered by group key through the oblivious sort network
+        and aggregated run by run; the accumulator semantics (DISTINCT,
+        NULL handling, empty input) are shared with the hash path.
+        Groups emerge in ascending key order (NULLs last) instead of
+        first-seen order.
+        """
+        meter = self.ctx.meter
+        rows = list(self.child.rows())
+        nbytes = sum(estimate_row_bytes(r) for r in rows)
+        self.ctx.allocate(nbytes)
+        nspecs = max(1, len(self.specs))
+        try:
+            for key, run in oblivious_group_runs(
+                rows, lambda row: tuple(fn(row) for fn in self.group_fns), meter
+            ):
+                accs = [_Accumulator(s.kind, s.distinct) for s in self.specs]
+                for row in run:
+                    meter.agg_updates += nspecs
+                    for spec, acc in zip(self.specs, accs):
+                        acc.update(
+                            spec.arg_fn(row) if spec.arg_fn is not None else None
+                        )
                 yield key + tuple(acc.result() for acc in accs)
         finally:
             self.ctx.release(nbytes)

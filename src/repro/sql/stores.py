@@ -140,6 +140,12 @@ class PagedStore(TableStore):
         #: default (the seed scan path); toggled per query from
         #: ``RunConfig.zone_maps`` via :meth:`Database.set_zone_maps`.
         self.prune_scans = False
+        #: Whether pruned scans must still *fetch* every page (dummy
+        #: reads through the full read → MAC → Merkle → decrypt pipeline)
+        #: so the device-visible schedule is predicate-independent.  Set
+        #: per query from ``RunConfig.oblivious`` via
+        #: :meth:`Database.set_oblivious`; see ``repro.oblivious``.
+        self.pad_scans = False
         self.zone_maps: dict[str, TableZoneMaps] = self._load_zone_maps()
 
     def _next_page(self) -> int:
@@ -266,19 +272,40 @@ class PagedStore(TableStore):
             # Merkle → decrypt → decode pipeline — and, on a caching
             # pager, is neither fetched nor admitted.
             pages = self._pruned_pages(name, schema, pruning)
-        # A pager in performance mode (the secure pager with its in-enclave
-        # cache enabled) exposes read_pages/batch_enabled, letting a
-        # contiguous scan amortize integrity verification across a batch.
-        # Duck-typed so this module stays agnostic of the pager's security.
+            if self.pad_scans and len(pages) < len(schema.pages):
+                # Padded (oblivious) scan: every page is still fetched in
+                # schedule order through the full pipeline — the device
+                # sees the same trace for every predicate — but pruned
+                # pages are discarded undecoded, so the CPU-side savings
+                # (rows_scanned, predicate_evals) survive.
+                self.meter.bump(
+                    "oblivious_dummy_reads", len(schema.pages) - len(pages)
+                )
+                return self._scan_pages(schema.pages, frozenset(pages))
+        return self._scan_pages(pages, None)
+
+    def _scan_pages(
+        self, pages: list[int], kept: frozenset[int] | None
+    ) -> Iterator[tuple]:
+        """Read *pages* in order; decode only *kept* (``None`` = all).
+
+        A pager in performance mode (the secure pager with its in-enclave
+        cache enabled) exposes read_pages/batch_enabled, letting a
+        contiguous scan amortize integrity verification across a batch.
+        Duck-typed so this module stays agnostic of the pager's security.
+        """
         if getattr(self.pager, "batch_enabled", False):
             batch = self.SCAN_BATCH_PAGES
             for start in range(0, len(pages), batch):
-                for payload in self.pager.read_pages(pages[start : start + batch]):
-                    yield from unpack_page(payload)
+                chunk = pages[start : start + batch]
+                for page_no, payload in zip(chunk, self.pager.read_pages(chunk)):
+                    if kept is None or page_no in kept:
+                        yield from unpack_page(payload)
             return
         for page_no in pages:
             payload = self.pager.read_page(page_no)
-            yield from unpack_page(payload)
+            if kept is None or page_no in kept:
+                yield from unpack_page(payload)
 
     def _pruned_pages(self, name: str, schema: TableSchema, pruning) -> list[int]:
         """The pages a pruned scan must still read.

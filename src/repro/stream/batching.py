@@ -49,6 +49,7 @@ class BatchAssembler:
         *,
         initial_rows: int = INITIAL_ROW_TARGET,
         max_rows: int = 4096,
+        fixed_rows: int | None = None,
     ):
         if target_bytes <= 0:
             raise StreamError(f"batch target must be positive, got {target_bytes}")
@@ -56,7 +57,17 @@ class BatchAssembler:
             raise StreamError(f"initial row target {initial_rows} out of range")
         self.target_bytes = target_bytes
         self.max_rows = min(max_rows, MAX_BATCH_ROWS)
-        self._row_target = min(initial_rows, self.max_rows)
+        if fixed_rows is not None:
+            # Oblivious full tier: the rows-per-batch target is pinned to
+            # a predicate-independent value derived from catalog stats,
+            # so the batch *boundaries* (and hence the frame schedule)
+            # never adapt to the filtered data.
+            if not 1 <= fixed_rows <= MAX_BATCH_ROWS:
+                raise StreamError(f"fixed row target {fixed_rows} out of range")
+            self._row_target = min(fixed_rows, self.max_rows)
+        else:
+            self._row_target = min(initial_rows, self.max_rows)
+        self._fixed = fixed_rows is not None
 
     @property
     def row_target(self) -> int:
@@ -64,6 +75,8 @@ class BatchAssembler:
         return self._row_target
 
     def _retarget(self, rows: int, nbytes: int) -> None:
+        if self._fixed:
+            return
         if rows <= 0 or nbytes <= 0:
             return
         per_row = max(1, nbytes // rows)

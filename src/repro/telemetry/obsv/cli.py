@@ -8,14 +8,18 @@ Subcommands over the JSONL observable traces written by
   file by default, ``--a-id``/``--b-id`` to pick by obsv id)
 * ``sweep FILE``         — (sim-time, leakage) table across groups, the
   shape ``bench_leakage_selectivity`` emits
+* ``gate FILE...``       — CI leakage-regression gate: every group whose
+  name matches a ``--require`` glob must be leak-free (one fingerprint,
+  0.0 MI bits) or the command exits 1
 
-Exit status: 0 on success, 1 on unreadable input/ids, 2 on malformed
-trace files.
+Exit status: 0 on success, 1 on unreadable input/ids or a failed gate,
+2 on malformed trace files.
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -80,6 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--group-by", default="group",
                    help="trace attribute to group by (default: group)")
     p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p = sub.add_parser("gate", help="fail if a required group leaks")
+    p.add_argument("traces", nargs="+", help="observable-trace JSONL file(s)")
+    p.add_argument("--group-by", default="group",
+                   help="trace attribute to group by (default: group)")
+    p.add_argument(
+        "--require", action="append", default=[], metavar="GLOB",
+        help="glob over group names that must be leak-free (repeatable); "
+        "a glob matching no group is itself a gate failure",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
 
@@ -143,6 +158,53 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{report.group:24s} {report.traces:7d} {mean_ms:12.3f} "
                   f"{report.mi_bits:9.3f} {report.distinguishability:9.3f} "
                   f"{divergence:11.3f}")
+        return 0
+
+    if args.command == "gate":
+        traces = []
+        for path in args.traces:
+            traces.extend(_load(path))
+        reports = sweep_reports(traces, key=args.group_by)
+        globs = args.require or ["*"]
+        checked, failures, unmatched = [], [], []
+        for glob in globs:
+            matched = [r for r in reports if fnmatch.fnmatchcase(r.group or "", glob)]
+            if not matched:
+                unmatched.append(glob)
+            for report in matched:
+                verdict = report.leak_free and report.mi_bits == 0.0
+                checked.append((glob, report, verdict))
+                if not verdict:
+                    failures.append(report)
+        if args.json:
+            print(json.dumps(
+                {
+                    "checked": [
+                        {"glob": g, "group": r.group, "mi_bits": r.mi_bits,
+                         "fingerprints": r.distinct_fingerprints, "ok": ok}
+                        for g, r, ok in checked
+                    ],
+                    "unmatched_globs": unmatched,
+                    "passed": not failures and not unmatched,
+                },
+                indent=2, sort_keys=True,
+            ))
+        else:
+            for _, report, ok in checked:
+                status = "ok        " if ok else "LEAKING   "
+                print(f"{status} {report.group}: {report.traces} trace(s), "
+                      f"{report.distinct_fingerprints} fingerprint(s), "
+                      f"MI {report.mi_bits:.3f} bits")
+            for glob in unmatched:
+                print(f"MISSING    no group matches {glob!r}")
+        if failures or unmatched:
+            print(
+                f"repro-leak: gate FAILED — {len(failures)} leaking group(s), "
+                f"{len(unmatched)} unmatched glob(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"repro-leak: gate passed — {len(checked)} group(s) leak-free")
         return 0
 
     return 2  # pragma: no cover - argparse enforces the subcommands

@@ -638,6 +638,7 @@ class TestFramework:
             "ARCH005",
             "ARCH006",
             "ARCH007",
+            "ARCH008",
             "FLOW001",
             "SEC001",
             "SEC002",
