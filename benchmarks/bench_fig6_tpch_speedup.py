@@ -9,6 +9,10 @@ queries.  Headline claims reproduced in shape:
   and EPC paging penalize the host-only secure baseline);
 * IronSafe (scs) beats the host-only secure system (hos) on average
   (paper: 2.3x).
+
+The vectorized arm (ISSUE 9) reruns the split configurations under the
+morsel executor: the per-query scs row/vec ratio shows how much of the
+remaining scs time is interpreted CPU work rather than the security tax.
 """
 
 from __future__ import annotations
@@ -18,10 +22,15 @@ from conftest import run_once
 from repro.bench import format_table, geomean
 
 
-def test_fig6_tpch_speedup(benchmark, tpch_suite):
+def test_fig6_tpch_speedup(benchmark, tpch_suite, tpch_suite_vectorized):
     def experiment():
+        vec_by_number = {q.number: q for q in tpch_suite_vectorized}
         rows = []
         for q in tpch_suite:
+            vec = vec_by_number[q.number]
+            assert sorted(vec.runs["scs"].rows) == sorted(q.runs["scs"].rows), (
+                f"Q{q.number}: vectorized scs rows diverged"
+            )
             rows.append(
                 [
                     f"Q{q.number}",
@@ -31,6 +40,8 @@ def test_fig6_tpch_speedup(benchmark, tpch_suite):
                     q.ms("hos"),
                     q.ms("scs"),
                     q.speedup("hos", "scs"),
+                    vec.ms("scs"),
+                    q.ms("scs") / vec.ms("scs"),
                 ]
             )
         return rows
@@ -39,17 +50,21 @@ def test_fig6_tpch_speedup(benchmark, tpch_suite):
     print()
     print(
         format_table(
-            ["query", "hons ms", "vcs ms", "non-sec x", "hos ms", "scs ms", "sec x"],
+            ["query", "hons ms", "vcs ms", "non-sec x", "hos ms", "scs ms", "sec x",
+             "scs+vec ms", "vec x"],
             rows,
             title="Figure 6 — TPC-H speedup due to CS execution (simulated ms)",
         )
     )
     nonsec = [r[3] for r in rows]
     sec = [r[6] for r in rows]
+    vec = [r[8] for r in rows]
     print(f"\nnon-secure speedup: geomean {geomean(nonsec):.2f}x, max {max(nonsec):.2f}x")
     print(f"secure speedup:     geomean {geomean(sec):.2f}x, max {max(sec):.2f}x")
+    print(f"vectorized scs:     geomean {geomean(vec):.2f}x, max {max(vec):.2f}x")
     benchmark.extra_info["geomean_nonsecure"] = geomean(nonsec)
     benchmark.extra_info["geomean_secure"] = geomean(sec)
+    benchmark.extra_info["vectorized_geomean_speedup"] = geomean(vec)
 
     # Shape assertions from the paper.
     assert geomean(sec) > 1.0, "IronSafe must beat host-only secure on average"
@@ -59,3 +74,5 @@ def test_fig6_tpch_speedup(benchmark, tpch_suite):
     assert geomean(sec) >= 0.8 * geomean(nonsec), (
         "security should not erase the CS advantage"
     )
+    # The morsel executor must not slow the suite down on average.
+    assert geomean(vec) >= 1.0, "vectorization must help scs on average"

@@ -66,6 +66,16 @@ def tpch_suite(deployment):
 
 
 @pytest.fixture(scope="session")
+def tpch_suite_vectorized(deployment):
+    """The split configurations again, under the morsel executor."""
+    from repro.core import RunConfig
+
+    return run_tpch_suite(
+        deployment, ("vcs", "scs"), run_config=RunConfig(vectorized=True)
+    )
+
+
+@pytest.fixture(scope="session")
 def suite_by_number(tpch_suite):
     return {q.number: q for q in tpch_suite}
 

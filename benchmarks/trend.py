@@ -17,6 +17,11 @@ Two families of numeric leaves are tracked path-by-path:
   hard zero-leakage arms are enforced separately by ``repro-leak gate``,
   so here the annotation just makes a widening side channel impossible
   to miss in review.
+* **speedup** — keys ending ``_speedup`` (the ratio leaves the vectorized
+  / figure benchmarks emit, where *bigger* is better).  A *decrease*
+  beyond the warn threshold prints a ``::warning::`` — an eroding
+  speedup is a perf regression even when no absolute time leaf crossed
+  its own threshold.
 
 Deterministic by construction: the payloads carry simulated nanoseconds
 and fingerprint-derived bits, so any drift is a real modelling change,
@@ -35,6 +40,7 @@ HARD_THRESHOLD = 0.50
 
 _TIME_SUFFIXES = ("_ms", "_ns")
 _LEAK_SUFFIXES = ("_bits",)
+_SPEEDUP_SUFFIXES = ("_speedup",)
 
 
 def _leaves(node, path="", key=""):
@@ -51,6 +57,8 @@ def _leaves(node, path="", key=""):
             yield path, float(node), "time"
         elif any(key.endswith(suffix) for suffix in _LEAK_SUFFIXES):
             yield path, float(node), "bits"
+        elif any(key.endswith(suffix) for suffix in _SPEEDUP_SUFFIXES):
+            yield path, float(node), "speedup"
 
 
 def _load_dir(directory: Path) -> dict[str, dict[str, tuple[float, str]]]:
@@ -111,6 +119,18 @@ def compare(
                     print(
                         f"::warning title=sim-time regression::{bench} {leaf}: "
                         f"{before:g} -> {value:g} (+{delta:.0%}, threshold "
+                        f"{threshold:.0%})"
+                    )
+            elif kind == "speedup":  # bigger is better: warn on erosion
+                if before <= 0:
+                    continue
+                compared += 1
+                delta = (before - value) / before
+                if delta > threshold:
+                    warnings += 1
+                    print(
+                        f"::warning title=speedup erosion::{bench} {leaf}: "
+                        f"{before:g}x -> {value:g}x (-{delta:.0%}, threshold "
                         f"{threshold:.0%})"
                     )
             else:  # leakage bits: any widening is worth a look

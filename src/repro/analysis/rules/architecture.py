@@ -1,4 +1,4 @@
-"""Architecture-conformance rules (ARCH001–ARCH008).
+"""Architecture-conformance rules (ARCH001–ARCH009).
 
 The reproduction's trust argument depends on its layering: ``crypto`` is
 the bottom of the TCB, enclave internals are reachable only through the
@@ -463,6 +463,52 @@ class ObliviousSurfaceViolation(Rule):
                 message=(
                     f"oblivious may import repro.sql only via "
                     f"{', '.join(sorted(OBLIVIOUS_ALLOWED_SQL_MODULES))}; "
+                    f"found import of {record.module!r}"
+                ),
+            )
+
+
+# The vector data plane (repro.sql.vector) holds typed column buffers and
+# batch kernels.  It must stay a passive data representation: the record
+# wire format, the SQL value semantics, shared errors and simulated meters
+# only.  If it could reach the planner, stores or operators it would grow
+# into a second query engine outside the metered scan path — morsels are
+# containers the engine fills, not a data path of their own.
+VECTOR_PREFIX = "repro.sql.vector"
+VECTOR_ALLOWED_SUBPACKAGES = frozenset({"errors", "sim"})
+VECTOR_ALLOWED_SQL_MODULES = frozenset({"repro.sql.values", "repro.sql.records"})
+
+
+@register
+class VectorConfinementViolation(Rule):
+    rule_id = "ARCH009"
+    title = "vector data plane exceeds its import surface"
+    rationale = "column batches are containers, not a second query engine"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        module = ctx.module
+        if module is None:
+            return
+        if module != VECTOR_PREFIX and not module.startswith(VECTOR_PREFIX + "."):
+            return
+        for record in ctx.graph.imports_of(module):
+            if record.module == VECTOR_PREFIX or record.module.startswith(
+                VECTOR_PREFIX + "."
+            ):
+                continue
+            if top_subpackage(record.module) in VECTOR_ALLOWED_SUBPACKAGES:
+                continue
+            if record.module in VECTOR_ALLOWED_SQL_MODULES:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.relpath,
+                line=record.lineno,
+                col=record.col,
+                message=(
+                    f"repro.sql.vector may import only "
+                    f"{', '.join(sorted(VECTOR_ALLOWED_SQL_MODULES))} plus "
+                    f"{', '.join(sorted(VECTOR_ALLOWED_SUBPACKAGES))}; "
                     f"found import of {record.module!r}"
                 ),
             )

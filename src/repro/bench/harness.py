@@ -77,8 +77,13 @@ def run_tpch_suite(
     configs: tuple[str, ...],
     numbers: list[int] | None = None,
     use_manual: bool = True,
+    run_config=None,
 ) -> list[QueryRuns]:
-    """Run each TPC-H query under each configuration."""
+    """Run each TPC-H query under each configuration.
+
+    *run_config* overrides the deployment's default execution knobs for
+    every run (e.g. ``RunConfig(vectorized=True)`` for the morsel arm).
+    """
     numbers = numbers if numbers is not None else EVALUATED_NUMBERS
     out = []
     for number in numbers:
@@ -90,6 +95,8 @@ def run_tpch_suite(
             kwargs = {}
             if config in ("vcs", "scs") and manual is not None:
                 kwargs["manual_partition"] = manual
+            if run_config is not None:
+                kwargs["run_config"] = run_config
             result = deployment.run_query(query.sql, config, **kwargs)
             runs.runs[config] = result
             if reference is None:

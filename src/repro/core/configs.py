@@ -70,6 +70,18 @@ class RunConfig:
     #: ``repro.oblivious`` and docs/performance.md for the measured
     #: (sim-time, leakage) ladder.
     oblivious: str = "off"
+    #: Batch-at-a-time (morsel) execution: operators exchange typed
+    #: column batches (``repro.sql.vector``) instead of single tuples,
+    #: with selection-vector filters and per-batch amortized CPU charges
+    #: (``CostModel.vector_batch_ns`` / ``vector_value_ns``).  Off by
+    #: default — the seed row path, asserted byte- and simulated-ns-
+    #: identical across all five configurations.  Composes with
+    #: ``zone_maps`` (morsel scans keep the pruned page schedule) and
+    #: with the oblivious tiers (the ``full`` tier's bitonic join /
+    #: group-by stay row-oblivious above vectorized scans and filters,
+    #: and the fixed ship schedule re-batches morsel output rather than
+    #: being bypassed).
+    vectorized: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_bytes <= 0:

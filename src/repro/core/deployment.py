@@ -745,6 +745,8 @@ class Deployment:
         db, pager = self._host_only_db(secure)
         db.set_zone_maps(run_config.zone_maps)
         db.set_oblivious(run_config.oblivious)
+        db.set_vectorized(run_config.vectorized)
+        db.tracer = self.tracer
         meter = Meter()
         db.store.meter = meter
         pager.meter = meter
@@ -856,7 +858,9 @@ class Deployment:
         # knob never leaks from one query into the next.
         engine.set_zone_maps(run_config.zone_maps)
         engine.set_oblivious(run_config.oblivious)
+        engine.set_vectorized(run_config.vectorized)
         self.host_engine.set_oblivious(run_config.oblivious)
+        self.host_engine.set_vectorized(run_config.vectorized)
         if manual is not None:
             plan = None
         else:
@@ -1100,7 +1104,9 @@ class Deployment:
         # knob never leaks from one query into the next.
         engine.set_zone_maps(run_config.zone_maps)
         engine.set_oblivious(run_config.oblivious)
+        engine.set_vectorized(run_config.vectorized)
         self.host_engine.set_oblivious(run_config.oblivious)
+        self.host_engine.set_vectorized(run_config.vectorized)
         if manual is not None:
             plan = None
         else:
@@ -1406,6 +1412,7 @@ class Deployment:
         run_config = run_config if run_config is not None else self.run_config
         self.storage_engine.set_zone_maps(run_config.zone_maps)
         self.storage_engine.set_oblivious(run_config.oblivious)
+        self.storage_engine.set_vectorized(run_config.vectorized)
         meter = self.storage_engine.fresh_meter()
         with self.tracer.span(
             SPAN_STORAGE_PHASE,

@@ -18,6 +18,7 @@ from ..sql import Database, MemoryStore
 from ..sql import ast_nodes as A
 from ..sql.catalog import TableSchema
 from ..sql.records import decode_batch
+from ..sql.vector import Morsel
 from ..tee.sgx import Enclave
 
 # Enclave exits happen per received channel record, not per row.
@@ -37,6 +38,8 @@ class HostEngine:
         #: Oblivious tier applied to each session database (the host-side
         #: join/group-by swap for the ``full`` tier).
         self._oblivious = "off"
+        #: Batch-at-a-time execution applied to each session database.
+        self._vectorized = False
         enclave.register_ecall("reset_session", self._reset_session)
         enclave.register_ecall("load_table", self._load_table)
         enclave.register_ecall("run_statement", self._run_statement)
@@ -49,6 +52,8 @@ class HostEngine:
     def _reset_session(self) -> None:
         self._db = Database(MemoryStore(self.meter))
         self._db.set_oblivious(self._oblivious)
+        self._db.set_vectorized(self._vectorized)
+        self._db.tracer = self.tracer
         self.enclave.put("session_db", self._db)
 
     def _load_table(
@@ -90,6 +95,13 @@ class HostEngine:
         self._oblivious = tier
         if self._db is not None:
             self._db.set_oblivious(tier)
+
+    def set_vectorized(self, enabled: bool) -> None:
+        """Toggle batch-at-a-time execution for the next (and current)
+        session — same per-query hygiene as :meth:`set_oblivious`."""
+        self._vectorized = bool(enabled)
+        if self._db is not None:
+            self._db.set_vectorized(enabled)
 
     def begin_session(self) -> None:
         self.enclave.ecall("reset_session")
@@ -137,6 +149,13 @@ class HostEngine:
         rows = decode_batch(payload)
         if rows:
             self.enclave.ecall("load_table", name, state["columns"], rows)
+        if self._vectorized and self._db is not None:
+            # Batch boundaries are preserved: the shipped batch becomes a
+            # morsel for the vectorized executor instead of being chunked
+            # a second time out of the row store (``batches_reused``).
+            stash = getattr(self._db.store, "stash_morsel", None)
+            if stash is not None:
+                stash(name, Morsel.from_rows(rows, width=len(state["columns"])))
         state["rows"] += len(rows)
         state["batches"] += 1
         state["bytes"] += len(payload)

@@ -112,6 +112,14 @@ class StorageEngine:
         """
         self.db.set_oblivious(tier)
 
+    def set_vectorized(self, enabled: bool) -> None:
+        """Toggle batch-at-a-time execution for subsequent queries.
+
+        Set from ``RunConfig.vectorized`` alongside the other per-query
+        knobs at the start of every query path — same hygiene.
+        """
+        self.db.set_vectorized(enabled)
+
     # ------------------------------------------------------------------
 
     @property
@@ -120,9 +128,10 @@ class StorageEngine:
 
     @tracer.setter
     def tracer(self, tracer: Tracer) -> None:
-        """Install a tracer on the engine and its secure pager."""
+        """Install a tracer on the engine, its pager and its database."""
         self._tracer = tracer
         self.pager.tracer = tracer
+        self.db.tracer = tracer
 
     def fresh_meter(self) -> Meter:
         """Install a fresh meter for the next run (rebinds all layers)."""

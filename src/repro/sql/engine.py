@@ -75,6 +75,12 @@ class Database:
         #: Oblivious-execution tier for subsequent statements (see
         #: :meth:`set_oblivious`).  ``off`` is the seed behaviour.
         self._oblivious = "off"
+        #: Batch-at-a-time execution for subsequent statements (see
+        #: :meth:`set_vectorized`).  Off is the seed behaviour.
+        self._vectorized = False
+        #: Optional query tracer handed to each statement's ExecContext;
+        #: engines install theirs here when tracing is enabled.
+        self.tracer = None
 
     @property
     def meter(self) -> Meter:
@@ -108,7 +114,10 @@ class Database:
     def _run_select(self, select: A.Select, params: tuple) -> Result:
         select = _bind_select(select, params)
         ctx = ExecContext(
-            self.store.meter, oblivious=oblivious_operators(self._oblivious)
+            self.store.meter,
+            oblivious=oblivious_operators(self._oblivious),
+            vectorized=self._vectorized,
+            tracer=self.tracer,
         )
         planner = Planner(self.store, ctx)
         op = planner.plan_select(select)
@@ -128,7 +137,10 @@ class Database:
         """
         select = _bind_select(select, params)
         ctx = ExecContext(
-            self.store.meter, oblivious=oblivious_operators(self._oblivious)
+            self.store.meter,
+            oblivious=oblivious_operators(self._oblivious),
+            vectorized=self._vectorized,
+            tracer=self.tracer,
         )
         planner = Planner(self.store, ctx)
         op = planner.plan_select(select)
@@ -247,6 +259,17 @@ class Database:
         self._oblivious = validate_tier(tier)
         if hasattr(self.store, "pad_scans"):
             self.store.pad_scans = pads_pages(tier)
+
+    def set_vectorized(self, enabled: bool) -> None:
+        """Toggle batch-at-a-time (morsel) execution for later statements.
+
+        When on, the planner builds the vectorized operators of
+        :mod:`repro.sql.vexec` wherever the query's expressions have a
+        batch form, falling back per operator otherwise.  Safe to call
+        unconditionally from the run config; ``False`` restores the seed
+        row path bit for bit.
+        """
+        self._vectorized = bool(enabled)
 
     def commit(self) -> None:
         self.store.commit()

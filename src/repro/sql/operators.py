@@ -22,7 +22,14 @@ from .values import estimate_row_bytes, is_true
 class ExecContext:
     """Per-query execution state shared by all operators."""
 
-    def __init__(self, meter: Meter | None = None, *, oblivious: bool = False):
+    def __init__(
+        self,
+        meter: Meter | None = None,
+        *,
+        oblivious: bool = False,
+        vectorized: bool = False,
+        tracer=None,
+    ):
         self.meter = meter if meter is not None else Meter()
         self._alloc_bytes = 0
         self.lookup_maps: list[dict] = []
@@ -31,6 +38,14 @@ class ExecContext:
         #: of their hash forms, so comparison schedules depend only on
         #: input cardinalities, never on the data.
         self.oblivious = oblivious
+        #: Batch-at-a-time execution: the planner prefers the morsel
+        #: operators of ``repro.sql.vexec`` wherever the expression set
+        #: allows, falling back per operator otherwise.  Off keeps the
+        #: seed row path bit for bit.
+        self.vectorized = vectorized
+        #: Optional query tracer (duck-typed; see ``repro.telemetry``)
+        #: the vectorized operators emit per-batch events to.
+        self.tracer = tracer
 
     def allocate(self, nbytes: int) -> None:
         self._alloc_bytes += nbytes

@@ -52,6 +52,16 @@ from .operators import (
     SeqScan,
     Sort,
 )
+from .vexec import (
+    VAggregate,
+    VecAggSpec,
+    VecExprCompiler,
+    VFilter,
+    VHashJoin,
+    VProject,
+    VSeqScan,
+    supports_morsels,
+)
 
 # ---------------------------------------------------------------------------
 # AST utilities
@@ -391,12 +401,138 @@ class Planner:
         return f"col{index}"
 
     # ------------------------------------------------------------------
+    # Vectorization helpers
+    # ------------------------------------------------------------------
+    #
+    # Each helper builds the morsel operator from repro.sql.vexec when
+    # the context asks for vectorized execution, the child can produce
+    # morsels, and every expression involved has a batch form — and
+    # falls back to the seed row operator otherwise (PlanError from the
+    # vector compiler is the per-operator opt-out, mirroring how the row
+    # compiler signals unsupported nodes).  With ctx.vectorized off they
+    # construct exactly what the seed planner constructed.
+
+    def _filter(self, child: Operator, expr: A.Expr) -> Operator:
+        if self.ctx.vectorized and supports_morsels(child):
+            try:
+                vec_fn = VecExprCompiler(child.scope, self.ctx.lookup_maps).compile(expr)
+            except PlanError:
+                pass
+            else:
+                return VFilter(self.ctx, child, vec_fn)
+        predicate = ExprCompiler(child.scope, self.ctx.lookup_maps).compile(expr)
+        return Filter(self.ctx, child, predicate)
+
+    def _project(
+        self, child: Operator, items: list[A.SelectItem], output_scope: Scope
+    ) -> Operator:
+        if self.ctx.vectorized and supports_morsels(child):
+            try:
+                vec_fns = [
+                    VecExprCompiler(child.scope, self.ctx.lookup_maps).compile(i.expr)
+                    for i in items
+                ]
+            except PlanError:
+                pass
+            else:
+                return VProject(self.ctx, child, vec_fns, output_scope)
+        compiler = ExprCompiler(child.scope, self.ctx.lookup_maps)
+        fns = [compiler.compile(item.expr) for item in items]
+        return Project(self.ctx, child, fns, output_scope)
+
+    def _hash_join(
+        self,
+        left: Operator,
+        right: Operator,
+        keys_left: list[A.Expr],
+        keys_right: list[A.Expr],
+        kind: str = "inner",
+        residual_fn=None,
+    ) -> Operator:
+        # The full oblivious tier keeps the row HashJoin: its bitonic
+        # sort-network variant is what makes the comparison schedule
+        # predicate-independent, and it consumes a vectorized subtree
+        # through rows() without losing that property.
+        if (
+            self.ctx.vectorized
+            and not self.ctx.oblivious
+            and supports_morsels(left)
+            and supports_morsels(right)
+        ):
+            try:
+                left_vfns = [
+                    VecExprCompiler(left.scope, self.ctx.lookup_maps).compile(k)
+                    for k in keys_left
+                ]
+                right_vfns = [
+                    VecExprCompiler(right.scope, self.ctx.lookup_maps).compile(k)
+                    for k in keys_right
+                ]
+            except PlanError:
+                pass
+            else:
+                return VHashJoin(
+                    self.ctx, left, right, left_vfns, right_vfns,
+                    kind=kind, residual=residual_fn,
+                )
+        left_fns = [ExprCompiler(left.scope).compile(k) for k in keys_left]
+        right_fns = [ExprCompiler(right.scope).compile(k) for k in keys_right]
+        return HashJoin(
+            self.ctx, left, right, left_fns, right_fns, kind=kind, residual=residual_fn
+        )
+
+    def _aggregate(
+        self,
+        child: Operator,
+        group_exprs: list[A.Expr],
+        agg_calls: list[A.AggCall],
+        agg_scope: Scope,
+    ) -> Operator:
+        # Grouped aggregation under the full oblivious tier stays on the
+        # row operator (sort-based oblivious grouping); a vectorized
+        # child still feeds it through rows().
+        if (
+            self.ctx.vectorized
+            and supports_morsels(child)
+            and not (self.ctx.oblivious and group_exprs)
+        ):
+            try:
+                vec_compiler = VecExprCompiler(child.scope, self.ctx.lookup_maps)
+                vec_group = [vec_compiler.compile(g) for g in group_exprs]
+                vec_specs = []
+                for call in agg_calls:
+                    if call.arg is None:
+                        vec_specs.append(VecAggSpec("count_star", None, False))
+                    else:
+                        vec_specs.append(
+                            VecAggSpec(
+                                call.name, vec_compiler.compile(call.arg), call.distinct
+                            )
+                        )
+            except PlanError:
+                pass
+            else:
+                return VAggregate(self.ctx, child, vec_group, vec_specs, agg_scope)
+        input_compiler = ExprCompiler(child.scope, self.ctx.lookup_maps)
+        group_fns = [input_compiler.compile(g) for g in group_exprs]
+        specs: list[AggSpec] = []
+        for call in agg_calls:
+            if call.arg is None:
+                specs.append(AggSpec("count_star", None, False))
+            else:
+                specs.append(
+                    AggSpec(call.name, input_compiler.compile(call.arg), call.distinct)
+                )
+        return Aggregate(self.ctx, child, group_fns, specs, agg_scope)
+
+    # ------------------------------------------------------------------
     # FROM + WHERE
     # ------------------------------------------------------------------
 
     def _plan_from_item(self, item, outer_scope: Scope | None) -> _FromItem:
         if isinstance(item, A.TableRef):
-            return _FromItem(item.binding, SeqScan(self.ctx, self.store, item.name, item.binding))
+            scan_cls = VSeqScan if self.ctx.vectorized else SeqScan
+            return _FromItem(item.binding, scan_cls(self.ctx, self.store, item.name, item.binding))
         if isinstance(item, A.SubqueryRef):
             sub_op = self.plan_select(item.select, outer_scope)
             names = self.output_names(item.select)
@@ -454,13 +590,14 @@ class Planner:
         # into a zone-map pruning predicate on the scan itself.
         for i, conjs in push_filters.items():
             op = joined_ops[i].op
-            predicate = ExprCompiler(op.scope).compile(and_together(conjs))
             if isinstance(op, SeqScan) and getattr(self.store, "prune_scans", False):
                 schema = self.store.catalog.table(op.table_name)
                 op.pruning = extract_pruning(
                     conjs, op.scope, [t for _, t in schema.columns]
                 )
-            joined_ops[i] = _FromItem(joined_ops[i].binding, Filter(self.ctx, op, predicate))
+            joined_ops[i] = _FromItem(
+                joined_ops[i].binding, self._filter(op, and_together(conjs))
+            )
 
         # Greedy join ordering over the equality edge graph.
         tree = self._order_joins(joined_ops, join_edges)
@@ -473,8 +610,7 @@ class Planner:
         # Residual multi-table predicates (after outer joins so they may
         # reference outer-join columns).
         if residuals:
-            predicate = ExprCompiler(tree.scope).compile(and_together(residuals))
-            tree = Filter(self.ctx, tree, predicate)
+            tree = self._filter(tree, and_together(residuals))
 
         # Subquery conjuncts: decorrelate into semi joins / lookups / sets.
         for conjunct in subquery_conjuncts:
@@ -534,9 +670,7 @@ class Planner:
                 continue
             candidate, keys_left, keys_right, used = best
             right_op = items[candidate].op
-            left_fns = [ExprCompiler(tree.scope).compile(k) for k in keys_left]
-            right_fns = [ExprCompiler(right_op.scope).compile(k) for k in keys_right]
-            tree = HashJoin(self.ctx, tree, right_op, left_fns, right_fns)
+            tree = self._hash_join(tree, right_op, keys_left, keys_right)
             for idx in sorted(used, reverse=True):
                 edge_pool.pop(idx)
             joined.add(candidate)
@@ -545,8 +679,7 @@ class Planner:
         # Any leftover edges (between already-joined items) become filters.
         leftover = [A.Binary("=", le, re_) for (_, _, le, re_) in edge_pool]
         if leftover:
-            predicate = ExprCompiler(tree.scope).compile(and_together(leftover))
-            tree = Filter(self.ctx, tree, predicate)
+            tree = self._filter(tree, and_together(leftover))
         return tree
 
     def _apply_explicit_join(self, tree: Operator, right: _FromItem, join: A.Join) -> Operator:
@@ -577,10 +710,8 @@ class Planner:
             else None
         )
         if keys_left:
-            left_fns = [ExprCompiler(tree.scope).compile(k) for k in keys_left]
-            right_fns = [ExprCompiler(right.op.scope).compile(k) for k in keys_right]
-            return HashJoin(
-                self.ctx, tree, right.op, left_fns, right_fns, kind=kind, residual=residual_fn
+            return self._hash_join(
+                tree, right.op, keys_left, keys_right, kind=kind, residual_fn=residual_fn
             )
         condition = residual_fn
         return NestedLoopJoin(self.ctx, tree, right.op, condition, kind=kind)
@@ -603,8 +734,7 @@ class Planner:
             return self._plan_in_subquery(conjunct, tree)
         # Scalar subqueries inside a larger predicate.
         rewritten = self._fold_scalar_subqueries(conjunct, tree)
-        predicate = ExprCompiler(tree.scope, self.ctx.lookup_maps).compile(rewritten)
-        return Filter(self.ctx, tree, predicate)
+        return self._filter(tree, rewritten)
 
     def _split_correlation(
         self, sub: A.Select, inner_scope: Scope, outer_scope: Scope
@@ -725,8 +855,7 @@ class Planner:
             else:
                 values.add(row[0])
         in_set = A.InSet(conjunct.operand, frozenset(values), has_null, conjunct.negated)
-        predicate = ExprCompiler(tree.scope, self.ctx.lookup_maps).compile(in_set)
-        return Filter(self.ctx, tree, predicate)
+        return self._filter(tree, in_set)
 
     def _is_correlated(self, sub: A.Select, outer_scope: Scope) -> bool:
         """Heuristic: any WHERE column that does not resolve locally."""
@@ -844,8 +973,7 @@ class Planner:
                 select, tree, items, having
             )
             if having is not None:
-                predicate = ExprCompiler(tree.scope, self.ctx.lookup_maps).compile(having)
-                tree = Filter(self.ctx, tree, predicate)
+                tree = self._filter(tree, having)
             # ORDER BY under aggregation may mix output aliases with group
             # expressions (e.g. "ORDER BY n DESC, d1.name"): rewrite group
             # expressions / aggregates to their aggregate-output columns,
@@ -883,9 +1011,7 @@ class Planner:
             ]
             tree = Sort(self.ctx, tree, key_fns, [o.descending for o in select.order_by])
 
-        compiler = ExprCompiler(tree.scope, self.ctx.lookup_maps)
-        fns = [compiler.compile(item.expr) for item in items]
-        tree = Project(self.ctx, tree, fns, output_scope)
+        tree = self._project(tree, items, output_scope)
 
         if select.distinct:
             tree = Distinct(self.ctx, tree)
@@ -922,22 +1048,11 @@ class Planner:
         for order in select.order_by:
             collect(order.expr)
 
-        input_compiler = ExprCompiler(tree.scope, self.ctx.lookup_maps)
-        group_fns = [input_compiler.compile(g) for g in group_exprs]
-        specs: list[AggSpec] = []
-        for call in agg_calls:
-            if call.arg is None:
-                specs.append(AggSpec("count_star", None, False))
-            else:
-                specs.append(
-                    AggSpec(call.name, input_compiler.compile(call.arg), call.distinct)
-                )
-
         agg_scope = Scope(
             [(None, f"__g{i}") for i in range(len(group_exprs))]
             + [(None, f"__a{i}") for i in range(len(agg_calls))]
         )
-        agg_op = Aggregate(self.ctx, tree, group_fns, specs, agg_scope)
+        agg_op = self._aggregate(tree, group_exprs, agg_calls, agg_scope)
 
         # Rewrite projection/having over the aggregate output.
         def agg_mapping(node: A.Expr):

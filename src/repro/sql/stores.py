@@ -27,6 +27,7 @@ from ..stats import (
 from .catalog import Catalog, TableSchema
 from .records import encode_row, pack_page, unpack_page
 from .values import coerce, estimate_row_bytes
+from .vector import Morsel, morsels_from_rows
 
 CATALOG_META_KEY = "sql_catalog"
 #: Pager-metadata key the zone maps persist under.  On the secure pager
@@ -84,6 +85,10 @@ class MemoryStore(TableStore):
         self.meter = meter if meter is not None else Meter()
         self._rows: dict[str, list[tuple]] = {}
         self._bytes: dict[str, int] = {}
+        # Columnar batches stashed by the ship path (HostEngine.ingest_batch)
+        # so a vectorized scan can reuse shipped frames at their original
+        # boundaries instead of re-batching decoded rows.
+        self._morsels: dict[str, list[Morsel]] = {}
 
     def create_table(self, schema: TableSchema) -> None:
         self.catalog.create_table(schema)
@@ -98,6 +103,7 @@ class MemoryStore(TableStore):
         self.catalog.drop_table(name)
         self._rows.pop(name, None)
         self._bytes.pop(name, None)
+        self._morsels.pop(name, None)
 
     def insert_rows(self, name: str, rows: list[tuple]) -> int:
         schema = self.catalog.table(name)
@@ -112,12 +118,37 @@ class MemoryStore(TableStore):
         self.catalog.table(name)  # existence check
         return iter(self._rows[name])
 
+    def stash_morsel(self, name: str, morsel: Morsel) -> None:
+        """Remember a shipped batch in columnar form.
+
+        The stash is advisory: :meth:`scan_morsels` serves it only while
+        the stashed row counts still add up to the table's rows (any
+        later insert outside the ship path invalidates it implicitly),
+        and :meth:`replace_rows`/:meth:`drop_table` clear it outright.
+        """
+        self._morsels.setdefault(name, []).append(morsel)
+
+    def scan_morsels(self, name: str, pruning=None) -> Iterator[Morsel]:
+        """Morsel-granular scan; *pruning* is accepted for interface parity
+        with :class:`PagedStore` but there are no pages to skip here."""
+        self.catalog.table(name)  # existence check
+        rows = self._rows[name]
+        stash = self._morsels.get(name)
+        if stash and sum(m.row_count for m in stash) == len(rows):
+            for morsel in stash:
+                self.meter.bump("batches_reused", 1)
+                yield morsel
+            return
+        width = len(self.catalog.table(name).columns)
+        yield from morsels_from_rows(iter(rows), width)
+
     def replace_rows(self, name: str, rows: list[tuple]) -> None:
         schema = self.catalog.table(name)
         coerced = self._coerce_rows(schema, rows)
         self._rows[name] = coerced
         schema.row_count = len(coerced)
         self._bytes[name] = sum(estimate_row_bytes(r) for r in coerced)
+        self._morsels.pop(name, None)
         self.meter.note_memory(sum(self._bytes.values()))
 
     def commit(self) -> None:
@@ -283,6 +314,19 @@ class PagedStore(TableStore):
                 )
                 return self._scan_pages(schema.pages, frozenset(pages))
         return self._scan_pages(pages, None)
+
+    def scan_morsels(self, name: str, pruning=None) -> Iterator[Morsel]:
+        """Morsel-granular scan with :meth:`scan`'s exact page behaviour.
+
+        Decoded rows are re-chunked into morsels on top of the *same*
+        page-read schedule — zone-map pruning counters, tracer events and
+        the oblivious ``pad_scans`` dummy reads included — so the
+        device-visible trace of a vectorized scan is byte-identical to
+        the row scan's for every predicate.
+        """
+        schema = self.catalog.table(name)
+        width = len(schema.columns)
+        return morsels_from_rows(self.scan(name, pruning=pruning), width)
 
     def _scan_pages(
         self, pages: list[int], kept: frozenset[int] | None

@@ -77,6 +77,7 @@ from .spans import (
     SPAN_SESSION_SETUP,
     SPAN_SHIP_BATCH,
     SPAN_STORAGE_PHASE,
+    SPAN_VECTOR_EVAL,
     SPAN_ZONE_PRUNE,
     Span,
     Trace,
@@ -126,6 +127,7 @@ __all__ = [
     "SPAN_SESSION_SETUP",
     "SPAN_SHIP_BATCH",
     "SPAN_STORAGE_PHASE",
+    "SPAN_VECTOR_EVAL",
     "SPAN_ZONE_PRUNE",
     "Span",
     "Trace",

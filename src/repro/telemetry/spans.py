@@ -44,6 +44,7 @@ SPAN_HOST_JOIN_AGG = "host_join_agg"  # host-side joins/aggregation
 SPAN_HOST_EXECUTE = "host_execute"    # host-only full-query execution
 SPAN_SESSION_SETUP = "session_setup"  # per-request TLS establishment
 SPAN_ZONE_PRUNE = "zone_prune"        # zone-map skip-scan prune ratio (marker)
+SPAN_VECTOR_EVAL = "vector_eval"      # one vectorized operator batch (marker)
 
 KNOWN_SPAN_NAMES = frozenset(
     {
@@ -68,6 +69,7 @@ KNOWN_SPAN_NAMES = frozenset(
         SPAN_HOST_EXECUTE,
         SPAN_SESSION_SETUP,
         SPAN_ZONE_PRUNE,
+        SPAN_VECTOR_EVAL,
     }
 )
 

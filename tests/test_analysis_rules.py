@@ -543,6 +543,48 @@ class TestARCH006StatsSurface:
         assert result.clean
 
 
+class TestARCH009VectorConfinement:
+    def test_vector_importing_stores_triggers(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/sql/vector/bad.py": "from ..stores import PagedStore\n"},
+            select=["ARCH009"],
+        )
+        assert rule_ids(result) == ["ARCH009"]
+        assert "repro.sql.records" in result.findings[0].message
+
+    def test_vector_importing_operators_triggers(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/sql/vector/__init__.py": "from ..operators import Operator\n"},
+            select=["ARCH009"],
+        )
+        assert rule_ids(result) == ["ARCH009"]
+
+    def test_allowed_surface_is_clean(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {
+                "repro/sql/vector/__init__.py": """
+                from ...errors import ExecutionError
+                from ...sim import Meter
+                from ..records import encode_batch
+                from ..values import is_true
+                """
+            },
+            select=["ARCH009"],
+        )
+        assert result.clean
+
+    def test_other_sql_modules_are_exempt(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/sql/vexec.py": "from .operators import Operator\n"},
+            select=["ARCH009"],
+        )
+        assert result.clean
+
+
 class TestSuppressions:
     def test_disable_comment_suppresses(self, tmp_path):
         result = run_source(
@@ -639,6 +681,7 @@ class TestFramework:
             "ARCH006",
             "ARCH007",
             "ARCH008",
+            "ARCH009",
             "FLOW001",
             "SEC001",
             "SEC002",

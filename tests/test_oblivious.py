@@ -283,6 +283,45 @@ class TestOffTierIdentity:
             assert off.storage_meter.get("oblivious_pad_bytes") == 0
 
 
+class TestVectorizedComposition:
+    """ISSUE 9: the morsel executor must compose with the oblivious
+    tiers without widening the observable channel.  Vectorized scans
+    consume the very pages the row scan reads (``scan_morsels`` wraps
+    ``scan``), and the full tier's fixed ship schedule is sized by the
+    table, not the executor — so the adversary's view cannot move."""
+
+    def test_full_tier_trace_unchanged_by_vectorization(self, observed):
+        deployment, recorder = observed
+        sql = _groupby_query(1, 60)
+        for config in ("sos", "scs"):
+            row = deployment.run_query(
+                sql, config,
+                run_config=RunConfig(zone_maps=True, oblivious="full"),
+            )
+            row_fingerprint = recorder.last_trace().fingerprint()
+            vec = deployment.run_query(
+                sql, config,
+                run_config=RunConfig(
+                    zone_maps=True, oblivious="full", vectorized=True
+                ),
+            )
+            assert recorder.last_trace().fingerprint() == row_fingerprint, config
+            assert sorted(vec.rows) == sorted(row.rows), config
+
+    def test_full_tier_vectorized_trace_constant_independent(self, observed):
+        deployment, recorder = observed
+        fingerprints = set()
+        for lo in (1, 40, 111):
+            deployment.run_query(
+                _groupby_query(lo, lo + 50), "sos",
+                run_config=RunConfig(
+                    zone_maps=True, oblivious="full", vectorized=True
+                ),
+            )
+            fingerprints.add(recorder.last_trace().fingerprint())
+        assert len(fingerprints) == 1, "vectorized full-tier trace leaks the constant"
+
+
 # ---------------------------------------------------------------------------
 # Trace identity across predicate constants (property test)
 # ---------------------------------------------------------------------------

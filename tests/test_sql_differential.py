@@ -207,3 +207,99 @@ def test_randomized_group_queries(engines):
         lo = rng.randint(0, 80)
         sql = f"SELECT grp, {agg} FROM t WHERE id >= {lo} GROUP BY grp"
         _compare(ours.execute(sql).rows, oracle.execute(sql).fetchall(), False)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized execution (ISSUE 9): the morsel path is a pure optimization
+# ---------------------------------------------------------------------------
+
+
+def _row_and_vectorized(db, sql):
+    """Run *sql* under both execution models, leaving the knob off."""
+    db.set_vectorized(False)
+    row = db.execute(sql).rows
+    db.set_vectorized(True)
+    try:
+        vec = db.execute(sql).rows
+    finally:
+        db.set_vectorized(False)
+    return row, vec
+
+
+def test_randomized_vectorized_parity(engines):
+    """Property: batch execution matches the row path on random
+    TPC-H-shaped queries (arithmetic scans, grouped aggregates, and
+    join-aggregates in the mold of Q6 / Q1 / Q3)."""
+    ours, oracle = engines
+    rng = Rng("vector-sweep")
+    comparators = ["<", "<=", "=", ">", ">=", "<>"]
+    aggs = ["count(*)", "sum(val)", "min(val)", "max(val)", "avg(val)", "count(tag)"]
+    for _ in range(40):
+        conjuncts = [(rng.choice(["id", "grp", "val"]), rng.choice(comparators),
+                      rng.randint(0, 100))]
+        if rng.randint(0, 1):
+            conjuncts.append((rng.choice(["id", "grp", "val"]), ">=", rng.randint(0, 60)))
+
+        def pred(prefix=""):
+            return " AND ".join(f"{prefix}{c} {op} {v}" for c, op, v in conjuncts)
+
+        shape = rng.randint(0, 2)
+        if shape == 0:  # Q6-shaped arithmetic filter scan
+            sql = f"SELECT id, val * 2 + grp FROM t WHERE {pred()}"
+        elif shape == 1:  # Q1-shaped grouped aggregate
+            sql = f"SELECT grp, {rng.choice(aggs)} FROM t WHERE {pred()} GROUP BY grp"
+        else:  # Q3-shaped join + aggregate
+            sql = (
+                "SELECT u.label, count(*) FROM t, u "
+                f"WHERE t.grp = u.grp AND {pred('t.')} GROUP BY u.label"
+            )
+        row_rows, vec_rows = _row_and_vectorized(ours, sql)
+        assert sorted(vec_rows, key=repr) == sorted(row_rows, key=repr), sql
+        if shape != 1:  # avg() NULL handling differs from SQLite's text affinity
+            _compare(vec_rows, oracle.execute(sql).fetchall(), False)
+
+
+def test_vectorized_off_is_byte_identical_across_configs(tiny_deployment):
+    """With the knob off, every deployment configuration must be
+    bit-for-bit the seed row path: same rows, same meters, same
+    simulated nanoseconds — on both the serial and the pipelined ship
+    path.  ``vectorized=False`` is the default, so each pair differs in
+    the explicit knob only."""
+    from repro.core import RunConfig
+    from repro.tpch import ALL_QUERIES
+
+    pairs = [
+        (RunConfig(pipeline=False), RunConfig(pipeline=False, vectorized=False)),
+        (RunConfig(), RunConfig(vectorized=False)),
+    ]
+    for number in (3, 6):
+        sql = ALL_QUERIES[number].sql
+        for config in ("hons", "hos", "vcs", "scs", "sos"):
+            for default_cfg, off_cfg in pairs:
+                base = tiny_deployment.run_query(sql, config, run_config=default_cfg)
+                off = tiny_deployment.run_query(sql, config, run_config=off_cfg)
+                assert off.rows == base.rows, (number, config)
+                assert off.host_meter == base.host_meter, (number, config)
+                assert off.storage_meter == base.storage_meter, (number, config)
+                assert off.breakdown.total_ns == base.breakdown.total_ns, (number, config)
+
+
+def test_vectorized_rows_agree_across_configs(tiny_deployment):
+    """With the knob on, all five configurations still return the row
+    path's answer — vectorization changes the schedule, never the rows —
+    and the vectorized counters actually accrue where execution runs."""
+    from repro.core import RunConfig
+    from repro.tpch import ALL_QUERIES
+
+    for number in (3, 6):
+        sql = ALL_QUERIES[number].sql
+        reference = sorted(tiny_deployment.run_query(sql, "hons").rows)
+        for config in ("hons", "hos", "vcs", "scs", "sos"):
+            vec = tiny_deployment.run_query(
+                sql, config, run_config=RunConfig(vectorized=True)
+            )
+            assert sorted(vec.rows) == reference, (number, config)
+            batches = vec.host_meter.get("vector_batches") + vec.storage_meter.get(
+                "vector_batches"
+            )
+            assert batches > 0, (number, config)
