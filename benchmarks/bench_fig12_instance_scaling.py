@@ -1,67 +1,111 @@
-"""Figure 12: storage-engine scalability with 1-16 concurrent instances.
+"""Figure 12: storage scalability with 1-8 real storage-node instances.
 
 Paper: N engine instances each run a query's offloaded portion over its
-own copy of the protected database; cumulative execution time scales
-linearly with N for every query except Q13, whose memory-intensive
-offloaded join suffers as per-instance memory shrinks.
+own slice of the protected database; per-instance time stays flat as N
+grows because the offloaded work is embarrassingly parallel, while
+host-bound work becomes the scaling bottleneck.
 
-Model: the storage server's 32 GiB is shared — the OS, page cache and
-secure-world reservations take a quarter, and each of the N instances gets
-1/N of the remaining 24 GiB (data-ratio-scaled); an instance's runtime is
-its portion time under that limit, and the cumulative time is N times it.
+Earlier revisions *modelled* this by re-costing one node's portion under
+shrinking memory.  Now the shard subsystem exists, the figure runs for
+real: a :class:`repro.shard.ShardedDeployment` with N storage nodes
+holds N times the data (weak scaling — the per-node slice is constant),
+each node owns its own TrustZone device, Merkle root and key domain,
+and the measured wall time is the simulated cluster makespan.
+
+Acceptance: the shard-decomposable aggregate's weak-scaling efficiency
+(single-node time over N-node time at N× data) stays ≥ 0.85 at every
+instance count — the per-shard partials ride entirely on the scaled-out
+nodes.  The cross-shard join degrades monotonically instead: its
+host-side merge grows with the total data and no storage node can help,
+which is exactly the offload boundary the paper's figure illustrates.
 """
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import BENCH_SF, SMOKE, run_once
 
-from repro.bench import format_table, storage_portion_ms
-from repro.sim import GIB_BYTES, PAGE_SIZE
+from repro.bench import format_table
+from repro.shard import ShardedDeployment
 
-PAPER_SF3_BYTES = 3.2e9
-INSTANCES = (1, 2, 4, 8, 16)
+INSTANCES = (1, 2, 4) if SMOKE else (1, 2, 4, 8)
+
+#: Weak-scaling floor for the decomposable (fully offloaded) aggregate.
+MIN_WEAK_EFFICIENCY = 0.85
+
+#: Fully offloadable: per-shard partials, constant-size host merge.
+DECOMPOSABLE = (
+    "SELECT l_returnflag, l_linestatus, COUNT(*), SUM(l_quantity), "
+    "SUM(l_extendedprice) FROM lineitem WHERE l_quantity > 5 "
+    "GROUP BY l_returnflag, l_linestatus"
+)
+
+#: Cross-shard join: the host-side merge grows with the data.
+HOST_BOUND = (
+    "SELECT o_orderpriority, COUNT(*) FROM orders, lineitem "
+    "WHERE l_orderkey = o_orderkey AND o_totalprice > 50000 "
+    "GROUP BY o_orderpriority"
+)
 
 
-def test_fig12_instance_scaling(benchmark, deployment, tpch_suite):
-    data_bytes = deployment.secure_device.num_pages * PAGE_SIZE
-    ratio = data_bytes / PAPER_SF3_BYTES
-    total_memory = 24 * GIB_BYTES * ratio
-
+def test_fig12_instance_scaling(benchmark):
     def experiment():
-        rows = []
-        for q in tpch_suite:
-            base = None
-            normalized = []
-            for n in INSTANCES:
-                limit = max(PAGE_SIZE, int(total_memory / n))
-                per_instance = storage_portion_ms(
-                    q.runs["scs"], deployment.cost_model, memory_bytes=limit
-                )
-                cumulative = n * per_instance
-                if base is None:
-                    base = cumulative
-                normalized.append(cumulative / base)
-            rows.append([f"Q{q.number}", *normalized])
-        return rows
+        points = []
+        for n in INSTANCES:
+            deployment = ShardedDeployment(
+                shards=n, scale_factor=BENCH_SF * n, seed=2022
+            )
+            deployment.attest_all()
+            offloaded = deployment.run_query(DECOMPOSABLE, "sos")
+            host_bound = deployment.run_query(HOST_BOUND, "scs")
+            points.append(
+                {
+                    "instances": n,
+                    "offloaded_ms": offloaded.total_ms,
+                    "host_bound_ms": host_bound.total_ms,
+                    "fanout": offloaded.host_meter.get("shard_scan_fanout"),
+                }
+            )
+        base = points[0]
+        for p in points:
+            p["offloaded_efficiency"] = base["offloaded_ms"] / p["offloaded_ms"]
+            p["host_bound_efficiency"] = base["host_bound_ms"] / p["host_bound_ms"]
+        return points
 
-    rows = run_once(benchmark, experiment)
+    points = run_once(benchmark, experiment)
     print()
     print(
         format_table(
-            ["query"] + [f"{n} inst" for n in INSTANCES],
-            rows,
-            title="Figure 12 — cumulative offloaded-portion time, normalized to 1 instance",
+            ["instances", "offloaded ms", "eff", "host-bound ms", "eff"],
+            [
+                [
+                    p["instances"],
+                    p["offloaded_ms"],
+                    p["offloaded_efficiency"],
+                    p["host_bound_ms"],
+                    p["host_bound_efficiency"],
+                ]
+                for p in points
+            ],
+            title=(
+                "Figure 12 — weak scaling over real storage nodes "
+                f"(SF {BENCH_SF}/node)"
+            ),
         )
     )
 
-    by_query = {row[0]: row[1:] for row in rows}
-    ideal = list(INSTANCES)
-    linear = [
-        q for q, s in by_query.items()
-        if all(abs(v - n) / n < 0.05 for v, n in zip(s, ideal))
-    ]
-    print(f"\nlinearly scaling queries: {len(linear)}/{len(by_query)}")
-    assert len(linear) >= len(by_query) - 3, "almost all queries must scale linearly"
-    # Q13 is the paper's outlier: super-linear cumulative time growth.
-    q13 = by_query["Q13"]
-    assert q13[-1] > ideal[-1] * 1.08, "Q13 must scale worse than linear"
+    for p in points:
+        # Each node really participated: the fan-out covers every shard.
+        # (shards=1 takes the byte-identical seed path, which doesn't
+        # track shard counters at all.)
+        assert p["fanout"] == (p["instances"] if p["instances"] > 1 else 0)
+        assert p["offloaded_efficiency"] >= MIN_WEAK_EFFICIENCY, (
+            f"{p['instances']} instances: decomposable aggregate kept only "
+            f"{p['offloaded_efficiency']:.2f} of the single-node rate"
+        )
+    # The host-bound join is the contrast: its merge cost grows with the
+    # total data, so efficiency strictly erodes as instances are added.
+    efficiencies = [p["host_bound_efficiency"] for p in points]
+    assert all(a > b for a, b in zip(efficiencies, efficiencies[1:])), (
+        f"host-bound join efficiency should erode monotonically: {efficiencies}"
+    )
+    assert efficiencies[-1] < points[-1]["offloaded_efficiency"]

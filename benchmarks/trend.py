@@ -17,11 +17,13 @@ Two families of numeric leaves are tracked path-by-path:
   hard zero-leakage arms are enforced separately by ``repro-leak gate``,
   so here the annotation just makes a widening side channel impossible
   to miss in review.
-* **speedup** — keys ending ``_speedup`` (the ratio leaves the vectorized
-  / figure benchmarks emit, where *bigger* is better).  A *decrease*
-  beyond the warn threshold prints a ``::warning::`` — an eroding
-  speedup is a perf regression even when no absolute time leaf crossed
-  its own threshold.
+* **speedup** — keys ending ``_speedup``, ``_efficiency`` or
+  ``_win_pct`` (the bigger-is-better ratio leaves: vectorized / figure
+  speedups, the sharded scale-out's ``scaling_efficiency``, and the
+  offload optimizer's ``optimizer_win_pct``).  A *decrease* beyond the
+  warn threshold prints a ``::warning::`` — an eroding speedup, scaling
+  curve or optimizer win rate is a perf regression even when no
+  absolute time leaf crossed its own threshold.
 
 Deterministic by construction: the payloads carry simulated nanoseconds
 and fingerprint-derived bits, so any drift is a real modelling change,
@@ -40,7 +42,7 @@ HARD_THRESHOLD = 0.50
 
 _TIME_SUFFIXES = ("_ms", "_ns")
 _LEAK_SUFFIXES = ("_bits",)
-_SPEEDUP_SUFFIXES = ("_speedup",)
+_SPEEDUP_SUFFIXES = ("_speedup", "_efficiency", "_win_pct")
 
 
 def _leaves(node, path="", key=""):

@@ -1,4 +1,4 @@
-"""Architecture-conformance rules (ARCH001–ARCH009).
+"""Architecture-conformance rules (ARCH001–ARCH010).
 
 The reproduction's trust argument depends on its layering: ``crypto`` is
 the bottom of the TCB, enclave internals are reachable only through the
@@ -65,6 +65,18 @@ LAYERING: dict[str, frozenset[str]] = {
     ),
     "bench": frozenset(
         {"errors", "sim", "crypto", "sql", "tpch", "core", "telemetry"}
+    ),
+    # The sharded scale-out layer composes existing machinery: it may see
+    # the deployment/partitioning surface (core), zone-map synopses
+    # (stats), the ship pipeline and oblivious padding, and the TPC-H
+    # generator for partition-aware loading.  Its repro.sql surface is
+    # pinned by ARCH010 to the value semantics and record wire format —
+    # parsing and planning happen through repro.core — and it must never
+    # touch crypto or TEE machinery: each shard's keys and anchors live
+    # behind its engines.
+    "shard": frozenset(
+        {"errors", "sim", "stats", "telemetry", "perf", "stream",
+         "oblivious", "sql", "tpch", "core"}
     ),
     # The analyzer lints trees that may not import; it depends on nothing.
     "analysis": frozenset(),
@@ -474,6 +486,80 @@ class ObliviousSurfaceViolation(Rule):
 # only.  If it could reach the planner, stores or operators it would grow
 # into a second query engine outside the metered scan path — morsels are
 # containers the engine fills, not a data path of their own.
+# The sharded scale-out package routes scans, partitions rows and prices
+# candidate plans — all over values and encoded records.  Its repro.sql
+# surface is exactly the value semantics and the record wire format;
+# parsing, planning and aggregate decomposition go through repro.core.
+# And although every shard's engines hold keys, anchors and Merkle roots,
+# the shard layer itself must stay key-blind: it reaches each node's
+# security machinery only through engine/deployment attribute surfaces.
+SHARD_ALLOWED_SQL_MODULES = frozenset({"repro.sql.values", "repro.sql.records"})
+SHARD_FORBIDDEN_NAMES = frozenset(
+    {
+        "master_key",
+        "get_master_key",
+        "private_key",
+        "_signing_key",
+        "_keypair",
+        "_enc_key",
+        "_mac_key",
+        "_merkle_key",
+        "attestation_key",
+    }
+)
+
+
+@register
+class ShardConfinementViolation(Rule):
+    """The shard package exceeds its repro.sql surface or names key material.
+
+    ARCH001 already allows ``shard`` → ``sql``, but the intended surface
+    is exactly ``repro.sql.values`` / ``repro.sql.records`` — the sharded
+    runners re-ship rows other layers produced; if they could reach the
+    parser, planner or stores they would become a second query engine
+    outside the metered path.  The rule also bans key-material names
+    outright: a layer that fans one query across N trust domains must
+    never be able to aggregate their keys.
+    """
+
+    rule_id = "ARCH010"
+    title = "shard package exceeds its confinement surface"
+    rationale = "cross-shard orchestration must stay key-blind and engine-blind"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if ctx.subpackage != "shard":
+            return
+        for record in ctx.graph.imports_of(ctx.module) if ctx.module else ():
+            if top_subpackage(record.module) != "sql":
+                continue
+            if record.module in SHARD_ALLOWED_SQL_MODULES:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.relpath,
+                line=record.lineno,
+                col=record.col,
+                message=(
+                    f"shard may import repro.sql only via "
+                    f"{', '.join(sorted(SHARD_ALLOWED_SQL_MODULES))}; "
+                    f"found import of {record.module!r}"
+                ),
+            )
+        for node in ast.walk(ctx.tree):
+            name: str | None = None
+            if isinstance(node, ast.Attribute) and node.attr in SHARD_FORBIDDEN_NAMES:
+                name = node.attr
+            elif isinstance(node, ast.Name) and node.id in SHARD_FORBIDDEN_NAMES:
+                name = node.id
+            if name is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"shard references key material {name!r}; per-shard keys "
+                    "stay inside each node's engines",
+                )
+
+
 VECTOR_PREFIX = "repro.sql.vector"
 VECTOR_ALLOWED_SUBPACKAGES = frozenset({"errors", "sim"})
 VECTOR_ALLOWED_SQL_MODULES = frozenset({"repro.sql.values", "repro.sql.records"})

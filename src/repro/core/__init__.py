@@ -1,5 +1,6 @@
 """IronSafe core: client, engines, partitioner, channel, deployments."""
 
+from .aggsplit import AggSplit, decompose_aggregate, statement_shape
 from .channel import SecureChannel, channel_pair
 from .client import Client, QueryResponse, register_client
 from .configs import (
@@ -10,6 +11,7 @@ from .configs import (
     SCS,
     SERIAL_RUN_CONFIG,
     SOS,
+    STRATEGIES,
     RunConfig,
     SystemConfig,
     VCS,
@@ -19,12 +21,22 @@ from .deployment import (
     ConcurrentSession,
     Deployment,
     RunResult,
+    StorageNode,
 )
 from .host_engine import HostEngine
-from .partitioner import PartitionPlan, QueryPartitioner, TableScanSpec
+from .manual_partitions import MANUAL_PARTITIONS
+from .partitioner import (
+    ManualPartition,
+    ManualShip,
+    PartitionPlan,
+    QueryPartitioner,
+    TableScanSpec,
+    pruning_for_scan,
+)
 from .storage_engine import StorageEngine
 
 __all__ = [
+    "AggSplit",
     "CONFIGS",
     "Client",
     "ConcurrentRunResult",
@@ -36,6 +48,9 @@ __all__ = [
     "HONS",
     "HOS",
     "HostEngine",
+    "MANUAL_PARTITIONS",
+    "ManualPartition",
+    "ManualShip",
     "PartitionPlan",
     "QueryPartitioner",
     "RunConfig",
@@ -43,10 +58,15 @@ __all__ = [
     "SCS",
     "SERIAL_RUN_CONFIG",
     "SOS",
+    "STRATEGIES",
     "SecureChannel",
     "StorageEngine",
+    "StorageNode",
     "SystemConfig",
     "TableScanSpec",
     "VCS",
     "channel_pair",
+    "decompose_aggregate",
+    "pruning_for_scan",
+    "statement_shape",
 ]

@@ -1,0 +1,268 @@
+"""Partial→final decomposition of single-table aggregate queries.
+
+Sharded storage-only execution (``repro.shard``, the ``sos``
+configuration at ``shards > 1``) runs the *partial* statement near the
+data on every shard — each shard aggregates only the rows it owns — and
+the host folds the shipped partial rows with the *final* statement.
+This is the classical two-phase aggregation rewrite:
+
+=========  ==========================  ================================
+aggregate  per-shard partial           host-side final over partials
+=========  ==========================  ================================
+sum(x)     sum(x)                      sum(partial)
+count(x)   count(x)                    sum(partial)
+count(*)   count(*)                    sum(partial)
+min(x)     min(x)                      min(partial)
+max(x)     max(x)                      max(partial)
+avg(x)     sum(x), count(x)            sum(sums) / sum(counts)
+=========  ==========================  ================================
+
+A query is decomposable only when the rewrite is *exact*: one base
+table, no joins, no DISTINCT, no HAVING, no subqueries, no distinct
+aggregates, and every column outside an aggregate is a group key.
+GROUP BY keys partition the group space, so the per-shard union of
+groups is the global group set regardless of how rows were sharded.
+``decompose_aggregate`` returns ``None`` for anything it cannot prove
+exact — the sharded deployment then reports storage-only as unavailable
+for that query rather than risking a wrong answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sql import ast_nodes as A
+from ..sql.planner import contains_subquery, rewrite_expr, walk_expr
+
+#: Aggregates with an exact partial→final recombination.
+DECOMPOSABLE_AGGS = frozenset({"sum", "count", "min", "max", "avg"})
+
+
+def statement_shape(select: A.Select) -> dict:
+    """Coarse operator-shape features of one SELECT, for cost estimation.
+
+    The offload optimizer (``repro.shard``) consumes these instead of
+    walking the AST itself — shard-layer code reaches the SQL front end
+    only through the ``repro.core`` surface.
+    """
+    aggs = 0
+    for item in select.items:
+        for node in walk_expr(item.expr):
+            if isinstance(node, A.AggCall):
+                aggs += 1
+    joins = len(select.joins) + max(0, len(select.from_items) - 1)
+    return {
+        "aggs": aggs,
+        "joins": joins,
+        "grouped": bool(select.group_by),
+        "ordered": bool(select.order_by),
+        "limit": select.limit,
+    }
+
+
+@dataclass
+class AggSplit:
+    """The two-phase rewrite of one aggregate query."""
+
+    #: Runs on every shard, over that shard's rows only.
+    partial: A.Select
+    #: Runs on the host over the union of shipped partial rows.
+    final: A.Select
+    #: Name the shipped partial-rows table is bound under for ``final``.
+    partial_table: str
+    #: The single base table the partial scans.
+    base_table: str
+
+    @property
+    def partial_columns(self) -> list[str]:
+        """Output column names of the partial (every item is aliased)."""
+        names = []
+        for index, item in enumerate(self.partial.items):
+            if item.alias:
+                names.append(item.alias)
+            elif isinstance(item.expr, A.Column):
+                names.append(item.expr.name)
+            else:
+                names.append(f"col{index}")
+        return names
+
+
+def _strip_qualifiers(expr: A.Expr) -> A.Expr:
+    """Drop alias qualifiers: the partial binds one table, bare-named."""
+
+    def mapping(node: A.Expr):
+        if isinstance(node, A.Column) and node.table is not None:
+            return A.Column(node.name)
+        return None
+
+    return rewrite_expr(expr, mapping)
+
+
+def _has_subquery(select: A.Select) -> bool:
+    exprs: list[A.Expr] = [item.expr for item in select.items]
+    if select.where is not None:
+        exprs.append(select.where)
+    exprs.extend(select.group_by)
+    exprs.extend(o.expr for o in select.order_by)
+    return any(contains_subquery(e) for e in exprs)
+
+
+def decompose_aggregate(
+    select: A.Select, partial_table: str = "shard_partials"
+) -> AggSplit | None:
+    """Rewrite *select* into an exact partial/final pair, or ``None``."""
+    if not isinstance(select, A.Select):
+        return None
+    if select.distinct or select.joins or select.having is not None:
+        return None
+    if len(select.from_items) != 1 or not isinstance(select.from_items[0], A.TableRef):
+        return None
+    if _has_subquery(select):
+        return None
+    base_table = select.from_items[0].name
+
+    # Group keys: bare columns keep their name; expression keys (the
+    # EXTRACT(...)-style TPC-H shapes) get a generated one.
+    key_exprs: list[A.Expr] = []
+    key_names: list[str] = []
+    key_by_sql: dict[str, str] = {}
+    for index, key in enumerate(select.group_by):
+        stripped = _strip_qualifiers(key)
+        if isinstance(stripped, A.Column):
+            name = stripped.name
+        else:
+            name = f"gk{index}"
+        key_exprs.append(stripped)
+        key_names.append(name)
+        key_by_sql[stripped.to_sql()] = name
+
+    # Partial aggregate accumulators, deduplicated by rendered SQL.
+    partial_aggs: list[tuple[str, A.AggCall]] = []
+    partial_by_sql: dict[str, str] = {}
+
+    def partial_of(agg: A.AggCall) -> str:
+        sql = agg.to_sql()
+        alias = partial_by_sql.get(sql)
+        if alias is None:
+            alias = f"p{len(partial_aggs)}"
+            partial_by_sql[sql] = alias
+            partial_aggs.append((alias, agg))
+        return alias
+
+    saw_agg = False
+    bad: list[bool] = []
+
+    def mapping(node: A.Expr):
+        nonlocal saw_agg
+        replacement_key = key_by_sql.get(node.to_sql())
+        if replacement_key is not None and not isinstance(node, A.Literal):
+            return A.Column(replacement_key)
+        if isinstance(node, A.AggCall):
+            saw_agg = True
+            if node.distinct or node.name not in DECOMPOSABLE_AGGS:
+                bad.append(True)
+                return A.Literal(None)
+            if node.arg is not None and any(
+                isinstance(inner, A.AggCall) for inner in walk_expr(node.arg)
+            ):
+                bad.append(True)
+                return A.Literal(None)
+            if node.name == "avg":
+                s = partial_of(A.AggCall("sum", node.arg))
+                c = partial_of(A.AggCall("count", node.arg))
+                return A.Binary(
+                    "/", A.AggCall("sum", A.Column(s)), A.AggCall("sum", A.Column(c))
+                )
+            alias = partial_of(node)
+            outer = "sum" if node.name == "count" else node.name
+            return A.AggCall(outer, A.Column(alias))
+        return None
+
+    final_items: list[A.SelectItem] = []
+    for index, item in enumerate(select.items):
+        stripped = _strip_qualifiers(item.expr)
+        rewritten = rewrite_expr(stripped, mapping)
+        if bad:
+            return None
+        # Original output name (planner rule: alias, else column name,
+        # else positional) — pinned so the final result is column-for-
+        # column identical to the single-node run.
+        if item.alias:
+            out_name = item.alias
+        elif isinstance(item.expr, A.Column):
+            out_name = item.expr.name
+        else:
+            out_name = f"col{index}"
+        final_items.append(A.SelectItem(rewritten, alias=out_name))
+
+    if saw_agg or select.group_by:
+        # Everything left outside an aggregate must be a known column of
+        # the partial output (a group key or a partial accumulator); the
+        # aggregate arguments themselves were folded into the partial.
+        known = set(key_names) | {alias for alias, _ in partial_aggs}
+        for item in final_items:
+            inside_agg: set[int] = set()
+            for node in walk_expr(item.expr):
+                if isinstance(node, A.AggCall) and node.arg is not None:
+                    inside_agg.update(id(n) for n in walk_expr(node.arg))
+            for node in walk_expr(item.expr):
+                if id(node) in inside_agg:
+                    continue
+                if isinstance(node, A.Column) and node.name not in known:
+                    return None
+                if isinstance(node, A.Star):
+                    return None
+
+    # ORDER BY must resolve against the final output schema by name.
+    out_names = {item.alias for item in final_items}
+    final_order: list[A.OrderItem] = []
+    for order in select.order_by:
+        expr = _strip_qualifiers(order.expr)
+        if not isinstance(expr, A.Column):
+            return None
+        name = key_by_sql.get(expr.to_sql(), expr.name)
+        if name not in out_names and name not in key_names:
+            return None
+        final_order.append(A.OrderItem(A.Column(name), order.descending))
+
+    if not saw_agg and not select.group_by:
+        # Plain-scan split: partial = filtered projection of the shard's
+        # rows under the final output names; final = reorder/limit only.
+        if select.distinct or any(isinstance(i.expr, A.Star) for i in select.items):
+            return None
+        partial = A.Select(
+            items=tuple(
+                A.SelectItem(item.expr, alias=item.alias) for item in final_items
+            ),
+            from_items=(A.TableRef(base_table),),
+            where=None if select.where is None else _strip_qualifiers(select.where),
+        )
+        final = A.Select(
+            items=tuple(
+                A.SelectItem(A.Column(item.alias), alias=item.alias)
+                for item in final_items
+            ),
+            from_items=(A.TableRef(partial_table),),
+            order_by=tuple(final_order),
+            limit=select.limit,
+        )
+        return AggSplit(partial, final, partial_table, base_table)
+
+    partial_items = tuple(
+        [A.SelectItem(expr, alias=name) for expr, name in zip(key_exprs, key_names)]
+        + [A.SelectItem(agg, alias=alias) for alias, agg in partial_aggs]
+    )
+    partial = A.Select(
+        items=partial_items,
+        from_items=(A.TableRef(base_table),),
+        where=None if select.where is None else _strip_qualifiers(select.where),
+        group_by=tuple(key_exprs),
+    )
+    final = A.Select(
+        items=tuple(final_items),
+        from_items=(A.TableRef(partial_table),),
+        group_by=tuple(A.Column(name) for name in key_names),
+        order_by=tuple(final_order),
+        limit=select.limit,
+    )
+    return AggSplit(partial, final, partial_table, base_table)

@@ -28,6 +28,9 @@ SOS = SystemConfig("sos", "Storage-only, secure (whole query on ARM)", False, Tr
 CONFIGS: dict[str, SystemConfig] = {c.abbrev: c for c in (HONS, HOS, VCS, SCS, SOS)}
 CONFIG_NAMES = tuple(CONFIGS)
 
+#: Strategy-selection modes for :attr:`RunConfig.strategy`.
+STRATEGIES = ("manual", "auto")
+
 
 @dataclass(frozen=True)
 class RunConfig:
@@ -82,6 +85,17 @@ class RunConfig:
     #: and the fixed ship schedule re-batches morsel output rather than
     #: being bypassed).
     vectorized: bool = False
+    #: How the hons/hos/vcs/scs/sos configuration is chosen.  ``manual``
+    #: (the default, and the only mode a single-node
+    #: :class:`~repro.core.deployment.Deployment` accepts) runs exactly
+    #: the configuration named in :meth:`Deployment.run_query`.  ``auto``
+    #: hands the choice to the cost-based offload optimizer of a sharded
+    #: deployment (``repro.shard``): it predicts each candidate
+    #: configuration's simulated cost from catalog + zone-map statistics
+    #: priced through the calibrated :class:`~repro.sim.CostModel`, runs
+    #: the argmin, and emits the chosen plan with its predicted-vs-actual
+    #: cost into the ``offload_plan`` telemetry span.
+    strategy: str = "manual"
 
     def __post_init__(self) -> None:
         if self.batch_bytes <= 0:
@@ -99,6 +113,11 @@ class RunConfig:
             raise IronSafeError(
                 f"oblivious tier must be one of {', '.join(TIERS)}; "
                 f"got {self.oblivious!r}"
+            )
+        if self.strategy not in STRATEGIES:
+            raise IronSafeError(
+                f"strategy must be one of {', '.join(STRATEGIES)}; "
+                f"got {self.strategy!r}"
             )
 
 

@@ -136,6 +136,24 @@ class RunResult:
 
 
 @dataclass
+class StorageNode:
+    """One additional storage server of a sharded deployment.
+
+    Each node is provisioned exactly like the primary: its own TrustZone
+    device (so its own secure-boot state, RPMB anchor and master-key
+    domain), its own NVMe block devices, and its own secure/plain engine
+    pair.  Integrity violations on its pager are attributed to its
+    ``node_id`` in the monitor's audit chain.
+    """
+
+    node_id: str
+    engine: StorageEngine
+    engine_plain: StorageEngine
+    secure_device: BlockDevice
+    plain_device: BlockDevice
+
+
+@dataclass
 class ConcurrentSession:
     """One client session inside a :meth:`Deployment.run_concurrent` batch."""
 
@@ -304,6 +322,8 @@ class Deployment:
             self.row_counts = {}
 
         self._cipher = cipher
+        self.storage_location = storage_location
+        self.storage_fw_version = storage_fw_version
         self.partitioner = QueryPartitioner(self.storage_engine.db.store.catalog)
         self._attested = False
         # Adversary-view recorder (installed by enable_observability).
@@ -392,6 +412,20 @@ class Deployment:
         self.monitor.record_integrity_violation("storage-1", pgno, reason)
         self._flight_dump("storage-1", pgno, reason)
 
+    def _node_violation(self, node_id: str):
+        """Violation hook bound to one storage node's identity.
+
+        Sharded deployments install one per shard, so a tampered page is
+        attributed to the owning node in the audit chain and the flight
+        recorder's incident report.
+        """
+
+        def hook(pgno: int, reason: str) -> None:
+            self.monitor.record_integrity_violation(node_id, pgno, reason)
+            self._flight_dump(node_id, pgno, reason)
+
+        return hook
+
     def _host_violation(self, pgno: int, reason: str) -> None:
         """Host-side pager hook (host-only secure configuration)."""
         self.monitor.record_integrity_violation("host-1", pgno, reason)
@@ -430,6 +464,54 @@ class Deployment:
         )
 
     # ------------------------------------------------------------------
+    # Additional storage nodes (sharded deployments)
+    # ------------------------------------------------------------------
+
+    def add_storage_node(self, node_id: str) -> StorageNode:
+        """Provision one more storage server, trust-isolated from the rest.
+
+        The node gets its own vendor-provisioned TrustZone device (its
+        own secure boot, its own RPMB, its own secure-storage master key
+        — so an entirely separate HKDF key domain and Merkle root), its
+        own NVMe devices, its own engines, its own network endpoint, and
+        a violation hook that attributes tampering to *node_id*.  It runs
+        the same signed firmware as the primary, so the monitor's
+        expected-measurement set already covers it; attestation is still
+        per-node (:meth:`attest_storage_node`).
+        """
+        device = self.vendor.provision_device(node_id, location=self.storage_location)
+        secure_world = self.vendor.sign_firmware("optee", SECURE_WORLD_IMAGE, "3.4")
+        normal_world = self.vendor.sign_firmware(
+            "linux-ironsafe", NORMAL_WORLD_IMAGE, self.storage_fw_version
+        )
+        device.secure_boot(secure_world, normal_world)
+        secure_device = BlockDevice(f"nvme-secure-{node_id}")
+        plain_device = BlockDevice(f"nvme-plain-{node_id}")
+        engine = StorageEngine(
+            device, secure_device, self.rng.fork(f"storage-secure-{node_id}"),
+            secure=True, cipher=self._cipher, realm_mode=self.armv9_realms,
+            cache_pages=self.page_cache_pages,
+        )
+        engine_plain = StorageEngine(
+            device, plain_device, self.rng.fork(f"storage-plain-{node_id}"),
+            secure=False,
+        )
+        self.link.register(node_id)
+        engine.pager.on_violation = self._node_violation(node_id)
+        engine.tracer = self.tracer
+        engine_plain.tracer = self.tracer
+        if self._obsv is not None:
+            secure_device.obsv = self._obsv
+            plain_device.obsv = self._obsv
+        return StorageNode(
+            node_id=node_id,
+            engine=engine,
+            engine_plain=engine_plain,
+            secure_device=secure_device,
+            plain_device=plain_device,
+        )
+
+    # ------------------------------------------------------------------
     # Attestation (Table 4 path)
     # ------------------------------------------------------------------
 
@@ -445,15 +527,25 @@ class Deployment:
             )
             self.monitor.register_host(host_node)
 
-            storage_challenge = self.rng.bytes(16)
-            quote, chain = self.storage_engine.attest(storage_challenge)
-            storage_node = self.attestation.attest_storage(quote, chain, storage_challenge)
-            self.monitor.register_storage(storage_node)
+            storage_node = self.attest_storage_node(self.storage_engine)
             self._attested = True
             span.set_attrs(
                 host=host_node.config.node_id, storage=storage_node.config.node_id
             )
             return {"host": host_node, "storage": storage_node}
+
+    def attest_storage_node(self, engine: StorageEngine) -> AttestedNode:
+        """Attest one storage engine and register it with the monitor.
+
+        Every storage node proves its own identity: a fresh challenge, its
+        own quote over its own boot state, its own monitor registration —
+        a sharded deployment calls this once per shard.
+        """
+        challenge = self.rng.bytes(16)
+        quote, chain = engine.attest(challenge)
+        node = self.attestation.attest_storage(quote, chain, challenge)
+        self.monitor.register_storage(node)
+        return node
 
     # ------------------------------------------------------------------
     # Query execution under each configuration
@@ -472,9 +564,7 @@ class Deployment:
     ) -> RunResult:
         if config not in CONFIGS:
             raise IronSafeError(f"unknown configuration {config!r} (know {sorted(CONFIGS)})")
-        statement = parse(sql)
-        if not isinstance(statement, A.Select):
-            raise IronSafeError("the evaluation harness runs SELECT statements")
+        statement = self.parse_select(sql)
         cpus = storage_cpus if storage_cpus is not None else self.storage_cpus
         memory = (
             storage_memory_bytes
@@ -482,6 +572,12 @@ class Deployment:
             else self.storage_memory_bytes
         )
         run_config = run_config if run_config is not None else self.run_config
+        if run_config.strategy != "manual":
+            raise IronSafeError(
+                "strategy='auto' needs the cost-based offload optimizer of a "
+                "sharded deployment (repro.shard.ShardedDeployment); a plain "
+                "Deployment only runs the configuration named explicitly"
+            )
         # One observable trace per query window.  The attributes carry the
         # configuration only — never the SQL text: the predicate constant
         # is exactly the secret the leakage meter measures, so the
@@ -507,6 +603,18 @@ class Deployment:
             )
         self._absorb_run_metrics(result, config)
         return result
+
+    @staticmethod
+    def parse_select(sql: str) -> A.Select:
+        """Parse *sql*, insisting on a SELECT (the evaluation workload).
+
+        Public so layers that may not reach into ``repro.sql`` directly
+        (the sharded deployment's runners) parse through the core surface.
+        """
+        statement = parse(sql)
+        if not isinstance(statement, A.Select):
+            raise IronSafeError("the evaluation harness runs SELECT statements")
+        return statement
 
     def _run_query_traced(
         self,
@@ -710,29 +818,41 @@ class Deployment:
 
     # -- host-only (hons / hos) ---------------------------------------------
 
-    def _host_only_db(self, secure: bool):
+    def _host_only_db(
+        self,
+        secure: bool,
+        engine: StorageEngine | None = None,
+        plain_device: BlockDevice | None = None,
+        rng_label: str = "host-pager",
+    ):
         """Open the shared device from the host side (NFS-style).
 
         Opened fresh per run so the host sees the storage engine's latest
         catalog and integrity tree; the setup cost (tree rebuild + anchor
-        check) happens against a throwaway meter.
+        check) happens against a throwaway meter.  Sharded deployments
+        pass each node's *engine* (whose device, master key and anchor
+        the host-side pager then shares) plus a per-node *rng_label*.
         """
+        if engine is None:
+            engine = self.storage_engine
+        if plain_device is None:
+            plain_device = self.plain_device
         if secure:
-            master_key = self.storage_engine.trusted_os.invoke(
+            master_key = engine.trusted_os.invoke(
                 "secure-storage", "get_master_key"
             )
             pager = SecurePager(
-                self.secure_device,
+                engine.block_device,
                 master_key,
-                _SharedAnchor(self.storage_engine),
-                self.rng.fork("host-pager"),
+                _SharedAnchor(engine),
+                self.rng.fork(rng_label),
                 meter=Meter(),
                 cipher=self._cipher,
                 cache_pages=self.page_cache_pages,
             )
             pager.on_violation = self._host_violation
         else:
-            pager = Pager(self.plain_device, meter=Meter())
+            pager = Pager(plain_device, meter=Meter())
         return Database(PagedStore(pager, Meter())), pager
 
     def _run_host_only(

@@ -37,6 +37,9 @@ Q13_MANUAL = ManualPartition(
         ORDER BY custdist DESC, c_count DESC
     """,
     note="offloads the memory-intensive outer join (paper §6.4b)",
+    # The per-customer count is exact per shard only when every customer's
+    # orders share that customer's shard.
+    requires=(("customer", "c_custkey"), ("orders", "o_custkey")),
 )
 
 Q21_MANUAL = ManualPartition(
@@ -93,6 +96,9 @@ Q21_MANUAL = ManualPartition(
         LIMIT 100
     """,
     note="offloads the compute-intensive anti-join (paper §6.2)",
+    # The per-order supplier counts are exact per shard only when all
+    # lineitems of an order share a shard.
+    requires=(("lineitem", "l_orderkey"),),
 )
 
 # Keyed by TPC-H query number; the harness applies these when present.

@@ -75,6 +75,14 @@ class ManualPartition:
     ships: list[ManualShip]
     host_sql: str
     note: str = ""
+    #: Co-partitioning requirements for sharded execution: ``(table,
+    #: column)`` pairs that must all be hash-partitioned on exactly that
+    #: column for the per-shard union of the ships to equal the
+    #: single-node result (a grouped or joined ship is only decomposable
+    #: when every group/join key's rows land on one shard).  A sharded
+    #: deployment that cannot satisfy them falls back to the automatic
+    #: partitioner for that query.  Empty means shard-safe as-is.
+    requires: tuple = ()
 
 
 class QueryPartitioner:
@@ -200,6 +208,14 @@ class QueryPartitioner:
 
     # ------------------------------------------------------------------
 
+    def tables_referenced(self, select: A.Select) -> list[str]:
+        """Base tables referenced anywhere in *select* (subqueries too)."""
+        occurrence_filters: dict[str, list[A.Expr]] = {}
+        occurrence_counts: dict[str, int] = {}
+        referenced: dict[str, set[str]] = {}
+        self._collect(select, occurrence_filters, occurrence_counts, referenced)
+        return sorted(occurrence_counts)
+
     def partition(self, select: A.Select) -> PartitionPlan:
         """Derive the storage-side scans for *select*."""
         if not isinstance(select, A.Select):
@@ -233,3 +249,23 @@ class QueryPartitioner:
                 )
             scans.append(TableScanSpec(table=table, columns=column_list, where=where))
         return PartitionPlan(scans=scans, host_statement=select, notes=notes)
+
+
+def pruning_for_scan(catalog: Catalog, scan: TableScanSpec):
+    """Sargable pruning predicate of one scan, in table column order.
+
+    Lowers the scan's WHERE to a :class:`~repro.stats.PruningPredicate`
+    over the *full* table schema (zone-map column indexes), so it can be
+    probed against any page or shard-level synopsis of that table.
+    Returns ``None`` when nothing in the filter is sargable — callers
+    must then fail open (scan everything).
+    """
+    if scan.where is None:
+        return None
+    from ..sql.expressions import Scope
+    from ..sql.planner import conjuncts_of, extract_pruning
+
+    schema = catalog.table(scan.table)
+    scope = Scope([(scan.table, name) for name in schema.column_names])
+    column_types = [schema.column_type(name) for name in schema.column_names]
+    return extract_pruning(conjuncts_of(scan.where), scope, column_types)

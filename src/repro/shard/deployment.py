@@ -1,0 +1,1052 @@
+"""Sharded multi-storage-node deployment with adaptive offload.
+
+A :class:`ShardedDeployment` scales the paper's single storage server out
+to N shards.  Every shard is a *full* storage node — its own
+vendor-provisioned TrustZone device (own secure boot, own RPMB anchor,
+own secure-storage master key, so an entirely separate HKDF key domain
+and Merkle root), its own NVMe devices, its own engines, its own
+monitor-attested identity.  Tables are hash/range-partitioned across
+shards (:mod:`repro.shard.partition`); queries fan filtering scans out to
+the shards that can hold matches (:mod:`repro.shard.router` prunes whole
+shards from zone-map synopses before any page I/O), ship each shard's
+results through its own authenticated channel, and merge on the host —
+cross-shard joins and grouped aggregation run host-side exactly as in the
+single-node split, and decomposable aggregates run storage-only as
+per-shard partials folded by a host-side final (:mod:`repro.core.aggsplit`).
+
+``shards=1`` delegates every path to the base :class:`Deployment`
+unchanged — rows, meters, simulated time and observable traces are
+byte-identical to the single-node testbed.
+
+``RunConfig(strategy="auto")`` engages the cost-based offload optimizer
+(:mod:`repro.shard.optimizer`): the host/storage split is chosen per
+query from catalog + zone-map statistics priced through the calibrated
+cost model, and the decision (with predicted-vs-actual cost) lands in an
+``offload_plan`` telemetry span.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import replace
+
+from ..core import (
+    CONFIGS,
+    Deployment,
+    RunConfig,
+    RunResult,
+    StorageNode,
+    TableScanSpec,
+    channel_pair,
+    decompose_aggregate,
+    pruning_for_scan,
+)
+from ..core.host_engine import RECORD_ROWS
+from ..errors import IntegrityError, IronSafeError, PartitionError
+from ..oblivious import dummy_frame, fixed_ship_schedule, pad_frame, pads_channel, unpad_frame
+from ..perf import SessionTask, arbitrate, makespan_ns
+from ..sim import CAT_NETWORK, CAT_POLICY, Meter, TimeBreakdown
+from ..sql.records import encode_row
+from ..stream import BatchTiming, apportion_ns, pack_frame, pipelined_ns, unpack_frame
+from ..telemetry import (
+    NODE_HOST,
+    NODE_NETWORK,
+    NODE_STORAGE,
+    SPAN_CHANNEL_SHIP,
+    SPAN_CHANNEL_TRANSFER,
+    SPAN_HOST_EXECUTE,
+    SPAN_HOST_JOIN_AGG,
+    SPAN_NDP_FILTER,
+    SPAN_OFFLOAD_PLAN,
+    SPAN_PARTITION,
+    SPAN_SESSION_SETUP,
+    SPAN_SHARD_MERGE,
+    SPAN_SHARD_ROUTE,
+    SPAN_SHIP_BATCH,
+    SPAN_STORAGE_PHASE,
+)
+from ..tpch import TPCHGenerator, create_all
+from .optimizer import OffloadOptimizer
+from .partition import ShardingSpec, default_tpch_sharding
+from .router import route_scan
+
+
+class ShardedDeployment(Deployment):
+    """A CSA testbed whose storage side is N trust-isolated shards."""
+
+    def __init__(
+        self,
+        shards: int = 1,
+        sharding: ShardingSpec | None = None,
+        *,
+        scale_factor: float = 0.005,
+        seed: int = 2022,
+        workload: str = "tpch",
+        **kwargs,
+    ):
+        self.shards = int(shards)
+        if self.shards < 1:
+            raise PartitionError(f"need at least one shard, got {shards}")
+        if sharding is not None and sharding.shards != self.shards:
+            raise PartitionError(
+                f"sharding spec covers {sharding.shards} shards, deployment has {self.shards}"
+            )
+        if self.shards == 1:
+            # Single shard: the base deployment verbatim — same rng draw
+            # order, same loader, same runners — wrapped in the node list.
+            super().__init__(
+                scale_factor=scale_factor, seed=seed, workload=workload, **kwargs
+            )
+            self.sharding = (
+                sharding if sharding is not None
+                else default_tpch_sharding(1, scale_factor)
+            )
+        else:
+            super().__init__(
+                scale_factor=scale_factor, seed=seed, workload="none", **kwargs
+            )
+            self.sharding = (
+                sharding if sharding is not None
+                else default_tpch_sharding(self.shards, scale_factor)
+            )
+        self.nodes: list[StorageNode] = [
+            StorageNode(
+                node_id="storage-1",
+                engine=self.storage_engine,
+                engine_plain=self.storage_engine_plain,
+                secure_device=self.secure_device,
+                plain_device=self.plain_device,
+            )
+        ]
+        if self.shards > 1:
+            # Per-shard violation attribution for the primary too, and a
+            # per-shard channel endpoint named like the extra nodes'.
+            self.storage_engine.pager.on_violation = self._node_violation("storage-1")
+            self.link.register("storage-1")
+            for index in range(1, self.shards):
+                self.nodes.append(self.add_storage_node(f"storage-{index + 1}"))
+            if workload == "tpch":
+                self.row_counts = self._load_sharded_tpch(scale_factor, seed)
+        self.optimizer = OffloadOptimizer(self)
+
+    # ------------------------------------------------------------------
+    # Data loading
+    # ------------------------------------------------------------------
+
+    def _load_sharded_tpch(self, scale_factor: float, seed: int) -> dict[str, int]:
+        """Generate TPC-H once, partition it, load every shard's slice."""
+        generator = TPCHGenerator(scale_factor, seed)
+        tables = generator.generate_all()
+        for node in self.nodes:
+            create_all(node.engine.db)
+            create_all(node.engine_plain.db)
+        counts: dict[str, int] = {}
+        batch = 2000
+        for table, rows in tables.items():
+            counts[table] = len(rows)
+            for node, shard_rows in zip(self.nodes, self.sharding.shard_rows(table, rows)):
+                for db in (node.engine.db, node.engine_plain.db):
+                    for start in range(0, len(shard_rows), batch):
+                        db.store.insert_rows(table, shard_rows[start : start + batch])
+        for node in self.nodes:
+            node.engine.db.commit()
+            node.engine_plain.db.commit()
+        return counts
+
+    # ------------------------------------------------------------------
+    # Cluster-wide plumbing (tracing, observability, caching, attestation)
+    # ------------------------------------------------------------------
+
+    def _bind_tracer(self) -> None:
+        super()._bind_tracer()
+        for node in getattr(self, "nodes", [])[1:]:
+            node.engine.tracer = self.tracer
+            node.engine_plain.tracer = self.tracer
+
+    def enable_observability(self, **kwargs):
+        recorder = super().enable_observability(**kwargs)
+        for node in self.nodes[1:]:
+            node.secure_device.obsv = recorder
+            node.plain_device.obsv = recorder
+        return recorder
+
+    def enable_page_cache(self, capacity_pages: int) -> None:
+        super().enable_page_cache(capacity_pages)
+        for node in self.nodes[1:]:
+            node.engine.enable_page_cache(capacity_pages)
+
+    def disable_page_cache(self) -> None:
+        super().disable_page_cache()
+        for node in self.nodes[1:]:
+            node.engine.disable_page_cache()
+
+    def attest_all(self):
+        attested = super().attest_all()
+        for node in self.nodes[1:]:
+            attested[node.node_id] = self.attest_storage_node(node.engine)
+        return attested
+
+    @contextmanager
+    def _attributed(self, node_id: str):
+        """Re-raise integrity failures tagged with the owning shard."""
+        try:
+            yield
+        except IntegrityError as exc:
+            if node_id in str(exc):
+                raise
+            raise type(exc)(f"shard {node_id}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Adaptive offload (strategy="auto")
+    # ------------------------------------------------------------------
+
+    def run_query(
+        self,
+        sql: str,
+        config: str,
+        *,
+        storage_cpus: int | None = None,
+        storage_memory_bytes: int | None = None,
+        manual_partition=None,
+        authorization=None,
+        run_config: RunConfig | None = None,
+    ) -> RunResult:
+        run_config = run_config if run_config is not None else self.run_config
+        if run_config.strategy != "auto":
+            return super().run_query(
+                sql, config,
+                storage_cpus=storage_cpus,
+                storage_memory_bytes=storage_memory_bytes,
+                manual_partition=manual_partition,
+                authorization=authorization,
+                run_config=run_config,
+            )
+        if config not in CONFIGS:
+            raise IronSafeError(
+                f"unknown configuration {config!r} (know {sorted(CONFIGS)})"
+            )
+        statement = self.parse_select(sql)
+        cpus = storage_cpus if storage_cpus is not None else self.storage_cpus
+        memory = (
+            storage_memory_bytes
+            if storage_memory_bytes is not None
+            else self.storage_memory_bytes
+        )
+        choice = self.optimizer.choose(
+            statement, config, run_config, cpus=cpus, memory=memory
+        )
+        with self.tracer.span(
+            SPAN_OFFLOAD_PLAN,
+            node=NODE_HOST,
+            requested=config,
+            chosen=choice.chosen,
+            considered=choice.considered,
+        ) as plan_span:
+            # Planning reads statistics the host already holds: it never
+            # touches a page, so it charges no simulated time.
+            plan_span.set_sim_ns(0.0)
+            plan_span.set_attrs(
+                **{
+                    f"predicted_{cand.config}_ms": round(cand.predicted_ms, 6)
+                    for cand in choice.candidates
+                }
+            )
+        result = super().run_query(
+            sql, choice.chosen,
+            storage_cpus=storage_cpus,
+            storage_memory_bytes=storage_memory_bytes,
+            manual_partition=(
+                manual_partition if choice.chosen in ("scs", "vcs") else None
+            ),
+            authorization=authorization if choice.chosen == "scs" else None,
+            run_config=replace(run_config, strategy="manual"),
+        )
+        # Stamp predicted-vs-actual into the decision span (the span is
+        # already closed; attribute updates are free) and the run result.
+        plan_span.set_attrs(
+            predicted_ms=round(choice.predicted_ns / 1e6, 6),
+            actual_ms=round(result.total_ms, 6),
+        )
+        result.plan_notes.insert(
+            0,
+            f"optimizer chose {choice.chosen} for requested {config} "
+            f"(predicted {choice.predicted_ns / 1e6:.3f} ms, "
+            f"actual {result.total_ms:.3f} ms, "
+            f"{choice.considered} candidates considered)",
+        )
+        result.plan_notes.extend(choice.notes)
+        # Counter lands after pricing, so an auto run's simulated time is
+        # exactly the chosen manual run's; the registry still absorbs it.
+        result.host_meter.bump("optimizer_plans_considered", choice.considered)
+        metrics = getattr(self.tracer, "metrics", None)
+        if metrics is not None:
+            extra = Meter()
+            extra.bump("optimizer_plans_considered", choice.considered)
+            metrics.absorb_meter(extra, node=NODE_HOST, phase=choice.chosen)
+        return result
+
+    # ------------------------------------------------------------------
+    # Sharded runners
+    # ------------------------------------------------------------------
+
+    def _run_query_traced(
+        self, sql, statement, config, *, cpus, memory,
+        manual_partition, authorization, run_config,
+    ) -> RunResult:
+        if self.shards == 1:
+            return super()._run_query_traced(
+                sql, statement, config, cpus=cpus, memory=memory,
+                manual_partition=manual_partition, authorization=authorization,
+                run_config=run_config,
+            )
+        from ..telemetry import NODE_CLIENT, SPAN_QUERY
+
+        with self.tracer.maybe_root(
+            SPAN_QUERY, node=NODE_CLIENT, config=config, sql=sql
+        ) as root:
+            if config in ("hons", "hos"):
+                result = self._run_host_only_sharded(
+                    statement, secure=(config == "hos"), run_config=run_config
+                )
+            elif config in ("vcs", "scs"):
+                result = self._run_split_sharded(
+                    statement, secure=(config == "scs"), cpus=cpus, memory=memory,
+                    manual=manual_partition, authorization=authorization,
+                    run_config=run_config,
+                )
+            else:
+                result = self._run_storage_only_sharded(
+                    statement, cpus=cpus, memory=memory, run_config=run_config
+                )
+            root.set_sim_ns(result.breakdown.total_ns)
+            root.set_attrs(rows=len(result.rows), bytes_shipped=result.bytes_shipped)
+        return result
+
+    # -- shard routing ---------------------------------------------------
+
+    def _route_ship(self, ship, manual, run_config, stores):
+        """Shards one ship must visit, and how many zone maps pruned.
+
+        Routing consults zone maps only when the run allows data-dependent
+        page skipping (``zone_maps`` on, ``oblivious`` off): the oblivious
+        tiers keep every shard's trace predicate-independent, so scans
+        then fan out to all shards unconditionally.  Replicated tables are
+        read from shard 0 only — that choice depends on the schema, never
+        on the data.
+        """
+        catalog = stores[0].catalog
+        if manual is not None:
+            tables = self.partitioner.tables_referenced(self.parse_select(ship.sql))
+            if tables and all(self.sharding.is_replicated(t) for t in tables):
+                return [0], 0
+            return list(range(self.shards)), 0
+        prune_ok = run_config.zone_maps and run_config.oblivious == "off"
+        if self.sharding.is_replicated(ship.table):
+            if not prune_ok:
+                return [0], 0
+            return route_scan(stores[:1], ship.table, pruning_for_scan(catalog, ship))
+        if not prune_ok:
+            return list(range(self.shards)), 0
+        return route_scan(stores, ship.table, pruning_for_scan(catalog, ship))
+
+    # -- split execution (vcs / scs), serial and pipelined ---------------
+
+    def _run_split_sharded(
+        self, statement, secure, cpus, memory,
+        manual=None, authorization=None, run_config=None,
+    ) -> RunResult:
+        run_config = run_config if run_config is not None else self.run_config
+        engines = [
+            (node.engine if secure else node.engine_plain) for node in self.nodes
+        ]
+        for engine in engines:
+            engine.set_zone_maps(run_config.zone_maps)
+            engine.set_oblivious(run_config.oblivious)
+            engine.set_vectorized(run_config.vectorized)
+        self.host_engine.set_oblivious(run_config.oblivious)
+        self.host_engine.set_vectorized(run_config.vectorized)
+
+        notes: list[str] = []
+        if manual is not None and not self.sharding.co_partitioned(manual.requires):
+            notes.append(
+                "manual split needs co-partitioning on "
+                f"{list(manual.requires)} which this layout lacks; "
+                "falling back to the automatic partitioner"
+            )
+            manual = None
+        if manual is not None:
+            plan = None
+        else:
+            with self.tracer.span(SPAN_PARTITION, node=NODE_HOST) as part_span:
+                plan = self.partitioner.partition(statement)
+                part_span.set_attrs(scans=len(plan.scans))
+
+        clock_before = self.clock.breakdown.copy()
+        session_key = self.rng.fork("adhoc-session").bytes(32)
+        if secure:
+            if not self._attested:
+                self.attest_all()
+            auth = authorization
+            if auth is None:
+                auth = self.monitor.authorize(
+                    self.database_name,
+                    client_key=self._client_fingerprint(),
+                    statement=statement,
+                    host_id="host-1",
+                    now=0,
+                    query_text=statement.to_sql(),
+                )
+            if manual is None:
+                statement = auth.statement
+            session_key = auth.session.key
+        monitor_breakdown = self.clock.breakdown.minus(clock_before)
+
+        host_meter = self.host_engine.fresh_meter()
+        ship_meters = [Meter() for _ in self.nodes]
+        self.host_engine.begin_session()
+        channels: list[tuple] = [None] * len(self.nodes)
+        if secure:
+            for index, node in enumerate(self.nodes):
+                channels[index] = channel_pair(
+                    self.link, "host", node.node_id, session_key,
+                    host_meter, ship_meters[index], tracer=self.tracer,
+                )
+
+        ships = manual.ships if manual is not None else plan.scans
+        stores = [engine.db.store for engine in engines]
+        catalog = stores[0].catalog
+        pipelined = run_config.pipeline
+        compress_level = run_config.compress_level if run_config.compress else 0
+        in_realm = secure and self.armv9_realms
+
+        total_bytes = 0
+        total_batches = 0
+        portion_meters: list[Meter] = []
+        node_durations: list[list[float]] = [[] for _ in self.nodes]
+        node_serial_ns = [0.0] * len(self.nodes)
+        node_meters = [Meter() for _ in self.nodes]
+        node_ingest = [TimeBreakdown() for _ in self.nodes]
+        ingest_breakdown = TimeBreakdown()
+
+        phase_ctx = self.tracer.span(
+            SPAN_STORAGE_PHASE, node=NODE_STORAGE, enclave=in_realm,
+            portions=len(ships), shards=self.shards,
+        )
+        phase_span = phase_ctx.__enter__()
+        for ship in ships:
+            targets, pruned = self._route_ship(ship, manual, run_config, stores)
+            host_meter.bump("shard_scan_fanout", len(targets))
+            host_meter.bump("shards_pruned", pruned)
+            self.tracer.event(
+                SPAN_SHARD_ROUTE, node=NODE_HOST, table=ship.table,
+                fanout=len(targets), pruned=pruned,
+            )
+            if not targets:
+                # Every shard proved the scan matches nothing; the host
+                # table must still exist for the join/agg phase.
+                schema = catalog.table(ship.table)
+                column_types = [
+                    (name, schema.column_type(name)) for name in ship.columns
+                ]
+                self.host_engine.receive_table(ship.table, column_types, [])
+                continue
+            for target in targets:
+                if pipelined:
+                    self._ship_portion_pipelined(
+                        ship, target, engines, channels, ship_meters,
+                        host_meter, node_meters, node_durations,
+                        node_serial_ns, node_ingest, ingest_breakdown,
+                        portion_meters, run_config, compress_level,
+                        secure=secure, memory=memory, in_realm=in_realm,
+                    )
+                    total_batches += self._last_batches
+                    total_bytes += self._last_bytes
+                else:
+                    self._ship_portion_serial(
+                        ship, target, engines, channels, ship_meters,
+                        node_meters, node_durations, portion_meters,
+                        run_config, manual,
+                        secure=secure, memory=memory, in_realm=in_realm,
+                    )
+                    total_bytes += self._last_bytes
+        phase_ctx.__exit__(None, None, None)
+
+        # Host phase: the full query over the shipped (unioned) tables.
+        host_statement = (
+            self.parse_select(manual.host_sql) if manual is not None else statement
+        )
+        with self.tracer.span(
+            SPAN_HOST_JOIN_AGG, node=NODE_HOST, enclave=secure
+        ) as host_span:
+            result = self.host_engine.run(host_statement)
+            self.monitorless_cleanup()
+
+        # Per-node wall times: each shard LPT-schedules its own portions
+        # over its own CPUs and pays its own serial leftovers (channel
+        # crypto, spill); the deterministic arbiter then runs the shards
+        # concurrently, so the phase wall is the slowest shard's.
+        storage_meter = Meter()
+        node_walls: list[float] = []
+        for index in range(len(self.nodes)):
+            merged = node_meters[index].copy()
+            merged.merge(ship_meters[index])
+            work = self.cost_model.phase_breakdown(
+                merged, platform="arm", cores=1,
+                memory_limit_bytes=memory, in_realm=in_realm,
+            )
+            if pipelined:
+                combined_ns = work.total_ns + node_ingest[index].total_ns
+                wall = self._lpt_makespan(node_durations[index], cpus) + max(
+                    0.0, combined_ns - node_serial_ns[index]
+                )
+            else:
+                wall = self._lpt_makespan(node_durations[index], cpus) + max(
+                    0.0, work.total_ns - sum(node_durations[index])
+                )
+            node_walls.append(wall)
+            storage_meter.merge(merged)
+        slots = arbitrate(
+            [SessionTask(index, wall) for index, wall in enumerate(node_walls)],
+            len(self.nodes),
+        )
+        storage_wall_ns = makespan_ns(slots)
+        work_breakdown = self.cost_model.phase_breakdown(
+            storage_meter, platform="arm", cores=1,
+            memory_limit_bytes=memory, in_realm=in_realm,
+        )
+        if pipelined:
+            work_breakdown = work_breakdown.copy().merge(ingest_breakdown)
+        if work_breakdown.total_ns > 0:
+            storage_breakdown = work_breakdown.scaled(
+                storage_wall_ns / work_breakdown.total_ns
+            )
+        else:
+            storage_breakdown = work_breakdown
+        phase_span.set_sim_ns(storage_breakdown.total_ns)
+        phase_span.set_attrs(
+            bytes_shipped=total_bytes, cpus=cpus, shards=self.shards,
+            pipelined=pipelined,
+        )
+
+        host_breakdown = self.cost_model.phase_breakdown(
+            host_meter, platform="x86", in_enclave=secure
+        )
+        join_breakdown = (
+            host_breakdown.minus(ingest_breakdown) if pipelined else host_breakdown
+        )
+        host_span.set_sim_ns(join_breakdown.total_ns)
+        host_span.set_attrs(rows=len(result.rows))
+
+        transfer_ns = self.cost_model.net_transfer_ns(
+            total_bytes,
+            messages=max(1, total_batches if pipelined else total_bytes // 65536),
+        )
+        total = TimeBreakdown()
+        total.merge(monitor_breakdown)
+        total.merge(storage_breakdown)
+        overflow = transfer_ns - storage_breakdown.total_ns
+        if overflow > 0:
+            total.add(CAT_NETWORK, overflow)
+            span = self.tracer.event(
+                SPAN_CHANNEL_TRANSFER, node=NODE_NETWORK, bytes=total_bytes
+            )
+            if span is not None:
+                span.set_sim_ns(overflow)
+        total.merge(join_breakdown)
+        if secure:
+            total.add(CAT_POLICY, self.cost_model.tls_handshake_ns)
+            span = self.tracer.event(SPAN_SESSION_SETUP, node=NODE_HOST)
+            if span is not None:
+                span.set_sim_ns(self.cost_model.tls_handshake_ns)
+
+        plan_notes = notes + (
+            plan.notes if plan is not None else [manual.note]
+        )
+        return RunResult(
+            config="scs" if secure else "vcs",
+            columns=result.columns,
+            rows=result.rows,
+            breakdown=total,
+            storage_breakdown=storage_breakdown,
+            host_breakdown=host_breakdown,
+            storage_meter=storage_meter,
+            host_meter=host_meter,
+            bytes_shipped=total_bytes,
+            plan_notes=plan_notes,
+            portion_meters=portion_meters,
+            monitor_breakdown=monitor_breakdown,
+        )
+
+    def _ship_portion_serial(
+        self, ship, target, engines, channels, ship_meters,
+        node_meters, node_durations, portion_meters, run_config, manual,
+        *, secure, memory, in_realm,
+    ) -> None:
+        """Execute one ship on one shard and ship its rows (serial path)."""
+        engine = engines[target]
+        node = self.nodes[target]
+        ship_meter = ship_meters[target]
+        portion_meter = engine.fresh_meter()
+        portion_meters.append(portion_meter)
+        with self.tracer.span(
+            SPAN_NDP_FILTER, node=NODE_STORAGE, enclave=in_realm,
+            table=ship.table, shard=node.node_id,
+        ) as portion_span:
+            with self._attributed(node.node_id):
+                if manual is not None:
+                    result = engine.db.execute(ship.sql)
+                    columns, rows = result.columns, result.rows
+                    encoded = [encode_row(r) for r in rows]
+                    nbytes = sum(map(len, encoded))
+                    portion_meter.note_memory(nbytes)
+                    column_types = self._infer_column_types(columns, rows)
+                else:
+                    columns, rows, nbytes, encoded = engine.execute_scan(ship)
+                    schema = engine.db.store.catalog.table(ship.table)
+                    column_types = [
+                        (name, schema.column_type(name)) for name in ship.columns
+                    ]
+            portion_breakdown = self.cost_model.phase_breakdown(
+                portion_meter, platform="arm", cores=1,
+                memory_limit_bytes=memory, in_realm=in_realm,
+            )
+            node_durations[target].append(portion_breakdown.total_ns)
+            node_meters[target].merge(portion_meter)
+            if secure:
+                chan_host, chan_node = channels[target]
+                shipped_before = ship_meter.channel_bytes_encrypted
+                with self.tracer.span(
+                    SPAN_CHANNEL_SHIP, node=NODE_STORAGE,
+                    table=ship.table, shard=node.node_id,
+                ) as ship_span:
+                    # Each shard pads against its *own* catalog bound, so
+                    # its channel trace is predicate-independent on its
+                    # own — shard traces never need cross-correlation.
+                    schedule = None
+                    if fixed_ship_schedule(run_config.oblivious):
+                        schedule = self._ship_schedule(
+                            engine, ship.table, record_rows=RECORD_ROWS
+                        )
+                    records = 0
+                    for start in range(0, max(1, len(rows)), RECORD_ROWS):
+                        payload = b"".join(encoded[start : start + RECORD_ROWS])
+                        if pads_channel(run_config.oblivious):
+                            raw = len(payload)
+                            payload = pad_frame(
+                                payload,
+                                target=(schedule.frame_bytes if schedule else None),
+                            )
+                            ship_meter.bump("oblivious_pad_bytes", len(payload) - raw)
+                        chan_node.send(payload, charge_time=False)
+                        chan_host.receive()
+                        records += 1
+                    if schedule is not None:
+                        for _ in range(max(0, schedule.units - records)):
+                            filler = dummy_frame(schedule.frame_bytes)
+                            ship_meter.bump("oblivious_dummy_batches")
+                            ship_meter.bump("oblivious_pad_bytes", len(filler))
+                            chan_node.send(filler, charge_time=False)
+                            chan_host.receive()
+                shipped = ship_meter.channel_bytes_encrypted - shipped_before
+                ship_span.set_sim_ns(
+                    shipped * self.cost_model.channel_crypto_ns_per_byte
+                )
+                ship_span.set_attrs(bytes=nbytes, rows=len(rows))
+            self.host_engine.receive_table(ship.table, column_types, rows)
+        portion_span.set_sim_ns(portion_breakdown.total_ns)
+        portion_span.set_attrs(rows=len(rows), bytes=nbytes)
+        self._last_bytes = nbytes
+
+    def _ship_portion_pipelined(
+        self, ship, target, engines, channels, ship_meters, host_meter,
+        node_meters, node_durations, node_serial_ns, node_ingest,
+        ingest_breakdown, portion_meters, run_config, compress_level,
+        *, secure, memory, in_realm,
+    ) -> None:
+        """Stream one ship from one shard (pipelined path)."""
+        engine = engines[target]
+        node = self.nodes[target]
+        ship_meter = ship_meters[target]
+        portion_meter = engine.fresh_meter()
+        portion_meters.append(portion_meter)
+        ship_before = ship_meter.copy()
+        host_before = host_meter.copy()
+        with self.tracer.span(
+            SPAN_NDP_FILTER, node=NODE_STORAGE, enclave=in_realm,
+            table=ship.table, shard=node.node_id,
+        ) as portion_span:
+            table_name = ship.table
+            schedule = None
+            fixed_rows = None
+            if fixed_ship_schedule(run_config.oblivious):
+                schedule = self._ship_schedule(
+                    engine, table_name, batch_bytes=run_config.batch_bytes
+                )
+                fixed_rows = schedule.rows_per_unit
+            with self._attributed(node.node_id):
+                if hasattr(ship, "sql"):
+                    columns, batches = engine.stream_sql(
+                        ship.sql,
+                        batch_bytes=run_config.batch_bytes,
+                        fixed_rows=fixed_rows,
+                    )
+                    column_types = None
+                else:
+                    columns, batches = engine.stream_scan(
+                        ship,
+                        batch_bytes=run_config.batch_bytes,
+                        fixed_rows=fixed_rows,
+                    )
+                    schema = engine.db.store.catalog.table(ship.table)
+                    column_types = [
+                        (name, schema.column_type(name)) for name in ship.columns
+                    ]
+                    self.host_engine.begin_table(table_name, column_types)
+                if schedule is not None:
+                    batches = list(batches)
+                row_weights: list[int] = []
+                byte_weights: list[int] = []
+                ship_rows = 0
+                ship_bytes = 0
+                for batch in batches:
+                    if column_types is None:
+                        column_types = self._infer_column_types(
+                            columns, list(batch.rows)
+                        )
+                        self.host_engine.begin_table(table_name, column_types)
+                    frame, saved = pack_frame(batch.payload, compress_level)
+                    if pads_channel(run_config.oblivious):
+                        raw = len(frame)
+                        frame = pad_frame(
+                            frame,
+                            target=(schedule.frame_bytes if schedule else None),
+                        )
+                        ship_meter.bump("oblivious_pad_bytes", len(frame) - raw)
+                    ship_meter.bump("batches_shipped")
+                    if saved:
+                        ship_meter.bump("channel_bytes_saved", saved)
+                        ship_meter.bump("batch_bytes_compressed", batch.nbytes)
+                        host_meter.bump("batch_bytes_decompressed", batch.nbytes)
+                    if secure:
+                        chan_host, chan_node = channels[target]
+                        chan_node.send(frame, charge_time=False)
+                        received = chan_host.receive()
+                    else:
+                        received = frame
+                    if pads_channel(run_config.oblivious):
+                        received = unpad_frame(received)
+                    payload, _ = unpack_frame(received)
+                    self.host_engine.ingest_batch(table_name, payload)
+                    row_weights.append(batch.row_count)
+                    byte_weights.append(len(frame))
+                    ship_rows += batch.row_count
+                    ship_bytes += len(frame)
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            SPAN_SHIP_BATCH, node=NODE_STORAGE,
+                            table=table_name, shard=node.node_id,
+                            seq=len(row_weights) - 1, rows=batch.row_count,
+                            bytes=len(frame), saved=saved,
+                        )
+                if column_types is None:
+                    column_types = self._infer_column_types(columns, [])
+                    self.host_engine.begin_table(table_name, column_types)
+                if schedule is not None:
+                    for _ in range(max(0, schedule.units - len(row_weights))):
+                        filler = dummy_frame(schedule.frame_bytes)
+                        ship_meter.bump("batches_shipped")
+                        ship_meter.bump("oblivious_dummy_batches")
+                        ship_meter.bump("oblivious_pad_bytes", len(filler))
+                        if secure:
+                            chan_host, chan_node = channels[target]
+                            chan_node.send(filler, charge_time=False)
+                            dropped = chan_host.receive()
+                        else:
+                            dropped = filler
+                        assert unpad_frame(dropped) is None
+                        row_weights.append(0)
+                        byte_weights.append(len(filler))
+                        ship_bytes += len(filler)
+                self.host_engine.finish_table(table_name)
+
+            portion_breakdown = self.cost_model.phase_breakdown(
+                portion_meter, platform="arm", cores=1,
+                memory_limit_bytes=memory, in_realm=in_realm,
+            )
+            ship_cost = self.cost_model.phase_breakdown(
+                ship_meter.delta(ship_before), platform="arm", cores=1,
+                memory_limit_bytes=memory, in_realm=in_realm,
+            )
+            ingest_cost = self.cost_model.phase_breakdown(
+                host_meter.delta(host_before), platform="x86", in_enclave=secure
+            )
+            ingest_breakdown.merge(ingest_cost)
+            node_ingest[target].merge(ingest_cost)
+            timings = [
+                BatchTiming(scan_ns=s, ship_ns=c, ingest_ns=h)
+                for s, c, h in zip(
+                    apportion_ns(portion_breakdown.total_ns, row_weights),
+                    apportion_ns(ship_cost.total_ns, byte_weights),
+                    apportion_ns(ingest_cost.total_ns, row_weights),
+                )
+            ]
+            serial_ns = (
+                portion_breakdown.total_ns + ship_cost.total_ns + ingest_cost.total_ns
+            )
+            makespan = pipelined_ns(timings) if timings else serial_ns
+            node_durations[target].append(makespan)
+            node_serial_ns[target] += serial_ns
+            node_meters[target].merge(portion_meter)
+        portion_span.set_sim_ns(makespan)
+        portion_span.set_attrs(
+            rows=ship_rows, bytes=ship_bytes, batches=len(row_weights),
+            serial_ns=serial_ns,
+        )
+        self._last_bytes = ship_bytes
+        self._last_batches = len(row_weights)
+
+    # -- storage-only (sos): per-shard partials, host-side final ----------
+
+    def _run_storage_only_sharded(
+        self, statement, cpus, memory, run_config=None
+    ) -> RunResult:
+        run_config = run_config if run_config is not None else self.run_config
+        split = decompose_aggregate(statement)
+        if split is None:
+            raise PartitionError(
+                "storage-only on a sharded deployment needs a shard-decomposable "
+                "query (single-table partial→final aggregation); run this query "
+                "under scs, or on a single-shard deployment"
+            )
+        for node in self.nodes:
+            node.engine.set_zone_maps(run_config.zone_maps)
+            node.engine.set_oblivious(run_config.oblivious)
+            node.engine.set_vectorized(run_config.vectorized)
+        self.host_engine.set_oblivious(run_config.oblivious)
+        self.host_engine.set_vectorized(run_config.vectorized)
+
+        stores = [node.engine.db.store for node in self.nodes]
+        catalog = stores[0].catalog
+        schema = catalog.table(split.base_table)
+        # A replicated base table lives whole on every shard: the partial
+        # must run on exactly one copy or aggregates would multiply.
+        if self.sharding.is_replicated(split.base_table):
+            stores = stores[:1]
+        prune_ok = run_config.zone_maps and run_config.oblivious == "off"
+        if prune_ok:
+            scan = TableScanSpec(
+                table=split.base_table,
+                columns=list(schema.column_names),
+                where=split.partial.where,
+            )
+            targets, pruned = route_scan(
+                stores, split.base_table, pruning_for_scan(catalog, scan)
+            )
+        else:
+            targets, pruned = list(range(len(stores))), 0
+
+        host_meter = self.host_engine.fresh_meter()
+        host_meter.bump("shard_scan_fanout", len(targets))
+        host_meter.bump("shards_pruned", pruned)
+
+        portion_meters: list[Meter] = []
+        node_walls: list[float] = []
+        storage_meter = Meter()
+        partial_rows: list[tuple] = []
+        partial_columns: list[str] | None = None
+        partial_bytes = 0
+        with self.tracer.span(
+            SPAN_STORAGE_PHASE, node=NODE_STORAGE, enclave=self.armv9_realms,
+            portions=len(targets), shards=self.shards,
+        ) as phase_span:
+            self.tracer.event(
+                SPAN_SHARD_ROUTE, node=NODE_STORAGE, table=split.base_table,
+                fanout=len(targets), pruned=pruned,
+            )
+            for target in targets:
+                node = self.nodes[target]
+                meter = node.engine.fresh_meter()
+                portion_meters.append(meter)
+                with self.tracer.span(
+                    SPAN_NDP_FILTER, node=NODE_STORAGE,
+                    enclave=self.armv9_realms,
+                    table=split.base_table, shard=node.node_id,
+                ) as portion_span:
+                    with self._attributed(node.node_id):
+                        result = node.engine.execute_full(split.partial)
+                breakdown = self.cost_model.phase_breakdown(
+                    meter, platform="arm", cores=1,
+                    memory_limit_bytes=memory, in_realm=self.armv9_realms,
+                )
+                node_walls.append(breakdown.total_ns)
+                storage_meter.merge(meter)
+                partial_columns = result.columns
+                partial_rows.extend(result.rows)
+                partial_bytes += sum(len(encode_row(r)) for r in result.rows)
+                portion_span.set_sim_ns(breakdown.total_ns)
+                portion_span.set_attrs(rows=len(result.rows))
+            slots = arbitrate(
+                [SessionTask(i, wall) for i, wall in enumerate(node_walls)],
+                max(1, len(self.nodes)),
+            )
+            storage_wall_ns = makespan_ns(slots)
+            work = self.cost_model.phase_breakdown(
+                storage_meter, platform="arm", cores=1,
+                memory_limit_bytes=memory, in_realm=self.armv9_realms,
+            )
+            storage_breakdown = (
+                work.scaled(storage_wall_ns / work.total_ns)
+                if work.total_ns > 0 else work
+            )
+            phase_span.set_sim_ns(storage_breakdown.total_ns)
+            phase_span.set_attrs(
+                partial_rows=len(partial_rows), cpus=cpus, shards=self.shards
+            )
+
+        # Host-side final: fold the shipped partials inside the enclave.
+        host_meter.bump("partial_aggs_merged", len(partial_rows))
+        self.host_engine.begin_session()
+        with self.tracer.span(
+            SPAN_SHARD_MERGE, node=NODE_HOST, enclave=True,
+            partials=len(partial_rows), shards=len(targets),
+        ) as merge_span:
+            columns = (
+                partial_columns if partial_columns is not None
+                else split.partial_columns
+            )
+            column_types = self._infer_column_types(columns, partial_rows)
+            self.host_engine.receive_table(
+                split.partial_table, column_types, partial_rows
+            )
+            result = self.host_engine.run(split.final)
+            self.monitorless_cleanup()
+        host_breakdown = self.cost_model.phase_breakdown(
+            host_meter, platform="x86", in_enclave=True
+        )
+        merge_span.set_sim_ns(host_breakdown.total_ns)
+        merge_span.set_attrs(rows=len(result.rows))
+
+        total = TimeBreakdown()
+        total.merge(storage_breakdown)
+        if targets:
+            # Partials only exist once the scans finish: their transfer
+            # cannot overlap the storage phase.
+            transfer_ns = self.cost_model.net_transfer_ns(
+                partial_bytes, messages=max(1, len(targets))
+            )
+            total.add(CAT_NETWORK, transfer_ns)
+            span = self.tracer.event(
+                SPAN_CHANNEL_TRANSFER, node=NODE_NETWORK, bytes=partial_bytes
+            )
+            if span is not None:
+                span.set_sim_ns(transfer_ns)
+        total.merge(host_breakdown)
+        return RunResult(
+            config="sos",
+            columns=result.columns,
+            rows=result.rows,
+            breakdown=total,
+            storage_breakdown=storage_breakdown,
+            host_breakdown=host_breakdown,
+            storage_meter=storage_meter,
+            host_meter=host_meter,
+            bytes_shipped=partial_bytes,
+            plan_notes=[
+                f"partial→final aggregation over {split.base_table}: "
+                f"{len(targets)}/{self.shards} shards scanned, "
+                f"{len(partial_rows)} partial rows merged host-side"
+            ],
+            portion_meters=portion_meters,
+        )
+
+    # -- host-only (hons / hos): the host pulls pages from every shard ----
+
+    def _run_host_only_sharded(
+        self, statement, secure, run_config=None
+    ) -> RunResult:
+        run_config = run_config if run_config is not None else self.run_config
+        plan = self.partitioner.partition(statement)
+        self.host_engine.set_oblivious(run_config.oblivious)
+        self.host_engine.set_vectorized(run_config.vectorized)
+        host_meter = self.host_engine.fresh_meter()
+        self.host_engine.begin_session()
+        fetch_breakdown = TimeBreakdown()
+        portion_meters: list[Meter] = []
+        with self.tracer.span(
+            SPAN_HOST_EXECUTE, node=NODE_HOST, enclave=secure, shards=self.shards
+        ) as exec_span:
+            for index, node in enumerate(self.nodes):
+                db, pager = self._host_only_db(
+                    secure,
+                    engine=node.engine,
+                    plain_device=node.plain_device,
+                    rng_label=f"host-pager-{node.node_id}",
+                )
+                if secure:
+                    pager.on_violation = self._node_violation(node.node_id)
+                db.set_zone_maps(run_config.zone_maps)
+                db.set_oblivious(run_config.oblivious)
+                db.set_vectorized(run_config.vectorized)
+                db.tracer = self.tracer
+                meter = Meter()
+                db.store.meter = meter
+                pager.meter = meter
+                if secure:
+                    pager.tree.meter = meter
+                    pager.tracer = self.tracer
+                    pager.trace_node = NODE_HOST
+                for scan in plan.scans:
+                    if index > 0 and self.sharding.is_replicated(scan.table):
+                        continue
+                    with self._attributed(node.node_id):
+                        fetched = db.execute_statement(scan.to_select())
+                    schema = node.engine.db.store.catalog.table(scan.table)
+                    column_types = [
+                        (name, schema.column_type(name)) for name in scan.columns
+                    ]
+                    self.host_engine.receive_table(
+                        scan.table, column_types, fetched.rows
+                    )
+                if secure:
+                    meter.enclave_transitions += 2 * meter.pages_read
+                    meter.peak_memory_bytes += pager.tree_size_bytes()
+                portion_meters.append(meter)
+                # The host is one machine pulling remote pages shard after
+                # shard: the fetches serialize (this is exactly why the
+                # optimizer steers large scans away from host-only).
+                fetch_breakdown.merge(
+                    self.cost_model.phase_breakdown(
+                        meter, platform="x86", in_enclave=secure, remote_io=True
+                    )
+                )
+            with self.tracer.span(
+                SPAN_HOST_JOIN_AGG, node=NODE_HOST, enclave=secure
+            ) as host_span:
+                result = self.host_engine.run(statement)
+                self.monitorless_cleanup()
+            host_exec = self.cost_model.phase_breakdown(
+                host_meter, platform="x86", in_enclave=secure
+            )
+            host_span.set_sim_ns(host_exec.total_ns)
+            host_span.set_attrs(rows=len(result.rows))
+            total = fetch_breakdown.copy().merge(host_exec)
+            exec_span.set_sim_ns(total.total_ns)
+            exec_span.set_attrs(
+                rows=len(result.rows),
+                pages_read=sum(m.pages_read for m in portion_meters),
+            )
+        for meter in portion_meters:
+            host_meter.merge(meter)
+        return RunResult(
+            config="hos" if secure else "hons",
+            columns=result.columns,
+            rows=result.rows,
+            breakdown=total,
+            host_breakdown=total.copy(),
+            host_meter=host_meter,
+            portion_meters=portion_meters,
+            plan_notes=[
+                f"host-side pull of {len(plan.scans)} filtered table scans "
+                f"from {self.shards} shards (serialized on the host)"
+            ],
+        )

@@ -1,0 +1,150 @@
+"""Table partitioning across storage shards.
+
+Three schemes, chosen per table:
+
+* ``hash`` — FNV-1a over the canonical repr of the partition-column
+  value, modulo the shard count.  Because the hash depends only on the
+  *value*, two tables hashed on join-compatible columns (customer on
+  ``c_custkey``, orders on ``o_custkey``) are automatically
+  co-partitioned: matching rows land on the same shard.
+* ``range`` — ascending split points over the partition column; shard
+  ``i`` owns values in ``[bounds[i-1], bounds[i])``.
+* ``replicate`` — every shard holds a full copy (the tiny dimension
+  tables); scans read it from one shard only.
+
+The default TPC-H layout hash-partitions the large tables on the keys
+the paper's manual splits group/join on (so Q13's customer⟕orders and
+Q21's per-order lineitem reductions stay shard-local), range-partitions
+``part`` on ``p_partkey`` (contiguous keys, so ranges balance), and
+replicates ``nation`` and ``region``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..errors import PartitionError
+from ..tpch import Cardinalities
+
+#: Valid :attr:`TablePartitioning.scheme` values.
+SCHEMES = ("hash", "range", "replicate")
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_FNV_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def hash_value(value: object) -> int:
+    """Deterministic 64-bit FNV-1a of a partition-column value.
+
+    Hashes the canonical ``repr`` so equal values hash equally across
+    tables and runs regardless of column or table — the property that
+    makes value-hashed tables co-partitioned.  Pure arithmetic, no
+    crypto: partition placement is not a secret.
+    """
+    digest = _FNV_OFFSET
+    for byte in repr(value).encode("utf-8"):
+        digest ^= byte
+        digest = (digest * _FNV_PRIME) & _FNV_MASK
+    return digest
+
+
+@dataclass(frozen=True)
+class TablePartitioning:
+    """How one table's rows map to shards."""
+
+    scheme: str
+    #: Partition column (hash/range schemes).
+    column: str | None = None
+    #: Index of that column in the table's row tuples.
+    column_index: int | None = None
+    #: Ascending split points (range scheme): shard ``i`` owns values
+    #: ``v`` with ``bisect_right(bounds, v) == i``.
+    bounds: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise PartitionError(
+                f"partition scheme must be one of {', '.join(SCHEMES)}; "
+                f"got {self.scheme!r}"
+            )
+        if self.scheme != "replicate" and self.column_index is None:
+            raise PartitionError(f"{self.scheme} partitioning needs a column index")
+
+    def shard_of(self, row: tuple, shards: int) -> int | None:
+        """Owning shard of *row*, or ``None`` for replicated tables."""
+        if self.scheme == "replicate":
+            return None
+        value = row[self.column_index]
+        if self.scheme == "hash":
+            return hash_value(value) % shards
+        return min(bisect.bisect_right(self.bounds, value), shards - 1)
+
+
+@dataclass(frozen=True)
+class ShardingSpec:
+    """The full layout: shard count + per-table partitioning."""
+
+    shards: int
+    tables: dict[str, TablePartitioning] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise PartitionError(f"need at least one shard, got {self.shards}")
+
+    def partitioning(self, table: str) -> TablePartitioning:
+        """Partitioning of *table* (unknown tables are replicated)."""
+        return self.tables.get(table, TablePartitioning("replicate"))
+
+    def is_replicated(self, table: str) -> bool:
+        return self.partitioning(table).scheme == "replicate"
+
+    def shard_rows(self, table: str, rows) -> list[list[tuple]]:
+        """Split *rows* into one list per shard (replicated: full copies)."""
+        per_shard: list[list[tuple]] = [[] for _ in range(self.shards)]
+        part = self.partitioning(table)
+        if part.scheme == "replicate":
+            full = list(rows)
+            return [list(full) for _ in range(self.shards)]
+        for row in rows:
+            per_shard[part.shard_of(row, self.shards)].append(row)
+        return per_shard
+
+    def co_partitioned(self, requires) -> bool:
+        """Are all ``(table, column)`` pairs hash-partitioned on exactly
+        that column?  Value-hashing then guarantees matching keys share a
+        shard across all the named tables."""
+        for table, column in requires:
+            part = self.tables.get(table)
+            if part is None or part.scheme != "hash" or part.column != column:
+                return False
+        return True
+
+
+def range_bounds(n_keys: int, shards: int) -> tuple:
+    """Split points carving contiguous keys ``1..n_keys`` into *shards*
+    near-equal ranges."""
+    return tuple(1 + (n_keys * i) // shards for i in range(1, shards))
+
+
+def default_tpch_sharding(shards: int, scale_factor: float) -> ShardingSpec:
+    """The default TPC-H layout (see the module docstring)."""
+    card = Cardinalities.for_scale(scale_factor)
+    return ShardingSpec(
+        shards=shards,
+        tables={
+            # Q13 co-partition: a customer's orders share its shard.
+            "customer": TablePartitioning("hash", "c_custkey", 0),
+            "orders": TablePartitioning("hash", "o_custkey", 1),
+            # Q21 requirement: an order's lineitems share a shard.
+            "lineitem": TablePartitioning("hash", "l_orderkey", 0),
+            "supplier": TablePartitioning("hash", "s_suppkey", 0),
+            "partsupp": TablePartitioning("hash", "ps_partkey", 0),
+            "part": TablePartitioning(
+                "range", "p_partkey", 0, bounds=range_bounds(card.part, shards)
+            ),
+            "nation": TablePartitioning("replicate"),
+            "region": TablePartitioning("replicate"),
+        },
+    )

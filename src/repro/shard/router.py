@@ -1,0 +1,80 @@
+"""Shard-level routing: skip whole shards before any page I/O.
+
+Every shard maintains the same authenticated per-page zone maps as a
+single-node deployment (PR 5).  Folding a shard's page synopses for one
+table into a single *table-level* synopsis gives a min/max/null-count
+summary of everything that shard holds — and probing it with the scan's
+:class:`~repro.stats.PruningPredicate` answers "can this shard contain
+any matching row at all?" without touching a page.  Pruning fails
+closed exactly like page-level skip-scans: a missing or stale synopsis
+means the shard is scanned.
+"""
+
+from __future__ import annotations
+
+from ..stats import PageSynopsis, PruningPredicate
+
+
+def _merge_entry(a, b):
+    """Fold two per-column ``(min, max, null_count)`` entries."""
+    if a is None or b is None:
+        return None
+    lo = a[0] if b[0] is None else (b[0] if a[0] is None else min(a[0], b[0]))
+    hi = a[1] if b[1] is None else (b[1] if a[1] is None else max(a[1], b[1]))
+    return (lo, hi, a[2] + b[2])
+
+
+def table_synopsis(store, table_name: str) -> PageSynopsis | None:
+    """Fold one shard's page synopses for *table_name* into one summary.
+
+    Returns ``None`` — meaning "don't know, fail closed" — unless the
+    shard's zone maps cover exactly the table's current page set.
+    *store* is the shard engine's paged store (its catalog and
+    ``zone_maps`` mapping are the only things consulted).
+    """
+    schema = store.catalog.table(table_name)
+    if not schema.pages:
+        return PageSynopsis(0, [None] * len(schema.column_names))
+    maps = store.zone_maps.get(table_name)
+    if maps is None or not maps.covers(schema.pages):
+        return None
+    merged = None
+    row_count = 0
+    for page_no in schema.pages:
+        synopsis = maps.pages[page_no]
+        row_count += synopsis.row_count
+        if merged is None:
+            merged = list(synopsis.entries)
+        else:
+            merged = [
+                _merge_entry(a, b) for a, b in zip(merged, synopsis.entries)
+            ]
+    return PageSynopsis(row_count, merged or [])
+
+
+def route_scan(
+    stores, table_name: str, predicate: PruningPredicate | None
+) -> tuple[list[int], int]:
+    """Pick the shards a scan of *table_name* must visit.
+
+    *stores* is the per-shard list of paged stores.  A shard is skipped
+    when its table-level synopsis proves it empty, or proves the scan's
+    pruning *predicate* cannot match anything it holds.  Returns
+    ``(target shard indexes, shards pruned)``.
+    """
+    targets: list[int] = []
+    pruned = 0
+    for index, store in enumerate(stores):
+        synopsis = table_synopsis(store, table_name)
+        if synopsis is not None and synopsis.row_count == 0:
+            pruned += 1
+            continue
+        if (
+            predicate is not None
+            and synopsis is not None
+            and not predicate.page_may_match(synopsis)
+        ):
+            pruned += 1
+            continue
+        targets.append(index)
+    return targets, pruned

@@ -129,6 +129,14 @@ class CostModel:
     # kept alike — so pruning is never modelled as free.
     zone_map_check_ns: float = 200.0
     zone_map_byte_ns: float = 0.5
+    # Sharded scale-out (repro.shard): issuing one shard-scan RPC from the
+    # host coordinator over an already-established channel (enqueue +
+    # submit, no handshake), and folding one shipped partial-aggregate row
+    # into the host-side final aggregation state.  Shard-level routing
+    # probes (the merged table synopsis per shard) reuse
+    # ``zone_map_check_ns`` — same data structure, same probe.
+    shard_dispatch_ns: float = 2_000.0
+    shard_merge_row_ns: float = 120.0
 
     # --- Attestation (Table 4 anchors, charged directly) -----------------
     host_cas_response_ns: float = 140.0 * NS_PER_MS
@@ -309,6 +317,22 @@ class CostModel:
                 zm_pages * self.zone_map_check_ns
                 + meter.extra.get("zone_map_bytes", 0) * self.zone_map_byte_ns,
             )
+
+        # Sharded scale-out: every shard-scan dispatched pays an RPC issue
+        # on the coordinator; every shard probed by the router (dispatched
+        # or pruned) pays a synopsis check; every shipped partial row pays
+        # its fold into the final aggregation state.  All zero unless the
+        # sharded runner bumped the counters (single-node runs never do).
+        fanout = meter.extra.get("shard_scan_fanout", 0)
+        pruned = meter.extra.get("shards_pruned", 0)
+        merged = meter.extra.get("partial_aggs_merged", 0)
+        if fanout or pruned or merged:
+            out.add(
+                CAT_CPU,
+                (fanout + pruned) * self.zone_map_check_ns
+                + merged * self.shard_merge_row_ns,
+            )
+            out.add(CAT_NETWORK, fanout * self.shard_dispatch_ns)
 
         if meter.channel_bytes_encrypted:
             out.add(CAT_CHANNEL_CRYPTO, meter.channel_bytes_encrypted * self.channel_crypto_ns_per_byte)

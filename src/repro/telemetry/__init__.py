@@ -66,6 +66,7 @@ from .spans import (
     SPAN_HOST_JOIN_AGG,
     SPAN_MERKLE_VERIFY,
     SPAN_NDP_FILTER,
+    SPAN_OFFLOAD_PLAN,
     SPAN_PAGE_CACHE,
     SPAN_PAGE_WRITE,
     SPAN_PARTITION,
@@ -75,6 +76,8 @@ from .spans import (
     SPAN_REWRITE,
     SPAN_SCHEDULER,
     SPAN_SESSION_SETUP,
+    SPAN_SHARD_MERGE,
+    SPAN_SHARD_ROUTE,
     SPAN_SHIP_BATCH,
     SPAN_STORAGE_PHASE,
     SPAN_VECTOR_EVAL,
@@ -116,6 +119,7 @@ __all__ = [
     "SPAN_HOST_JOIN_AGG",
     "SPAN_MERKLE_VERIFY",
     "SPAN_NDP_FILTER",
+    "SPAN_OFFLOAD_PLAN",
     "SPAN_PAGE_CACHE",
     "SPAN_PAGE_WRITE",
     "SPAN_PARTITION",
@@ -125,6 +129,8 @@ __all__ = [
     "SPAN_REWRITE",
     "SPAN_SCHEDULER",
     "SPAN_SESSION_SETUP",
+    "SPAN_SHARD_MERGE",
+    "SPAN_SHARD_ROUTE",
     "SPAN_SHIP_BATCH",
     "SPAN_STORAGE_PHASE",
     "SPAN_VECTOR_EVAL",

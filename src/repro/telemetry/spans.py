@@ -45,6 +45,9 @@ SPAN_HOST_EXECUTE = "host_execute"    # host-only full-query execution
 SPAN_SESSION_SETUP = "session_setup"  # per-request TLS establishment
 SPAN_ZONE_PRUNE = "zone_prune"        # zone-map skip-scan prune ratio (marker)
 SPAN_VECTOR_EVAL = "vector_eval"      # one vectorized operator batch (marker)
+SPAN_SHARD_ROUTE = "shard_route"      # shard-level zone-map routing (marker)
+SPAN_SHARD_MERGE = "shard_merge"      # host-side cross-shard merge phase
+SPAN_OFFLOAD_PLAN = "offload_plan"    # optimizer choice + predicted/actual cost
 
 KNOWN_SPAN_NAMES = frozenset(
     {
@@ -70,6 +73,9 @@ KNOWN_SPAN_NAMES = frozenset(
         SPAN_SESSION_SETUP,
         SPAN_ZONE_PRUNE,
         SPAN_VECTOR_EVAL,
+        SPAN_SHARD_ROUTE,
+        SPAN_SHARD_MERGE,
+        SPAN_OFFLOAD_PLAN,
     }
 )
 

@@ -585,6 +585,63 @@ class TestARCH009VectorConfinement:
         assert result.clean
 
 
+class TestARCH010ShardConfinement:
+    def test_shard_importing_planner_triggers(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/shard/bad.py": "from ..sql.planner import Planner\n"},
+            select=["ARCH010"],
+        )
+        assert rule_ids(result) == ["ARCH010"]
+        assert "repro.sql.records" in result.findings[0].message
+
+    def test_shard_importing_sql_package_root_triggers(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/shard/bad.py": "from ..sql import Database\n"},
+            select=["ARCH010"],
+        )
+        assert rule_ids(result) == ["ARCH010"]
+
+    def test_wire_format_imports_are_clean(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {
+                "repro/shard/ok.py": """
+                from ..sql.records import encode_row
+                from ..sql.values import sql_le
+
+                def size(row):
+                    return len(encode_row(row))
+                """
+            },
+            select=["ARCH010"],
+        )
+        assert result.clean
+
+    def test_key_material_reference_triggers(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {
+                "repro/shard/bad.py": """
+                def steal(engine):
+                    return engine.pager.master_key
+                """
+            },
+            select=["ARCH010"],
+        )
+        assert rule_ids(result) == ["ARCH010"]
+        assert "key material" in result.findings[0].message
+
+    def test_other_packages_are_exempt(self, tmp_path):
+        result = run_tree(
+            tmp_path,
+            {"repro/core/ok.py": "from ..sql.planner import Planner\n"},
+            select=["ARCH010"],
+        )
+        assert result.clean
+
+
 class TestSuppressions:
     def test_disable_comment_suppresses(self, tmp_path):
         result = run_source(
@@ -682,6 +739,7 @@ class TestFramework:
             "ARCH007",
             "ARCH008",
             "ARCH009",
+            "ARCH010",
             "FLOW001",
             "SEC001",
             "SEC002",

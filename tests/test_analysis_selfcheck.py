@@ -98,6 +98,24 @@ class TestSelfCheck:
         assert proc.returncode == 1
         assert "ARCH006" in proc.stdout
 
+    def test_shard_tree_is_gated(self):
+        """The shard package is linted (ARCH010 guards its confinement)."""
+        proc = run_lint("src/repro/shard", "--fail-on-findings")
+        assert proc.returncode == 0, (
+            "the shard package violates its confinement rules:\n" + proc.stdout
+        )
+
+    def test_seeded_shard_violation_fails_the_gate(self, tmp_path):
+        """Shard importing the planner must fail the gate (ARCH010)."""
+        pkg = tmp_path / "repro" / "shard"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "seeded.py").write_text("from ..sql.planner import Planner\n")
+        proc = run_lint(str(tmp_path / "repro"), "--fail-on-findings")
+        assert proc.returncode == 1
+        assert "ARCH010" in proc.stdout
+
     def test_trace_entry_point_registered(self):
         """The ``repro-trace`` console script ships in pyproject.toml."""
         pyproject = (REPO_ROOT / "pyproject.toml").read_text()

@@ -1,0 +1,471 @@
+"""Sharded scale-out: differential correctness, byte-identity, tamper
+attribution, routing/pruning, and the adaptive offload optimizer.
+
+The load-bearing property is *equivalence*: for every configuration and
+execution knob, a sharded deployment must return the same rows as the
+single-node deployment it decomposes — and at ``shards=1`` it must be
+byte-identical (rows, meters, simulated time, observable fingerprints).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+
+import pytest
+
+from repro.core import CONFIGS, Deployment, RunConfig
+from repro.core.manual_partitions import MANUAL_PARTITIONS
+from repro.errors import IntegrityError, IronSafeError, PartitionError
+from repro.shard import (
+    PLAIN_CLASS,
+    SECURE_CLASS,
+    SHARD_COUNTERS,
+    ShardedDeployment,
+    ShardingSpec,
+    TablePartitioning,
+    default_tpch_sharding,
+    hash_value,
+    range_bounds,
+)
+from repro.sim import Meter
+from repro.telemetry import SPAN_OFFLOAD_PLAN
+from repro.tpch import ALL_QUERIES
+
+SF = 0.001
+SEED = 11
+
+# TPC-H-shaped query templates; thresholds are drawn from a fixed seed so
+# the differential corpus is "random but reproducible".
+_RNG = random.Random(20260808)
+_QTY = _RNG.randint(20, 45)
+_PRICE = _RNG.randint(50_000, 150_000)
+_DISC = round(_RNG.uniform(0.02, 0.08), 2)
+
+SHAPED_QUERIES = {
+    "filter-scan": (
+        "SELECT l_orderkey, l_partkey, l_quantity FROM lineitem "
+        f"WHERE l_quantity > {_QTY}"
+    ),
+    "group-agg": (
+        "SELECT l_returnflag, l_linestatus, COUNT(*), SUM(l_quantity), "
+        "AVG(l_extendedprice) FROM lineitem "
+        "GROUP BY l_returnflag, l_linestatus "
+        "ORDER BY l_returnflag, l_linestatus"
+    ),
+    "join-agg": (
+        "SELECT o_orderpriority, COUNT(*) FROM orders, lineitem "
+        "WHERE l_orderkey = o_orderkey AND o_totalprice > "
+        f"{_PRICE} GROUP BY o_orderpriority ORDER BY o_orderpriority"
+    ),
+    "replicated-join": (
+        "SELECT n_name, COUNT(*) FROM nation, customer "
+        "WHERE c_nationkey = n_nationkey "
+        "GROUP BY n_name ORDER BY n_name"
+    ),
+    "selective-filter": (
+        "SELECT l_orderkey, l_extendedprice FROM lineitem "
+        f"WHERE l_discount < {_DISC} AND l_quantity > {_QTY}"
+    ),
+}
+
+DECOMPOSABLE_AGG = (
+    "SELECT l_returnflag, COUNT(*), SUM(l_extendedprice), MIN(l_shipdate), "
+    "MAX(l_shipdate) FROM lineitem "
+    f"WHERE l_quantity > {_QTY} GROUP BY l_returnflag ORDER BY l_returnflag"
+)
+
+
+def _sort_key(row):
+    return tuple(
+        (0, round(v, 6)) if isinstance(v, float) else (1, repr(v)) for v in row
+    )
+
+
+def assert_rows_match(got, expected, *, context=""):
+    """Multiset row comparison with float tolerance (cross-shard folds
+    re-order floating-point accumulation, so sums differ in the last ulp)."""
+    assert len(got) == len(expected), (
+        f"{context}: {len(got)} rows vs {len(expected)} expected"
+    )
+    for grow, erow in zip(sorted(got, key=_sort_key), sorted(expected, key=_sort_key)):
+        assert len(grow) == len(erow), f"{context}: arity mismatch"
+        for gval, eval_ in zip(grow, erow):
+            if isinstance(gval, float) or isinstance(eval_, float):
+                assert math.isclose(
+                    gval, eval_, rel_tol=1e-9, abs_tol=1e-9
+                ), f"{context}: {gval!r} != {eval_!r}"
+            else:
+                assert gval == eval_, f"{context}: {gval!r} != {eval_!r}"
+
+
+def _build(shards: int, **kwargs) -> ShardedDeployment:
+    deployment = ShardedDeployment(
+        shards=shards, scale_factor=SF, seed=SEED, **kwargs
+    )
+    deployment.attest_all()
+    return deployment
+
+
+@pytest.fixture(scope="module")
+def base() -> Deployment:
+    deployment = Deployment(scale_factor=SF, seed=SEED)
+    deployment.attest_all()
+    return deployment
+
+
+@pytest.fixture(scope="module")
+def single() -> ShardedDeployment:
+    return _build(1)
+
+
+@pytest.fixture(scope="module")
+def sharded2() -> ShardedDeployment:
+    return _build(2)
+
+
+@pytest.fixture(scope="module")
+def sharded4() -> ShardedDeployment:
+    return _build(4)
+
+
+@pytest.fixture(scope="module")
+def sharded8() -> ShardedDeployment:
+    return _build(8)
+
+
+def _pick(request, shards):
+    return request.getfixturevalue(
+        {1: "single", 2: "sharded2", 4: "sharded4", 8: "sharded8"}[shards]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Partitioning units
+# ---------------------------------------------------------------------------
+
+
+class TestPartitioning:
+    def test_hash_value_deterministic_and_spread(self):
+        assert hash_value(42) == hash_value(42)
+        assert hash_value("ALGERIA") == hash_value("ALGERIA")
+        assert {hash_value(i) % 4 for i in range(200)} == {0, 1, 2, 3}
+
+    def test_range_bounds_partition_the_keyspace(self):
+        bounds = range_bounds(200, 4)
+        assert len(bounds) == 3
+        assert list(bounds) == sorted(bounds)
+        assert bounds == (51, 101, 151)
+
+    def test_default_layout_replicates_small_tables(self):
+        spec = default_tpch_sharding(4, SF)
+        assert spec.is_replicated("nation")
+        assert spec.is_replicated("region")
+        assert spec.tables["lineitem"].scheme == "hash"
+        assert spec.tables["part"].scheme == "range"
+
+    def test_co_partitioning(self):
+        spec = default_tpch_sharding(4, SF)
+        # customer⋈orders on custkey: both hash on it → co-partitioned.
+        assert spec.co_partitioned(
+            (("customer", "c_custkey"), ("orders", "o_custkey"))
+        )
+        # orders is hashed on o_custkey, not o_orderkey.
+        assert not spec.co_partitioned((("orders", "o_orderkey"),))
+
+    def test_shard_rows_is_a_partition(self):
+        spec = ShardingSpec(
+            shards=3,
+            tables={"t": TablePartitioning("hash", "k", 0)},
+        )
+        rows = [(i, f"v{i}") for i in range(100)]
+        per_shard = spec.shard_rows("t", rows)
+        assert len(per_shard) == 3
+        merged = [row for shard in per_shard for row in shard]
+        assert sorted(merged) == rows
+        # Deterministic placement: same row always lands on the same shard.
+        again = spec.shard_rows("t", rows)
+        assert per_shard == again
+
+    def test_replicated_rows_are_full_copies(self):
+        spec = ShardingSpec(shards=2, tables={})
+        rows = [(1,), (2,)]
+        assert spec.shard_rows("nation", rows) == [rows, rows]
+
+
+# ---------------------------------------------------------------------------
+# shards=1 byte-identity with the seed deployment
+# ---------------------------------------------------------------------------
+
+
+class TestSingleShardByteIdentity:
+    @pytest.mark.parametrize("config", sorted(CONFIGS))
+    def test_identical_rows_meters_and_sim_time(self, base, single, config):
+        sql = SHAPED_QUERIES["group-agg"]
+        expected = base.run_query(sql, config)
+        got = single.run_query(sql, config)
+        assert got.rows == expected.rows
+        assert got.columns == expected.columns
+        assert got.storage_meter == expected.storage_meter
+        assert got.host_meter == expected.host_meter
+        assert got.breakdown.total_ns == expected.breakdown.total_ns
+        assert got.total_ms == expected.total_ms
+
+    def test_identical_observable_fingerprints(self):
+        fingerprints = []
+        for cls in (Deployment, ShardedDeployment):
+            deployment = cls(scale_factor=SF, seed=SEED)
+            deployment.attest_all()
+            recorder = deployment.enable_observability()
+            deployment.run_query(SHAPED_QUERIES["filter-scan"], "scs")
+            fingerprints.append(recorder.last_trace().fingerprint())
+        assert fingerprints[0] == fingerprints[1]
+
+
+# ---------------------------------------------------------------------------
+# Differential: sharded results match the single-node reference
+# ---------------------------------------------------------------------------
+
+
+class TestShardedDifferential:
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    @pytest.mark.parametrize("name", sorted(SHAPED_QUERIES))
+    def test_scs_matches_reference(self, request, base, shards, name):
+        deployment = _pick(request, shards)
+        sql = SHAPED_QUERIES[name]
+        expected = base.run_query(sql, "scs")
+        got = deployment.run_query(sql, "scs")
+        assert_rows_match(got.rows, expected.rows, context=f"{name}@{shards}")
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("config", ["hons", "hos", "vcs"])
+    def test_other_configs_match_reference(self, request, base, shards, config):
+        sql = SHAPED_QUERIES["join-agg"]
+        deployment = _pick(request, shards)
+        expected = base.run_query(sql, config)
+        got = deployment.run_query(sql, config)
+        assert_rows_match(got.rows, expected.rows, context=f"{config}@{shards}")
+
+    @pytest.mark.parametrize("vectorized", [False, True])
+    @pytest.mark.parametrize("oblivious", ["off", "padded"])
+    def test_knob_matrix_matches_reference(
+        self, base, sharded4, vectorized, oblivious
+    ):
+        run_config = RunConfig(vectorized=vectorized, oblivious=oblivious)
+        sql = SHAPED_QUERIES["group-agg"]
+        expected = base.run_query(sql, "scs", run_config=run_config)
+        got = sharded4.run_query(sql, "scs", run_config=run_config)
+        assert_rows_match(
+            got.rows, expected.rows, context=f"vec={vectorized},obl={oblivious}"
+        )
+
+    @pytest.mark.parametrize("shards", [2, 8])
+    def test_storage_only_partial_final_agg(self, request, base, shards):
+        deployment = _pick(request, shards)
+        expected = base.run_query(DECOMPOSABLE_AGG, "sos")
+        got = deployment.run_query(DECOMPOSABLE_AGG, "sos")
+        assert_rows_match(got.rows, expected.rows, context=f"sos@{shards}")
+        assert got.host_meter.get("partial_aggs_merged") > 0
+
+    def test_tpch_queries_match_reference(self, base, sharded2):
+        for number in (1, 3, 6):
+            sql = ALL_QUERIES[number].sql
+            expected = base.run_query(sql, "scs")
+            got = sharded2.run_query(sql, "scs")
+            assert_rows_match(got.rows, expected.rows, context=f"Q{number}")
+
+    def test_concurrent_sessions_over_shards(self, sharded2):
+        queries = [
+            SHAPED_QUERIES["filter-scan"],
+            SHAPED_QUERIES["group-agg"],
+            SHAPED_QUERIES["join-agg"],
+        ]
+        result = sharded2.run_concurrent(queries, workers=2)
+        assert len(result.sessions) == 3
+        assert result.throughput_qps > 0
+        assert result.speedup >= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Routing, pruning, fan-out accounting
+# ---------------------------------------------------------------------------
+
+
+class TestRoutingAndPruning:
+    def test_zone_maps_prune_range_partitioned_shards(self, base, sharded4):
+        sql = "SELECT p_partkey, p_name FROM part WHERE p_partkey < 50"
+        run_config = RunConfig(zone_maps=True)
+        expected = base.run_query(sql, "scs", run_config=run_config)
+        got = sharded4.run_query(sql, "scs", run_config=run_config)
+        assert_rows_match(got.rows, expected.rows, context="pruned-scan")
+        assert got.host_meter.get("shards_pruned") >= 1
+        fanout = got.host_meter.get("shard_scan_fanout")
+        assert 1 <= fanout < 4
+
+    def test_unselective_scan_fans_out_to_all_shards(self, sharded4):
+        got = sharded4.run_query(SHAPED_QUERIES["filter-scan"], "scs")
+        assert got.host_meter.get("shard_scan_fanout") >= 4
+        assert got.host_meter.get("shards_pruned") == 0
+
+    def test_pruning_disabled_under_oblivious(self, sharded4):
+        sql = "SELECT p_partkey, p_name FROM part WHERE p_partkey < 50"
+        run_config = RunConfig(zone_maps=True, oblivious="padded")
+        got = sharded4.run_query(sql, "scs", run_config=run_config)
+        assert got.host_meter.get("shards_pruned") == 0
+
+    def test_manual_split_falls_back_without_co_partitioning(self, sharded2):
+        manual = dataclasses.replace(
+            MANUAL_PARTITIONS[21], requires=(("lineitem", "l_suppkey"),)
+        )
+        result = sharded2.run_query(
+            ALL_QUERIES[21].sql, "scs", manual_partition=manual
+        )
+        assert any("co-partitioning" in note for note in result.plan_notes)
+
+    def test_co_partitioned_manual_split_is_honored(self, base, sharded2):
+        manual = MANUAL_PARTITIONS[21]
+        expected = base.run_query(ALL_QUERIES[21].sql, "scs", manual_partition=manual)
+        got = sharded2.run_query(ALL_QUERIES[21].sql, "scs", manual_partition=manual)
+        assert_rows_match(got.rows, expected.rows, context="manual-q21")
+        assert not any("co-partitioning" in note for note in got.plan_notes)
+
+    def test_sos_rejects_non_decomposable_queries(self, sharded2):
+        # Cross-shard joins can't run as per-shard partials.
+        with pytest.raises(PartitionError, match="scs"):
+            sharded2.run_query(SHAPED_QUERIES["join-agg"], "sos")
+
+    def test_sos_replicated_base_runs_on_one_shard(self, base, sharded4):
+        sql = (
+            "SELECT n_regionkey, COUNT(*) FROM nation "
+            "GROUP BY n_regionkey ORDER BY n_regionkey"
+        )
+        expected = base.run_query(sql, "sos")
+        got = sharded4.run_query(sql, "sos")
+        # Replicated tables hold full copies; the partial must run on
+        # exactly one shard or counts would multiply by the fan-out.
+        assert_rows_match(got.rows, expected.rows, context="sos-replicated")
+
+
+# ---------------------------------------------------------------------------
+# Integrity: tamper attribution to the owning shard
+# ---------------------------------------------------------------------------
+
+
+class TestTamperAttribution:
+    def test_corrupt_shard_is_named_with_one_incident(self, tmp_path):
+        deployment = _build(4)
+        recorder = deployment.enable_observability(flight_dir=str(tmp_path))
+        node = deployment.nodes[2]
+        victim = node.engine.db.store.pages_of("lineitem")[0]
+        node.secure_device.corrupt(victim, offset=100)
+        with pytest.raises(IntegrityError) as err:
+            deployment.run_query(SHAPED_QUERIES["filter-scan"], "scs")
+        assert "shard storage-3" in str(err.value)
+        incidents = recorder.flight.incidents
+        assert len(incidents) == 1
+        assert incidents[0]["node"] == "storage-3"
+        assert incidents[0]["page"] == victim
+        dumps = sorted(tmp_path.glob("incident-*.jsonl"))
+        assert len(dumps) == 1
+
+    def test_other_shards_remain_healthy(self, tmp_path):
+        deployment = _build(2)
+        deployment.enable_observability(flight_dir=str(tmp_path))
+        node = deployment.nodes[1]
+        victim = node.engine.db.store.pages_of("lineitem")[0]
+        node.secure_device.corrupt(victim, offset=100)
+        with pytest.raises(IntegrityError, match="storage-2"):
+            deployment.run_query(SHAPED_QUERIES["filter-scan"], "scs")
+        # A query confined to healthy replicated data still succeeds.
+        result = deployment.run_query(
+            "SELECT n_name FROM nation ORDER BY n_name", "scs"
+        )
+        assert len(result.rows) == 25
+
+
+# ---------------------------------------------------------------------------
+# Adaptive offload optimizer (strategy="auto")
+# ---------------------------------------------------------------------------
+
+
+class TestAutoStrategy:
+    def test_base_deployment_rejects_auto(self, base):
+        with pytest.raises(IronSafeError, match="ShardedDeployment"):
+            base.run_query(
+                SHAPED_QUERIES["filter-scan"],
+                "scs",
+                run_config=RunConfig(strategy="auto"),
+            )
+
+    def test_auto_stays_in_the_secure_class(self, base, sharded2):
+        run_config = RunConfig(strategy="auto")
+        expected = base.run_query(DECOMPOSABLE_AGG, "scs")
+        got = sharded2.run_query(DECOMPOSABLE_AGG, "scs", run_config=run_config)
+        assert got.config in SECURE_CLASS
+        assert_rows_match(got.rows, expected.rows, context="auto-secure")
+        assert got.host_meter.get("optimizer_plans_considered") >= 2
+        assert got.plan_notes and got.plan_notes[0].startswith("optimizer chose")
+
+    def test_auto_stays_in_the_plain_class(self, sharded2):
+        run_config = RunConfig(strategy="auto")
+        got = sharded2.run_query(
+            SHAPED_QUERIES["group-agg"], "vcs", run_config=run_config
+        )
+        assert got.config in PLAIN_CLASS
+
+    def test_auto_matches_or_beats_manual(self, sharded2):
+        # pipeline=False on both sides: manual runs default to the serial
+        # ship path, so auto must be compared on the same one.
+        for sql in (DECOMPOSABLE_AGG, SHAPED_QUERIES["group-agg"]):
+            auto = sharded2.run_query(
+                sql, "scs", run_config=RunConfig(pipeline=False, strategy="auto")
+            )
+            manual = {}
+            for cfg in SECURE_CLASS:
+                try:
+                    manual[cfg] = sharded2.run_query(sql, cfg).total_ms
+                except PartitionError:
+                    continue  # sos can't run non-decomposable queries
+            best = min(manual.values())
+            assert auto.total_ms <= best * 1.001, (
+                f"auto chose {auto.config} at {auto.total_ms:.3f}ms, "
+                f"best manual is {best:.3f}ms ({manual})"
+            )
+
+    def test_prediction_recorded_in_telemetry(self, sharded2):
+        tracer = sharded2.enable_tracing()
+        result = sharded2.run_query(
+            DECOMPOSABLE_AGG, "scs", run_config=RunConfig(strategy="auto")
+        )
+        spans = [
+            span
+            for trace in tracer.traces
+            for span in trace.spans
+            if span.name == SPAN_OFFLOAD_PLAN
+        ]
+        assert spans, "auto runs must emit an offload_plan span"
+        span = spans[-1]
+        assert span.attributes["chosen"] == result.config
+        assert span.attributes["predicted_ms"] > 0
+        assert span.attributes["actual_ms"] == pytest.approx(result.total_ms)
+
+
+# ---------------------------------------------------------------------------
+# Meter counters
+# ---------------------------------------------------------------------------
+
+
+class TestShardCounters:
+    def test_counters_are_registered(self):
+        meter = Meter()
+        for name in SHARD_COUNTERS:
+            assert meter.get(name) == 0
+            meter.bump(name, 2)
+            assert meter.get(name) == 2
+
+    def test_serial_runs_never_bump_shard_counters(self, base):
+        result = base.run_query(SHAPED_QUERIES["filter-scan"], "scs")
+        for name in SHARD_COUNTERS:
+            assert result.host_meter.get(name) == 0
+            assert result.storage_meter.get(name) == 0
